@@ -1,0 +1,242 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation section (§5):
+
+     fig7    - Figure 7: the multi-grouping query workload summary
+     table3  - Table 3: single-grouping queries, Hive vs RAPIDAnalytics
+               (BSBM at two scales, Chem2Bio2RDF)
+     fig8a   - Figure 8(a): MG1-MG4 on the small BSBM dataset, 4 engines
+     fig8b   - Figure 8(b): MG1-MG4 on the larger BSBM dataset, 4 engines
+     fig8c   - Figure 8(c): MG6-MG10 on Chem2Bio2RDF, 4 engines
+     table4  - Table 4: MG11-MG18 on PubMed, 4 engines
+     ablation- toggle each optimization knob in isolation
+     wall    - Bechamel wall-clock microbenchmarks of the in-memory
+               engines on representative queries
+
+   Absolute numbers come from the MapReduce simulator's cost model
+   (documented in DESIGN.md); the paper-facing claims are the shapes:
+   who wins, by what factor, and where the crossovers are. Usage:
+
+     dune exec bench/main.exe [--scale N] [section ...]   (default: all) *)
+
+module Engine = Rapida_core.Engine
+module Plan_util = Rapida_core.Plan_util
+module Catalog = Rapida_queries.Catalog
+module Experiment = Rapida_harness.Experiment
+module Report = Rapida_harness.Report
+
+let scale = ref 1
+let sections = ref []
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: n :: rest ->
+      scale := int_of_string n;
+      parse rest
+    | s :: rest ->
+      sections := s :: !sections;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let want section =
+  !sections = [] || List.mem "all" !sections || List.mem section !sections
+
+(* The simulated cluster: paper-default startup costs with bandwidths
+   scaled down by the ratio between the paper's dataset sizes (tens of
+   GB) and this harness's (hundreds of KB), so that the startup-vs-data
+   balance of each MR cycle matches the paper's regime. *)
+let options =
+  {
+    Plan_util.cluster = Rapida_mapred.Cluster.scaled_down ~factor:1.0e5;
+    map_join_threshold = 24 * 1024;
+    hive_compression = 0.06;
+    ntga_combiner = true;
+    ntga_filter_pushdown = true;
+  }
+
+let all_engines = Engine.all_kinds
+let table3_engines = Engine.[ Hive_naive; Rapid_analytics ]
+
+(* Dataset scales: "small" BSBM stands in for BSBM-500K, "large" (4x) for
+   BSBM-2M; the 4x ratio matches the paper's 500K -> 2M products. *)
+let bsbm_small =
+  lazy
+    (Engine.input_of_graph
+       Rapida_datagen.Bsbm.(generate (config ~products:(400 * !scale) ())))
+
+let bsbm_large =
+  lazy
+    (Engine.input_of_graph
+       Rapida_datagen.Bsbm.(generate (config ~products:(1600 * !scale) ())))
+
+let chem =
+  lazy
+    (Engine.input_of_graph
+       Rapida_datagen.Chem2bio.(generate (config ~compounds:(200 * !scale) ())))
+
+let pubmed =
+  lazy
+    (Engine.input_of_graph
+       Rapida_datagen.Pubmed.(
+         generate (config ~publications:(600 * !scale) ())))
+
+let queries ids = List.map Catalog.find_exn ids
+
+let section_fig7 () =
+  Fmt.pr "@.== Figure 7: evaluated RDF analytical queries ==@.";
+  Fmt.pr "%a" Catalog.pp_figure7 ()
+
+let report ~title ~engines runs =
+  Fmt.pr "%a" (Report.pp_comparison ~title ~engines) runs;
+  Fmt.pr "%a" (Report.pp_cycles ~title:(title ^ " - MR cycles") ~engines) runs;
+  Fmt.pr "%a"
+    (Report.pp_bytes ~title:(title ^ " - shuffle volume") ~engines)
+    runs;
+  Fmt.pr "%a" Report.pp_verification runs
+
+let section_table3 () =
+  let g_bsbm = queries [ "G1"; "G2"; "G3"; "G4" ] in
+  let runs_small =
+    Experiment.run_queries ~engines:table3_engines options
+      ~label:"BSBM-small" (Lazy.force bsbm_small) g_bsbm
+  in
+  report ~title:"Table 3 (BSBM, small)" ~engines:table3_engines runs_small;
+  let runs_large =
+    Experiment.run_queries ~engines:table3_engines options
+      ~label:"BSBM-large" (Lazy.force bsbm_large) g_bsbm
+  in
+  report ~title:"Table 3 (BSBM, large)" ~engines:table3_engines runs_large;
+  let g_chem = queries [ "G5"; "G6"; "G7"; "G8"; "G9" ] in
+  let runs_chem =
+    Experiment.run_queries ~engines:table3_engines options
+      ~label:"Chem2Bio2RDF" (Lazy.force chem) g_chem
+  in
+  report ~title:"Table 3 (Chem2Bio2RDF)" ~engines:table3_engines runs_chem
+
+let section_fig8a () =
+  let runs =
+    Experiment.run_queries options ~label:"BSBM-small"
+      (Lazy.force bsbm_small)
+      (queries [ "MG1"; "MG2"; "MG3"; "MG4" ])
+  in
+  report ~title:"Figure 8(a): MG1-MG4" ~engines:all_engines runs
+
+let section_fig8b () =
+  let runs =
+    Experiment.run_queries options ~label:"BSBM-large"
+      (Lazy.force bsbm_large)
+      (queries [ "MG1"; "MG2"; "MG3"; "MG4" ])
+  in
+  report ~title:"Figure 8(b): MG1-MG4 (4x scale)" ~engines:all_engines runs
+
+let section_fig8c () =
+  let runs =
+    Experiment.run_queries options ~label:"Chem2Bio2RDF" (Lazy.force chem)
+      (queries [ "MG6"; "MG7"; "MG8"; "MG9"; "MG10" ])
+  in
+  report ~title:"Figure 8(c): MG6-MG10" ~engines:all_engines runs
+
+let section_table4 () =
+  let runs =
+    Experiment.run_queries options ~label:"PubMed" (Lazy.force pubmed)
+      (queries
+         [ "MG11"; "MG12"; "MG13"; "MG14"; "MG15"; "MG16"; "MG17"; "MG18" ])
+  in
+  report ~title:"Table 4: MG11-MG18" ~engines:all_engines runs
+
+(* Ablations over the design choices DESIGN.md calls out: each knob is
+   toggled in isolation on a workload where it matters, reporting the
+   simulated-time and shuffle deltas. Results are always identical (the
+   test suite enforces it); only costs move. *)
+let section_ablation () =
+  Fmt.pr "@.== Ablations ==@.";
+  let run opts kind input id =
+    match
+      Engine.run kind opts (Lazy.force input)
+        (Catalog.parse (Catalog.find_exn id))
+    with
+    | Ok out -> out
+    | Error msg -> failwith msg
+  in
+  let show label (on : Engine.output) (off : Engine.output) =
+    let module Stats = Rapida_mapred.Stats in
+    Fmt.pr
+      "%-42s on: %7.1fs %8.1fKB shuffled   off: %7.1fs %8.1fKB shuffled@."
+      label
+      (Stats.est_time_s on.Engine.stats)
+      (float_of_int (Stats.total_shuffle_bytes on.Engine.stats) /. 1024.)
+      (Stats.est_time_s off.Engine.stats)
+      (float_of_int (Stats.total_shuffle_bytes off.Engine.stats) /. 1024.)
+  in
+  show "RA partial aggregation (MG1)"
+    (run options Engine.Rapid_analytics bsbm_small "MG1")
+    (run { options with ntga_combiner = false } Engine.Rapid_analytics
+       bsbm_small "MG1");
+  show "RA filter pushdown (G6)"
+    (run options Engine.Rapid_analytics chem "G6")
+    (run { options with ntga_filter_pushdown = false } Engine.Rapid_analytics
+       chem "G6");
+  show "Hive map-joins (G5)"
+    (run options Engine.Hive_naive chem "G5")
+    (run { options with map_join_threshold = 0 } Engine.Hive_naive chem "G5");
+  show "Hive ORC storage (MG3)"
+    (run options Engine.Hive_naive bsbm_small "MG3")
+    (run { options with hive_compression = 1.0 } Engine.Hive_naive bsbm_small
+       "MG3")
+
+(* Wall-clock microbenchmarks of the real in-memory executions, per
+   engine, on representative queries from each workload. *)
+let section_wall () =
+  let open Bechamel in
+  let bench_query label input_lazy id =
+    let input = Lazy.force input_lazy in
+    let q = Catalog.parse (Catalog.find_exn id) in
+    List.map
+      (fun kind ->
+        Test.make
+          ~name:(Printf.sprintf "%s/%s/%s" label id (Engine.kind_name kind))
+          (Staged.stage (fun () ->
+               match Engine.run kind options input q with
+               | Ok _ -> ()
+               | Error msg -> failwith msg)))
+      all_engines
+  in
+  let tests =
+    Test.make_grouped ~name:"rapida"
+      (bench_query "bsbm" bsbm_small "MG1"
+      @ bench_query "chem" chem "MG6"
+      @ bench_query "pubmed" pubmed "MG13")
+  in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Fmt.pr "@.== Wall-clock (Bechamel, in-memory execution) ==@.";
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> (name, est) :: acc
+        | _ -> (name, Float.nan) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, est) -> Fmt.pr "%-48s %12.2f ms/run@." name (est /. 1e6))
+    rows
+
+let () =
+  Fmt.pr "RAPIDAnalytics benchmark harness (scale=%d)@." !scale;
+  Fmt.pr "cluster model: %a@." Rapida_mapred.Cluster.pp options.cluster;
+  if want "fig7" then section_fig7 ();
+  if want "table3" then section_table3 ();
+  if want "fig8a" then section_fig8a ();
+  if want "fig8b" then section_fig8b ();
+  if want "fig8c" then section_fig8c ();
+  if want "table4" then section_table4 ();
+  if want "ablation" then section_ablation ();
+  if want "wall" then section_wall ()

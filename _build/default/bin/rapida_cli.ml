@@ -1,0 +1,302 @@
+(* Command-line interface:
+
+     rapida gen     - generate a synthetic benchmark dataset (N-Triples)
+     rapida query   - run a SPARQL analytical query on a dataset
+     rapida explain - show the overlap analysis and composite rewriting
+     rapida catalog - list the paper's query workload, print query text
+     rapida stats   - dataset statistics (triples, partitions) *)
+
+module Engine = Rapida_core.Engine
+module Plan_util = Rapida_core.Plan_util
+module Catalog = Rapida_queries.Catalog
+module Table = Rapida_relational.Table
+module Relops = Rapida_relational.Relops
+module Stats = Rapida_mapred.Stats
+module Graph = Rapida_rdf.Graph
+module Rterm = Rapida_rdf.Term
+
+open Cmdliner
+
+(* --- shared helpers ----------------------------------------------------- *)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  Arg.(value & flag
+       & info [ "v"; "verbose" ] ~doc:"Log every simulated MapReduce job.")
+
+let load_graph path =
+  match Rapida_rdf.Ntriples.read_file path with
+  | Ok triples -> Ok (Graph.of_list triples)
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let print_table t =
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left
+          (fun w row ->
+            let len =
+              match row.(i) with
+              | Some v -> String.length (Rterm.lexical v)
+              | None -> 4
+            in
+            max w len)
+          (String.length col) t.Table.rows)
+      t.Table.schema
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  print_string
+    (String.concat "  " (List.map2 pad t.Table.schema widths));
+  print_newline ();
+  List.iter
+    (fun row ->
+      let cells =
+        List.mapi
+          (fun i w ->
+            let s =
+              match row.(i) with
+              | Some v -> Rterm.lexical v
+              | None -> "NULL"
+            in
+            pad s w)
+          widths
+      in
+      print_string (String.concat "  " cells);
+      print_newline ())
+    t.Table.rows
+
+(* --- gen ---------------------------------------------------------------- *)
+
+let dataset_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "bsbm" -> Ok `Bsbm
+    | "chem2bio" | "chem" -> Ok `Chem
+    | "pubmed" -> Ok `Pubmed
+    | _ -> Error (`Msg "expected bsbm, chem2bio, or pubmed")
+  in
+  let print ppf = function
+    | `Bsbm -> Fmt.string ppf "bsbm"
+    | `Chem -> Fmt.string ppf "chem2bio"
+    | `Pubmed -> Fmt.string ppf "pubmed"
+  in
+  Arg.conv (parse, print)
+
+let gen_cmd =
+  let dataset =
+    Arg.(required & opt (some dataset_arg) None
+         & info [ "d"; "dataset" ] ~doc:"Dataset family: bsbm, chem2bio, pubmed.")
+  in
+  let scale =
+    Arg.(value & opt int 100
+         & info [ "n"; "scale" ]
+             ~doc:"Entity scale (products / compounds / publications).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let output =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~doc:"Output N-Triples file.")
+  in
+  let run dataset scale seed output =
+    let graph =
+      match dataset with
+      | `Bsbm -> Rapida_datagen.Bsbm.(generate (config ~seed ~products:scale ()))
+      | `Chem ->
+        Rapida_datagen.Chem2bio.(generate (config ~seed ~compounds:scale ()))
+      | `Pubmed ->
+        Rapida_datagen.Pubmed.(generate (config ~seed ~publications:scale ()))
+    in
+    Rapida_rdf.Ntriples.write_file output (Graph.triples graph);
+    Printf.printf "wrote %d triples to %s\n" (Graph.size graph) output
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic benchmark dataset")
+    Term.(const run $ dataset $ scale $ seed $ output)
+
+(* --- query -------------------------------------------------------------- *)
+
+let engine_arg =
+  let parse s =
+    match Engine.kind_of_string s with
+    | Some k -> Ok k
+    | None -> Error (`Msg "expected hive-naive, hive-mqo, rapid-plus, or rapid-analytics")
+  in
+  Arg.conv (parse, fun ppf k -> Fmt.string ppf (Engine.kind_name k))
+
+let query_source_args f =
+  let data =
+    Arg.(required & opt (some string) None
+         & info [ "d"; "data" ] ~doc:"Dataset file (N-Triples).")
+  in
+  let query_file =
+    Arg.(value & opt (some string) None
+         & info [ "q"; "query" ] ~doc:"SPARQL query file.")
+  in
+  let catalog_id =
+    Arg.(value & opt (some string) None
+         & info [ "c"; "catalog" ] ~doc:"Catalog query id (e.g. MG1).")
+  in
+  Term.(const f $ data $ query_file $ catalog_id)
+
+let query_text query_file catalog_id =
+  match query_file, catalog_id with
+  | Some path, None -> Ok (read_file path)
+  | None, Some id -> (
+    match Catalog.find id with
+    | Some entry -> Ok entry.Catalog.sparql
+    | None -> Error (Printf.sprintf "unknown catalog query %s" id))
+  | _ -> Error "provide exactly one of --query or --catalog"
+
+let query_cmd =
+  let engine =
+    Arg.(value & opt engine_arg Engine.Rapid_analytics
+         & info [ "e"; "engine" ]
+             ~doc:"Engine: hive-naive, hive-mqo, rapid-plus, rapid-analytics.")
+  in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ] ~doc:"Check the result against the reference evaluator.")
+  in
+  let show_stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print per-job simulator statistics.")
+  in
+  let run (data, query_file, catalog_id) engine verify show_stats verbose =
+    setup_logs verbose;
+    let ( let* ) = Result.bind in
+    match
+      let* graph = load_graph data in
+      let* src = query_text query_file catalog_id in
+      let input = Engine.input_of_graph graph in
+      let* out = Engine.run_sparql engine Plan_util.default_options input src in
+      let* () =
+        if not verify then Ok ()
+        else
+          let* expected = Rapida_ref.Ref_engine.run_sparql graph src in
+          if Relops.same_results expected out.Engine.table then begin
+            print_endline "verification: result matches the reference evaluator";
+            Ok ()
+          end
+          else Error "verification FAILED: result differs from reference"
+      in
+      Ok (out.Engine.table, out.Engine.stats)
+    with
+    | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+    | Ok (table, stats) ->
+      print_table table;
+      Fmt.pr "-- %d rows; %a@." (Table.cardinality table) Stats.pp_summary stats;
+      if show_stats then Fmt.pr "%a@." Stats.pp stats
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a SPARQL analytical query on a dataset")
+    Term.(const run
+          $ query_source_args (fun d q c -> (d, q, c))
+          $ engine $ verify $ show_stats $ verbose_arg)
+
+(* --- explain ------------------------------------------------------------ *)
+
+let explain_cmd =
+  let query_file =
+    Arg.(value & opt (some string) None
+         & info [ "q"; "query" ] ~doc:"SPARQL query file.")
+  in
+  let catalog_id =
+    Arg.(value & opt (some string) None
+         & info [ "c"; "catalog" ] ~doc:"Catalog query id.")
+  in
+  let run query_file catalog_id =
+    match
+      Result.bind (query_text query_file catalog_id) (fun src ->
+          Rapida_sparql.Analytical.parse src)
+    with
+    | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+    | Ok q ->
+      Fmt.pr "%a@." Rapida_sparql.Analytical.pp q;
+      (match q.Rapida_sparql.Analytical.subqueries with
+      | a :: b :: _ ->
+        let report = Rapida_core.Overlap.check a b in
+        Fmt.pr "@.%a@." Rapida_core.Overlap.pp_report report
+      | _ -> ());
+      Fmt.pr "@.%s@." (Rapida_core.Rapid_analytics.plan_description q);
+      Fmt.pr "@.predicted MapReduce workflow lengths:@.%s@."
+        (Rapida_core.Plan_summary.describe q)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show overlap analysis and the composite rewriting for a query")
+    Term.(const run $ query_file $ catalog_id)
+
+(* --- catalog ------------------------------------------------------------ *)
+
+let catalog_cmd =
+  let id =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"ID" ~doc:"Query id to print in full.")
+  in
+  let run = function
+    | Some id -> (
+      match Catalog.find id with
+      | Some e ->
+        Fmt.pr "-- %s (%s): %s@.%s@." e.Catalog.id
+          (Catalog.dataset_name e.Catalog.dataset)
+          e.Catalog.description e.Catalog.sparql
+      | None ->
+        prerr_endline ("unknown catalog query " ^ id);
+        exit 1)
+    | None ->
+      Fmt.pr "%-5s %-13s %s@." "Id" "Dataset" "Description";
+      List.iter
+        (fun e ->
+          Fmt.pr "%-5s %-13s %s@." e.Catalog.id
+            (Catalog.dataset_name e.Catalog.dataset)
+            e.Catalog.description)
+        Catalog.all
+  in
+  Cmd.v
+    (Cmd.info "catalog" ~doc:"List the paper's query workload")
+    Term.(const run $ id)
+
+(* --- stats -------------------------------------------------------------- *)
+
+let stats_cmd =
+  let data =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Dataset file (N-Triples).")
+  in
+  let run data =
+    match load_graph data with
+    | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+    | Ok graph ->
+      let tg = Rapida_ntga.Tg_store.of_graph graph in
+      let vp = Rapida_relational.Vp_store.of_graph graph in
+      let parts, bytes = Rapida_relational.Vp_store.stats vp in
+      Fmt.pr "triples: %d (%d bytes)@." (Graph.size graph)
+        (Graph.size_bytes graph);
+      Fmt.pr "subjects: %d, properties: %d@."
+        (List.length (Graph.subjects graph))
+        (List.length (Graph.properties graph));
+      Fmt.pr "%a@." Rapida_ntga.Tg_store.pp tg;
+      Fmt.pr "vp-store: %d partitions, %d bytes@." parts bytes
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print dataset statistics")
+    Term.(const run $ data)
+
+let () =
+  let doc = "RAPIDAnalytics: optimization of complex SPARQL analytical queries" in
+  let info = Cmd.info "rapida" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ gen_cmd; query_cmd; explain_cmd; catalog_cmd; stats_cmd ]))

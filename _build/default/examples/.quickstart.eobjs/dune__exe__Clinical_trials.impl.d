@@ -1,0 +1,1 @@
+examples/clinical_trials.ml: Array Fmt List Printf Rapida_core Rapida_datagen Rapida_mapred Rapida_rdf Rapida_ref Rapida_relational Rapida_sparql

@@ -1,0 +1,1 @@
+examples/ecommerce_analytics.mli:

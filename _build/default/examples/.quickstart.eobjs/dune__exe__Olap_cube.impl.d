@@ -1,0 +1,1 @@
+examples/olap_cube.ml: Fmt List Rapida_core Rapida_datagen Rapida_mapred Rapida_rdf Rapida_ref Rapida_relational Rapida_sparql

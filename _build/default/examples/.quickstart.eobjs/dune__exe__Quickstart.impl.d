@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Rapida_core Rapida_mapred Rapida_rdf Rapida_relational Rapida_sparql

@@ -1,0 +1,79 @@
+(* Research-vs-disease-burden analysis, modeled on the ReDD-Observatory
+   study the paper's introduction describes: for each (country, disease)
+   pair, compare the number of clinical trials against the number of
+   deaths, combining a ClinicalTrials-like source with a Global Health
+   Observatory-like mortality source.
+
+     dune exec examples/clinical_trials.exe *)
+
+module Term = Rapida_rdf.Term
+module Triple = Rapida_rdf.Triple
+module Graph = Rapida_rdf.Graph
+module Namespace = Rapida_rdf.Namespace
+module Engine = Rapida_core.Engine
+module Plan_util = Rapida_core.Plan_util
+module Table = Rapida_relational.Table
+module Prng = Rapida_datagen.Prng
+
+let ns = Namespace.bench
+let iri name = Term.iri (ns ^ name)
+
+let diseases = [| "Tuberculosis"; "HIV"; "Malaria"; "Diabetes" |]
+let countries = [| "KE"; "IN"; "BR"; "US"; "FR"; "ZA" |]
+
+(* Trials: each trial studies a disease in a country and enrolls some
+   number of patients. Mortality records: deaths per (country, disease)
+   reporting site. The two descriptions overlap on their star structure,
+   so the optimizer evaluates them as one composite pattern. *)
+let graph =
+  let rng = Prng.create ~seed:7 in
+  let t s p o = Triple.make s p o in
+  let triples = ref [] in
+  let add tr = triples := tr :: !triples in
+  for i = 1 to 300 do
+    let trial = iri (Printf.sprintf "Trial%d" i) in
+    add (t trial Namespace.rdf_type (iri "ClinicalTrial"));
+    add (t trial (iri "condition") (Term.str diseases.(Prng.zipf rng 4 ~skew:0.8)));
+    add (t trial (iri "country") (Term.str countries.(Prng.int rng 6)));
+    add (t trial (iri "enrollment") (Term.int (20 + Prng.int rng 500)))
+  done;
+  for i = 1 to 200 do
+    let record = iri (Printf.sprintf "Mortality%d" i) in
+    add (t record Namespace.rdf_type (iri "MortalityRecord"));
+    add (t record (iri "condition") (Term.str diseases.(Prng.zipf rng 4 ~skew:0.4)));
+    add (t record (iri "country") (Term.str countries.(Prng.int rng 6)));
+    add (t record (iri "deaths") (Term.int (100 + Prng.int rng 20000)))
+  done;
+  Graph.of_list (List.rev !triples)
+
+let query =
+  {|SELECT ?c ?d ?trials ?patients ?deaths {
+  { SELECT ?c ?d (COUNT(?e) AS ?trials) (SUM(?e) AS ?patients)
+    { ?t a ClinicalTrial . ?t condition ?d . ?t country ?c .
+      ?t enrollment ?e . }
+    GROUP BY ?c ?d }
+  { SELECT ?c ?d (SUM(?m) AS ?deaths)
+    { ?r a MortalityRecord . ?r condition ?d . ?r country ?c .
+      ?r deaths ?m . }
+    GROUP BY ?c ?d }
+}|}
+
+let () =
+  Fmt.pr "clinical-trials dataset: %d triples@." (Graph.size graph);
+  let input = Engine.input_of_graph graph in
+  let q = Rapida_sparql.Analytical.parse_exn query in
+  (* This pair of patterns does NOT overlap (different rdf:type objects),
+     so the optimizer reports why and falls back to the naive NTGA plan —
+     exactly the scoping rule of Def. 3.1. *)
+  print_endline (Rapida_core.Rapid_analytics.plan_description q);
+  match Engine.run Engine.Rapid_analytics Plan_util.default_options input q with
+  | Error msg -> prerr_endline ("error: " ^ msg)
+  | Ok { table; stats } ->
+    let sorted = Rapida_relational.Relops.canonicalize table in
+    Fmt.pr "%a@." Table.pp sorted;
+    Fmt.pr "executed in %a@." Rapida_mapred.Stats.pp_summary stats;
+    (* Cross-check against the reference evaluator. *)
+    let expected = Rapida_ref.Ref_engine.run graph q in
+    if Rapida_relational.Relops.same_results expected table then
+      print_endline "verified against the reference evaluator"
+    else print_endline "MISMATCH against the reference evaluator"

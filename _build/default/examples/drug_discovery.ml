@@ -1,0 +1,43 @@
+(* Disease-specific drug discovery scenario over the Chem2Bio2RDF-like
+   dataset (the paper's §5 case study): find compounds sharing targets
+   with a known drug (G5) and compare the per-compound-per-gene assay
+   counts with the per-compound totals (MG6).
+
+     dune exec examples/drug_discovery.exe *)
+
+module Engine = Rapida_core.Engine
+module Plan_util = Rapida_core.Plan_util
+module Catalog = Rapida_queries.Catalog
+module Table = Rapida_relational.Table
+
+let options = Plan_util.default_options
+
+let run_and_show input entry =
+  Fmt.pr "@.-- %s: %s@." entry.Catalog.id entry.Catalog.description;
+  match Engine.run Engine.Rapid_analytics options input (Catalog.parse entry) with
+  | Error msg -> prerr_endline ("error: " ^ msg)
+  | Ok { table; stats } ->
+    let preview =
+      { table with
+        Table.rows = List.filteri (fun i _ -> i < 8) table.Table.rows }
+    in
+    Fmt.pr "%a@.(%d rows; %a)@." Table.pp preview (Table.cardinality table)
+      Rapida_mapred.Stats.pp_summary stats
+
+let () =
+  let graph = Rapida_datagen.Chem2bio.(generate (config ~compounds:120 ())) in
+  Fmt.pr "generated chemogenomics dataset: %d triples@."
+    (Rapida_rdf.Graph.size graph);
+  let input = Engine.input_of_graph graph in
+  (* Single-grouping query with a constant-object constraint and a long
+     join chain: assays -> genes -> interactions -> the known drug. *)
+  run_and_show input (Catalog.find_exn "G5");
+  (* Pathway-restricted activity with a FILTER that the NTGA engines push
+     into the triplegroup scan. *)
+  run_and_show input (Catalog.find_exn "G6");
+  (* Multi-grouping comparison: per compound-gene vs per compound. *)
+  run_and_show input (Catalog.find_exn "MG6");
+  (* Show how the optimizer explains the MG6 rewriting. *)
+  Fmt.pr "@.%s@."
+    (Rapida_core.Rapid_analytics.plan_description
+       (Catalog.parse (Catalog.find_exn "MG6")))

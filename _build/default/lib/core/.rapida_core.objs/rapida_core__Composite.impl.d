@@ -1,0 +1,1 @@
+lib/core/composite.ml: Fmt Hashtbl Int List Option Overlap Printf Rapida_ntga Rapida_rdf Rapida_sparql String Term Triple

@@ -1,0 +1,1 @@
+lib/core/composite.mli: Fmt Rapida_ntga Rapida_rdf Rapida_sparql Term

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Graph Hive_mqo Hive_naive Lazy Rapid_analytics Rapid_plus Rapida_mapred Rapida_ntga Rapida_rdf Rapida_relational Rapida_sparql Result

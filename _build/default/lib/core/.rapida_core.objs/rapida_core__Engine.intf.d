@@ -1,0 +1,1 @@
+lib/core/engine.mli: Graph Plan_util Rapida_mapred Rapida_rdf Rapida_relational Rapida_sparql

@@ -1,0 +1,1 @@
+lib/core/grouping_sets.ml: List Option Printf Rapida_sparql String

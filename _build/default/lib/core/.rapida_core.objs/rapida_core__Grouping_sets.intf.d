@@ -1,0 +1,1 @@
+lib/core/grouping_sets.mli: Rapida_sparql

@@ -1,0 +1,1 @@
+lib/core/hive_mqo.ml: Array Composite Hashtbl Hive_naive List Plan_util Printf Rapida_mapred Rapida_relational Rapida_sparql

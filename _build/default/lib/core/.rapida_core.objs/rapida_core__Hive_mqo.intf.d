@@ -1,0 +1,1 @@
+lib/core/hive_mqo.mli: Plan_util Rapida_mapred Rapida_relational Rapida_sparql

@@ -1,0 +1,1 @@
+lib/core/hive_naive.ml: Composite Hashtbl List Plan_util Printf Rapida_mapred Rapida_relational Rapida_sparql String

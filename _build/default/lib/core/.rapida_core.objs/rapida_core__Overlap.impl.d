@@ -1,0 +1,1 @@
+lib/core/overlap.ml: Fmt Hashtbl Int List Rapida_rdf Rapida_sparql Term

@@ -1,0 +1,1 @@
+lib/core/overlap.mli: Fmt Rapida_rdf Rapida_sparql Term

@@ -1,0 +1,1 @@
+lib/core/phys_ntga.ml: Array List Printf Rapida_mapred Rapida_ntga Rapida_rdf Rapida_relational Rapida_sparql String Term

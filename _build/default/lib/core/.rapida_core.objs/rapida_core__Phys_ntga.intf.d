@@ -1,0 +1,1 @@
+lib/core/phys_ntga.mli: Rapida_mapred Rapida_ntga Rapida_relational Rapida_sparql

@@ -1,0 +1,1 @@
+lib/core/plan_summary.ml: Composite Engine List Printf Rapida_sparql String

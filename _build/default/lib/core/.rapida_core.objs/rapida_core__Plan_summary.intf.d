@@ -1,0 +1,1 @@
+lib/core/plan_summary.mli: Engine Rapida_sparql

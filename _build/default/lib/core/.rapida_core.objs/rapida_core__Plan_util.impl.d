@@ -1,0 +1,1 @@
+lib/core/plan_util.ml: Array Composite Fmt Hashtbl List Namespace Option Rapida_mapred Rapida_ntga Rapida_rdf Rapida_relational Rapida_sparql String Term

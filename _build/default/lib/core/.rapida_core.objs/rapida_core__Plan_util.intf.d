@@ -1,0 +1,1 @@
+lib/core/plan_util.mli: Composite Rapida_mapred Rapida_ntga Rapida_relational Rapida_sparql

@@ -1,0 +1,1 @@
+lib/core/rapid_analytics.ml: Composite Fmt Hashtbl List Option Phys_ntga Plan_util Printf Rapid_plus Rapida_mapred Rapida_ntga Rapida_relational Rapida_sparql

@@ -1,0 +1,1 @@
+lib/core/rapid_analytics.mli: Plan_util Rapida_mapred Rapida_ntga Rapida_relational Rapida_sparql

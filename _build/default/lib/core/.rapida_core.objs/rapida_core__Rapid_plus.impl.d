@@ -1,0 +1,1 @@
+lib/core/rapid_plus.ml: Composite Hashtbl List Option Phys_ntga Plan_util Printf Rapida_mapred Rapida_ntga Rapida_relational Rapida_sparql

@@ -1,0 +1,1 @@
+lib/core/rapid_plus.mli: Plan_util Rapida_mapred Rapida_ntga Rapida_relational Rapida_sparql

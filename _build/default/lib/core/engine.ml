@@ -1,0 +1,54 @@
+open Rapida_rdf
+module Analytical = Rapida_sparql.Analytical
+module Table = Rapida_relational.Table
+module Vp_store = Rapida_relational.Vp_store
+module Tg_store = Rapida_ntga.Tg_store
+module Stats = Rapida_mapred.Stats
+
+type kind = Hive_naive | Hive_mqo | Rapid_plus | Rapid_analytics
+
+let all_kinds = [ Hive_naive; Hive_mqo; Rapid_plus; Rapid_analytics ]
+
+let kind_name = function
+  | Hive_naive -> "hive-naive"
+  | Hive_mqo -> "hive-mqo"
+  | Rapid_plus -> "rapid-plus"
+  | Rapid_analytics -> "rapid-analytics"
+
+let kind_of_string = function
+  | "hive-naive" | "hive" -> Some Hive_naive
+  | "hive-mqo" | "mqo" -> Some Hive_mqo
+  | "rapid-plus" | "rapid+" -> Some Rapid_plus
+  | "rapid-analytics" | "ra" -> Some Rapid_analytics
+  | _ -> None
+
+type input = {
+  graph : Graph.t;
+  tg_store : Tg_store.t Lazy.t;
+  vp : Vp_store.t Lazy.t;
+}
+
+let input_of_graph graph =
+  {
+    graph;
+    tg_store = lazy (Tg_store.of_graph graph);
+    vp = lazy (Vp_store.of_graph graph);
+  }
+
+let graph_of_input input = input.graph
+
+type output = { table : Table.t; stats : Stats.t }
+
+let run kind options input query =
+  let result =
+    match kind with
+    | Hive_naive -> Hive_naive.run options (Lazy.force input.vp) query
+    | Hive_mqo -> Hive_mqo.run options (Lazy.force input.vp) query
+    | Rapid_plus -> Rapid_plus.run options (Lazy.force input.tg_store) query
+    | Rapid_analytics ->
+      Rapid_analytics.run options (Lazy.force input.tg_store) query
+  in
+  Result.map (fun (table, stats) -> { table; stats }) result
+
+let run_sparql kind options input src =
+  Result.bind (Analytical.parse src) (run kind options input)

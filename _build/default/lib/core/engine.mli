@@ -1,0 +1,32 @@
+(** Engine dispatch: the four evaluation strategies the paper compares,
+    behind one interface. *)
+
+open Rapida_rdf
+module Analytical = Rapida_sparql.Analytical
+module Table = Rapida_relational.Table
+module Stats = Rapida_mapred.Stats
+
+type kind = Hive_naive | Hive_mqo | Rapid_plus | Rapid_analytics
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+
+(** Prepared inputs: both storage layouts are built lazily from the graph
+    so a benchmark can prepare once and run many queries. *)
+type input
+
+val input_of_graph : Graph.t -> input
+val graph_of_input : input -> Graph.t
+
+type output = { table : Table.t; stats : Stats.t }
+
+(** [run kind options input query] evaluates an analytical query with the
+    chosen engine. *)
+val run :
+  kind -> Plan_util.options -> input -> Analytical.t ->
+  (output, string) result
+
+(** [run_sparql kind options input src] parses and runs. *)
+val run_sparql :
+  kind -> Plan_util.options -> input -> string -> (output, string) result

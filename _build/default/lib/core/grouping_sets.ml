@@ -1,0 +1,112 @@
+module Ast = Rapida_sparql.Ast
+module Star = Rapida_sparql.Star
+module Analytical = Rapida_sparql.Analytical
+
+let pattern_vars (sq : Analytical.subquery) =
+  List.concat_map Ast.pattern_vars sq.Analytical.bgp
+  |> List.sort_uniq String.compare
+
+(* Rename the variables of one expansion apart, except the variables every
+   set may group on (kept stable so the outer natural join lines up). *)
+let rename_subquery keep idx (sq : Analytical.subquery) =
+  let rename v = if List.mem v keep then v else Printf.sprintf "%s_gs%d" v idx in
+  let rename_node = function
+    | Ast.Nvar v -> Ast.Nvar (rename v)
+    | Ast.Nterm _ as n -> n
+  in
+  let rename_tp (tp : Ast.triple_pattern) =
+    {
+      Ast.tp_s = rename_node tp.tp_s;
+      tp_p = rename_node tp.tp_p;
+      tp_o = rename_node tp.tp_o;
+    }
+  in
+  let rec rename_expr = function
+    | Ast.Evar v -> Ast.Evar (rename v)
+    | Ast.Eterm _ as e -> e
+    | Ast.Ebin (op, a, b) -> Ast.Ebin (op, rename_expr a, rename_expr b)
+    | Ast.Enot e -> Ast.Enot (rename_expr e)
+    | Ast.Eagg (f, arg, d) -> Ast.Eagg (f, Option.map rename_expr arg, d)
+    | Ast.Eregex (e, p, fl) -> Ast.Eregex (rename_expr e, p, fl)
+  in
+  let bgp = List.map rename_tp sq.Analytical.bgp in
+  let stars = Star.decompose bgp in
+  {
+    sq with
+    Analytical.sq_id = idx;
+    bgp;
+    stars;
+    edges = Star.edges stars;
+    filters = List.map rename_expr sq.Analytical.filters;
+    having =
+      (let rename_out v =
+         if
+           List.exists
+             (fun (a : Analytical.aggregate) -> a.Analytical.out = v)
+             sq.Analytical.aggregates
+         then Printf.sprintf "%s_%d" v idx
+         else rename v
+       in
+       let rec go = function
+         | Ast.Evar v -> Ast.Evar (rename_out v)
+         | Ast.Eterm _ as e -> e
+         | Ast.Ebin (op, a, b) -> Ast.Ebin (op, go a, go b)
+         | Ast.Enot e -> Ast.Enot (go e)
+         | Ast.Eagg (f, arg, d) -> Ast.Eagg (f, Option.map go arg, d)
+         | Ast.Eregex (e, p, fl) -> Ast.Eregex (go e, p, fl)
+       in
+       List.map go sq.Analytical.having);
+    aggregates =
+      List.map
+        (fun (a : Analytical.aggregate) ->
+          { a with
+            Analytical.arg = Option.map rename a.Analytical.arg;
+            out = Printf.sprintf "%s_%d" a.Analytical.out idx })
+        sq.Analytical.aggregates;
+  }
+
+let expand (sq : Analytical.subquery) ~sets =
+  if sets = [] then Error "grouping sets: empty set list"
+  else
+    let bound = pattern_vars sq in
+    let bad =
+      List.concat_map
+        (fun set -> List.filter (fun v -> not (List.mem v bound)) set)
+        sets
+    in
+    match bad with
+    | v :: _ ->
+      Error (Printf.sprintf "grouping sets: ?%s is not bound by the pattern" v)
+    | [] ->
+      let keep =
+        List.concat sets |> List.sort_uniq String.compare
+      in
+      let subqueries =
+        List.mapi
+          (fun idx set ->
+            let renamed = rename_subquery keep idx sq in
+            { renamed with Analytical.group_by = set })
+          sets
+      in
+      Ok
+        { Analytical.subqueries; outer_projection = []; order_by = [];
+          limit = None }
+
+(* [d1..dn], [d1..d(n-1)], ..., []. *)
+let prefixes dims =
+  let n = List.length dims in
+  List.init (n + 1) (fun i -> List.filteri (fun j _ -> j < n - i) dims)
+
+let rollup sq ~dims = expand sq ~sets:(prefixes dims)
+
+let subsets dims =
+  let rec go = function
+    | [] -> [ [] ]
+    | d :: rest ->
+      let tail = go rest in
+      List.map (fun s -> d :: s) tail @ tail
+  in
+  go dims
+
+let cube sq ~dims =
+  expand sq ~sets:(List.sort (fun a b -> compare (List.length b) (List.length a)) (subsets dims))

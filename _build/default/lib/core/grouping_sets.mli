@@ -1,0 +1,33 @@
+(** GROUPING SETS / ROLLUP / CUBE over RDF graph patterns — the "more
+    complex OLAP queries" extension the paper's conclusion points to.
+
+    A grouping-sets query is one graph pattern aggregated under several
+    groupings. Expansion produces one subquery per grouping set, with
+    non-grouping variables renamed apart so the subqueries stay
+    independent; since every subquery shares the full pattern, they
+    trivially overlap (Def. 3.2) and RAPIDAnalytics evaluates all the
+    groupings with one composite pattern and a single parallel Agg-Join
+    cycle — the NTGA counterpart of MR-Cube-style shared cube
+    computation. *)
+
+module Ast = Rapida_sparql.Ast
+module Analytical = Rapida_sparql.Analytical
+
+(** [expand sq ~sets] builds the analytical query computing [sq]'s
+    aggregations once per grouping set. Aggregate output names are
+    suffixed with the set index ([out_0], [out_1], …); grouping variables
+    keep their names across subqueries (they are the outer join keys).
+    Errors when a set contains a variable the pattern does not bind, or
+    [sets] is empty. *)
+val expand :
+  Analytical.subquery -> sets:Ast.var list list -> (Analytical.t, string) result
+
+(** [rollup sq ~dims] is [expand] with the prefix sets of [dims]:
+    [[d1; …; dn]; [d1; …; d(n-1)]; …; []] — drill-up totals. *)
+val rollup :
+  Analytical.subquery -> dims:Ast.var list -> (Analytical.t, string) result
+
+(** [cube sq ~dims] is [expand] over every subset of [dims] (2^n sets,
+    largest first). *)
+val cube :
+  Analytical.subquery -> dims:Ast.var list -> (Analytical.t, string) result

@@ -1,0 +1,21 @@
+(** Hive (MQO) baseline: the multi-query-optimization rewriting of Le et
+    al. applied to the analytical query's graph patterns, executed
+    Hive-style. The overlapping patterns are rewritten into one composite
+    query whose pattern-specific triples become OPTIONAL (left outer
+    joins); the composite result is materialized, then each original
+    pattern's distinct bindings are extracted (one MR cycle per pattern)
+    and aggregated (another cycle per pattern).
+
+    As the paper observes, the materialization boundary prevents early
+    projection and partial aggregation across the two HiveQL queries —
+    the extraction re-reads the full composite result once per pattern.
+    Falls back to {!Hive_naive} when the patterns do not overlap. *)
+
+module Analytical = Rapida_sparql.Analytical
+module Table = Rapida_relational.Table
+module Vp_store = Rapida_relational.Vp_store
+module Stats = Rapida_mapred.Stats
+
+val run :
+  Plan_util.options -> Vp_store.t -> Analytical.t ->
+  (Table.t * Stats.t, string) result

@@ -1,0 +1,92 @@
+module Ast = Rapida_sparql.Ast
+module Star = Rapida_sparql.Star
+module Analytical = Rapida_sparql.Analytical
+module Table = Rapida_relational.Table
+module Mr_relops = Rapida_relational.Mr_relops
+module Vp_store = Rapida_relational.Vp_store
+module Workflow = Rapida_mapred.Workflow
+module Stats = Rapida_mapred.Stats
+
+(* Variables a subquery's later stages need: grouping keys, aggregate
+   arguments, and filter variables. *)
+let needed_vars (sq : Analytical.subquery) =
+  sq.group_by
+  @ List.filter_map (fun (a : Analytical.aggregate) -> a.arg) sq.aggregates
+  @ List.concat_map Ast.expr_vars sq.filters
+  |> List.sort_uniq String.compare
+
+let edge_vars (sq : Analytical.subquery) =
+  List.map (fun (e : Star.edge) -> e.var) sq.edges |> List.sort_uniq String.compare
+
+let eval_subquery wf options vp (sq : Analytical.subquery) =
+  let keep = needed_vars sq @ edge_vars sq in
+  let star_table (star : Star.t) =
+    let tables = List.map (Plan_util.tp_table vp) star.patterns in
+    let t =
+      Plan_util.star_join wf options
+        ~name:(Printf.sprintf "sq%d_star%d" sq.sq_id star.id)
+        ~required:tables ~optional:[]
+    in
+    let t, _pending = Plan_util.apply_ready_filters t sq.filters in
+    Plan_util.project_needed t keep
+  in
+  let star_of id = List.find (fun (s : Star.t) -> s.id = id) sq.stars in
+  let joined =
+    match sq.stars with
+    | [ only ] -> star_table only
+    | _ -> (
+      match
+        Composite.order_edges
+          ~star_ids:(List.map (fun (s : Star.t) -> s.id) sq.stars)
+          ~edges:sq.edges
+      with
+      | Error msg -> failwith msg
+      | Ok [] -> failwith "multi-star pattern without join edges"
+      | Ok (first :: rest) ->
+        let seen = Hashtbl.create 8 in
+        Hashtbl.add seen first.Star.left.star ();
+        Hashtbl.add seen first.Star.right.star ();
+        let init =
+          Plan_util.pair_join wf options
+            ~name:(Printf.sprintf "sq%d_join0" sq.sq_id)
+            (star_table (star_of first.Star.left.star))
+            (star_table (star_of first.Star.right.star))
+        in
+        let acc, _ =
+          List.fold_left
+            (fun (acc, i) (e : Star.edge) ->
+              let new_star =
+                if Hashtbl.mem seen e.left.star then e.right.star
+                else e.left.star
+              in
+              Hashtbl.replace seen new_star ();
+              let joined =
+                Plan_util.pair_join wf options
+                  ~name:(Printf.sprintf "sq%d_join%d" sq.sq_id i)
+                  acc
+                  (star_table (star_of new_star))
+              in
+              let joined, _ = Plan_util.apply_ready_filters joined sq.filters in
+              (Plan_util.project_needed joined keep, i + 1))
+            (Plan_util.project_needed init keep, 1)
+            rest
+        in
+        acc)
+  in
+  let joined, pending = Plan_util.apply_ready_filters joined sq.filters in
+  if pending <> [] then
+    failwith "filter variables not bound by the graph pattern";
+  Mr_relops.group_aggregate wf
+    ~name:(Printf.sprintf "sq%d_groupby" sq.sq_id)
+    ~keys:sq.group_by ~aggs:(Plan_util.agg_specs sq) joined
+  |> Plan_util.finish_subquery sq
+
+let run options vp (q : Analytical.t) =
+  let wf = Workflow.create (Plan_util.hive_cluster options) in
+  match
+    let tables = List.map (eval_subquery wf options vp) q.subqueries in
+    Plan_util.final_join wf options q tables
+  with
+  | table -> Ok (table, Workflow.stats wf)
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg

@@ -1,0 +1,18 @@
+(** Hive (Naive) baseline: direct relational translation of the SPARQL
+    analytical query over vertically partitioned tables, evaluating each
+    graph pattern independently — the paper's first comparison point.
+
+    Plan per subquery: one multiway same-key MR join per star (map-only
+    when the VP tables are small), one MR join per join edge between
+    stars, filters and projections pushed map-side, then one grouping
+    cycle with map-side partial aggregation. Aggregated subquery results
+    are finally joined with map-only cycles. *)
+
+module Analytical = Rapida_sparql.Analytical
+module Table = Rapida_relational.Table
+module Vp_store = Rapida_relational.Vp_store
+module Stats = Rapida_mapred.Stats
+
+val run :
+  Plan_util.options -> Vp_store.t -> Analytical.t ->
+  (Table.t * Stats.t, string) result

@@ -1,0 +1,211 @@
+open Rapida_rdf
+module Ast = Rapida_sparql.Ast
+module Star = Rapida_sparql.Star
+module Analytical = Rapida_sparql.Analytical
+
+type star_check = {
+  left_star : int;
+  right_star : int;
+  shared_props : Term.t list;
+  type_objects_ok : bool;
+  constants_ok : bool;
+  ok : bool;
+}
+
+type failure =
+  | Unbound_property of int * int
+  | Star_count_mismatch of int * int
+  | No_matching_star of int
+  | Edge_count_mismatch of int * int
+  | Edge_not_role_equivalent of string
+
+type report = {
+  pairs : (int * int) list;
+  star_checks : star_check list;
+  failures : failure list;
+}
+
+let has_unbound_property (star : Star.t) =
+  List.exists
+    (fun (tp : Ast.triple_pattern) ->
+      match tp.tp_p with Ast.Nvar _ -> true | Ast.Nterm _ -> false)
+    star.patterns
+
+(* Constant objects per property of a star, e.g. (rdf:type, PT18) or
+   (pub_type, "News"). *)
+let constants (star : Star.t) =
+  List.filter_map
+    (fun (tp : Ast.triple_pattern) ->
+      match tp.tp_p, tp.tp_o with
+      | Ast.Nterm p, Ast.Nterm o -> Some (p, o)
+      | _ -> None)
+    star.patterns
+
+let shared_props a b =
+  List.filter (fun p -> List.exists (Term.equal p) (Star.props b)) (Star.props a)
+
+(* Def. 3.1's rdf:type condition: every type object of [a] occurs among
+   the type objects of [b]. *)
+let type_objects_subset a b =
+  let tb = Star.type_objects b in
+  List.for_all (fun o -> List.exists (Term.equal o) tb) (Star.type_objects a)
+
+(* Generalization for constant objects on shared properties: the two stars
+   must impose identical constraints, else the property-set abstraction of
+   the composite pattern would conflate different selections. *)
+let constants_agree a b =
+  let shared = shared_props a b in
+  let on_shared star =
+    List.filter (fun (p, _) -> List.exists (Term.equal p) shared)
+      (constants star)
+    |> List.sort compare
+  in
+  on_shared a = on_shared b
+
+let check_star_pair (a : Star.t) (b : Star.t) =
+  let shared = shared_props a b in
+  let type_ok = type_objects_subset a b && type_objects_subset b a in
+  let const_ok = constants_agree a b in
+  {
+    left_star = a.id;
+    right_star = b.id;
+    shared_props = shared;
+    type_objects_ok = type_ok;
+    constants_ok = const_ok;
+    ok = shared <> [] && type_ok && const_ok;
+  }
+
+(* Greedy one-to-one matching: each left star takes the unmatched right
+   star with the largest shared-property set among valid pairs. *)
+let match_stars lefts rights =
+  let checks = ref [] in
+  let taken = Hashtbl.create 8 in
+  let pairs =
+    List.filter_map
+      (fun (a : Star.t) ->
+        let candidates =
+          List.filter_map
+            (fun (b : Star.t) ->
+              if Hashtbl.mem taken b.id then None
+              else
+                let c = check_star_pair a b in
+                checks := c :: !checks;
+                if c.ok then Some (b, List.length c.shared_props) else None)
+            rights
+        in
+        match
+          List.sort (fun (_, s1) (_, s2) -> Int.compare s2 s1) candidates
+        with
+        | (best, _) :: _ ->
+          Hashtbl.add taken best.id ();
+          Some (a.id, best.id)
+        | [] -> None)
+      lefts
+  in
+  (pairs, List.rev !checks)
+
+let role_to_string = function
+  | Star.Subject -> "subject"
+  | Star.Property -> "property"
+  | Star.Object -> "object"
+
+let endpoint_equiv (l : Star.endpoint) (r : Star.endpoint) =
+  l.role = r.role
+  &&
+  match l.role with
+  | Star.Subject -> true
+  | Star.Object | Star.Property -> (
+    match l.prop, r.prop with
+    | Some p, Some q -> Term.equal p q
+    | _ -> false)
+
+(* Find the right-pattern edge between the images of the left edge's
+   endpoints and test role-equivalence (Def. 3.2). *)
+let edge_match pairs (le : Star.edge) right_edges =
+  let image star = List.assoc_opt star pairs in
+  match image le.left.star, image le.right.star with
+  | Some li, Some ri ->
+    let candidates =
+      List.filter
+        (fun (re : Star.edge) ->
+          (re.left.star = li && re.right.star = ri)
+          || (re.left.star = ri && re.right.star = li))
+        right_edges
+    in
+    let equiv (re : Star.edge) =
+      if re.left.star = li then
+        endpoint_equiv le.left re.left && endpoint_equiv le.right re.right
+      else endpoint_equiv le.left re.right && endpoint_equiv le.right re.left
+    in
+    if List.exists equiv candidates then Ok ()
+    else
+      Error
+        (Fmt.str
+           "join on ?%s between stars %d-%d has no role-equivalent \
+            counterpart (%s/%s side roles must match and joining triple \
+            patterns must agree on the property)"
+           le.var le.left.star le.right.star
+           (role_to_string le.left.role)
+           (role_to_string le.right.role))
+  | _ -> Error "edge endpoints were not matched to composite stars"
+
+let check (left : Analytical.subquery) (right : Analytical.subquery) =
+  let failures = ref [] in
+  let fail f = failures := f :: !failures in
+  List.iter
+    (fun (s : Star.t) ->
+      if has_unbound_property s then fail (Unbound_property (left.sq_id, s.id)))
+    left.stars;
+  List.iter
+    (fun (s : Star.t) ->
+      if has_unbound_property s then fail (Unbound_property (right.sq_id, s.id)))
+    right.stars;
+  let nl = List.length left.stars and nr = List.length right.stars in
+  if nl <> nr then fail (Star_count_mismatch (nl, nr));
+  let pairs, star_checks = match_stars left.stars right.stars in
+  List.iter
+    (fun (s : Star.t) ->
+      if not (List.mem_assoc s.id pairs) then fail (No_matching_star s.id))
+    left.stars;
+  let el = List.length left.edges and er = List.length right.edges in
+  if el <> er then fail (Edge_count_mismatch (el, er));
+  if !failures = [] then
+    List.iter
+      (fun e ->
+        match edge_match pairs e right.edges with
+        | Ok () -> ()
+        | Error msg -> fail (Edge_not_role_equivalent msg))
+      left.edges;
+  { pairs; star_checks; failures = List.rev !failures }
+
+let overlaps report = report.failures = []
+
+let pp_failure ppf = function
+  | Unbound_property (p, s) ->
+    Fmt.pf ppf "pattern %d star %d has an unbound property (out of scope)" p s
+  | Star_count_mismatch (l, r) ->
+    Fmt.pf ppf "star count mismatch: %d vs %d" l r
+  | No_matching_star s ->
+    Fmt.pf ppf "star %d overlaps no star of the other pattern" s
+  | Edge_count_mismatch (l, r) ->
+    Fmt.pf ppf "join-edge count mismatch: %d vs %d" l r
+  | Edge_not_role_equivalent msg -> Fmt.string ppf msg
+
+let pp_check ppf c =
+  Fmt.pf ppf "Stp%d vs Stp%d: shared={%a} type-objects:%s constants:%s => %s"
+    c.left_star c.right_star
+    (Fmt.list ~sep:Fmt.comma Term.pp)
+    c.shared_props
+    (if c.type_objects_ok then "ok" else "MISMATCH")
+    (if c.constants_ok then "ok" else "MISMATCH")
+    (if c.ok then "overlap" else "no overlap")
+
+let pp_report ppf r =
+  if r.failures = [] then
+    Fmt.pf ppf "@[<v>patterns OVERLAP@ %a@]"
+      (Fmt.list ~sep:Fmt.cut pp_check)
+      r.star_checks
+  else
+    Fmt.pf ppf "@[<v>patterns DO NOT overlap:@ %a@]"
+      (Fmt.list ~sep:Fmt.cut pp_failure)
+      r.failures

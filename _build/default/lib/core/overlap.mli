@@ -1,0 +1,46 @@
+(** Overlap detection between graph patterns (paper Defs. 3.1 and 3.2).
+
+    Two star patterns overlap when they share properties and agree on
+    their rdf:type objects (Def. 3.1) — generalized here to agreement on
+    every constant-object constraint over shared properties. Two graph
+    patterns overlap when their stars pair up one-to-one by star overlap
+    and the join variables of corresponding star pairs are role-equivalent
+    (Def. 3.2). The report records the same evidence the paper tabulates
+    in Figure 3, so `explain` output can show the user why a rewriting did
+    or did not apply. *)
+
+open Rapida_rdf
+module Star = Rapida_sparql.Star
+module Analytical = Rapida_sparql.Analytical
+
+type star_check = {
+  left_star : int;
+  right_star : int;
+  shared_props : Term.t list;  (** L = props(Stp_a) ∩ props(Stp_α) *)
+  type_objects_ok : bool;  (** rdf:type objects agree (Def. 3.1) *)
+  constants_ok : bool;  (** constant objects on shared properties agree *)
+  ok : bool;
+}
+
+type failure =
+  | Unbound_property of int * int  (** (pattern id, star id) *)
+  | Star_count_mismatch of int * int
+  | No_matching_star of int  (** left star with no overlapping partner *)
+  | Edge_count_mismatch of int * int
+  | Edge_not_role_equivalent of string  (** human-readable evidence *)
+
+type report = {
+  pairs : (int * int) list;  (** left star id -> matched right star id *)
+  star_checks : star_check list;
+  failures : failure list;
+}
+
+(** [check left right] analyzes whether graph pattern [left] overlaps
+    [right]. *)
+val check : Analytical.subquery -> Analytical.subquery -> report
+
+(** [overlaps report] holds when no failure was recorded. *)
+val overlaps : report -> bool
+
+val pp_failure : failure Fmt.t
+val pp_report : report Fmt.t

@@ -1,0 +1,78 @@
+module Ast = Rapida_sparql.Ast
+module Star = Rapida_sparql.Star
+module Analytical = Rapida_sparql.Analytical
+
+(* Joining n aggregated subquery results takes n-1 (map-only) cycles. *)
+let final_join_cycles q = max 0 (List.length q.Analytical.subqueries - 1)
+
+(* Hive merges all same-key joins of one star into a single MR cycle, so a
+   star costs a cycle only when it has at least two triple patterns; each
+   inter-star join edge is one more cycle; grouping is one cycle per
+   subquery; the aggregated results are joined in one final (map-only)
+   cycle when there are several subqueries. *)
+let hive_naive_cycles q =
+  let per_subquery (sq : Analytical.subquery) =
+    let star_cycles =
+      List.length
+        (List.filter
+           (fun (s : Star.t) -> List.length s.Star.patterns >= 2)
+           sq.Analytical.stars)
+    in
+    let join_cycles = max 0 (List.length sq.Analytical.stars - 1) in
+    star_cycles + join_cycles + 1
+  in
+  List.fold_left (fun acc sq -> acc + per_subquery sq) 0 q.Analytical.subqueries
+  + final_join_cycles q
+
+(* MQO evaluates the composite pattern once (same star/join structure as
+   one pattern, counting composite triples), then per original pattern one
+   distinct-extraction cycle and one aggregation cycle, then the final
+   join. Falls back to the naive plan when the rewriting does not apply. *)
+let hive_mqo_cycles q =
+  match Composite.build q.Analytical.subqueries with
+  | Error _ -> hive_naive_cycles q
+  | Ok composite ->
+    let star_cycles =
+      List.length
+        (List.filter
+           (fun (s : Composite.star) -> List.length s.Composite.ctps >= 2)
+           composite.Composite.stars)
+    in
+    let join_cycles = max 0 (List.length composite.Composite.stars - 1) in
+    let per_pattern = 2 * List.length q.Analytical.subqueries in
+    star_cycles + join_cycles + per_pattern + final_join_cycles q
+
+(* NTGA star formation happens map-side over the pre-grouped triplegroup
+   store, so a k-star pattern needs k-1 join cycles and one
+   grouping-aggregation cycle. *)
+let rapid_plus_cycles q =
+  let per_subquery (sq : Analytical.subquery) =
+    max 0 (List.length sq.Analytical.stars - 1) + 1
+  in
+  List.fold_left (fun acc sq -> acc + per_subquery sq) 0 q.Analytical.subqueries
+  + final_join_cycles q
+
+(* RAPIDAnalytics evaluates the composite pattern once (k-1 join cycles)
+   and all aggregations in one parallel Agg-Join cycle. *)
+let rapid_analytics_cycles q =
+  match Composite.build q.Analytical.subqueries with
+  | Error _ -> rapid_plus_cycles q
+  | Ok composite ->
+    max 0 (List.length composite.Composite.stars - 1)
+    + 1
+    + final_join_cycles q
+
+let predict kind q =
+  match kind with
+  | Engine.Hive_naive -> hive_naive_cycles q
+  | Engine.Hive_mqo -> hive_mqo_cycles q
+  | Engine.Rapid_plus -> rapid_plus_cycles q
+  | Engine.Rapid_analytics -> rapid_analytics_cycles q
+
+let describe q =
+  String.concat "\n"
+    (List.map
+       (fun kind ->
+         Printf.sprintf "%-16s %d MR cycles" (Engine.kind_name kind)
+           (predict kind q))
+       Engine.all_kinds)

@@ -1,0 +1,18 @@
+(** Static MR-cycle prediction per engine, from query structure alone.
+
+    The paper reasons about its evaluation in terms of workflow lengths
+    ("Hive requires 4 MR cycles…, RAPIDAnalytics executes all four
+    queries in 2 cycles"); this module encodes those formulas so that the
+    CLI can explain a plan without data, and so the test suite can assert
+    that every engine's executed workflow has exactly the predicted
+    length on every catalog query. *)
+
+module Analytical = Rapida_sparql.Analytical
+
+(** [predict kind q] is the number of MR cycles (full + map-only) engine
+    [kind] uses for [q]. Matches {!Rapida_mapred.Stats.cycles} of the
+    executed workflow. *)
+val predict : Engine.kind -> Analytical.t -> int
+
+(** [describe q] renders the per-engine predictions. *)
+val describe : Analytical.t -> string

@@ -1,0 +1,490 @@
+open Rapida_rdf
+module Ast = Rapida_sparql.Ast
+module Binding = Rapida_sparql.Binding
+module Analytical = Rapida_sparql.Analytical
+module Table = Rapida_relational.Table
+module Relops = Rapida_relational.Relops
+module Mr_relops = Rapida_relational.Mr_relops
+module Vp_store = Rapida_relational.Vp_store
+module Workflow = Rapida_mapred.Workflow
+module Job = Rapida_mapred.Job
+
+type options = {
+  cluster : Rapida_mapred.Cluster.t;
+  map_join_threshold : int;
+  hive_compression : float;
+  ntga_combiner : bool;
+  ntga_filter_pushdown : bool;
+}
+
+let default_options =
+  {
+    cluster = Rapida_mapred.Cluster.default;
+    map_join_threshold = 64 * 1024;
+    hive_compression = 0.06;
+    ntga_combiner = true;
+    ntga_filter_pushdown = true;
+  }
+
+let hive_cluster options =
+  {
+    options.cluster with
+    Rapida_mapred.Cluster.compression_ratio = options.hive_compression;
+  }
+
+let var_name = function
+  | Ast.Nvar v -> v
+  | Ast.Nterm t ->
+    invalid_arg (Fmt.str "expected variable, got %a" Term.pp t)
+
+(* An unbound-property pattern scans the union of every partition as a
+   three-column (s, p, o) relation, then applies the pattern's constant
+   constraints. *)
+let unbound_tp_table vp (tp : Ast.triple_pattern) =
+  let rows =
+    List.concat_map
+      (fun (term, t) ->
+        let is_type_partition =
+          String.length t.Table.name >= 5 && String.sub t.Table.name 0 5 = "type_"
+        in
+        if is_type_partition then
+          List.map
+            (fun row -> [| row.(0); Some Namespace.rdf_type; Some term |])
+            t.Table.rows
+        else
+          List.map (fun row -> [| row.(0); Some term; row.(1) |]) t.Table.rows)
+      (Vp_store.partitions vp)
+  in
+  let t = Table.make ~name:"vp_all" ~schema:[ "!s"; "!p"; "!o" ] rows in
+  (* Constrain and name each position. *)
+  let constraints, renames, keep =
+    List.fold_left
+      (fun (cs, rs, keep) (col, node) ->
+        match node with
+        | Ast.Nvar v -> (cs, (col, v) :: rs, col :: keep)
+        | Ast.Nterm c -> ((col, c) :: cs, rs, keep))
+      ([], [], [])
+      [ ("!o", tp.tp_o); ("!p", tp.tp_p); ("!s", tp.tp_s) ]
+  in
+  let t =
+    Relops.filter
+      (fun tbl row ->
+        List.for_all
+          (fun (col, c) ->
+            match row.(Table.col_index tbl col) with
+            | Some v -> Term.equal v c
+            | None -> false)
+          constraints)
+      t
+  in
+  Relops.rename_cols (Relops.project t keep) renames
+
+let tp_table vp (tp : Ast.triple_pattern) =
+  match tp.tp_p with
+  | Ast.Nvar _ -> unbound_tp_table vp tp
+  | Ast.Nterm prop ->
+  if Term.equal prop Namespace.rdf_type then
+    match tp.tp_o with
+    | Ast.Nterm cls ->
+      let t = Vp_store.type_table vp cls in
+      Relops.rename_cols t [ ("s", var_name tp.tp_s) ]
+    | Ast.Nvar v ->
+      (* rdf:type with a variable object: union the per-class partitions. *)
+      let rows =
+        List.concat_map
+          (fun (cls, t) ->
+            if String.length t.Table.name >= 5
+               && String.sub t.Table.name 0 5 = "type_"
+            then
+              List.map
+                (fun row -> [| row.(0); Some cls |])
+                t.Table.rows
+            else [])
+          (Vp_store.partitions vp)
+      in
+      Table.make ~name:"vp_type" ~schema:[ var_name tp.tp_s; v ] rows
+  else
+    let t = Vp_store.property_table vp prop in
+    match tp.tp_o with
+    | Ast.Nvar v ->
+      Relops.rename_cols t [ ("s", var_name tp.tp_s); ("o", v) ]
+    | Ast.Nterm c ->
+      let filtered =
+        Relops.filter
+          (fun tbl row ->
+            match row.(Table.col_index tbl "o") with
+            | Some o -> Term.equal o c
+            | None -> false)
+          t
+      in
+      Relops.project
+        (Relops.rename_cols filtered [ ("s", var_name tp.tp_s) ])
+        [ var_name tp.tp_s ]
+
+let ctp_table vp ~subject_var (ctp : Composite.ctp) =
+  if Term.equal ctp.prop Namespace.rdf_type then
+    match ctp.obj_const with
+    | Some cls ->
+      let t = Vp_store.type_table vp cls in
+      let rows = List.map (fun row -> [| row.(0); Some cls |]) t.Table.rows in
+      Table.make ~name:t.Table.name ~schema:[ subject_var; ctp.obj_var ] rows
+    | None ->
+      let rows =
+        List.concat_map
+          (fun (cls, t) ->
+            if String.length t.Table.name >= 5
+               && String.sub t.Table.name 0 5 = "type_"
+            then List.map (fun row -> [| row.(0); Some cls |]) t.Table.rows
+            else [])
+          (Vp_store.partitions vp)
+      in
+      Table.make ~name:"vp_type" ~schema:[ subject_var; ctp.obj_var ] rows
+  else
+    let t = Vp_store.property_table vp ctp.prop in
+    let t =
+      match ctp.obj_const with
+      | None -> t
+      | Some c ->
+        Relops.filter
+          (fun tbl row ->
+            match row.(Table.col_index tbl "o") with
+            | Some o -> Term.equal o c
+            | None -> false)
+          t
+    in
+    Relops.rename_cols t [ ("s", subject_var); ("o", ctp.obj_var) ]
+
+(* --- Multiway same-key star join --------------------------------------- *)
+
+(* All tables share exactly one column: the star's subject variable. *)
+let star_subject_col required =
+  match required with
+  | t :: _ -> List.hd t.Table.schema
+  | [] -> invalid_arg "star_join: no required tables"
+
+let star_schema subject required optional =
+  let non_subject t =
+    List.filter (fun c -> not (String.equal c subject)) t.Table.schema
+  in
+  subject :: List.concat_map non_subject (required @ optional)
+
+(* Merge one row per table (optional tables may miss) into the star
+   schema. *)
+let merge_star_row subject required optional per_table =
+  let cells = ref [] in
+  List.iteri
+    (fun i t ->
+      let row = List.nth per_table i in
+      List.iteri
+        (fun ci col ->
+          if not (String.equal col subject) then
+            cells :=
+              (match row with
+              | Some r -> r.(ci)
+              | None -> None)
+              :: !cells)
+        t.Table.schema)
+    (required @ optional);
+  !cells
+
+let star_join_rows subject required optional key groups =
+  (* [groups.(i)] = rows of table i for this subject key. *)
+  let n_req = List.length required in
+  let req_groups = Array.sub groups 0 n_req in
+  if Array.exists (fun g -> g = []) req_groups then []
+  else
+    (* Cartesian product across tables; optional tables with no rows
+       contribute a single NULL row. *)
+    let slots =
+      Array.to_list
+        (Array.mapi
+           (fun i g ->
+             if i < n_req then List.map (fun r -> Some r) g
+             else if g = [] then [ None ]
+             else List.map (fun r -> Some r) g)
+           groups)
+    in
+    let combos =
+      List.fold_left
+        (fun acc slot ->
+          List.concat_map (fun prefix -> List.map (fun r -> prefix @ [ r ]) slot) acc)
+        [ [] ] slots
+    in
+    List.map
+      (fun per_table ->
+        let tail = merge_star_row subject required optional per_table in
+        Array.of_list (Some key :: List.rev tail))
+      combos
+
+let star_join_mr wf ~name ~required ~optional =
+  let subject = star_subject_col required in
+  let all = required @ optional in
+  let tagged =
+    List.concat
+      (List.mapi
+         (fun i t -> List.map (fun row -> (i, t, row)) t.Table.rows)
+         all)
+  in
+  let n = List.length all in
+  let spec : ((int * Table.t * Table.row), Term.t, (int * Table.row),
+              Table.row) Job.spec =
+    {
+      name;
+      map =
+        (fun (i, t, row) ->
+          match row.(Table.col_index t subject) with
+          | Some key -> [ (key, (i, row)) ]
+          | None -> []);
+      combine = None;
+      reduce =
+        (fun key tagged ->
+          let groups = Array.make n [] in
+          List.iter (fun (i, row) -> groups.(i) <- row :: groups.(i)) tagged;
+          Array.iteri (fun i g -> groups.(i) <- List.rev g) groups;
+          star_join_rows subject required optional key groups);
+      input_size = (fun (_, _, row) -> Table.row_size_bytes row);
+      key_size = (fun key -> String.length (Term.lexical key) + 2);
+      value_size = (fun (_, row) -> Table.row_size_bytes row + 1);
+      output_size = Table.row_size_bytes;
+    }
+  in
+  let rows = Workflow.run_job wf spec tagged in
+  Table.make ~name ~schema:(star_schema subject required optional) rows
+
+let star_join_map_only wf ~name ~required ~optional ~stream_index =
+  let subject = star_subject_col required in
+  let all = required @ optional in
+  let n = List.length all in
+  let stream = List.nth all stream_index in
+  (* Hash every non-streamed table by subject. *)
+  let indexes =
+    List.mapi
+      (fun i t ->
+        if i = stream_index then None
+        else begin
+          let tbl = Hashtbl.create (max 16 (Table.cardinality t)) in
+          List.iter
+            (fun row ->
+              match row.(Table.col_index t subject) with
+              | Some key ->
+                let existing =
+                  Option.value ~default:[] (Hashtbl.find_opt tbl key)
+                in
+                Hashtbl.replace tbl key (row :: existing)
+              | None -> ())
+            t.Table.rows;
+          Some tbl
+        end)
+      all
+  in
+  let spec : (Table.row, Table.row) Job.map_only_spec =
+    {
+      mo_name = name;
+      mo_map =
+        (fun row ->
+          match row.(Table.col_index stream subject) with
+          | None -> []
+          | Some key ->
+            let groups = Array.make n [] in
+            List.iteri
+              (fun i idx ->
+                groups.(i) <-
+                  (match idx with
+                  | None -> [ row ]
+                  | Some tbl ->
+                    Option.value ~default:[] (Hashtbl.find_opt tbl key)
+                    |> List.rev))
+              indexes;
+            star_join_rows subject required optional key groups);
+      mo_input_size = Table.row_size_bytes;
+      mo_output_size = Table.row_size_bytes;
+    }
+  in
+  let rows = Workflow.run_map_only wf spec stream.Table.rows in
+  Table.make ~name ~schema:(star_schema subject required optional) rows
+
+let star_join wf options ~name ~required ~optional =
+  match required, optional with
+  | [ only ], [] -> only
+  | _ ->
+    let all = required @ optional in
+    let sizes = List.map Table.size_bytes all in
+    let max_size = List.fold_left max 0 sizes in
+    let small_enough =
+      List.length (List.filter (fun s -> s < options.map_join_threshold) sizes)
+      >= List.length all - 1
+    in
+    (* The streamed table must be required (outer-joining a streamed
+       optional table cannot preserve required semantics map-side). *)
+    let stream_index =
+      let rec find i = function
+        | [] -> None
+        | s :: rest -> if s = max_size then Some i else find (i + 1) rest
+      in
+      find 0 sizes
+    in
+    (match stream_index with
+    | Some i when small_enough && i < List.length required ->
+      star_join_map_only wf ~name ~required ~optional ~stream_index:i
+    | _ -> star_join_mr wf ~name ~required ~optional)
+
+let pair_join wf options ~name a b =
+  let sa = Table.size_bytes a and sb = Table.size_bytes b in
+  if sb < options.map_join_threshold then
+    Mr_relops.map_join wf ~name ~big:a ~small:b ()
+  else if sa < options.map_join_threshold then
+    Mr_relops.map_join wf ~name ~big:b ~small:a ()
+  else Mr_relops.repartition_join wf ~name a b
+
+(* --- Filters and projections ------------------------------------------- *)
+
+let row_binding t row =
+  List.fold_left
+    (fun (b, i) col ->
+      let b =
+        match row.(i) with Some v -> Binding.bind b col v | None -> b
+      in
+      (b, i + 1))
+    (Binding.empty, 0) t.Table.schema
+  |> fst
+
+let apply_ready_filters table filters =
+  let ready, pending =
+    List.partition
+      (fun e ->
+        List.for_all (fun v -> Table.mem_col table v) (Ast.expr_vars e))
+      filters
+  in
+  match ready with
+  | [] -> (table, pending)
+  | _ ->
+    let table =
+      Relops.filter
+        (fun t row ->
+          let b = row_binding t row in
+          List.for_all (Binding.eval_filter b) ready)
+        table
+    in
+    (table, pending)
+
+let project_needed table keep =
+  let cols =
+    List.filter (fun c -> List.mem c keep) table.Table.schema
+  in
+  if List.length cols = List.length table.Table.schema then table
+  else Relops.project table cols
+
+let agg_specs (sq : Analytical.subquery) =
+  List.map
+    (fun (a : Analytical.aggregate) ->
+      { Relops.func = a.func; distinct = a.distinct; col = a.arg; out = a.out })
+    sq.aggregates
+
+let ensure_total_row (sq : Analytical.subquery) table =
+  if sq.group_by = [] && table.Table.rows = [] then
+    let row =
+      Array.of_list
+        (List.map
+           (fun (a : Analytical.aggregate) ->
+             Rapida_sparql.Aggregate.(finish (init a.func ~distinct:a.distinct)))
+           sq.aggregates)
+    in
+    { table with Table.rows = [ row ] }
+  else table
+
+(* HAVING: filter the aggregated groups (map-side, no extra cycle). *)
+let apply_having (sq : Analytical.subquery) table =
+  match sq.Analytical.having with
+  | [] -> table
+  | having ->
+    Relops.filter
+      (fun t row ->
+        let b = row_binding t row in
+        List.for_all (Binding.eval_filter b) having)
+      table
+
+(* The post-aggregation finish of one subquery: default grand-total row,
+   then HAVING. *)
+let finish_subquery sq table =
+  apply_having sq (ensure_total_row sq table)
+
+let final_join wf options (q : Analytical.t) tables =
+  let finish t =
+    Relops.project_exprs ~name:"result" q.outer_projection t
+    |> Relops.order_limit ~order_by:q.Analytical.order_by
+         ~limit:q.Analytical.limit
+  in
+  ignore options;
+  match tables with
+  | [] -> invalid_arg "final_join: no subquery results"
+  | [ only ] -> finish only
+  | first :: rest ->
+    let joined =
+      List.fold_left
+        (fun acc t ->
+          Mr_relops.map_join wf ~name:"join_aggregates" ~big:acc ~small:t ())
+        first rest
+    in
+    finish joined
+
+(* --- NTGA star-local filter pushdown ----------------------------------- *)
+
+(* A filter over exactly one variable, bound as the object of a star's
+   triple pattern, can be evaluated triple-by-triple during the map-side
+   group filter: triples whose object fails the predicate are dropped
+   before the join (the paper pushes identical filters into the scan
+   phase). Filters over the star's subject drop the whole triplegroup. *)
+let push_star_filters (star : Rapida_sparql.Star.t) filters =
+  let subject_var =
+    match star.Rapida_sparql.Star.subject with
+    | Ast.Nvar v -> Some v
+    | Ast.Nterm _ -> None
+  in
+  let object_props v =
+    List.filter_map
+      (fun (tp : Ast.triple_pattern) ->
+        match tp.tp_p, tp.tp_o with
+        | Ast.Nterm p, Ast.Nvar v' when String.equal v v' -> Some p
+        | _ -> None)
+      star.Rapida_sparql.Star.patterns
+  in
+  let pushed, pending =
+    List.partition
+      (fun e ->
+        match Ast.expr_vars e with
+        | [ v ] -> subject_var = Some v || object_props v <> []
+        | _ -> false)
+      filters
+  in
+  let refine (tg : Rapida_ntga.Triplegroup.t) =
+    List.fold_left
+      (fun tg_opt e ->
+        match tg_opt with
+        | None -> None
+        | Some (tg : Rapida_ntga.Triplegroup.t) -> (
+          match Ast.expr_vars e with
+          | [ v ] when subject_var = Some v ->
+            let b =
+              Rapida_sparql.Binding.bind Rapida_sparql.Binding.empty v
+                tg.Rapida_ntga.Triplegroup.subject
+            in
+            if Rapida_sparql.Binding.eval_filter b e then Some tg else None
+          | [ v ] ->
+            let props = object_props v in
+            let triples =
+              List.filter
+                (fun (t : Rapida_rdf.Triple.t) ->
+                  if List.exists (Term.equal t.p) props then
+                    let b =
+                      Rapida_sparql.Binding.bind Rapida_sparql.Binding.empty v
+                        t.o
+                    in
+                    Rapida_sparql.Binding.eval_filter b e
+                  else true)
+                tg.Rapida_ntga.Triplegroup.triples
+            in
+            Some { tg with Rapida_ntga.Triplegroup.triples }
+          | _ -> Some tg))
+      (Some tg) pushed
+  in
+  (refine, pushed, pending)

@@ -1,0 +1,107 @@
+(** Shared physical-plan building blocks for the engines.
+
+    Scans translate triple patterns to variable-named columns so that all
+    later joins are natural joins; the star-join helpers implement Hive's
+    multiway same-key join (all triple patterns of a star join on the
+    subject in one MR cycle, map-only when the broadcast tables fit the
+    map-join threshold). *)
+
+module Ast = Rapida_sparql.Ast
+module Analytical = Rapida_sparql.Analytical
+module Table = Rapida_relational.Table
+module Vp_store = Rapida_relational.Vp_store
+module Workflow = Rapida_mapred.Workflow
+
+type options = {
+  cluster : Rapida_mapred.Cluster.t;
+  map_join_threshold : int;
+      (** a join input below this many bytes is broadcast (Hive map-join) *)
+  hive_compression : float;
+      (** on-disk size ratio of the Hive engines' ORC-format tables
+          (paper §5.1: ~80-96% reduction); the NTGA engines read plain
+          text triplegroups at ratio 1.0. Fewer stored bytes also means
+          fewer map tasks — the reduced-parallelism effect the paper
+          observes for ORC at scale. *)
+  ntga_combiner : bool;
+      (** ablation: hash-based per-mapper partial aggregation in the
+          Agg-Join cycles (Algorithm 3's multiAggMap). Disable to measure
+          its shuffle savings. *)
+  ntga_filter_pushdown : bool;
+      (** ablation: evaluate star-local FILTERs during the map-side group
+          filter instead of at aggregation time. *)
+}
+
+(** [hive_cluster options] is the cluster with the Hive engines' storage
+    compression applied. *)
+val hive_cluster : options -> Rapida_mapred.Cluster.t
+
+val default_options : options
+
+(** [tp_table vp tp] scans the VP partition of a triple pattern into a
+    table whose columns are named by the pattern's variables. Constant
+    objects are filtered out and dropped; rdf:type patterns read the
+    per-class partition. @raise Invalid_argument on unbound properties. *)
+val tp_table : Vp_store.t -> Ast.triple_pattern -> Table.t
+
+(** [ctp_table vp ~subject_var ctp] scans a composite triple pattern,
+    always keeping an object column (constant objects become a filtered
+    witness column) — the form the MQO rewriting needs. *)
+val ctp_table : Vp_store.t -> subject_var:Ast.var -> Composite.ctp -> Table.t
+
+(** [star_join wf options ~name ~required ~optional] joins tables sharing
+    their subject column in one MR cycle (Hive merges same-key joins):
+    inner on [required], left-outer on [optional]. Becomes a map-only
+    cycle when every table but the largest required one fits the map-join
+    threshold. A single required table with no optionals is returned
+    as-is (a scan is not a join). *)
+val star_join :
+  Workflow.t -> options -> name:string -> required:Table.t list ->
+  optional:Table.t list -> Table.t
+
+(** [pair_join wf options ~name a b] is a natural join as one MR cycle,
+    map-only when one side fits the threshold. *)
+val pair_join :
+  Workflow.t -> options -> name:string -> Table.t -> Table.t -> Table.t
+
+(** [apply_ready_filters table filters] applies (map-side, no cycle) every
+    filter whose variables are all present as columns; returns the
+    filtered table and the filters still pending. *)
+val apply_ready_filters :
+  Table.t -> Ast.expr list -> Table.t * Ast.expr list
+
+(** [project_needed table keep] projects to the columns of [keep] that
+    exist in [table], preserving [table]'s column order. *)
+val project_needed : Table.t -> Ast.var list -> Table.t
+
+(** [agg_specs sq] translates a subquery's aggregates for the relational
+    group-by. *)
+val agg_specs : Analytical.subquery -> Rapida_relational.Relops.agg_spec list
+
+(** [ensure_total_row sq table] adds the default all-empty-aggregates row
+    for a GROUP BY ALL subquery whose input was empty. *)
+val ensure_total_row : Analytical.subquery -> Table.t -> Table.t
+
+(** [apply_having sq table] filters the aggregated groups with the
+    subquery's HAVING clauses (map-side, no extra cycle). *)
+val apply_having : Analytical.subquery -> Table.t -> Table.t
+
+(** [finish_subquery sq table] is {!ensure_total_row} then
+    {!apply_having} — the post-aggregation finish every engine applies. *)
+val finish_subquery : Analytical.subquery -> Table.t -> Table.t
+
+(** [final_join wf options q tables] joins the per-subquery result tables
+    (map-only cycles, as the aggregated results are small) and applies the
+    outer projection. Single-table queries skip the join. *)
+val final_join :
+  Workflow.t -> options -> Analytical.t -> Table.t list -> Table.t
+
+(** [push_star_filters star filters] splits [filters] into those
+    evaluable during the map-side group filter of [star] —
+    single-variable filters over the star's subject or an object
+    variable — and the rest. Returns a triple-level refinement (drop
+    failing object triples, or the whole triplegroup when the subject
+    fails), the pushed filters, and the pending ones. *)
+val push_star_filters :
+  Rapida_sparql.Star.t -> Ast.expr list ->
+  (Rapida_ntga.Triplegroup.t -> Rapida_ntga.Triplegroup.t option)
+  * Ast.expr list * Ast.expr list

@@ -1,0 +1,22 @@
+(** RAPIDAnalytics: the paper's contribution. Overlapping graph patterns
+    are rewritten into one composite graph pattern evaluated with shared
+    scans and joins (optional group filter + α-join), and all independent
+    grouping-aggregations are computed in a single parallel Agg-Join
+    cycle, followed by a map-only join of the aggregated triplegroups.
+
+    When the patterns do not overlap (Def. 3.2 fails), evaluation falls
+    back to the RAPID+ plan — the paper restricts the optimization to
+    overlapping patterns. *)
+
+module Analytical = Rapida_sparql.Analytical
+module Table = Rapida_relational.Table
+module Tg_store = Rapida_ntga.Tg_store
+module Stats = Rapida_mapred.Stats
+
+val run :
+  Plan_util.options -> Tg_store.t -> Analytical.t ->
+  (Table.t * Stats.t, string) result
+
+(** [plan_description q] renders the composite rewriting that [run] would
+    use (or the overlap failure), for the CLI's explain command. *)
+val plan_description : Analytical.t -> string

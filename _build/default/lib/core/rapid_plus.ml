@@ -1,0 +1,199 @@
+module Ast = Rapida_sparql.Ast
+module Star = Rapida_sparql.Star
+module Analytical = Rapida_sparql.Analytical
+module Ops = Rapida_ntga.Ops
+module Joined = Rapida_ntga.Joined
+module Tg_store = Rapida_ntga.Tg_store
+module Workflow = Rapida_mapred.Workflow
+module Stats = Rapida_mapred.Stats
+module Table = Rapida_relational.Table
+
+(* Property requirements of a star's bound-property triple patterns;
+   unbound-property patterns impose no property requirement (any triple
+   can match them) and are checked during binding enumeration. *)
+let star_reqs (star : Star.t) =
+  List.filter_map
+    (fun (tp : Ast.triple_pattern) ->
+      match tp.tp_p with
+      | Ast.Nvar _ -> None
+      | Ast.Nterm prop -> (
+        match tp.tp_o with
+        | Ast.Nterm o -> Some (Ops.req ~obj:o prop)
+        | Ast.Nvar _ -> Some (Ops.req prop)))
+    star.patterns
+
+let has_unbound_property (star : Star.t) =
+  List.exists
+    (fun (tp : Ast.triple_pattern) ->
+      match tp.tp_p with Ast.Nvar _ -> true | Ast.Nterm _ -> false)
+    star.patterns
+
+let key_of_endpoint (e : Star.endpoint) : Ops.join_key =
+  match e.role with
+  | Star.Subject -> { star = e.star; access = `Subject }
+  | Star.Object -> (
+    match e.prop with
+    | Some p -> { star = e.star; access = `ObjectOf p }
+    | None ->
+      (* Join through an unbound-property triple pattern: any object of
+         the triplegroup can carry the join (validated at binding time). *)
+      { star = e.star; access = `AnyObject })
+  | Star.Property -> failwith "joins on property position are unsupported"
+
+(* Map-side star source: scan only the equivalence-class partitions that
+   cover the star's properties, push star-local filters into the scan,
+   then group-filter each triplegroup. *)
+let star_source options store filters (star : Star.t) =
+  let reqs = star_reqs star in
+  let props = List.map (fun (r : Ops.prop_req) -> r.prop) reqs in
+  let tgs = Tg_store.scan store ~required:props in
+  let filter_refine, _, _ =
+    if options.Plan_util.ntga_filter_pushdown then
+      Plan_util.push_star_filters star filters
+    else (Option.some, [], filters)
+  in
+  let unbound = has_unbound_property star in
+  let refine tg =
+    match filter_refine tg with
+    | None -> None
+    | Some tg ->
+      if unbound then
+        (* Unbound-property patterns can match any triple: check the
+           bound requirements but keep the whole triplegroup. *)
+        if
+          List.for_all
+            (fun (r : Ops.prop_req) ->
+              Ops.group_filter ~required:[ r ] [ tg ] <> [])
+            reqs
+        then Some tg
+        else None
+      else (
+        match Ops.group_filter ~required:reqs [ tg ] with
+        | [ tg' ] -> Some tg'
+        | _ -> None)
+  in
+  Phys_ntga.Tgs { tgs; refine; star = star.id }
+
+(* Filters no star can consume map-side; these run during aggregation. *)
+let pending_filters options stars filters =
+  if not options.Plan_util.ntga_filter_pushdown then filters
+  else
+    List.filter
+      (fun f ->
+        not
+          (List.exists
+             (fun star ->
+               let _, pushed, _ = Plan_util.push_star_filters star [ f ] in
+               pushed <> [])
+             stars))
+      filters
+
+let eval_pattern wf options store (sq : Analytical.subquery) =
+  let star_of id = List.find (fun (s : Star.t) -> s.id = id) sq.stars in
+  match sq.stars with
+  | [ only ] ->
+    (* A single-star pattern needs no join cycle: the grouping job's map
+       phase applies the group filter directly. *)
+    let reqs = star_reqs only in
+    let props = List.map (fun (r : Ops.prop_req) -> r.prop) reqs in
+    let filter_refine, _, _ =
+      if options.Plan_util.ntga_filter_pushdown then
+        Plan_util.push_star_filters only sq.filters
+      else (Option.some, [], sq.filters)
+    in
+    let unbound = has_unbound_property only in
+    Tg_store.scan store ~required:props
+    |> List.concat_map (fun tg ->
+           match filter_refine tg with
+           | None -> []
+           | Some tg ->
+             if unbound then
+               if
+                 List.for_all
+                   (fun (r : Ops.prop_req) ->
+                     Ops.group_filter ~required:[ r ] [ tg ] <> [])
+                   reqs
+               then [ Joined.of_tg only.id tg ]
+               else []
+             else (
+               match Ops.group_filter ~required:reqs [ tg ] with
+               | [ tg' ] -> [ Joined.of_tg only.id tg' ]
+               | _ -> []))
+  | _ -> (
+    match
+      Composite.order_edges
+        ~star_ids:(List.map (fun (s : Star.t) -> s.id) sq.stars)
+        ~edges:sq.edges
+    with
+    | Error msg -> failwith msg
+    | Ok [] -> failwith "multi-star pattern without join edges"
+    | Ok (first :: rest) ->
+      let seen = Hashtbl.create 8 in
+      Hashtbl.add seen first.Star.left.star ();
+      Hashtbl.add seen first.Star.right.star ();
+      let init =
+        Phys_ntga.join_cycle wf
+          ~name:(Printf.sprintf "sq%d_tgjoin0" sq.sq_id)
+          ~left:
+            (star_source options store sq.filters
+               (star_of first.Star.left.star))
+          ~right:
+            (star_source options store sq.filters
+               (star_of first.Star.right.star))
+          ~left_key:(key_of_endpoint first.Star.left)
+          ~right_key:(key_of_endpoint first.Star.right)
+          ~keep:(fun _ -> true)
+      in
+      let acc, _ =
+        List.fold_left
+          (fun (acc, i) (e : Star.edge) ->
+            let new_endpoint, old_endpoint =
+              if Hashtbl.mem seen e.Star.left.star then (e.right, e.left)
+              else (e.left, e.right)
+            in
+            Hashtbl.replace seen new_endpoint.Star.star ();
+            let joined =
+              Phys_ntga.join_cycle wf
+                ~name:(Printf.sprintf "sq%d_tgjoin%d" sq.sq_id i)
+                ~left:(Phys_ntga.Pre acc)
+                ~right:
+                  (star_source options store sq.filters
+                     (star_of new_endpoint.Star.star))
+                ~left_key:(key_of_endpoint old_endpoint)
+                ~right_key:(key_of_endpoint new_endpoint)
+                ~keep:(fun _ -> true)
+            in
+            (joined, i + 1))
+          (init, 1) rest
+      in
+      acc)
+
+let eval_subquery wf options store (sq : Analytical.subquery) =
+  let joined = eval_pattern wf options store sq in
+  let agj : Phys_ntga.agj =
+    {
+      agj_id = sq.sq_id;
+      stars = List.map (fun (s : Star.t) -> (s.id, s)) sq.stars;
+      filters = pending_filters options sq.stars sq.filters;
+      group_by = sq.group_by;
+      aggregates = sq.aggregates;
+      alpha = (fun _ -> true);
+    }
+  in
+  match
+    Phys_ntga.agg_cycle wf
+      ~name:(Printf.sprintf "sq%d_aggjoin" sq.sq_id)
+      ~combiner:options.Plan_util.ntga_combiner ~input:joined [ agj ]
+  with
+  | [ table ] -> Plan_util.finish_subquery sq table
+  | _ -> assert false
+
+let run options store (q : Analytical.t) =
+  let wf = Workflow.create options.Plan_util.cluster in
+  match
+    let tables = List.map (eval_subquery wf options store) q.subqueries in
+    Plan_util.final_join wf options q tables
+  with
+  | table -> Ok (table, Workflow.stats wf)
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg

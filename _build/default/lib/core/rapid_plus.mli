@@ -1,0 +1,24 @@
+(** RAPID+ (naive NTGA) baseline: each graph pattern is evaluated
+    separately with NTGA operators — star patterns are matched by
+    map-side triplegroup filtering and joined in reduce phases — followed
+    by one grouping-aggregation cycle per subquery and a map-only join of
+    the aggregated results. Shared execution across patterns is {e not}
+    exploited; that is RAPIDAnalytics' contribution. *)
+
+module Analytical = Rapida_sparql.Analytical
+module Table = Rapida_relational.Table
+module Tg_store = Rapida_ntga.Tg_store
+module Stats = Rapida_mapred.Stats
+
+val run :
+  Plan_util.options -> Tg_store.t -> Analytical.t ->
+  (Table.t * Stats.t, string) result
+
+(** [star_reqs star] is the property requirements of a star pattern
+    (bound properties, plus object constraints for constant objects).
+    Exposed for reuse by {!Rapid_analytics} and tests. *)
+val star_reqs : Rapida_sparql.Star.t -> Rapida_ntga.Ops.prop_req list
+
+(** [key_of_endpoint e] translates a join-edge endpoint into a triplegroup
+    join-key accessor. @raise Failure on property-role endpoints. *)
+val key_of_endpoint : Rapida_sparql.Star.endpoint -> Rapida_ntga.Ops.join_key

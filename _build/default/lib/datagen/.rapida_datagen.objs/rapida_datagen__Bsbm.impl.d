@@ -1,0 +1,1 @@
+lib/datagen/bsbm.ml: Array Graph Hashtbl List Namespace Printf Prng Rapida_rdf Term Triple

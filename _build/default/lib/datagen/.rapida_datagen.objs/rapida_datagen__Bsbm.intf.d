@@ -1,0 +1,1 @@
+lib/datagen/bsbm.mli: Graph Rapida_rdf Term

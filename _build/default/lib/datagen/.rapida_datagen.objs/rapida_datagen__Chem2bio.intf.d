@@ -1,0 +1,1 @@
+lib/datagen/chem2bio.mli: Graph Rapida_rdf

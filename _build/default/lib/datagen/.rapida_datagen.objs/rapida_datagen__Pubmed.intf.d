@@ -1,0 +1,1 @@
+lib/datagen/pubmed.mli: Graph Rapida_rdf

@@ -1,0 +1,92 @@
+open Rapida_rdf
+
+type config = {
+  products : int;
+  product_types : int;
+  features : int;
+  vendors : int;
+  countries : int;
+  offers_per_product : int;
+  max_features_per_product : int;
+  seed : int;
+}
+
+let config ?(seed = 42) ~products () =
+  {
+    products;
+    product_types = 20;
+    features = max 5 (products / 10);
+    vendors = max 3 (products / 25);
+    countries = 10;
+    offers_per_product = 3;
+    max_features_per_product = 4;
+    seed;
+  }
+
+let ns = Namespace.bench
+
+let entity kind i = Term.iri (Printf.sprintf "%s%s%d" ns kind i)
+let prop name = Term.iri (ns ^ name)
+
+let product_type i = entity "ProductType" i
+
+let p_label = prop "label"
+let p_feature = prop "productFeature"
+let p_producer = prop "producer"
+let p_product = prop "product"
+let p_price = prop "price"
+let p_vendor = prop "vendor"
+let p_valid_from = prop "validFrom"
+let p_valid_to = prop "validTo"
+let p_country = prop "country"
+
+let country_names =
+  [| "US"; "UK"; "DE"; "FR"; "JP"; "CN"; "IN"; "BR"; "RU"; "ES"; "IT"; "KR" |]
+
+let generate cfg =
+  let rng = Prng.create ~seed:cfg.seed in
+  let triples = ref [] in
+  let add s p o = triples := Triple.make s p o :: !triples in
+  (* Vendors, each located in a country. *)
+  for v = 1 to cfg.vendors do
+    let vendor = entity "Vendor" v in
+    let c = Prng.int rng (min cfg.countries (Array.length country_names)) in
+    add vendor p_country (Term.str country_names.(c));
+    add vendor p_label (Term.str (Printf.sprintf "vendor%d" v))
+  done;
+  (* Products: skewed type distribution (type 1 common, tail rare). *)
+  for p = 1 to cfg.products do
+    let product = entity "Product" p in
+    let ty = 1 + Prng.zipf rng cfg.product_types ~skew:1.2 in
+    add product Namespace.rdf_type (product_type ty);
+    add product p_label (Term.str (Printf.sprintf "product%d" p));
+    add product p_producer (entity "Producer" (1 + Prng.int rng (max 1 (cfg.products / 40))));
+    let n_features = 1 + Prng.int rng cfg.max_features_per_product in
+    let seen = Hashtbl.create 4 in
+    for _ = 1 to n_features do
+      let f = 1 + Prng.int rng cfg.features in
+      if not (Hashtbl.mem seen f) then begin
+        Hashtbl.add seen f ();
+        add product p_feature (entity "Feature" f)
+      end
+    done
+  done;
+  (* Offers: product, price, vendor, validity interval. *)
+  let offer_count = ref 0 in
+  for p = 1 to cfg.products do
+    let n_offers = max 1 (Prng.int rng (2 * cfg.offers_per_product)) in
+    for _ = 1 to n_offers do
+      incr offer_count;
+      let offer = entity "Offer" !offer_count in
+      add offer p_product (entity "Product" p);
+      add offer p_price (Term.decimal (10.0 +. Prng.float rng 9990.0));
+      add offer p_vendor (entity "Vendor" (1 + Prng.int rng cfg.vendors));
+      if Prng.bool rng 0.8 then
+        add offer p_valid_from
+          (Term.date (Printf.sprintf "2008-%02d-01" (1 + Prng.int rng 12)));
+      if Prng.bool rng 0.8 then
+        add offer p_valid_to
+          (Term.date (Printf.sprintf "2009-%02d-28" (1 + Prng.int rng 12)))
+    done
+  done;
+  Graph.of_list (List.rev !triples)

@@ -1,0 +1,35 @@
+(** BSBM-like e-commerce dataset generator.
+
+    Mirrors the schema shapes the Berlin SPARQL Benchmark Business
+    Intelligence use case exercises: products with a type drawn from a
+    skewed distribution (ProductType1 is common — "low selectivity" in
+    the paper's sense — ProductType9 rare), multi-valued product
+    features, labels, and offers carrying price / vendor / validity
+    dates, with vendors located in countries.
+
+    Vocabulary (all in the [bench:] namespace unless noted):
+    [rdf:type] with objects [ProductType1..ProductTypeN], [label],
+    [productFeature], [producer]; offers: [product], [price], [vendor],
+    [validFrom], [validTo]; vendors: [country], [label]. *)
+
+open Rapida_rdf
+
+type config = {
+  products : int;
+  product_types : int;
+  features : int;
+  vendors : int;
+  countries : int;
+  offers_per_product : int;  (** average *)
+  max_features_per_product : int;
+  seed : int;
+}
+
+(** [config ~products ()] scales the other entity counts off the product
+    count with BSBM-like ratios. *)
+val config : ?seed:int -> products:int -> unit -> config
+
+val generate : config -> Graph.t
+
+(** Class IRI of product type [i] (1-based): [bench:ProductType<i>]. *)
+val product_type : int -> Term.t

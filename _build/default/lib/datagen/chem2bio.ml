@@ -1,0 +1,134 @@
+open Rapida_rdf
+
+type config = {
+  compounds : int;
+  genes : int;
+  drugs : int;
+  pathways : int;
+  side_effects : int;
+  assays : int;
+  publications : int;
+  seed : int;
+}
+
+let config ?(seed = 43) ~compounds () =
+  {
+    compounds;
+    genes = max 4 (compounds / 4);
+    drugs = max 3 (compounds / 8);
+    pathways = 15;
+    side_effects = max 25 compounds;
+    assays = compounds * 3;
+    publications = compounds * 2;
+    seed;
+  }
+
+let ns = Namespace.bench
+let entity kind i = Term.iri (Printf.sprintf "%s%s%d" ns kind i)
+let prop name = Term.iri (ns ^ name)
+
+let p_cid = prop "CID"
+let p_outcome = prop "outcome"
+let p_score = prop "Score"
+let p_gi = prop "gi"
+let p_gene_symbol = prop "geneSymbol"
+let p_swissprot = prop "SwissProt_ID"
+let p_gene = prop "gene"
+let p_dbid = prop "DBID"
+let p_generic_name = prop "Generic_Name"
+let p_protein = prop "protein"
+let p_pathway_name = prop "Pathway_name"
+let p_pathwayid = prop "pathwayid"
+let p_side_effect = prop "side_effect"
+let p_cid_lower = prop "cid"
+let p_disease = prop "disease"
+
+let known_drug_name = "Dexamethasone"
+let known_pathway_fragment = "MAPK signaling pathway"
+let known_side_effect = "hepatomegaly"
+
+let side_effect_names =
+  [| "hepatomegaly"; "nausea"; "headache"; "dizziness"; "fatigue"; "rash";
+     "insomnia"; "anemia"; "fever"; "cough" |]
+
+let disease_names =
+  [| "Tuberculosis"; "HIV"; "Alzheimer"; "Diabetes"; "Asthma"; "Malaria" |]
+
+let generate cfg =
+  let rng = Prng.create ~seed:cfg.seed in
+  let triples = ref [] in
+  let add s p o = triples := Triple.make s p o :: !triples in
+  let gi_of g = Term.int (100000 + g) in
+  let cid_of c = Term.int (5000 + c) in
+  (* Gene/protein nodes: gi, symbol, SwissProt id. *)
+  for g = 1 to cfg.genes do
+    let gene = entity "Gene" g in
+    add gene p_gi (gi_of g);
+    add gene p_gene_symbol (Term.str (Printf.sprintf "GENE%d" g));
+    add gene p_swissprot (Term.str (Printf.sprintf "P%05d" g))
+  done;
+  (* Drugs: CID + generic name; drug d maps to compound d so that drug
+     compounds form a dense prefix the side-effect records can hit. *)
+  for d = 1 to cfg.drugs do
+    let drug = entity "Drug" d in
+    add drug p_cid (cid_of d);
+    let name =
+      if d = 1 then known_drug_name else Printf.sprintf "Drug%d" d
+    in
+    add drug p_generic_name (Term.str name)
+  done;
+  (* Drug-gene interactions: gene symbol (literal join) -> drug. *)
+  for i = 1 to cfg.drugs * 3 do
+    let di = entity "Interaction" i in
+    add di p_gene (Term.str (Printf.sprintf "GENE%d" (1 + Prng.int rng cfg.genes)));
+    add di p_dbid (entity "Drug" (1 + Prng.int rng cfg.drugs))
+  done;
+  (* Bioassays: compound activity against gene identifiers. *)
+  for a = 1 to cfg.assays do
+    let assay = entity "Assay" a in
+    add assay p_cid (cid_of (1 + Prng.int rng cfg.compounds));
+    add assay p_outcome (Term.str (if Prng.bool rng 0.6 then "active" else "inactive"));
+    add assay p_score (Term.int (Prng.int rng 100));
+    add assay p_gi (gi_of (1 + Prng.int rng cfg.genes))
+  done;
+  (* KEGG-like pathways over gene/protein nodes; pathway 1 is MAPK. *)
+  for p = 1 to cfg.pathways do
+    let pathway = entity "Pathway" p in
+    let name =
+      if p = 1 then known_pathway_fragment
+      else Printf.sprintf "pathway %d signaling" p
+    in
+    add pathway p_pathway_name (Term.str name);
+    add pathway p_pathwayid (Term.int (900 + p));
+    let members = 1 + Prng.int rng (max 1 (cfg.genes / 2)) in
+    let seen = Hashtbl.create 8 in
+    for _ = 1 to members do
+      let g = 1 + Prng.int rng cfg.genes in
+      if not (Hashtbl.mem seen g) then begin
+        Hashtbl.add seen g ();
+        add pathway p_protein (entity "Gene" g)
+      end
+    done
+  done;
+  (* SIDER-like side-effect records, biased toward low compound ids
+     (where the drugs live) and toward the first side-effect name so the
+     hepatomegaly chain of G7 stays populated. *)
+  for s = 1 to cfg.side_effects do
+    let sider = entity "Sider" s in
+    let name =
+      side_effect_names.(Prng.zipf rng (Array.length side_effect_names) ~skew:1.0)
+    in
+    add sider p_side_effect (Term.str name);
+    add sider p_cid_lower (cid_of (1 + Prng.zipf rng cfg.compounds ~skew:0.7))
+  done;
+  (* Medline-like publications: gene node links + side effects/diseases. *)
+  for m = 1 to cfg.publications do
+    let pub = entity "Pmid" m in
+    add pub p_gene (entity "Gene" (1 + Prng.int rng cfg.genes));
+    add pub p_side_effect
+      (Term.str side_effect_names.(Prng.int rng (Array.length side_effect_names)));
+    if Prng.bool rng 0.7 then
+      add pub p_disease
+        (Term.str disease_names.(Prng.int rng (Array.length disease_names)))
+  done;
+  Graph.of_list (List.rev !triples)

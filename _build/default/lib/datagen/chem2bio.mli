@@ -1,0 +1,42 @@
+(** Chem2Bio2RDF-like chemogenomics dataset generator.
+
+    Mirrors the schema shapes of the Chem2Bio2RDF warehouse that queries
+    G5–G9 / MG6–MG10 exercise: PubChem bioassays linking compounds (CID)
+    to gene identifiers, gene/protein nodes with symbols and SwissProt
+    ids, DrugBank drug–gene interactions, KEGG pathways over proteins,
+    SIDER side effects, and Medline publications linking genes, side
+    effects and diseases.
+
+    Vocabulary ([bench:] namespace): assays [CID], [outcome], [Score],
+    [gi]; genes [gi], [geneSymbol], [SwissProt_ID]; interactions [gene],
+    [DBID]; drugs [CID], [Generic_Name]; pathways [protein],
+    [Pathway_name], [pathwayid]; side-effect records [side_effect],
+    [cid]; publications [gene], [side_effect], [disease]. *)
+
+open Rapida_rdf
+
+type config = {
+  compounds : int;
+  genes : int;
+  drugs : int;
+  pathways : int;
+  side_effects : int;
+  assays : int;
+  publications : int;
+  seed : int;
+}
+
+val config : ?seed:int -> compounds:int -> unit -> config
+
+val generate : config -> Graph.t
+
+(** The drug name every generated dataset contains, used by query G5
+    ("Dexamethasone" in the paper). *)
+val known_drug_name : string
+
+(** A pathway-name fragment guaranteed to occur ("MAPK signaling
+    pathway"). *)
+val known_pathway_fragment : string
+
+(** A side-effect name guaranteed to occur ("hepatomegaly"). *)
+val known_side_effect : string

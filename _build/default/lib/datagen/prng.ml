@@ -1,0 +1,47 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* splitmix64 step. *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive"
+  else
+    let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+    v mod n
+
+let float t x =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  x *. (v /. 9007199254740992.0)
+
+let bool t p = float t 1.0 < p
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let weighted t weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Prng.weighted: non-positive total";
+  let target = float t total in
+  let rec go i acc =
+    if i >= Array.length weights - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else go (i + 1) acc
+  in
+  go 0 0.0
+
+let zipf t n ~skew =
+  if n <= 0 then invalid_arg "Prng.zipf: bound must be positive"
+  else begin
+    let weights = Array.init n (fun i -> 1.0 /. ((float_of_int i +. 1.0) ** skew)) in
+    weighted t weights
+  end

@@ -1,0 +1,28 @@
+(** Deterministic splitmix64 PRNG: identical seeds produce identical
+    datasets on every platform, which keeps benchmark runs and
+    cross-engine comparisons reproducible. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [int rng n] is uniform in [0, n). @raise Invalid_argument if n <= 0. *)
+val int : t -> int -> int
+
+(** [float rng x] is uniform in [0, x). *)
+val float : t -> float -> float
+
+(** [bool rng p] is true with probability [p]. *)
+val bool : t -> float -> bool
+
+(** [pick rng xs] is a uniform element. @raise Invalid_argument on []. *)
+val pick : t -> 'a list -> 'a
+
+(** [weighted rng weights] samples an index with the given (positive)
+    weights. *)
+val weighted : t -> float array -> int
+
+(** [zipf rng n ~skew] samples in [0, n) with a Zipf-like bias toward
+    small indexes — used for skewed selectivity (popular product types,
+    common journals). *)
+val zipf : t -> int -> skew:float -> int

@@ -1,0 +1,111 @@
+open Rapida_rdf
+
+type config = {
+  publications : int;
+  journals : int;
+  authors : int;
+  grants : int;
+  countries : int;
+  mesh_pool : int;
+  chemical_pool : int;
+  seed : int;
+}
+
+let config ?(seed = 44) ~publications () =
+  {
+    publications;
+    journals = 15;
+    authors = max 5 (publications / 2);
+    grants = max 3 (publications / 3);
+    countries = 12;
+    mesh_pool = 80;
+    chemical_pool = 120;
+    seed;
+  }
+
+let ns = Namespace.bench
+let entity kind i = Term.iri (Printf.sprintf "%s%s%d" ns kind i)
+let prop name = Term.iri (ns ^ name)
+
+let p_journal = prop "journal"
+let p_pub_type = prop "pub_type"
+let p_author = prop "author"
+let p_grant = prop "grant"
+let p_mesh = prop "mesh_heading"
+let p_chemical = prop "chemical"
+let p_agency = prop "grant_agency"
+let p_grant_country = prop "grant_country"
+let p_last_name = prop "last_name"
+
+let common_pub_type = "Journal Article"
+let rare_pub_type = "News"
+
+let country_names =
+  [| "US"; "UK"; "DE"; "FR"; "JP"; "CN"; "IN"; "BR"; "CA"; "AU"; "NL"; "SE" |]
+
+let last_names =
+  [| "Smith"; "Kim"; "Garcia"; "Chen"; "Mueller"; "Tanaka"; "Singh"; "Silva";
+     "Ivanov"; "Dubois"; "Rossi"; "Johnson" |]
+
+let pub_types =
+  (* Journal articles dominate; News is rare (higher selectivity). *)
+  [| ("Journal Article", 0.70); ("Review", 0.15); ("Letter", 0.08);
+     ("Editorial", 0.04); ("News", 0.03) |]
+
+let generate cfg =
+  let rng = Prng.create ~seed:cfg.seed in
+  let triples = ref [] in
+  let add s p o = triples := Triple.make s p o :: !triples in
+  (* Authors. *)
+  for a = 1 to cfg.authors do
+    add (entity "Author" a) p_last_name
+      (Term.str last_names.(Prng.int rng (Array.length last_names)))
+  done;
+  (* Grants: agency + issuing country. *)
+  for g = 1 to cfg.grants do
+    let grant = entity "Grant" g in
+    add grant p_agency (Term.str (Printf.sprintf "Agency%d" (1 + Prng.int rng 8)));
+    add grant p_grant_country
+      (Term.str
+         country_names.(Prng.int rng (min cfg.countries (Array.length country_names))))
+  done;
+  (* Publications. *)
+  let type_weights = Array.map snd pub_types in
+  for p = 1 to cfg.publications do
+    let pub = entity "Pub" p in
+    add pub p_journal (entity "Journal" (1 + Prng.zipf rng cfg.journals ~skew:1.1));
+    let ty, _ = pub_types.(Prng.weighted rng type_weights) in
+    add pub p_pub_type (Term.str ty);
+    let n_authors = 1 + Prng.int rng 3 in
+    let seen_a = Hashtbl.create 4 in
+    for _ = 1 to n_authors do
+      let a = 1 + Prng.int rng cfg.authors in
+      if not (Hashtbl.mem seen_a a) then begin
+        Hashtbl.add seen_a a ();
+        add pub p_author (entity "Author" a)
+      end
+    done;
+    if Prng.bool rng 0.6 then
+      add pub p_grant (entity "Grant" (1 + Prng.int rng cfg.grants));
+    let n_mesh = 1 + Prng.int rng 4 in
+    let seen_m = Hashtbl.create 4 in
+    for _ = 1 to n_mesh do
+      let m = 1 + Prng.int rng cfg.mesh_pool in
+      if not (Hashtbl.mem seen_m m) then begin
+        Hashtbl.add seen_m m ();
+        add pub p_mesh (Term.str (Printf.sprintf "Mesh%d" m))
+      end
+    done;
+    if Prng.bool rng 0.7 then begin
+      let n_chem = 1 + Prng.int rng 3 in
+      let seen_c = Hashtbl.create 4 in
+      for _ = 1 to n_chem do
+        let c = 1 + Prng.int rng cfg.chemical_pool in
+        if not (Hashtbl.mem seen_c c) then begin
+          Hashtbl.add seen_c c ();
+          add pub p_chemical (Term.str (Printf.sprintf "Chem%d" c))
+        end
+      done
+    end
+  done;
+  Graph.of_list (List.rev !triples)

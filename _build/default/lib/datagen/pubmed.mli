@@ -1,0 +1,34 @@
+(** PubMed-like bibliographic dataset generator.
+
+    Mirrors the Bio2RDF PubMed shapes queries MG11–MG18 exercise:
+    publications with journal, publication type, authors, grants,
+    multi-valued MeSH headings and chemicals; grants with agency and
+    country; authors with last names.
+
+    Vocabulary ([bench:] namespace): publications [journal], [pub_type],
+    [author], [grant], [mesh_heading], [chemical]; grants
+    [grant_agency], [grant_country]; authors [last_name]. *)
+
+open Rapida_rdf
+
+type config = {
+  publications : int;
+  journals : int;
+  authors : int;
+  grants : int;
+  countries : int;
+  mesh_pool : int;
+  chemical_pool : int;
+  seed : int;
+}
+
+val config : ?seed:int -> publications:int -> unit -> config
+
+val generate : config -> Graph.t
+
+(** The two publication types the selectivity-varying queries use:
+    "Journal Article" is common (low selectivity), "News" rare (high
+    selectivity). *)
+val common_pub_type : string
+
+val rare_pub_type : string

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: List Rapida_core Rapida_mapred Rapida_queries Rapida_rdf Rapida_ref Rapida_relational Unix

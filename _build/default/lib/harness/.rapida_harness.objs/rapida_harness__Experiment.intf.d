@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Rapida_core Rapida_queries

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Experiment Fmt List Printf Rapida_core Rapida_queries

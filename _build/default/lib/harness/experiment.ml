@@ -1,0 +1,79 @@
+module Engine = Rapida_core.Engine
+module Catalog = Rapida_queries.Catalog
+module Relops = Rapida_relational.Relops
+module Table = Rapida_relational.Table
+module Stats = Rapida_mapred.Stats
+module Graph = Rapida_rdf.Graph
+
+type engine_result = {
+  engine : Engine.kind;
+  cycles : int;
+  map_only_cycles : int;
+  input_bytes : int;
+  shuffle_bytes : int;
+  output_bytes : int;
+  est_time_s : float;
+  wall_s : float;
+  result_rows : int;
+  agreed : bool;
+  error : string option;
+}
+
+type run = {
+  query : Catalog.entry;
+  dataset_label : string;
+  triples : int;
+  results : engine_result list;
+}
+
+let failed_result engine msg =
+  {
+    engine;
+    cycles = 0;
+    map_only_cycles = 0;
+    input_bytes = 0;
+    shuffle_bytes = 0;
+    output_bytes = 0;
+    est_time_s = 0.0;
+    wall_s = 0.0;
+    result_rows = 0;
+    agreed = false;
+    error = Some msg;
+  }
+
+let run_query ?(engines = Engine.all_kinds) options ~label input entry =
+  let q = Catalog.parse entry in
+  let graph = Engine.graph_of_input input in
+  let expected = Rapida_ref.Ref_engine.run graph q in
+  let results =
+    List.map
+      (fun kind ->
+        let t0 = Unix.gettimeofday () in
+        match Engine.run kind options input q with
+        | Error msg -> failed_result kind msg
+        | Ok { table; stats } ->
+          let wall_s = Unix.gettimeofday () -. t0 in
+          {
+            engine = kind;
+            cycles = Stats.cycles stats;
+            map_only_cycles = Stats.map_only_cycles stats;
+            input_bytes = Stats.total_input_bytes stats;
+            shuffle_bytes = Stats.total_shuffle_bytes stats;
+            output_bytes = Stats.total_output_bytes stats;
+            est_time_s = Stats.est_time_s stats;
+            wall_s;
+            result_rows = Table.cardinality table;
+            agreed = Relops.same_results expected table;
+            error = None;
+          })
+      engines
+  in
+  { query = entry; dataset_label = label; triples = Graph.size graph; results }
+
+let run_queries ?engines options ~label input entries =
+  List.map (run_query ?engines options ~label input) entries
+
+let result_for run kind =
+  List.find_opt (fun r -> r.engine = kind) run.results
+
+let all_agreed run = List.for_all (fun r -> r.agreed) run.results

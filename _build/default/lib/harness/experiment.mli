@@ -1,0 +1,47 @@
+(** Experiment runner: evaluate catalog queries on all engines over a
+    prepared dataset, verify every engine against the reference
+    evaluator, and collect simulator statistics plus measured wall-clock
+    time. *)
+
+module Engine = Rapida_core.Engine
+module Catalog = Rapida_queries.Catalog
+
+type engine_result = {
+  engine : Engine.kind;
+  cycles : int;
+  map_only_cycles : int;
+  input_bytes : int;
+  shuffle_bytes : int;
+  output_bytes : int;
+  est_time_s : float;  (** simulated cluster seconds from the cost model *)
+  wall_s : float;  (** measured wall-clock of the in-memory execution *)
+  result_rows : int;
+  agreed : bool;  (** result identical to the reference evaluator *)
+  error : string option;
+}
+
+type run = {
+  query : Catalog.entry;
+  dataset_label : string;
+  triples : int;
+  results : engine_result list;
+}
+
+(** [run_query ?engines options ~label input entry] evaluates one catalog
+    query. Defaults to all four engines. *)
+val run_query :
+  ?engines:Engine.kind list ->
+  Rapida_core.Plan_util.options ->
+  label:string -> Engine.input -> Catalog.entry -> run
+
+(** [run_queries] maps {!run_query} over entries, reusing the input. *)
+val run_queries :
+  ?engines:Engine.kind list ->
+  Rapida_core.Plan_util.options ->
+  label:string -> Engine.input -> Catalog.entry list -> run list
+
+(** [result_for run kind] finds an engine's result in a run. *)
+val result_for : run -> Engine.kind -> engine_result option
+
+(** [all_agreed run] holds when every engine matched the reference. *)
+val all_agreed : run -> bool

@@ -1,0 +1,120 @@
+module Engine = Rapida_core.Engine
+module Catalog = Rapida_queries.Catalog
+
+let engine_header kind =
+  match kind with
+  | Engine.Hive_naive -> "Hive(Naive)"
+  | Engine.Hive_mqo -> "Hive(MQO)"
+  | Engine.Rapid_plus -> "RAPID+"
+  | Engine.Rapid_analytics -> "RAPIDAnalytics"
+
+let cell_for run kind f missing =
+  match Experiment.result_for run kind with
+  | None -> missing
+  | Some r -> (
+    match r.Experiment.error with
+    | Some _ -> "error"
+    | None ->
+      let text = f r in
+      if r.Experiment.agreed then text else text ^ "*")
+
+let header ~title ~engines ppf runs =
+  (match runs with
+  | run :: _ ->
+    Fmt.pf ppf "@.== %s (%s, %d triples) ==@." title
+      run.Experiment.dataset_label run.Experiment.triples
+  | [] -> Fmt.pf ppf "@.== %s ==@." title);
+  Fmt.pf ppf "%-6s" "Query";
+  List.iter (fun k -> Fmt.pf ppf " %14s" (engine_header k)) engines
+
+let speedup run ~baseline ~target =
+  match Experiment.result_for run baseline, Experiment.result_for run target with
+  | Some b, Some t
+    when b.Experiment.error = None && t.Experiment.error = None
+         && t.Experiment.est_time_s > 0.0 ->
+    Some (b.Experiment.est_time_s /. t.Experiment.est_time_s)
+  | _ -> None
+
+let pp_comparison ~title ~engines ppf runs =
+  header ~title ~engines ppf runs;
+  (match engines with
+  | _ :: _ :: _ -> Fmt.pf ppf " %9s" "speedup"
+  | _ -> ());
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun run ->
+      Fmt.pf ppf "%-6s" run.Experiment.query.Catalog.id;
+      List.iter
+        (fun k ->
+          Fmt.pf ppf " %14s"
+            (cell_for run k
+               (fun r -> Printf.sprintf "%.1fs" r.Experiment.est_time_s)
+               "-"))
+        engines;
+      (match engines with
+      | first :: (_ :: _ as rest) -> (
+        let last = List.nth rest (List.length rest - 1) in
+        match speedup run ~baseline:first ~target:last with
+        | Some s -> Fmt.pf ppf " %8.1fx" s
+        | None -> Fmt.pf ppf " %9s" "-")
+      | _ -> ());
+      Fmt.pf ppf "@.")
+    runs;
+  Fmt.pf ppf "(simulated cluster seconds; * = failed verification)@."
+
+let pp_cycles ~title ~engines ppf runs =
+  header ~title ~engines ppf runs;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun run ->
+      Fmt.pf ppf "%-6s" run.Experiment.query.Catalog.id;
+      List.iter
+        (fun k ->
+          Fmt.pf ppf " %14s"
+            (cell_for run k
+               (fun r ->
+                 Printf.sprintf "%d (%d map-only)" r.Experiment.cycles
+                   r.Experiment.map_only_cycles)
+               "-"))
+        engines;
+      Fmt.pf ppf "@.")
+    runs;
+  Fmt.pf ppf "(MapReduce cycles per query)@."
+
+let pp_bytes ~title ~engines ppf runs =
+  header ~title ~engines ppf runs;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun run ->
+      Fmt.pf ppf "%-6s" run.Experiment.query.Catalog.id;
+      List.iter
+        (fun k ->
+          Fmt.pf ppf " %14s"
+            (cell_for run k
+               (fun r ->
+                 Printf.sprintf "%.1fKB"
+                   (float_of_int r.Experiment.shuffle_bytes /. 1024.0))
+               "-"))
+        engines;
+      Fmt.pf ppf "@.")
+    runs;
+  Fmt.pf ppf "(bytes shuffled between map and reduce phases)@."
+
+let pp_verification ppf runs =
+  let total = List.length runs in
+  let ok = List.length (List.filter Experiment.all_agreed runs) in
+  Fmt.pf ppf "verification: %d/%d queries agreed across all engines@." ok total;
+  List.iter
+    (fun run ->
+      if not (Experiment.all_agreed run) then
+        List.iter
+          (fun (r : Experiment.engine_result) ->
+            if not r.agreed then
+              Fmt.pf ppf "  MISMATCH %s on %s%s@."
+                (Engine.kind_name r.engine)
+                run.Experiment.query.Catalog.id
+                (match r.error with
+                | Some e -> ": " ^ e
+                | None -> ""))
+          run.Experiment.results)
+    runs

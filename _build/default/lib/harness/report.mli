@@ -1,0 +1,29 @@
+(** Paper-style result tables over experiment runs. *)
+
+module Engine = Rapida_core.Engine
+
+(** [pp_comparison ~title ~engines runs] renders one table: a row per
+    query, a column per engine showing simulated seconds (the paper's
+    execution-time tables), plus MR-cycle counts and the speedup of the
+    last engine over the first. A trailing [*] marks a result that failed
+    verification against the reference evaluator. *)
+val pp_comparison :
+  title:string -> engines:Engine.kind list -> Experiment.run list Fmt.t
+
+(** [pp_cycles ~title ~engines runs] renders the MR-cycle matrix. *)
+val pp_cycles :
+  title:string -> engines:Engine.kind list -> Experiment.run list Fmt.t
+
+(** [pp_bytes ~title ~engines runs] renders shuffled bytes per engine —
+    the I/O-saving view of the same experiments. *)
+val pp_bytes :
+  title:string -> engines:Engine.kind list -> Experiment.run list Fmt.t
+
+(** [pp_verification runs] summarizes cross-engine agreement. *)
+val pp_verification : Experiment.run list Fmt.t
+
+(** [speedup run ~baseline ~target] is simulated-time ratio baseline /
+    target, when both succeeded. *)
+val speedup :
+  Experiment.run -> baseline:Engine.kind -> target:Engine.kind ->
+  float option

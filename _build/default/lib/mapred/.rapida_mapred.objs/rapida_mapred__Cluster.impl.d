@@ -1,0 +1,1 @@
+lib/mapred/cluster.ml: Fmt

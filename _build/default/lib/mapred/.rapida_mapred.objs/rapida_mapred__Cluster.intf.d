@@ -1,0 +1,1 @@
+lib/mapred/cluster.mli: Fmt

@@ -1,0 +1,1 @@
+lib/mapred/job.ml: Array Cluster Hashtbl List Stats

@@ -1,0 +1,1 @@
+lib/mapred/job.mli: Cluster Stats

@@ -1,0 +1,1 @@
+lib/mapred/stats.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/mapred/stats.mli: Fmt

@@ -1,0 +1,1 @@
+lib/mapred/workflow.ml: Cluster Job Logs Stats

@@ -1,0 +1,1 @@
+lib/mapred/workflow.mli: Cluster Job Logs Stats

@@ -1,0 +1,183 @@
+type ('a, 'k, 'v, 'b) spec = {
+  name : string;
+  map : 'a -> ('k * 'v) list;
+  combine : ('k -> 'v list -> 'v list) option;
+  reduce : 'k -> 'v list -> 'b list;
+  input_size : 'a -> int;
+  key_size : 'k -> int;
+  value_size : 'v -> int;
+  output_size : 'b -> int;
+}
+
+type ('a, 'b) map_only_spec = {
+  mo_name : string;
+  mo_map : 'a -> 'b list;
+  mo_input_size : 'a -> int;
+  mo_output_size : 'b -> int;
+}
+
+(* Group (k, v) pairs by key, preserving the order in which keys first
+   appear so that the simulator is deterministic end to end. Values within
+   a group keep arrival order. *)
+let group_pairs pairs =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (k, v) ->
+      match Hashtbl.find_opt tbl k with
+      | Some cell -> cell := v :: !cell
+      | None ->
+        Hashtbl.add tbl k (ref [ v ]);
+        order := k :: !order)
+    pairs;
+  List.rev_map (fun k -> (k, List.rev !(Hashtbl.find tbl k))) !order
+  |> List.rev
+
+let estimate_map_tasks cluster ~input_bytes =
+  let splits =
+    (input_bytes + cluster.Cluster.block_size_bytes - 1)
+    / cluster.Cluster.block_size_bytes
+  in
+  max 1 splits
+
+(* Partition the input into [n] map tasks of roughly equal record count.
+   Hadoop splits by bytes; equal record counts are a fair stand-in since
+   our records within one job are homogeneous. *)
+let partition_input input n =
+  let n = max 1 n in
+  let arr = Array.of_list input in
+  let len = Array.length arr in
+  let per = max 1 ((len + n - 1) / n) in
+  let rec go start acc =
+    if start >= len then List.rev acc
+    else
+      let stop = min len (start + per) in
+      go stop (Array.to_list (Array.sub arr start (stop - start)) :: acc)
+  in
+  if len = 0 then [ [] ] else go 0 []
+
+let mb bytes = float_of_int bytes /. (1024.0 *. 1024.0)
+
+let parallel_throughput ~per_node_mb_s ~tasks ~slots =
+  let effective = min tasks slots in
+  per_node_mb_s *. float_of_int (max 1 effective)
+
+let run cluster spec input =
+  let input_records = List.length input in
+  let input_bytes =
+    List.fold_left (fun acc r -> acc + spec.input_size r) 0 input
+  in
+  let stored_bytes =
+    int_of_float (float_of_int input_bytes *. cluster.Cluster.compression_ratio)
+  in
+  let map_tasks = estimate_map_tasks cluster ~input_bytes:stored_bytes in
+  let task_inputs = partition_input input map_tasks in
+  (* Map phase, with an optional per-task combiner. *)
+  let shuffle_pairs =
+    List.concat_map
+      (fun task_input ->
+        let emitted = List.concat_map spec.map task_input in
+        match spec.combine with
+        | None -> emitted
+        | Some combine ->
+          group_pairs emitted
+          |> List.concat_map (fun (k, vs) ->
+                 List.map (fun v -> (k, v)) (combine k vs)))
+      task_inputs
+  in
+  let shuffle_records = List.length shuffle_pairs in
+  let shuffle_bytes =
+    List.fold_left
+      (fun acc (k, v) -> acc + spec.key_size k + spec.value_size v + 12)
+      0 shuffle_pairs
+  in
+  (* Shuffle + reduce. *)
+  let groups = group_pairs shuffle_pairs in
+  let output = List.concat_map (fun (k, vs) -> spec.reduce k vs) groups in
+  let output_records = List.length output in
+  let output_bytes =
+    List.fold_left (fun acc r -> acc + spec.output_size r) 0 output
+  in
+  let reduce_tasks = min (max 1 (List.length groups)) (Cluster.reduce_slots cluster) in
+  (* Map tasks are launched per stored (possibly compressed) split, but
+     each task processes the uncompressed records: compression reduces
+     parallelism, not work — the paper's observed ORC effect. *)
+  let map_read_s =
+    mb input_bytes
+    /. parallel_throughput ~per_node_mb_s:cluster.Cluster.disk_mb_per_s
+         ~tasks:map_tasks ~slots:(Cluster.map_slots cluster)
+  in
+  let shuffle_s =
+    mb shuffle_bytes
+    /. parallel_throughput ~per_node_mb_s:cluster.Cluster.network_mb_per_s
+         ~tasks:reduce_tasks ~slots:(Cluster.reduce_slots cluster)
+    +. mb shuffle_bytes
+       /. parallel_throughput ~per_node_mb_s:cluster.Cluster.sort_mb_per_s
+            ~tasks:reduce_tasks ~slots:(Cluster.reduce_slots cluster)
+  in
+  let reduce_write_s =
+    mb output_bytes
+    /. parallel_throughput ~per_node_mb_s:cluster.Cluster.disk_mb_per_s
+         ~tasks:reduce_tasks ~slots:(Cluster.reduce_slots cluster)
+  in
+  (* Failed tasks are retried: the failed fraction of each phase's work
+     is done twice (read + re-shuffle), modeled as proportional re-work. *)
+  let retry = 1.0 +. (2.0 *. cluster.Cluster.task_failure_rate) in
+  let est_time_s =
+    cluster.Cluster.job_startup_s
+    +. (retry *. (map_read_s +. shuffle_s +. reduce_write_s))
+  in
+  let stats : Stats.job =
+    {
+      name = spec.name;
+      kind = Stats.Map_reduce;
+      input_records;
+      input_bytes;
+      shuffle_records;
+      shuffle_bytes;
+      output_records;
+      output_bytes;
+      map_tasks;
+      reduce_tasks;
+      est_time_s;
+    }
+  in
+  (output, stats)
+
+let run_map_only cluster spec input =
+  let input_records = List.length input in
+  let input_bytes =
+    List.fold_left (fun acc r -> acc + spec.mo_input_size r) 0 input
+  in
+  let stored_bytes =
+    int_of_float (float_of_int input_bytes *. cluster.Cluster.compression_ratio)
+  in
+  let map_tasks = estimate_map_tasks cluster ~input_bytes:stored_bytes in
+  let output = List.concat_map spec.mo_map input in
+  let output_records = List.length output in
+  let output_bytes =
+    List.fold_left (fun acc r -> acc + spec.mo_output_size r) 0 output
+  in
+  let io_s =
+    (mb input_bytes +. mb output_bytes)
+    /. parallel_throughput ~per_node_mb_s:cluster.Cluster.disk_mb_per_s
+         ~tasks:map_tasks ~slots:(Cluster.map_slots cluster)
+  in
+  let retry = 1.0 +. (2.0 *. cluster.Cluster.task_failure_rate) in
+  let est_time_s = cluster.Cluster.map_only_startup_s +. (retry *. io_s) in
+  let stats : Stats.job =
+    {
+      name = spec.mo_name;
+      kind = Stats.Map_only;
+      input_records;
+      input_bytes;
+      shuffle_records = 0;
+      shuffle_bytes = 0;
+      output_records;
+      output_bytes;
+      map_tasks;
+      reduce_tasks = 0;
+      est_time_s;
+    }
+  in
+  (output, stats)

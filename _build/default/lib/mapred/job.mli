@@ -1,0 +1,44 @@
+(** MapReduce job execution.
+
+    A job spec bundles the map / combine / reduce functions together with
+    size estimators used by the cost model. Keys must be hashable and
+    comparable with the polymorphic primitives (use plain data: strings,
+    ints, tuples, RDF terms — no closures).
+
+    Execution is real: map functions run over the actual input records,
+    combiners run per map task, reducers run per key group. Only the time
+    is simulated. Key groups are processed in first-seen order so the whole
+    pipeline is deterministic. *)
+
+type ('a, 'k, 'v, 'b) spec = {
+  name : string;
+  map : 'a -> ('k * 'v) list;
+  combine : ('k -> 'v list -> 'v list) option;
+      (** optional per-map-task partial aggregation ("local combiner") *)
+  reduce : 'k -> 'v list -> 'b list;
+  input_size : 'a -> int;
+  key_size : 'k -> int;
+  value_size : 'v -> int;
+  output_size : 'b -> int;
+}
+
+type ('a, 'b) map_only_spec = {
+  mo_name : string;
+  mo_map : 'a -> 'b list;
+  mo_input_size : 'a -> int;
+  mo_output_size : 'b -> int;
+}
+
+(** [run cluster spec input] executes a full map-reduce cycle and returns
+    the reducer outputs (in key-first-seen order) plus the job stats. *)
+val run : Cluster.t -> ('a, 'k, 'v, 'b) spec -> 'a list -> 'b list * Stats.job
+
+(** [run_map_only cluster spec input] executes a map-only cycle. *)
+val run_map_only :
+  Cluster.t -> ('a, 'b) map_only_spec -> 'a list -> 'b list * Stats.job
+
+(** [estimate_map_tasks cluster ~input_bytes] is the number of map tasks a
+    job with that much (compressed) input would launch: one per input
+    split, at least 1. Exposed for tests and for engines that reason about
+    mapper parallelism (the ORC effect in §5.2). *)
+val estimate_map_tasks : Cluster.t -> input_bytes:int -> int

@@ -1,0 +1,52 @@
+type job_kind = Map_reduce | Map_only
+
+type job = {
+  name : string;
+  kind : job_kind;
+  input_records : int;
+  input_bytes : int;
+  shuffle_records : int;
+  shuffle_bytes : int;
+  output_records : int;
+  output_bytes : int;
+  map_tasks : int;
+  reduce_tasks : int;
+  est_time_s : float;
+}
+
+type t = { jobs : job list }
+
+let empty = { jobs = [] }
+let append t job = { jobs = t.jobs @ [ job ] }
+
+let cycles t = List.length t.jobs
+
+let map_only_cycles t =
+  List.length (List.filter (fun j -> j.kind = Map_only) t.jobs)
+
+let full_cycles t =
+  List.length (List.filter (fun j -> j.kind = Map_reduce) t.jobs)
+
+let sum f t = List.fold_left (fun acc j -> acc + f j) 0 t.jobs
+let total_input_bytes = sum (fun j -> j.input_bytes)
+let total_shuffle_bytes = sum (fun j -> j.shuffle_bytes)
+let total_output_bytes = sum (fun j -> j.output_bytes)
+
+let est_time_s t = List.fold_left (fun acc j -> acc +. j.est_time_s) 0.0 t.jobs
+
+let pp_kind ppf = function
+  | Map_reduce -> Fmt.string ppf "MR"
+  | Map_only -> Fmt.string ppf "M "
+
+let pp_job ppf j =
+  Fmt.pf ppf "%a %-28s in=%8dB shuf=%8dB out=%8dB maps=%2d reds=%2d t=%6.1fs"
+    pp_kind j.kind j.name j.input_bytes j.shuffle_bytes j.output_bytes
+    j.map_tasks j.reduce_tasks j.est_time_s
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_job) t.jobs
+
+let pp_summary ppf t =
+  Fmt.pf ppf "%d cycles (%d full MR, %d map-only), %d B shuffled, %.1f s"
+    (cycles t) (full_cycles t) (map_only_cycles t) (total_shuffle_bytes t)
+    (est_time_s t)

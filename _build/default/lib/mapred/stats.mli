@@ -1,0 +1,41 @@
+(** Per-job and per-workflow statistics collected by the simulator. *)
+
+type job_kind = Map_reduce | Map_only
+
+type job = {
+  name : string;
+  kind : job_kind;
+  input_records : int;
+  input_bytes : int;
+  shuffle_records : int;  (** records emitted to the shuffle, post-combine *)
+  shuffle_bytes : int;
+  output_records : int;
+  output_bytes : int;
+  map_tasks : int;
+  reduce_tasks : int;
+  est_time_s : float;  (** simulated wall-clock from the cost model *)
+}
+
+type t = { jobs : job list }  (** in execution order *)
+
+val empty : t
+val append : t -> job -> t
+
+(** Total number of MR cycles (map-reduce + map-only jobs). *)
+val cycles : t -> int
+
+val map_only_cycles : t -> int
+val full_cycles : t -> int
+val total_input_bytes : t -> int
+val total_shuffle_bytes : t -> int
+val total_output_bytes : t -> int
+
+(** Sum of per-job simulated times: jobs in a workflow run sequentially,
+    as in a Hadoop DAG of dependent stages. *)
+val est_time_s : t -> float
+
+val pp_job : job Fmt.t
+val pp : t Fmt.t
+
+(** One-line summary: cycles, bytes, simulated seconds. *)
+val pp_summary : t Fmt.t

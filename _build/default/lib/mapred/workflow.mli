@@ -1,0 +1,21 @@
+(** A workflow is a sequence of MapReduce jobs executed by one query plan.
+    It owns the cluster config and accumulates per-job statistics. *)
+
+(** Logs source for per-job debug lines (enable with
+    [Logs.Src.set_level]). *)
+val log_src : Logs.src
+
+type t
+
+val create : Cluster.t -> t
+val cluster : t -> Cluster.t
+
+(** [run_job wf spec input] executes a full map-reduce cycle, recording its
+    stats in [wf]. *)
+val run_job : t -> ('a, 'k, 'v, 'b) Job.spec -> 'a list -> 'b list
+
+(** [run_map_only wf spec input] executes a map-only cycle. *)
+val run_map_only : t -> ('a, 'b) Job.map_only_spec -> 'a list -> 'b list
+
+(** Stats of all jobs run so far, in order. *)
+val stats : t -> Stats.t

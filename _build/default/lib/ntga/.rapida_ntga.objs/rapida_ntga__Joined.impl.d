@@ -1,0 +1,1 @@
+lib/ntga/joined.ml: Fmt Int List Rapida_rdf Term Triplegroup

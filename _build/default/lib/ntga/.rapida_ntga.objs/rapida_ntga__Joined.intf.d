@@ -1,0 +1,1 @@
+lib/ntga/joined.mli: Fmt Rapida_rdf Term Triplegroup

@@ -1,0 +1,1 @@
+lib/ntga/ops.ml: Hashtbl Joined List Option Rapida_rdf Rapida_sparql Term Triple Triplegroup

@@ -1,0 +1,1 @@
+lib/ntga/ops.mli: Joined Rapida_rdf Rapida_sparql Term Triplegroup

@@ -1,0 +1,1 @@
+lib/ntga/tg_match.ml: Binding Joined List Option Rapida_sparql Star Triplegroup

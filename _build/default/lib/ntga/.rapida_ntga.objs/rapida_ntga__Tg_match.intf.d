@@ -1,0 +1,1 @@
+lib/ntga/tg_match.mli: Binding Joined Rapida_sparql Star Triplegroup

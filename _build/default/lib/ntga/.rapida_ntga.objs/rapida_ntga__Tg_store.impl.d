@@ -1,0 +1,1 @@
+lib/ntga/tg_store.ml: Fmt Hashtbl List Rapida_rdf Term Triplegroup

@@ -1,0 +1,1 @@
+lib/ntga/tg_store.mli: Fmt Graph Rapida_rdf Term Triplegroup

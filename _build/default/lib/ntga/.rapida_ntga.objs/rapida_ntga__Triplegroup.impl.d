@@ -1,0 +1,1 @@
+lib/ntga/triplegroup.ml: Fmt Graph List Rapida_rdf Term Triple

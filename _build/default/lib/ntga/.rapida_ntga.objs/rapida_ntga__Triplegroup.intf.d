@@ -1,0 +1,1 @@
+lib/ntga/triplegroup.mli: Fmt Graph Rapida_rdf Term Triple

@@ -1,0 +1,30 @@
+open Rapida_rdf
+
+type t = { parts : (int * Triplegroup.t) list }
+
+let of_tg i tg = { parts = [ (i, tg) ] }
+
+let join a b =
+  List.iter
+    (fun (i, _) ->
+      if List.mem_assoc i b.parts then
+        invalid_arg "Joined.join: duplicate star index")
+    a.parts;
+  { parts = List.sort (fun (i, _) (j, _) -> Int.compare i j) (a.parts @ b.parts) }
+
+let part t i = List.assoc_opt i t.parts
+
+let all_props t =
+  List.concat_map (fun (_, tg) -> Triplegroup.props tg) t.parts
+  |> List.sort_uniq Term.compare
+
+let has_prop t p = List.exists (fun (_, tg) -> Triplegroup.has_prop tg p) t.parts
+
+let size_bytes t =
+  List.fold_left (fun acc (_, tg) -> acc + Triplegroup.size_bytes tg) 4 t.parts
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v 2>joined:@ %a@]"
+    (Fmt.list ~sep:Fmt.cut (fun ppf (i, tg) ->
+         Fmt.pf ppf "[star %d] %a" i Triplegroup.pp tg))
+    t.parts

@@ -1,0 +1,25 @@
+(** Joined (annotated) triplegroups: the result of joining triplegroups
+    from different star equivalence classes. Each part is tagged with the
+    star index it matched in the (composite) graph pattern. *)
+
+open Rapida_rdf
+
+type t = { parts : (int * Triplegroup.t) list }  (** sorted by star index *)
+
+val of_tg : int -> Triplegroup.t -> t
+
+(** [join a b] concatenates the parts of two joined triplegroups.
+    @raise Invalid_argument if a star index occurs in both. *)
+val join : t -> t -> t
+
+(** [part t i] is the triplegroup matched at star [i], if present. *)
+val part : t -> int -> Triplegroup.t option
+
+(** [all_props t] is the union of properties across all parts, sorted. *)
+val all_props : t -> Term.t list
+
+(** [has_prop t p] tests whether any part contains property [p]. *)
+val has_prop : t -> Term.t -> bool
+
+val size_bytes : t -> int
+val pp : t Fmt.t

@@ -1,0 +1,42 @@
+open Rapida_sparql
+
+let star_bindings (star : Star.t) (tg : Triplegroup.t) =
+  let rec go bindings = function
+    | [] -> bindings
+    | tp :: rest ->
+      let extended =
+        List.concat_map
+          (fun b ->
+            List.filter_map
+              (fun triple -> Binding.match_triple tp triple b)
+              tg.Triplegroup.triples)
+          bindings
+      in
+      if extended = [] then [] else go extended rest
+  in
+  go [ Binding.empty ] star.Star.patterns
+
+let matches_star (star : Star.t) (tg : Triplegroup.t) =
+  (* Existence check: one match per triple pattern suffices only when the
+     patterns share no variables beyond the subject; with shared variables
+     the full search is needed, so fall back to enumeration but stop at
+     the first solution. *)
+  star_bindings star tg <> []
+
+let joined_bindings stars (joined : Joined.t) =
+  let per_part =
+    List.filter_map
+      (fun (i, star) ->
+        Option.map (fun tg -> star_bindings star tg) (Joined.part joined i))
+      stars
+  in
+  List.fold_left
+    (fun acc bindings ->
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun b ->
+              if Binding.compatible a b then Some (Binding.merge a b) else None)
+            bindings)
+        acc)
+    [ Binding.empty ] per_part

@@ -1,0 +1,25 @@
+(** Matching star patterns against triplegroups: enumerate the variable
+    bindings a triplegroup represents.
+
+    NTGA keeps intermediate results denormalized — one triplegroup with a
+    multi-valued property stands for several flat solution rows. These
+    functions unfold that representation where flat semantics are needed
+    (filters and aggregation). *)
+
+open Rapida_sparql
+
+(** [star_bindings star tg] enumerates all bindings of [star]'s triple
+    patterns against the triples of [tg] (the cartesian product over
+    multi-valued properties). Empty if any triple pattern has no match. *)
+val star_bindings : Star.t -> Triplegroup.t -> Binding.t list
+
+(** [matches_star star tg] holds when [star_bindings] is non-empty,
+    without materializing the product. *)
+val matches_star : Star.t -> Triplegroup.t -> bool
+
+(** [joined_bindings stars joined] merges per-star bindings across the
+    parts of a joined triplegroup; [stars] associates star indexes with
+    the star patterns to match. Parts without a listed pattern are
+    ignored. Incompatible merges (shared variables with different values)
+    are dropped. *)
+val joined_bindings : (int * Star.t) list -> Joined.t -> Binding.t list

@@ -1,0 +1,58 @@
+open Rapida_rdf
+
+type partition = {
+  props : Term.t list;  (** sorted *)
+  tgs : Triplegroup.t list;
+  bytes : int;
+}
+
+type t = { partitions : partition list }
+
+let of_graph g =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun tg ->
+      let props = Triplegroup.props tg in
+      let key = List.map Term.lexical props in
+      match Hashtbl.find_opt tbl key with
+      | Some cell -> cell := tg :: !cell
+      | None ->
+        Hashtbl.add tbl key (ref [ tg ]);
+        order := (key, props) :: !order)
+    (Triplegroup.of_graph g);
+  let partitions =
+    List.rev_map
+      (fun (key, props) ->
+        let tgs = List.rev !(Hashtbl.find tbl key) in
+        let bytes =
+          List.fold_left (fun acc tg -> acc + Triplegroup.size_bytes tg) 0 tgs
+        in
+        { props; tgs; bytes })
+      !order
+  in
+  { partitions }
+
+let all t = List.concat_map (fun p -> p.tgs) t.partitions
+
+let covers partition required =
+  List.for_all (fun r -> List.exists (Term.equal r) partition.props) required
+
+let scan t ~required =
+  List.concat_map
+    (fun p -> if covers p required then p.tgs else [])
+    t.partitions
+
+let scan_bytes t ~required =
+  List.fold_left
+    (fun acc p -> if covers p required then acc + p.bytes else acc)
+    0 t.partitions
+
+let stats t =
+  List.fold_left
+    (fun (n, bytes) p -> (n + 1, bytes + p.bytes))
+    (0, 0) t.partitions
+
+let pp ppf t =
+  let n, bytes = stats t in
+  Fmt.pf ppf "tg-store: %d equivalence classes, %d bytes" n bytes

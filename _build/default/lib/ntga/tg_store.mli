@@ -1,0 +1,29 @@
+(** Equivalence-class-partitioned triplegroup storage.
+
+    The paper's pre-processing groups triples by subject and stores the
+    resulting triplegroups in files keyed by equivalence class (the set of
+    properties a triplegroup carries). A star-pattern scan then reads only
+    the partitions whose property set covers the pattern's required
+    properties — the NTGA analogue of vertical partitioning. *)
+
+open Rapida_rdf
+
+type t
+
+val of_graph : Graph.t -> t
+
+(** All triplegroups, across partitions. *)
+val all : t -> Triplegroup.t list
+
+(** [scan store ~required] is the triplegroups of every partition whose
+    property set includes all [required] properties (unprojected). *)
+val scan : t -> required:Term.t list -> Triplegroup.t list
+
+(** [scan_bytes store ~required] is the serialized size of the partitions
+    a [scan] would read — the map-phase input size. *)
+val scan_bytes : t -> required:Term.t list -> int
+
+(** Number of partitions and total bytes. *)
+val stats : t -> int * int
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/queries/catalog.ml: Fmt List Printf Rapida_sparql String

@@ -1,0 +1,1 @@
+lib/queries/catalog.mli: Fmt Rapida_sparql

@@ -1,0 +1,413 @@
+type dataset = Bsbm | Chem2bio | Pubmed
+
+let dataset_name = function
+  | Bsbm -> "BSBM"
+  | Chem2bio -> "Chem2Bio2RDF"
+  | Pubmed -> "PubMed"
+
+type entry = {
+  id : string;
+  dataset : dataset;
+  description : string;
+  selectivity : [ `Low | `High | `Na ];
+  structure : string;
+  grouping : string;
+  sparql : string;
+}
+
+(* --- BSBM single-grouping queries (Table 3 left) ----------------------- *)
+
+let g_query ~ptype ~feature =
+  if feature then
+    Printf.sprintf
+      {|SELECT ?f (COUNT(?pr) AS ?cnt) (SUM(?pr) AS ?sum) {
+  ?p a ProductType%d . ?p label ?l . ?p productFeature ?f .
+  ?off product ?p . ?off price ?pr .
+} GROUP BY ?f|}
+      ptype
+  else
+    Printf.sprintf
+      {|SELECT (COUNT(?pr) AS ?cnt) (SUM(?pr) AS ?sum) {
+  ?p a ProductType%d . ?p label ?l .
+  ?off product ?p . ?off price ?pr .
+}|}
+      ptype
+
+let g1 =
+  { id = "G1"; dataset = Bsbm;
+    description = "Total offer count and price sum for ProductType1 (low selectivity), GROUP BY ALL";
+    selectivity = `Low; structure = "2:2"; grouping = "ALL";
+    sparql = g_query ~ptype:1 ~feature:false }
+
+let g2 =
+  { g1 with id = "G2"; selectivity = `High;
+    description = "Total offer count and price sum for ProductType9 (high selectivity), GROUP BY ALL";
+    sparql = g_query ~ptype:9 ~feature:false }
+
+let g3 =
+  { id = "G3"; dataset = Bsbm;
+    description = "Offer count and price sum per product feature for ProductType1";
+    selectivity = `Low; structure = "3:2"; grouping = "{feature}";
+    sparql = g_query ~ptype:1 ~feature:true }
+
+let g4 =
+  { g3 with id = "G4"; selectivity = `High;
+    description = "Offer count and price sum per product feature for ProductType9";
+    sparql = g_query ~ptype:9 ~feature:true }
+
+(* --- BSBM multi-grouping queries (Figure 8 a-b) ------------------------ *)
+
+let mg12_query ~ptype =
+  Printf.sprintf
+    {|SELECT ?f ?sumF ?cntF ?sumT ?cntT {
+  { SELECT ?f (COUNT(?pr2) AS ?cntF) (SUM(?pr2) AS ?sumF)
+    { ?p2 a ProductType%d . ?p2 label ?l2 . ?p2 productFeature ?f .
+      ?off2 product ?p2 . ?off2 price ?pr2 . }
+    GROUP BY ?f }
+  { SELECT (COUNT(?pr) AS ?cntT) (SUM(?pr) AS ?sumT)
+    { ?p1 a ProductType%d . ?p1 label ?l1 .
+      ?off1 product ?p1 . ?off1 price ?pr . } }
+}|}
+    ptype ptype
+
+let mg34_query ~ptype =
+  Printf.sprintf
+    {|SELECT ?f ?c ?sumF ?cntF ?sumT ?cntT {
+  { SELECT ?f ?c (COUNT(?pr2) AS ?cntF) (SUM(?pr2) AS ?sumF)
+    { ?p2 a ProductType%d . ?p2 label ?l2 . ?p2 productFeature ?f .
+      ?off2 product ?p2 . ?off2 price ?pr2 . ?off2 vendor ?v2 .
+      ?v2 country ?c . }
+    GROUP BY ?f ?c }
+  { SELECT ?c (COUNT(?pr) AS ?cntT) (SUM(?pr) AS ?sumT)
+    { ?p1 a ProductType%d . ?p1 label ?l1 .
+      ?off1 product ?p1 . ?off1 price ?pr . ?off1 vendor ?v1 .
+      ?v1 country ?c . }
+    GROUP BY ?c }
+}|}
+    ptype ptype
+
+let mg1 =
+  { id = "MG1"; dataset = Bsbm;
+    description = "Average price per feature vs across all features (ProductType1)";
+    selectivity = `Low; structure = "3:2 vs 2:2"; grouping = "{feature} vs ALL";
+    sparql = mg12_query ~ptype:1 }
+
+let mg2 =
+  { mg1 with id = "MG2"; selectivity = `High;
+    description = "Average price per feature vs across all features (ProductType9)";
+    sparql = mg12_query ~ptype:9 }
+
+let mg3 =
+  { id = "MG3"; dataset = Bsbm;
+    description = "Average price per country-feature vs per country (ProductType1)";
+    selectivity = `Low; structure = "3:3:1 vs 2:3:1";
+    grouping = "{feature, country} vs {country}";
+    sparql = mg34_query ~ptype:1 }
+
+let mg4 =
+  { mg3 with id = "MG4"; selectivity = `High;
+    description = "Average price per country-feature vs per country (ProductType9)";
+    sparql = mg34_query ~ptype:9 }
+
+(* --- Chem2Bio2RDF single-grouping queries (Table 3 right) -------------- *)
+
+let g5 =
+  { id = "G5"; dataset = Chem2bio;
+    description = "Compounds sharing targets with Dexamethasone: assay count per compound";
+    selectivity = `Na; structure = "4:2:2:1"; grouping = "{cid}";
+    sparql =
+      {|SELECT ?cid (COUNT(?cid) AS ?active_assays) {
+  ?b CID ?cid . ?b outcome ?a . ?b Score ?s1 . ?b gi ?gi .
+  ?u gi ?gi . ?u geneSymbol ?g .
+  ?di gene ?g . ?di DBID ?dr .
+  ?dr Generic_Name "Dexamethasone" .
+} GROUP BY ?cid|} }
+
+let g6 =
+  { id = "G6"; dataset = Chem2bio;
+    description = "Compounds active toward targets in the MAPK signaling pathway";
+    selectivity = `Na; structure = "4:1:2"; grouping = "{cid}";
+    sparql =
+      {|SELECT ?cid (COUNT(?cid) AS ?active_assays) {
+  ?b CID ?cid . ?b outcome ?a . ?b Score ?s1 . ?b gi ?gi .
+  ?u gi ?gi .
+  ?pathway protein ?u . ?pathway Pathway_name ?pname .
+  FILTER regex(?pname, "MAPK signaling pathway", "i")
+} GROUP BY ?cid|} }
+
+let g7 =
+  { id = "G7"; dataset = Chem2bio;
+    description =
+      "Pathways containing targets of drugs associated with hepatomegaly \
+       (membership via gene nodes; same star count and join roles as the \
+       paper's SwissProt chain)";
+    selectivity = `Na; structure = "2:1:2:1:2"; grouping = "{pid}";
+    sparql =
+      {|SELECT ?pid (COUNT(?pid) AS ?cnt) {
+  ?sider side_effect ?se . ?sider cid ?cid .
+  FILTER regex(?se, "hepatomegaly", "i")
+  ?dr CID ?cid .
+  ?di DBID ?dr . ?di gene ?g .
+  ?u geneSymbol ?g .
+  ?pathway protein ?u . ?pathway pathwayid ?pid .
+} GROUP BY ?pid|} }
+
+let g8 =
+  { id = "G8"; dataset = Chem2bio;
+    description = "Side-effect record count per compound with assay evidence";
+    selectivity = `Na; structure = "2:2"; grouping = "{cid}";
+    sparql =
+      {|SELECT ?cid (COUNT(?se) AS ?cnt) {
+  ?sider side_effect ?se . ?sider cid ?cid .
+  ?b CID ?cid . ?b outcome ?a .
+} GROUP BY ?cid|} }
+
+let g9 =
+  { id = "G9"; dataset = Chem2bio;
+    description = "Medline publication count per gene symbol (large partitions)";
+    selectivity = `Na; structure = "1:2"; grouping = "{gs}";
+    sparql =
+      {|SELECT ?gs (COUNT(?se) AS ?cnt) {
+  ?g geneSymbol ?gs .
+  ?pmid gene ?g . ?pmid side_effect ?se .
+} GROUP BY ?gs|} }
+
+(* --- Chem2Bio2RDF multi-grouping queries (Figure 8 c) ------------------ *)
+
+let chem_shape ~extra_group ~suffix ~group_clause ~projection =
+  Printf.sprintf
+    {|{ SELECT %s (COUNT(?cid) AS %s)
+    { ?b%s CID ?cid . ?b%s outcome ?a%s . ?b%s Score ?sc%s . ?b%s gi ?gi%s .
+      ?u%s gi ?gi%s . ?u%s geneSymbol ?g%s .
+      ?di%s gene ?g%s . ?di%s DBID ?dr%s . }
+    %s }|}
+    projection extra_group suffix suffix suffix suffix suffix suffix suffix
+    suffix suffix suffix suffix suffix suffix suffix suffix group_clause
+
+let mg6 =
+  { id = "MG6"; dataset = Chem2bio;
+    description = "Assay count per compound-gene vs per compound";
+    selectivity = `Na; structure = "4:2:2 vs 4:2:2";
+    grouping = "{cid, gene} vs {cid}";
+    sparql =
+      Printf.sprintf "SELECT ?cid ?g1 ?aPerCG ?aPerC {\n  %s\n  %s\n}"
+        (chem_shape ~extra_group:"?aPerCG" ~suffix:"1"
+           ~group_clause:"GROUP BY ?cid ?g1" ~projection:"?cid ?g1")
+        (chem_shape ~extra_group:"?aPerC" ~suffix:""
+           ~group_clause:"GROUP BY ?cid" ~projection:"?cid") }
+
+let mg7 =
+  { id = "MG7"; dataset = Chem2bio;
+    description = "Assay count per compound-drug vs per compound";
+    selectivity = `Na; structure = "4:2:2 vs 4:2:2";
+    grouping = "{cid, drug} vs {cid}";
+    sparql =
+      Printf.sprintf "SELECT ?cid ?dr1 ?aPerCD ?aPerC {\n  %s\n  %s\n}"
+        (chem_shape ~extra_group:"?aPerCD" ~suffix:"1"
+           ~group_clause:"GROUP BY ?cid ?dr1" ~projection:"?cid ?dr1")
+        (chem_shape ~extra_group:"?aPerC" ~suffix:""
+           ~group_clause:"GROUP BY ?cid" ~projection:"?cid") }
+
+let mg8 =
+  { id = "MG8"; dataset = Chem2bio;
+    description = "Assay count per compound-gene vs grand total";
+    selectivity = `Na; structure = "4:2:2 vs 4:2:2";
+    grouping = "{cid, gene} vs ALL";
+    sparql =
+      Printf.sprintf "SELECT ?cid ?g1 ?aPerCG ?aT {\n  %s\n  %s\n}"
+        (chem_shape ~extra_group:"?aPerCG" ~suffix:"1"
+           ~group_clause:"GROUP BY ?cid ?g1" ~projection:"?cid ?g1")
+        (chem_shape ~extra_group:"?aT" ~suffix:"" ~group_clause:""
+           ~projection:"") }
+
+let mg9 =
+  { id = "MG9"; dataset = Chem2bio;
+    description = "Medline publications per gene vs total";
+    selectivity = `Na; structure = "1:2 vs 1:2"; grouping = "{gene} vs ALL";
+    sparql =
+      {|SELECT ?gs ?pPerGene ?pT {
+  { SELECT ?gs (COUNT(?gs) AS ?pPerGene)
+    { ?g geneSymbol ?gs .
+      ?pmid gene ?g . ?pmid side_effect ?se . }
+    GROUP BY ?gs }
+  { SELECT (COUNT(?gs1) AS ?pT)
+    { ?g1 geneSymbol ?gs1 .
+      ?pmid1 gene ?g1 . ?pmid1 side_effect ?se1 . } }
+}|} }
+
+let mg10 =
+  { id = "MG10"; dataset = Chem2bio;
+    description = "Medline publications per disease-gene vs per gene";
+    selectivity = `Na; structure = "3:1 vs 2:1";
+    grouping = "{disease, gene} vs {gene}";
+    sparql =
+      {|SELECT ?d ?gs ?perDG ?perG {
+  { SELECT ?d ?gs (COUNT(?gs) AS ?perDG)
+    { ?pmid gene ?g . ?pmid side_effect ?se . ?pmid disease ?d .
+      ?g geneSymbol ?gs . }
+    GROUP BY ?d ?gs }
+  { SELECT ?gs (COUNT(?gs) AS ?perG)
+    { ?pmid1 gene ?g1 . ?pmid1 side_effect ?se1 .
+      ?g1 geneSymbol ?gs . }
+    GROUP BY ?gs }
+}|} }
+
+(* --- PubMed multi-grouping queries (Table 4) ---------------------------- *)
+
+let mg11 =
+  { id = "MG11"; dataset = Pubmed;
+    description = "Grant-funded journal publications per grant country vs total";
+    selectivity = `Na; structure = "2:2 vs 2:1"; grouping = "{country} vs ALL";
+    sparql =
+      {|SELECT ?c ?cntC ?cntT {
+  { SELECT ?c (COUNT(?g) AS ?cntC)
+    { ?pub journal ?j . ?pub grant ?g .
+      ?g grant_agency ?ga . ?g grant_country ?c . }
+    GROUP BY ?c }
+  { SELECT (COUNT(?g1) AS ?cntT)
+    { ?pub1 journal ?j1 . ?pub1 grant ?g1 .
+      ?g1 grant_agency ?ga1 . } }
+}|} }
+
+let mg12' =
+  { id = "MG12"; dataset = Pubmed;
+    description = "Grants per country and publication type vs per country";
+    selectivity = `Na; structure = "2:2 vs 2:1";
+    grouping = "{country, pubType} vs {country}";
+    sparql =
+      {|SELECT ?c ?pt ?cntCP ?cntC {
+  { SELECT ?c ?pt (COUNT(?g) AS ?cntCP)
+    { ?pub pub_type ?pt . ?pub grant ?g .
+      ?g grant_agency ?ga . ?g grant_country ?c . }
+    GROUP BY ?c ?pt }
+  { SELECT ?c (COUNT(?g1) AS ?cntC)
+    { ?pub1 journal ?j1 . ?pub1 grant ?g1 .
+      ?g1 grant_country ?c . }
+    GROUP BY ?c }
+}|} }
+
+let mg13 =
+  { id = "MG13"; dataset = Pubmed;
+    description = "MeSH headings per author and publication type vs per type";
+    selectivity = `Na; structure = "3:1 vs 3:1";
+    grouping = "{author, pubType} vs {pubType}";
+    sparql =
+      {|SELECT ?a ?pty ?perAPT ?perPT {
+  { SELECT ?a ?pty (COUNT(?m) AS ?perAPT)
+    { ?p pub_type ?pty . ?p mesh_heading ?m . ?p author ?a .
+      ?a last_name ?ln . }
+    GROUP BY ?a ?pty }
+  { SELECT ?pty (COUNT(?m1) AS ?perPT)
+    { ?p1 pub_type ?pty . ?p1 mesh_heading ?m1 . ?p1 author ?a1 .
+      ?a1 last_name ?ln1 . }
+    GROUP BY ?pty }
+}|} }
+
+let mg14 =
+  { id = "MG14"; dataset = Pubmed;
+    description = "Chemicals per author and publication type vs per type";
+    selectivity = `Na; structure = "3:1 vs 3:1";
+    grouping = "{author, pubType} vs {pubType}";
+    sparql =
+      {|SELECT ?a ?pty ?perAPT ?perPT {
+  { SELECT ?a ?pty (COUNT(?ch) AS ?perAPT)
+    { ?p pub_type ?pty . ?p chemical ?ch . ?p author ?a .
+      ?a last_name ?ln . }
+    GROUP BY ?a ?pty }
+  { SELECT ?pty (COUNT(?ch1) AS ?perPT)
+    { ?p1 pub_type ?pty . ?p1 chemical ?ch1 . ?p1 author ?a1 .
+      ?a1 last_name ?ln1 . }
+    GROUP BY ?pty }
+}|} }
+
+let mg1516_query ~pub_type =
+  Printf.sprintf
+    {|SELECT ?ln ?perA ?allA {
+  { SELECT ?ln (COUNT(?ch) AS ?perA)
+    { ?pub pub_type "%s" . ?pub chemical ?ch . ?pub author ?a .
+      ?a last_name ?ln . }
+    GROUP BY ?ln }
+  { SELECT (COUNT(?ch1) AS ?allA)
+    { ?pub1 pub_type "%s" . ?pub1 chemical ?ch1 . ?pub1 author ?a1 .
+      ?a1 last_name ?ln1 . } }
+}|}
+    pub_type pub_type
+
+let mg15 =
+  { id = "MG15"; dataset = Pubmed;
+    description = "Chemicals per author last name vs total (Journal Article, low selectivity)";
+    selectivity = `Low; structure = "3:1 vs 3:1";
+    grouping = "{authorlastname} vs ALL";
+    sparql = mg1516_query ~pub_type:"Journal Article" }
+
+let mg16 =
+  { mg15 with id = "MG16"; selectivity = `High;
+    description = "Chemicals per author last name vs total (News, high selectivity)";
+    sparql = mg1516_query ~pub_type:"News" }
+
+let mg17 =
+  { id = "MG17"; dataset = Pubmed;
+    description = "Journal-article grants per country vs total";
+    selectivity = `Na; structure = "3:2 vs 3:1"; grouping = "{country} vs ALL";
+    sparql =
+      {|SELECT ?c ?perC ?total {
+  { SELECT ?c (COUNT(?g) AS ?perC)
+    { ?pub pub_type "Journal Article" . ?pub journal ?j . ?pub grant ?g .
+      ?g grant_agency ?ga . ?g grant_country ?c . }
+    GROUP BY ?c }
+  { SELECT (COUNT(?g1) AS ?total)
+    { ?pub1 pub_type "Journal Article" . ?pub1 journal ?j1 . ?pub1 grant ?g1 .
+      ?g1 grant_agency ?ga1 . } }
+}|} }
+
+let mg18 =
+  { id = "MG18"; dataset = Pubmed;
+    description = "Journal articles per author and grant country vs per country";
+    selectivity = `Na; structure = "3:2 vs 2:2";
+    grouping = "{author, country} vs {country}";
+    sparql =
+      {|SELECT ?c ?a ?perAC ?perC {
+  { SELECT ?c ?a (COUNT(?g) AS ?perAC)
+    { ?p pub_type "Journal Article" . ?p author ?a . ?p grant ?g .
+      ?g grant_agency ?ga . ?g grant_country ?c . }
+    GROUP BY ?c ?a }
+  { SELECT ?c (COUNT(?g1) AS ?perC)
+    { ?pub1 pub_type "Journal Article" . ?pub1 grant ?g1 .
+      ?g1 grant_agency ?ga1 . ?g1 grant_country ?c . }
+    GROUP BY ?c }
+}|} }
+
+let all =
+  [ g1; g2; g3; g4; g5; g6; g7; g8; g9;
+    mg1; mg2; mg3; mg4; mg6; mg7; mg8; mg9; mg10;
+    mg11; mg12'; mg13; mg14; mg15; mg16; mg17; mg18 ]
+
+let find id = List.find_opt (fun e -> String.equal e.id id) all
+
+let find_exn id =
+  match find id with
+  | Some e -> e
+  | None -> failwith (Printf.sprintf "unknown catalog query %s" id)
+
+let by_dataset d = List.filter (fun e -> e.dataset = d) all
+
+let single_grouping =
+  List.filter (fun e -> String.length e.id >= 1 && e.id.[0] = 'G') all
+
+let multi_grouping =
+  List.filter (fun e -> String.length e.id >= 2 && String.sub e.id 0 2 = "MG") all
+
+let parse entry = Rapida_sparql.Analytical.parse_exn entry.sparql
+
+let pp_figure7 ppf () =
+  Fmt.pf ppf "%-5s %-13s %-14s %-30s %s@."
+    "Query" "Dataset" "Structure" "Grouping" "Selectivity";
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "%-5s %-13s %-14s %-30s %s@." e.id (dataset_name e.dataset)
+        e.structure e.grouping
+        (match e.selectivity with
+        | `Low -> "lo"
+        | `High -> "hi"
+        | `Na -> "-"))
+    multi_grouping

@@ -1,0 +1,42 @@
+(** The paper's query workload (Figure 7 and §5), adapted to this repo's
+    synthetic vocabularies.
+
+    Adaptations from the paper's appendix, documented per query in the
+    entry descriptions where they matter: properties live in the [bench:]
+    namespace; G7's pathway membership points at gene nodes (keeping the
+    same star count and join roles) so the chain is self-consistent with
+    one generator schema. Queries marked [`Low] selectivity touch the
+    common product type / publication type, [`High] the rare one. *)
+
+type dataset = Bsbm | Chem2bio | Pubmed
+
+val dataset_name : dataset -> string
+
+type entry = {
+  id : string;  (** "G1" … "G9", "MG1" … "MG18" (MG5 unused, as in paper) *)
+  dataset : dataset;
+  description : string;
+  selectivity : [ `Low | `High | `Na ];
+  structure : string;  (** triple patterns per star, per pattern (Fig. 7) *)
+  grouping : string;  (** grouping summary (Fig. 7) *)
+  sparql : string;
+}
+
+val all : entry list
+val find : string -> entry option
+val find_exn : string -> entry
+val by_dataset : dataset -> entry list
+
+(** Single-grouping queries G1–G9 (Table 3 workload). *)
+val single_grouping : entry list
+
+(** Multi-grouping queries MG1–MG18 (Figure 8 / Table 4 workload). *)
+val multi_grouping : entry list
+
+(** [parse entry] parses the entry's SPARQL to the analytical normal
+    form. @raise Failure on parse errors (catalog entries must parse; the
+    test suite enforces it). *)
+val parse : entry -> Rapida_sparql.Analytical.t
+
+(** Render the Figure 7-style workload summary table. *)
+val pp_figure7 : unit Fmt.t

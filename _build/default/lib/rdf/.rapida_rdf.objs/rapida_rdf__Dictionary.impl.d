@@ -1,0 +1,1 @@
+lib/rdf/dictionary.ml: Array Hashtbl Term

@@ -1,0 +1,1 @@
+lib/rdf/graph.ml: Fmt Hashtbl List Term Triple

@@ -1,0 +1,1 @@
+lib/rdf/graph.mli: Fmt Term Triple

@@ -1,0 +1,1 @@
+lib/rdf/ntriples.ml: Buffer Fun List Printf String Term Triple

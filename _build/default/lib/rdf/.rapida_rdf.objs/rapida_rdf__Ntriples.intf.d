@@ -1,0 +1,1 @@
+lib/rdf/ntriples.mli: Triple

@@ -1,0 +1,34 @@
+module H = Hashtbl.Make (struct
+  type t = Term.t
+
+  let equal = Term.equal
+  let hash = Term.hash
+end)
+
+type t = { by_term : int H.t; mutable by_id : Term.t array; mutable next : int }
+
+let create () = { by_term = H.create 1024; by_id = Array.make 1024 (Term.iri ""); next = 0 }
+
+let grow d =
+  if d.next >= Array.length d.by_id then begin
+    let bigger = Array.make (2 * Array.length d.by_id) (Term.iri "") in
+    Array.blit d.by_id 0 bigger 0 d.next;
+    d.by_id <- bigger
+  end
+
+let encode d term =
+  match H.find_opt d.by_term term with
+  | Some id -> id
+  | None ->
+    let id = d.next in
+    grow d;
+    d.by_id.(id) <- term;
+    H.add d.by_term term id;
+    d.next <- id + 1;
+    id
+
+let decode d id =
+  if id < 0 || id >= d.next then raise Not_found else d.by_id.(id)
+
+let find d term = H.find_opt d.by_term term
+let cardinal d = d.next

@@ -1,0 +1,21 @@
+(** Dictionary encoding of terms to dense integer identifiers.
+
+    Large RDF stores encode terms once and manipulate integers; the encoded
+    ids double as compact join keys in the MapReduce simulator. *)
+
+type t
+
+val create : unit -> t
+
+(** [encode d term] interns [term], returning its id. Idempotent. *)
+val encode : t -> Term.t -> int
+
+(** [decode d id] is the term interned with [id].
+    @raise Not_found if [id] was never produced by [encode]. *)
+val decode : t -> int -> Term.t
+
+(** [find d term] is the id of [term] if already interned. *)
+val find : t -> Term.t -> int option
+
+(** Number of distinct terms interned. *)
+val cardinal : t -> int

@@ -1,0 +1,55 @@
+module H = Hashtbl.Make (struct
+  type t = Term.t
+
+  let equal = Term.equal
+  let hash = Term.hash
+end)
+
+type t = {
+  mutable size : int;
+  mutable bytes : int;
+  by_subject : Triple.t list ref H.t;
+  by_property : Triple.t list ref H.t;
+}
+
+let create () =
+  { size = 0; bytes = 0; by_subject = H.create 256; by_property = H.create 64 }
+
+let push tbl key triple =
+  match H.find_opt tbl key with
+  | Some cell -> cell := triple :: !cell
+  | None -> H.add tbl key (ref [ triple ])
+
+let add g (t : Triple.t) =
+  g.size <- g.size + 1;
+  g.bytes <- g.bytes + Triple.size_bytes t;
+  push g.by_subject t.s t;
+  push g.by_property t.p t
+
+let add_list g ts = List.iter (add g) ts
+
+let of_list ts =
+  let g = create () in
+  add_list g ts;
+  g
+
+let size g = g.size
+let size_bytes g = g.bytes
+
+let triples g = H.fold (fun _ cell acc -> List.rev_append !cell acc) g.by_subject []
+
+let subjects g = H.fold (fun s _ acc -> s :: acc) g.by_subject []
+
+let by_subject g s =
+  match H.find_opt g.by_subject s with Some cell -> !cell | None -> []
+
+let by_property g p =
+  match H.find_opt g.by_property p with Some cell -> !cell | None -> []
+
+let properties g = H.fold (fun p _ acc -> p :: acc) g.by_property []
+
+let fold_subject_groups g f acc =
+  H.fold (fun s cell acc -> f s !cell acc) g.by_subject acc
+
+let pp ppf g =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut Triple.pp) (triples g)

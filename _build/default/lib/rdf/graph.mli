@@ -1,0 +1,40 @@
+(** In-memory indexed RDF graph.
+
+    The graph keeps subject and property indexes, which are what the
+    engines need: the NTGA engines scan subject groups (triplegroups) and
+    the relational engines scan property partitions (vertical
+    partitioning). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Triple.t -> unit
+val add_list : t -> Triple.t list -> unit
+val of_list : Triple.t list -> t
+
+(** Total number of triples. *)
+val size : t -> int
+
+(** Estimated serialized size of the whole graph in bytes. *)
+val size_bytes : t -> int
+
+val triples : t -> Triple.t list
+
+(** [subjects g] is the list of distinct subjects, unordered. *)
+val subjects : t -> Term.t list
+
+(** [by_subject g s] is all triples with subject [s] (possibly empty). *)
+val by_subject : t -> Term.t -> Triple.t list
+
+(** [by_property g p] is all triples with property [p]. *)
+val by_property : t -> Term.t -> Triple.t list
+
+(** [properties g] is the list of distinct properties. *)
+val properties : t -> Term.t list
+
+(** [fold_subject_groups g f acc] folds over (subject, triples-of-subject)
+    groups — the raw material of subject triplegroups. *)
+val fold_subject_groups : t -> (Term.t -> Triple.t list -> 'a -> 'a) -> 'a -> 'a
+
+val pp : t Fmt.t

@@ -1,0 +1,21 @@
+let rdf = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+let rdfs = "http://www.w3.org/2000/01/rdf-schema#"
+let xsd = "http://www.w3.org/2001/XMLSchema#"
+let bench = "http://rapida.bench/vocab/"
+
+let rdf_type = Term.iri (rdf ^ "type")
+
+type env = (string * string) list
+
+let default_env =
+  [ ("rdf", rdf); ("rdfs", rdfs); ("xsd", xsd); ("bench", bench); ("", bench) ]
+
+let add env prefix iri = (prefix, iri) :: env
+
+let expand env qname =
+  match String.index_opt qname ':' with
+  | None -> None
+  | Some i ->
+    let prefix = String.sub qname 0 i in
+    let local = String.sub qname (i + 1) (String.length qname - i - 1) in
+    Option.map (fun ns -> ns ^ local) (List.assoc_opt prefix env)

@@ -1,0 +1,24 @@
+(** Common namespaces and prefixed-name expansion. *)
+
+val rdf : string
+val rdfs : string
+val xsd : string
+
+(** Namespace used by the synthetic benchmark vocabularies in this repo. *)
+val bench : string
+
+(** [rdf_type] is the [rdf:type] property IRI as a term. *)
+val rdf_type : Term.t
+
+(** A prefix environment maps prefix labels (without the colon) to
+    namespace IRIs. *)
+type env
+
+val default_env : env
+
+(** [add env prefix iri] extends [env]. Later bindings shadow earlier. *)
+val add : env -> string -> string -> env
+
+(** [expand env qname] expands ["pre:local"] using [env]. Returns [None]
+    when the prefix is unbound or the string has no colon. *)
+val expand : env -> string -> string option

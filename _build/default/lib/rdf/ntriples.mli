@@ -1,0 +1,19 @@
+(** N-Triples serialization and parsing.
+
+    Covers the subset emitted by {!Term.to_ntriples}: IRIs, blank nodes,
+    plain strings, and typed literals with the XSD datatypes this library
+    produces. *)
+
+val triple_to_line : Triple.t -> string
+
+(** [parse_line s] parses one N-Triples line. Blank lines and [#] comments
+    yield [Ok None]. *)
+val parse_line : string -> (Triple.t option, string) result
+
+(** [parse_string s] parses an entire N-Triples document. Stops at the
+    first malformed line, reporting its 1-based number. *)
+val parse_string : string -> (Triple.t list, string) result
+
+val write_file : string -> Triple.t list -> unit
+
+val read_file : string -> (Triple.t list, string) result

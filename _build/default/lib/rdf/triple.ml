@@ -1,0 +1,24 @@
+type t = { s : Term.t; p : Term.t; o : Term.t }
+
+let make s p o = { s; p; o }
+
+let compare a b =
+  let c = Term.compare a.s b.s in
+  if c <> 0 then c
+  else
+    let c = Term.compare a.p b.p in
+    if c <> 0 then c else Term.compare a.o b.o
+
+let equal a b = compare a b = 0
+
+let pp ppf t = Fmt.pf ppf "@[%a %a %a .@]" Term.pp t.s Term.pp t.p Term.pp t.o
+
+let to_ntriples t =
+  String.concat " "
+    [ Term.to_ntriples t.s; Term.to_ntriples t.p; Term.to_ntriples t.o; "." ]
+
+let size_bytes t =
+  String.length (Term.lexical t.s)
+  + String.length (Term.lexical t.p)
+  + String.length (Term.lexical t.o)
+  + 8

@@ -1,0 +1,15 @@
+(** RDF triples: (subject, property, object). *)
+
+type t = { s : Term.t; p : Term.t; o : Term.t }
+
+val make : Term.t -> Term.t -> Term.t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+(** [to_ntriples t] is the N-Triples line for [t], without the newline. *)
+val to_ntriples : t -> string
+
+(** [size_bytes t] estimates the serialized size of [t]; used by the
+    MapReduce cost model for I/O accounting. *)
+val size_bytes : t -> int

@@ -1,0 +1,1 @@
+lib/refengine/ref_engine.ml: Array Graph Hashtbl List Printf Rapida_rdf Rapida_relational Rapida_sparql Result Term

@@ -1,0 +1,1 @@
+lib/refengine/ref_engine.mli: Graph Rapida_rdf Rapida_relational Rapida_sparql

@@ -1,0 +1,24 @@
+(** Reference evaluator for analytical queries: direct, obviously-correct
+    in-memory evaluation used as the oracle in tests and verification
+    runs. No MapReduce, no rewriting — just backtracking BGP matching,
+    grouping, and a final natural join. *)
+
+open Rapida_rdf
+module Analytical = Rapida_sparql.Analytical
+module Table = Rapida_relational.Table
+
+(** [eval_bgp g bgp] enumerates all solution bindings of a basic graph
+    pattern (a multiset: duplicates preserved). *)
+val eval_bgp : Graph.t -> Rapida_sparql.Ast.triple_pattern list ->
+  Rapida_sparql.Binding.t list
+
+(** [eval_subquery g sq] evaluates one grouped subquery to a table with
+    schema [group_by @ aggregate outputs]. *)
+val eval_subquery : Graph.t -> Analytical.subquery -> Table.t
+
+(** [run g q] evaluates a whole analytical query: subqueries, natural join
+    of their results on shared grouping variables, outer projection. *)
+val run : Graph.t -> Analytical.t -> Table.t
+
+(** [run_sparql g src] parses and runs a query in one step. *)
+val run_sparql : Graph.t -> string -> (Table.t, string) result

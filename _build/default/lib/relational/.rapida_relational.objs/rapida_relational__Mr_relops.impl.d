@@ -1,0 +1,1 @@
+lib/relational/mr_relops.ml: Array List Option Rapida_mapred Rapida_rdf Rapida_sparql Relops String Table Term

@@ -1,0 +1,1 @@
+lib/relational/mr_relops.mli: Rapida_mapred Relops Table

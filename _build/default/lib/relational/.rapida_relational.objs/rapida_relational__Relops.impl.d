@@ -1,0 +1,1 @@
+lib/relational/relops.ml: Array Float Hashtbl List Option Printf Rapida_rdf Rapida_sparql String Table Term

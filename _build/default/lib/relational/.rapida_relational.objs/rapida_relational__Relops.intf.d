@@ -1,0 +1,1 @@
+lib/relational/relops.mli: Rapida_rdf Rapida_sparql Table Term

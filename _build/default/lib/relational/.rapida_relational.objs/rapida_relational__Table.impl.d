@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array Fmt List Printf Rapida_rdf String Term

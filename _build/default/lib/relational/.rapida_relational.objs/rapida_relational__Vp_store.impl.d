@@ -1,0 +1,1 @@
+lib/relational/vp_store.ml: Fmt Graph Hashtbl List Namespace Rapida_rdf String Table Term Triple

@@ -1,0 +1,1 @@
+lib/relational/vp_store.mli: Fmt Graph Rapida_rdf Table Term

@@ -1,0 +1,1 @@
+lib/sparql/aggregate.ml: Ast Float Fmt List Rapida_rdf Set String Term

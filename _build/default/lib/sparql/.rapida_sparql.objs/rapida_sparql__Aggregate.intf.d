@@ -1,0 +1,1 @@
+lib/sparql/aggregate.mli: Ast Fmt Rapida_rdf Term

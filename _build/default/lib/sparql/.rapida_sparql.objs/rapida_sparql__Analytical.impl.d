@@ -1,0 +1,1 @@
+lib/sparql/analytical.ml: Ast Fmt List Option Parser Printf Result Star

@@ -1,0 +1,1 @@
+lib/sparql/analytical.mli: Ast Fmt Star

@@ -1,0 +1,1 @@
+lib/sparql/ast.ml: Fmt List Rapida_rdf Term

@@ -1,0 +1,1 @@
+lib/sparql/binding.ml: Ast Float Fmt List Rapida_rdf String Term Triple

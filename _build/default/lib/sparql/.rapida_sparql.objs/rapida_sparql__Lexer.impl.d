@@ -1,0 +1,1 @@
+lib/sparql/lexer.ml: Buffer Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/sparql/parser.ml: Array Ast Fmt Lexer List Namespace Option Printf Rapida_rdf String Term

@@ -1,0 +1,1 @@
+lib/sparql/star.ml: Array Ast Fmt Hashtbl List Namespace Rapida_rdf String Term

@@ -1,0 +1,1 @@
+lib/sparql/star.mli: Ast Fmt Rapida_rdf Term

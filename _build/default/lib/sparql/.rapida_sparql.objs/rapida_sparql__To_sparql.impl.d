@@ -1,0 +1,1 @@
+lib/sparql/to_sparql.ml: Analytical Ast List Option Printf Rapida_rdf String

@@ -1,0 +1,1 @@
+lib/sparql/to_sparql.mli: Analytical Ast Rapida_rdf

@@ -1,0 +1,139 @@
+open Rapida_rdf
+
+module Term_set = Set.Make (struct
+  type t = Term.t
+
+  let compare = Term.compare
+end)
+
+(* Numeric-aware ordering used by MIN / MAX. *)
+let value_compare a b =
+  match Term.as_number a, Term.as_number b with
+  | Some x, Some y -> Float.compare x y
+  | _ -> Term.compare a b
+
+type simple =
+  | Scount of int
+  | Ssum of float * bool * int  (** running sum, all-integral flag, count *)
+  | Savg of float * int
+  | Smin of Term.t option
+  | Smax of Term.t option
+
+type state =
+  | Simple of simple
+  | Distinct of Ast.agg_func * Term_set.t
+
+let init func ~distinct =
+  if distinct then Distinct (func, Term_set.empty)
+  else
+    Simple
+      (match func with
+      | Ast.Count -> Scount 0
+      | Ast.Sum -> Ssum (0.0, true, 0)
+      | Ast.Avg -> Savg (0.0, 0)
+      | Ast.Min -> Smin None
+      | Ast.Max -> Smax None)
+
+let is_integral t =
+  match t with Term.Literal { datatype = Term.Dint; _ } -> true | _ -> false
+
+let add_simple s v =
+  match s, v with
+  | _, None -> s
+  | Scount n, Some _ -> Scount (n + 1)
+  | Ssum (acc, ints, n), Some t -> (
+    match Term.as_number t with
+    | Some f -> Ssum (acc +. f, ints && is_integral t, n + 1)
+    | None -> s)
+  | Savg (acc, n), Some t -> (
+    match Term.as_number t with
+    | Some f -> Savg (acc +. f, n + 1)
+    | None -> s)
+  | Smin cur, Some t ->
+    Smin
+      (match cur with
+      | None -> Some t
+      | Some c -> if value_compare t c < 0 then Some t else Some c)
+  | Smax cur, Some t ->
+    Smax
+      (match cur with
+      | None -> Some t
+      | Some c -> if value_compare t c > 0 then Some t else Some c)
+
+let add state v =
+  match state with
+  | Simple s -> Simple (add_simple s v)
+  | Distinct (f, set) -> (
+    match v with
+    | None -> state
+    | Some t -> Distinct (f, Term_set.add t set))
+
+let merge a b =
+  match a, b with
+  | Simple (Scount x), Simple (Scount y) -> Simple (Scount (x + y))
+  | Simple (Ssum (x, xi, nx)), Simple (Ssum (y, yi, ny)) ->
+    Simple (Ssum (x +. y, xi && yi, nx + ny))
+  | Simple (Savg (x, nx)), Simple (Savg (y, ny)) ->
+    Simple (Savg (x +. y, nx + ny))
+  | Simple (Smin x), Simple (Smin y) ->
+    Simple
+      (Smin
+         (match x, y with
+         | None, v | v, None -> v
+         | Some a, Some b -> if value_compare a b <= 0 then Some a else Some b))
+  | Simple (Smax x), Simple (Smax y) ->
+    Simple
+      (Smax
+         (match x, y with
+         | None, v | v, None -> v
+         | Some a, Some b -> if value_compare a b >= 0 then Some a else Some b))
+  | Distinct (f, x), Distinct (g, y) when f = g ->
+    Distinct (f, Term_set.union x y)
+  | _ -> invalid_arg "Aggregate.merge: shape mismatch"
+
+let numeric_term f =
+  if Float.is_integer f && Float.abs f < 1e15 then Term.int (int_of_float f)
+  else Term.decimal f
+
+let finish_simple = function
+  | Scount n -> Some (Term.int n)
+  | Ssum (acc, ints, _) ->
+    Some (if ints then numeric_term acc else Term.decimal acc)
+  | Savg (_, 0) -> None
+  | Savg (acc, n) -> Some (Term.decimal (acc /. float_of_int n))
+  | Smin v -> v
+  | Smax v -> v
+
+let finish = function
+  | Simple s -> finish_simple s
+  | Distinct (f, set) ->
+    let values = Term_set.elements set in
+    let state =
+      List.fold_left
+        (fun acc v -> add_simple acc (Some v))
+        (match init f ~distinct:false with
+        | Simple s -> s
+        | Distinct _ -> assert false)
+        values
+    in
+    finish_simple state
+
+let is_empty = function
+  | Simple (Scount 0) -> true
+  | Simple (Ssum (_, _, 0)) -> true
+  | Simple (Savg (_, 0)) -> true
+  | Simple (Smin None) | Simple (Smax None) -> true
+  | Simple _ -> false
+  | Distinct (_, set) -> Term_set.is_empty set
+
+let size_bytes = function
+  | Simple _ -> 16
+  | Distinct (_, set) ->
+    Term_set.fold
+      (fun t acc -> acc + String.length (Term.lexical t) + 4)
+      set 8
+
+let pp ppf state =
+  match finish state with
+  | Some t -> Term.pp ppf t
+  | None -> Fmt.string ppf "<empty>"

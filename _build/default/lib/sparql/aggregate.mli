@@ -1,0 +1,35 @@
+(** Aggregate accumulators with mergeable partial states.
+
+    Partial states are what the paper's hash-based per-mapper aggregation
+    (Algorithm 3) shuffles instead of raw triplegroups: COUNT / SUM / AVG
+    are algebraic, so partial states merge associatively; DISTINCT
+    aggregates carry the set of seen values. *)
+
+open Rapida_rdf
+
+type state
+
+(** [init func ~distinct] is the empty accumulator. *)
+val init : Ast.agg_func -> distinct:bool -> state
+
+(** [add state v] folds one value in. [None] (unbound argument) is ignored
+    except that count-star callers pass [Some] of any term. Non-numeric
+    values are ignored by SUM / AVG. *)
+val add : state -> Term.t option -> state
+
+(** [merge a b] combines two partial states of the same shape.
+    @raise Invalid_argument on shape mismatch. *)
+val merge : state -> state -> state
+
+(** [finish state] is the final aggregate value. Empty COUNT is 0; empty
+    SUM is 0; empty AVG / MIN / MAX is [None]. Integral results
+    canonicalize to integer literals. *)
+val finish : state -> Term.t option
+
+(** [is_empty state] holds when nothing has been folded in. *)
+val is_empty : state -> bool
+
+(** Serialized size estimate of a partial state, for shuffle accounting. *)
+val size_bytes : state -> int
+
+val pp : state Fmt.t

@@ -1,0 +1,240 @@
+type token =
+  | LBRACE | RBRACE | LPAREN | RPAREN
+  | DOT | SEMI | COMMA
+  | EQ | NE | LT | LE | GT | GE
+  | ANDAND | OROR | BANG
+  | DCARET
+  | PLUS | MINUS | STAR | SLASH
+  | VAR of string
+  | IRIREF of string
+  | QNAME of string
+  | STRING of string
+  | INT of int
+  | FLOAT of float
+  | KEYWORD of string
+  | A
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+let keywords =
+  [
+    "SELECT"; "WHERE"; "FILTER"; "OPTIONAL"; "GROUP"; "BY"; "AS"; "PREFIX";
+    "DISTINCT"; "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "REGEX"; "ORDER"; "HAVING";
+    "LIMIT"; "ASC"; "DESC"; "TRUE"; "FALSE"; "UNION"; "BASE";
+  ]
+
+type state = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+let is_digit c = c >= '0' && c <= '9'
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c = is_name_start c || is_digit c || c = '-'
+
+(* QNames may embed ':' between prefix and local part; locals may contain
+   digits and '-'. *)
+let is_qname_char c = is_name_char c || c = ':' || c = '.'
+
+let error st msg = Error (Printf.sprintf "line %d, col %d: %s" st.line st.col msg)
+
+let scan_while st pred =
+  let start = st.pos in
+  while (match peek st with Some c -> pred c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let scan_string st =
+  (* Opening quote consumed by caller? No: current char is '"'. *)
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' ->
+      advance st;
+      Ok (Buffer.contents buf)
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some 'n' -> Buffer.add_char buf '\n'; advance st; go ()
+      | Some 't' -> Buffer.add_char buf '\t'; advance st; go ()
+      | Some '"' -> Buffer.add_char buf '"'; advance st; go ()
+      | Some '\\' -> Buffer.add_char buf '\\'; advance st; go ()
+      | Some c -> Buffer.add_char buf c; advance st; go ()
+      | None -> error st "unterminated escape")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ()
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    match peek st with
+    | None -> Ok (List.rev ({ tok = EOF; line = st.line; col = st.col } :: acc))
+    | Some c when is_ws c ->
+      advance st;
+      go acc
+    | Some '#' ->
+      let _ = scan_while st (fun c -> c <> '\n') in
+      go acc
+    | Some c ->
+      let line = st.line and col = st.col in
+      let emit tok rest = go ({ tok; line; col } :: rest) in
+      (match c with
+      | '{' -> advance st; emit LBRACE acc
+      | '}' -> advance st; emit RBRACE acc
+      | '(' -> advance st; emit LPAREN acc
+      | ')' -> advance st; emit RPAREN acc
+      | ';' -> advance st; emit SEMI acc
+      | ',' -> advance st; emit COMMA acc
+      | '+' -> advance st; emit PLUS acc
+      | '*' -> advance st; emit STAR acc
+      | '/' -> advance st; emit SLASH acc
+      | '=' -> advance st; emit EQ acc
+      | '.' ->
+        if (match peek2 st with Some d -> is_digit d | None -> false) then (
+          let text = scan_while st (fun c -> is_digit c || c = '.') in
+          match float_of_string_opt text with
+          | Some f -> emit (FLOAT f) acc
+          | None -> error st (Printf.sprintf "bad number %S" text))
+        else (advance st; emit DOT acc)
+      | '!' -> (
+        advance st;
+        match peek st with
+        | Some '=' -> advance st; emit NE acc
+        | _ -> emit BANG acc)
+      | '<' -> (
+        advance st;
+        match peek st with
+        | Some '=' -> advance st; emit LE acc
+        | Some c2 when c2 = ' ' || c2 = '?' || is_digit c2 -> emit LT acc
+        | _ ->
+          (* IRI reference *)
+          let iri = scan_while st (fun c -> c <> '>') in
+          (match peek st with
+          | Some '>' -> advance st; emit (IRIREF iri) acc
+          | _ -> error st "unterminated IRI"))
+      | '>' -> (
+        advance st;
+        match peek st with
+        | Some '=' -> advance st; emit GE acc
+        | _ -> emit GT acc)
+      | '^' -> (
+        advance st;
+        match peek st with
+        | Some '^' -> advance st; emit DCARET acc
+        | _ -> error st "expected ^^")
+      | '&' -> (
+        advance st;
+        match peek st with
+        | Some '&' -> advance st; emit ANDAND acc
+        | _ -> error st "expected &&")
+      | '|' -> (
+        advance st;
+        match peek st with
+        | Some '|' -> advance st; emit OROR acc
+        | _ -> error st "expected ||")
+      | '?' | '$' ->
+        advance st;
+        let name = scan_while st is_name_char in
+        if name = "" then error st "empty variable name"
+        else emit (VAR name) acc
+      | '"' -> (
+        match scan_string st with
+        | Ok s -> emit (STRING s) acc
+        | Error e -> Error e)
+      | '-' -> (
+        advance st;
+        match peek st with
+        | Some d when is_digit d ->
+          let text = scan_while st (fun c -> is_digit c || c = '.') in
+          if String.contains text '.' then
+            emit (FLOAT (-.float_of_string text)) acc
+          else emit (INT (-int_of_string text)) acc
+        | _ -> emit MINUS acc)
+      | c when is_digit c ->
+        let text = scan_while st (fun c -> is_digit c || c = '.') in
+        (* A trailing '.' is the triple terminator, not part of the number. *)
+        let text, putback =
+          if String.length text > 0 && text.[String.length text - 1] = '.'
+          then (String.sub text 0 (String.length text - 1), true)
+          else (text, false)
+        in
+        let acc' =
+          if String.contains text '.' then
+            { tok = FLOAT (float_of_string text); line; col } :: acc
+          else { tok = INT (int_of_string text); line; col } :: acc
+        in
+        if putback then go ({ tok = DOT; line; col } :: acc') else go acc'
+      | c when is_name_start c ->
+        let text = scan_while st is_qname_char in
+        (* A trailing '.' is the triple terminator. *)
+        let text, putback =
+          if String.length text > 0 && text.[String.length text - 1] = '.'
+          then (String.sub text 0 (String.length text - 1), true)
+          else (text, false)
+        in
+        let upper = String.uppercase_ascii text in
+        let tok =
+          if text = "a" then A
+          else if List.mem upper keywords then KEYWORD upper
+          else QNAME text
+        in
+        let acc' = { tok; line; col } :: acc in
+        if putback then go ({ tok = DOT; line; col } :: acc') else go acc'
+      | c -> error st (Printf.sprintf "unexpected character %C" c))
+  in
+  go []
+
+let pp_token ppf = function
+  | LBRACE -> Fmt.string ppf "{"
+  | RBRACE -> Fmt.string ppf "}"
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | DOT -> Fmt.string ppf "."
+  | SEMI -> Fmt.string ppf ";"
+  | COMMA -> Fmt.string ppf ","
+  | EQ -> Fmt.string ppf "="
+  | NE -> Fmt.string ppf "!="
+  | LT -> Fmt.string ppf "<"
+  | LE -> Fmt.string ppf "<="
+  | GT -> Fmt.string ppf ">"
+  | GE -> Fmt.string ppf ">="
+  | ANDAND -> Fmt.string ppf "&&"
+  | DCARET -> Fmt.string ppf "^^"
+  | OROR -> Fmt.string ppf "||"
+  | BANG -> Fmt.string ppf "!"
+  | PLUS -> Fmt.string ppf "+"
+  | MINUS -> Fmt.string ppf "-"
+  | STAR -> Fmt.string ppf "*"
+  | SLASH -> Fmt.string ppf "/"
+  | VAR v -> Fmt.pf ppf "?%s" v
+  | IRIREF s -> Fmt.pf ppf "<%s>" s
+  | QNAME s -> Fmt.string ppf s
+  | STRING s -> Fmt.pf ppf "%S" s
+  | INT n -> Fmt.int ppf n
+  | FLOAT f -> Fmt.float ppf f
+  | KEYWORD k -> Fmt.string ppf k
+  | A -> Fmt.string ppf "a"
+  | EOF -> Fmt.string ppf "<eof>"

@@ -1,0 +1,25 @@
+(** Hand-written lexer for the SPARQL subset. *)
+
+type token =
+  | LBRACE | RBRACE | LPAREN | RPAREN
+  | DOT | SEMI | COMMA
+  | EQ | NE | LT | LE | GT | GE
+  | ANDAND | OROR | BANG
+  | DCARET  (** the [^^] of typed literals *)
+  | PLUS | MINUS | STAR | SLASH
+  | VAR of string  (** without the leading [?] / [$] *)
+  | IRIREF of string  (** contents of [<...>] *)
+  | QNAME of string  (** prefixed or bare name, possibly containing [:] *)
+  | STRING of string
+  | INT of int
+  | FLOAT of float
+  | KEYWORD of string  (** upper-cased reserved word, e.g. ["SELECT"] *)
+  | A  (** the [a] shorthand for rdf:type *)
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+(** [tokenize src] lexes the whole input. Comments start with [#]. *)
+val tokenize : string -> (located list, string) result
+
+val pp_token : token Fmt.t

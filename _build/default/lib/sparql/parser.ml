@@ -1,0 +1,493 @@
+open Rapida_rdf
+
+type state = {
+  toks : Lexer.located array;
+  mutable pos : int;
+  mutable env : Namespace.env;
+}
+
+exception Parse_error of string
+
+let peek st = st.toks.(st.pos).tok
+let peek_at st n =
+  if st.pos + n < Array.length st.toks then st.toks.(st.pos + n).tok
+  else Lexer.EOF
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let fail st msg =
+  let { Lexer.tok; line; col } = st.toks.(st.pos) in
+  raise
+    (Parse_error
+       (Fmt.str "line %d, col %d: %s (at %a)" line col msg Lexer.pp_token tok))
+
+let expect st tok msg =
+  if peek st = tok then advance st else fail st msg
+
+let expect_keyword st kw =
+  match peek st with
+  | Lexer.KEYWORD k when k = kw -> advance st
+  | _ -> fail st (Printf.sprintf "expected %s" kw)
+
+let accept_keyword st kw =
+  match peek st with
+  | Lexer.KEYWORD k when k = kw ->
+    advance st;
+    true
+  | _ -> false
+
+let expand_qname st qname =
+  if String.contains qname ':' then
+    match Namespace.expand st.env qname with
+    | Some iri -> iri
+    | None -> raise (Parse_error (Printf.sprintf "unknown prefix in %s" qname))
+  else Namespace.bench ^ qname
+
+(* --- Expressions ------------------------------------------------------ *)
+
+let agg_of_keyword = function
+  | "COUNT" -> Some Ast.Count
+  | "SUM" -> Some Ast.Sum
+  | "AVG" -> Some Ast.Avg
+  | "MIN" -> Some Ast.Min
+  | "MAX" -> Some Ast.Max
+  | _ -> None
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if peek st = Lexer.OROR then begin
+    advance st;
+    let right = parse_or st in
+    Ast.Ebin (Ast.Or, left, right)
+  end
+  else left
+
+and parse_and st =
+  let left = parse_not st in
+  if peek st = Lexer.ANDAND then begin
+    advance st;
+    let right = parse_and st in
+    Ast.Ebin (Ast.And, left, right)
+  end
+  else left
+
+and parse_not st =
+  if peek st = Lexer.BANG then begin
+    advance st;
+    Ast.Enot (parse_not st)
+  end
+  else parse_cmp st
+
+and parse_cmp st =
+  let left = parse_add st in
+  let op =
+    match peek st with
+    | Lexer.EQ -> Some Ast.Eq
+    | Lexer.NE -> Some Ast.Ne
+    | Lexer.LT -> Some Ast.Lt
+    | Lexer.LE -> Some Ast.Le
+    | Lexer.GT -> Some Ast.Gt
+    | Lexer.GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> left
+  | Some op ->
+    advance st;
+    let right = parse_add st in
+    Ast.Ebin (op, left, right)
+
+and parse_add st =
+  let rec go left =
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      go (Ast.Ebin (Ast.Add, left, parse_mul st))
+    | Lexer.MINUS ->
+      advance st;
+      go (Ast.Ebin (Ast.Sub, left, parse_mul st))
+    | _ -> left
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go left =
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      go (Ast.Ebin (Ast.Mul, left, parse_prim st))
+    | Lexer.SLASH ->
+      advance st;
+      go (Ast.Ebin (Ast.Div, left, parse_prim st))
+    | _ -> left
+  in
+  go (parse_prim st)
+
+and parse_prim st =
+  match peek st with
+  | Lexer.VAR v ->
+    advance st;
+    Ast.Evar v
+  | Lexer.INT n ->
+    advance st;
+    Ast.Eterm (Term.int n)
+  | Lexer.FLOAT f ->
+    advance st;
+    Ast.Eterm (Term.decimal f)
+  | Lexer.STRING s ->
+    advance st;
+    let t =
+      if peek st = Lexer.DCARET then begin
+        advance st;
+        match peek st with
+        | Lexer.IRIREF iri ->
+          advance st;
+          Term.typed s iri
+        | Lexer.QNAME q ->
+          advance st;
+          Term.typed s (expand_qname st q)
+        | _ -> fail st "expected datatype IRI after ^^"
+      end
+      else Term.str s
+    in
+    Ast.Eterm t
+  | Lexer.KEYWORD "TRUE" ->
+    advance st;
+    Ast.Eterm (Term.boolean true)
+  | Lexer.KEYWORD "FALSE" ->
+    advance st;
+    Ast.Eterm (Term.boolean false)
+  | Lexer.IRIREF iri ->
+    advance st;
+    Ast.Eterm (Term.iri iri)
+  | Lexer.QNAME q ->
+    advance st;
+    Ast.Eterm (Term.iri (expand_qname st q))
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN "expected )";
+    e
+  | Lexer.KEYWORD "REGEX" -> parse_regex st
+  | Lexer.KEYWORD kw when agg_of_keyword kw <> None -> parse_agg st kw
+  | _ -> fail st "expected expression"
+
+and parse_regex st =
+  expect_keyword st "REGEX";
+  expect st Lexer.LPAREN "expected ( after regex";
+  let e = parse_expr st in
+  expect st Lexer.COMMA "expected , in regex";
+  let pat =
+    match peek st with
+    | Lexer.STRING s ->
+      advance st;
+      s
+    | _ -> fail st "expected regex pattern string"
+  in
+  let flags =
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      match peek st with
+      | Lexer.STRING s ->
+        advance st;
+        Some s
+      | _ -> fail st "expected regex flags string"
+    end
+    else None
+  in
+  expect st Lexer.RPAREN "expected ) after regex";
+  Ast.Eregex (e, pat, flags)
+
+and parse_agg st kw =
+  let func = Option.get (agg_of_keyword kw) in
+  advance st;
+  expect st Lexer.LPAREN "expected ( after aggregate";
+  let distinct = accept_keyword st "DISTINCT" in
+  let arg =
+    if peek st = Lexer.STAR then begin
+      advance st;
+      None
+    end
+    else Some (parse_expr st)
+  in
+  expect st Lexer.RPAREN "expected ) after aggregate";
+  Ast.Eagg (func, arg, distinct)
+
+(* --- Graph patterns --------------------------------------------------- *)
+
+(* A string literal optionally followed by ^^<datatype>. *)
+let parse_typed_string st s =
+  if peek st = Lexer.DCARET then begin
+    advance st;
+    match peek st with
+    | Lexer.IRIREF iri ->
+      advance st;
+      Term.typed s iri
+    | Lexer.QNAME q ->
+      advance st;
+      Term.typed s (expand_qname st q)
+    | _ -> fail st "expected datatype IRI after ^^"
+  end
+  else Term.str s
+
+let parse_node st : Ast.node =
+  match peek st with
+  | Lexer.VAR v ->
+    advance st;
+    Ast.Nvar v
+  | Lexer.IRIREF iri ->
+    advance st;
+    Ast.Nterm (Term.iri iri)
+  | Lexer.QNAME q ->
+    advance st;
+    Ast.Nterm (Term.iri (expand_qname st q))
+  | Lexer.STRING s ->
+    advance st;
+    Ast.Nterm (parse_typed_string st s)
+  | Lexer.INT n ->
+    advance st;
+    Ast.Nterm (Term.int n)
+  | Lexer.FLOAT f ->
+    advance st;
+    Ast.Nterm (Term.decimal f)
+  | Lexer.KEYWORD "TRUE" ->
+    advance st;
+    Ast.Nterm (Term.boolean true)
+  | Lexer.KEYWORD "FALSE" ->
+    advance st;
+    Ast.Nterm (Term.boolean false)
+  | _ -> fail st "expected RDF term or variable"
+
+let parse_verb st : Ast.node =
+  match peek st with
+  | Lexer.A ->
+    advance st;
+    Ast.Nterm Namespace.rdf_type
+  | _ -> parse_node st
+
+(* One subject with its ';'/',' property list, producing triple patterns. *)
+let parse_triples_block st =
+  let subject = parse_node st in
+  let triples = ref [] in
+  let rec parse_property_list () =
+    let verb = parse_verb st in
+    let rec parse_object_list () =
+      let obj = parse_node st in
+      triples := { Ast.tp_s = subject; tp_p = verb; tp_o = obj } :: !triples;
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        parse_object_list ()
+      end
+    in
+    parse_object_list ();
+    if peek st = Lexer.SEMI then begin
+      advance st;
+      (* Tolerate a dangling ';' before '.' or '}'. *)
+      match peek st with
+      | Lexer.DOT | Lexer.RBRACE -> ()
+      | _ -> parse_property_list ()
+    end
+  in
+  parse_property_list ();
+  if peek st = Lexer.DOT then advance st;
+  List.rev_map (fun tp -> Ast.Ptriple tp) !triples |> List.rev
+
+let rec parse_group_pattern st : Ast.pattern_elt list =
+  expect st Lexer.LBRACE "expected {";
+  let elems = ref [] in
+  let rec go () =
+    match peek st with
+    | Lexer.RBRACE ->
+      advance st
+    | Lexer.EOF -> fail st "unexpected end of input in group pattern"
+    | Lexer.DOT ->
+      (* Separator between pattern elements (e.g. after a nested group). *)
+      advance st;
+      go ()
+    | Lexer.KEYWORD "FILTER" ->
+      advance st;
+      let e =
+        match peek st with
+        | Lexer.KEYWORD "REGEX" -> parse_regex st
+        | Lexer.LPAREN ->
+          advance st;
+          let e = parse_expr st in
+          expect st Lexer.RPAREN "expected ) after FILTER";
+          e
+        | _ -> parse_expr st
+      in
+      elems := Ast.Pfilter e :: !elems;
+      go ()
+    | Lexer.KEYWORD "OPTIONAL" ->
+      advance st;
+      let inner = parse_group_pattern st in
+      elems := Ast.Poptional inner :: !elems;
+      go ()
+    | Lexer.LBRACE ->
+      (* Either a sub-SELECT or a plain nested group. *)
+      (match peek_at st 1 with
+      | Lexer.KEYWORD "SELECT" ->
+        advance st;
+        let sub = parse_select st in
+        expect st Lexer.RBRACE "expected } after subquery";
+        elems := Ast.Psub sub :: !elems
+      | _ ->
+        let inner = parse_group_pattern st in
+        elems := List.rev_append (List.rev inner) !elems);
+      go ()
+    | _ ->
+      let triples = parse_triples_block st in
+      elems := List.rev_append triples !elems;
+      go ()
+  in
+  go ();
+  List.rev !elems
+
+(* --- SELECT ----------------------------------------------------------- *)
+
+and parse_select st : Ast.select =
+  expect_keyword st "SELECT";
+  let distinct = accept_keyword st "DISTINCT" in
+  let projection = ref [] in
+  let star = ref false in
+  let rec parse_projection () =
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      star := true
+    | Lexer.VAR v ->
+      advance st;
+      projection := Ast.Svar v :: !projection;
+      parse_projection ()
+    | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      let _ = accept_keyword st "AS" in
+      let v =
+        match peek st with
+        | Lexer.VAR v ->
+          advance st;
+          v
+        | _ -> fail st "expected ?var in (expr AS ?var)"
+      in
+      expect st Lexer.RPAREN "expected ) after (expr AS ?var)";
+      projection := Ast.Sexpr (e, v) :: !projection;
+      parse_projection ()
+    | _ -> ()
+  in
+  parse_projection ();
+  let _ = accept_keyword st "WHERE" in
+  let where = parse_group_pattern st in
+  let group_by =
+    if accept_keyword st "GROUP" then begin
+      expect_keyword st "BY";
+      let vars = ref [] in
+      let rec go () =
+        match peek st with
+        | Lexer.VAR v ->
+          advance st;
+          vars := v :: !vars;
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if !vars = [] then fail st "expected variables after GROUP BY";
+      List.rev !vars
+    end
+    else []
+  in
+  let having =
+    let clauses = ref [] in
+    while accept_keyword st "HAVING" do
+      let e =
+        match peek st with
+        | Lexer.LPAREN ->
+          advance st;
+          let e = parse_expr st in
+          expect st Lexer.RPAREN "expected ) after HAVING";
+          e
+        | _ -> parse_expr st
+      in
+      clauses := e :: !clauses
+    done;
+    List.rev !clauses
+  in
+  let order_by =
+    if accept_keyword st "ORDER" then begin
+      expect_keyword st "BY";
+      let orders = ref [] in
+      let rec go () =
+        match peek st with
+        | Lexer.VAR v ->
+          advance st;
+          orders := Ast.Asc v :: !orders;
+          go ()
+        | Lexer.KEYWORD ("ASC" | "DESC") ->
+          let desc = peek st = Lexer.KEYWORD "DESC" in
+          advance st;
+          expect st Lexer.LPAREN "expected ( after ASC/DESC";
+          (match peek st with
+          | Lexer.VAR v ->
+            advance st;
+            orders := (if desc then Ast.Desc v else Ast.Asc v) :: !orders
+          | _ -> fail st "expected ?var in ASC/DESC");
+          expect st Lexer.RPAREN "expected ) after ASC/DESC";
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if !orders = [] then fail st "expected sort keys after ORDER BY";
+      List.rev !orders
+    end
+    else []
+  in
+  let limit =
+    if accept_keyword st "LIMIT" then begin
+      match peek st with
+      | Lexer.INT n when n >= 0 ->
+        advance st;
+        Some n
+      | _ -> fail st "expected a non-negative integer after LIMIT"
+    end
+    else None
+  in
+  { Ast.distinct; projection = (if !star then [] else List.rev !projection);
+    where; group_by; having; order_by; limit }
+
+let parse_prologue st =
+  while accept_keyword st "PREFIX" do
+    let prefix =
+      match peek st with
+      | Lexer.QNAME q ->
+        advance st;
+        (* Strip the trailing ':' of the declared prefix. *)
+        if String.length q > 0 && q.[String.length q - 1] = ':' then
+          String.sub q 0 (String.length q - 1)
+        else q
+      | _ -> fail st "expected prefix name after PREFIX"
+    in
+    match peek st with
+    | Lexer.IRIREF iri ->
+      advance st;
+      st.env <- Namespace.add st.env prefix iri
+    | _ -> fail st "expected IRI after prefix name"
+  done
+
+let parse src =
+  match Lexer.tokenize src with
+  | Error e -> Error e
+  | Ok toks -> (
+    let st = { toks = Array.of_list toks; pos = 0; env = Namespace.default_env } in
+    try
+      parse_prologue st;
+      let select = parse_select st in
+      (match peek st with
+      | Lexer.EOF -> ()
+      | _ -> fail st "trailing tokens after query");
+      Ok { Ast.base_select = select }
+    with Parse_error msg -> Error msg)
+
+let parse_exn src =
+  match parse src with Ok q -> q | Error e -> failwith ("SPARQL parse: " ^ e)

@@ -1,0 +1,12 @@
+(** Recursive-descent parser for the SPARQL subset.
+
+    Prefixed names are expanded with the query's PREFIX declarations on top
+    of {!Rapida_rdf.Namespace.default_env}; bare (unprefixed) names expand
+    into the [bench:] namespace, matching the abbreviated property names
+    used throughout the paper and this repo's synthetic datasets. *)
+
+(** [parse src] parses a complete SELECT query. *)
+val parse : string -> (Ast.query, string) result
+
+(** [parse_exn src] is [parse], raising [Failure] on error. *)
+val parse_exn : string -> Ast.query

@@ -1,0 +1,139 @@
+module Term = Rapida_rdf.Term
+
+let term t =
+  match t with
+  | Term.Bnode _ ->
+    invalid_arg "To_sparql.term: blank nodes cannot appear in queries"
+  | Term.Iri _ | Term.Literal _ -> Term.to_ntriples t
+
+let node = function
+  | Ast.Nvar v -> "?" ^ v
+  | Ast.Nterm t -> term t
+
+let binop = function
+  | Ast.Eq -> "=" | Ast.Ne -> "!=" | Ast.Lt -> "<" | Ast.Le -> "<="
+  | Ast.Gt -> ">" | Ast.Ge -> ">="
+  | Ast.And -> "&&" | Ast.Or -> "||"
+  | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/"
+
+let agg_name = function
+  | Ast.Count -> "COUNT"
+  | Ast.Sum -> "SUM"
+  | Ast.Avg -> "AVG"
+  | Ast.Min -> "MIN"
+  | Ast.Max -> "MAX"
+
+let rec expr = function
+  | Ast.Evar v -> "?" ^ v
+  | Ast.Eterm t -> term t
+  | Ast.Ebin (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr a) (binop op) (expr b)
+  | Ast.Enot e -> Printf.sprintf "(!%s)" (expr e)
+  | Ast.Eagg (f, arg, distinct) ->
+    Printf.sprintf "%s(%s%s)" (agg_name f)
+      (if distinct then "DISTINCT " else "")
+      (match arg with None -> "*" | Some e -> expr e)
+  | Ast.Eregex (e, pattern, flags) ->
+    Printf.sprintf "regex(%s, %s%s)" (expr e)
+      (term (Term.str pattern))
+      (match flags with
+      | None -> ""
+      | Some f -> ", " ^ term (Term.str f))
+
+let triple_pattern (tp : Ast.triple_pattern) =
+  Printf.sprintf "%s %s %s ." (node tp.tp_s) (node tp.tp_p) (node tp.tp_o)
+
+let sel_item = function
+  | Ast.Svar v -> "?" ^ v
+  | Ast.Sexpr (e, out) -> Printf.sprintf "(%s AS ?%s)" (expr e) out
+
+let rec pattern_elt = function
+  | Ast.Ptriple tp -> triple_pattern tp
+  | Ast.Pfilter e -> "FILTER " ^ expr e
+  | Ast.Psub s -> Printf.sprintf "{ %s }" (select s)
+  | Ast.Poptional elts ->
+    Printf.sprintf "OPTIONAL { %s }"
+      (String.concat " " (List.map pattern_elt elts))
+
+and select (s : Ast.select) =
+  let projection =
+    match s.projection with
+    | [] -> "*"
+    | items -> String.concat " " (List.map sel_item items)
+  in
+  let body = String.concat "\n  " (List.map pattern_elt s.where) in
+  let group =
+    match s.group_by with
+    | [] -> ""
+    | vars ->
+      "\nGROUP BY " ^ String.concat " " (List.map (fun v -> "?" ^ v) vars)
+  in
+  let having =
+    match s.having with
+    | [] -> ""
+    | hs ->
+      String.concat ""
+        (List.map (fun e -> "\nHAVING " ^ expr e) hs)
+  in
+  let order =
+    match s.order_by with
+    | [] -> ""
+    | keys ->
+      "\nORDER BY "
+      ^ String.concat " "
+          (List.map
+             (function
+               | Ast.Asc v -> Printf.sprintf "ASC(?%s)" v
+               | Ast.Desc v -> Printf.sprintf "DESC(?%s)" v)
+             keys)
+  in
+  let limit =
+    match s.limit with None -> "" | Some n -> Printf.sprintf "\nLIMIT %d" n
+  in
+  Printf.sprintf "SELECT %s%s {\n  %s\n}%s%s%s%s"
+    (if s.distinct then "DISTINCT " else "")
+    projection body group having order limit
+
+let query (q : Ast.query) = select q.base_select
+
+let subquery_select (sq : Analytical.subquery) : Ast.select =
+  {
+    Ast.distinct = false;
+    projection =
+      List.map (fun v -> Ast.Svar v) sq.Analytical.group_by
+      @ List.map
+          (fun (a : Analytical.aggregate) ->
+            Ast.Sexpr
+              ( Ast.Eagg
+                  (a.func, Option.map (fun v -> Ast.Evar v) a.arg, a.distinct),
+                a.out ))
+          sq.Analytical.aggregates;
+    where =
+      List.map (fun tp -> Ast.Ptriple tp) sq.Analytical.bgp
+      @ List.map (fun e -> Ast.Pfilter e) sq.Analytical.filters;
+    group_by = sq.Analytical.group_by;
+    having = sq.Analytical.having;
+    order_by = [];
+    limit = None;
+  }
+
+let analytical (t : Analytical.t) =
+  match t.Analytical.subqueries with
+  | [ sq ] when t.Analytical.outer_projection = [] ->
+    select
+      { (subquery_select sq) with
+        Ast.order_by = t.Analytical.order_by;
+        limit = t.Analytical.limit }
+  | sqs ->
+    let outer : Ast.select =
+      {
+        Ast.distinct = false;
+        projection = t.Analytical.outer_projection;
+        where = List.map (fun sq -> Ast.Psub (subquery_select sq)) sqs;
+        group_by = [];
+        having = [];
+        order_by = t.Analytical.order_by;
+        limit = t.Analytical.limit;
+      }
+    in
+    select outer

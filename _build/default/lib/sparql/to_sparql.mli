@@ -1,0 +1,19 @@
+(** Render the AST back to parseable SPARQL text.
+
+    [Parser.parse] of the output yields the same AST (round-trip property
+    in the test suite). Terms serialize in N-Triples form (full IRIs in
+    angle brackets, typed literals with [^^]), so no prefix context is
+    needed. Blank nodes cannot appear in the supported query fragment.
+
+    Useful for displaying rewritten queries (e.g. grouping-sets
+    expansions) and for exporting catalog entries. *)
+
+val term : Rapida_rdf.Term.t -> string
+val expr : Ast.expr -> string
+val triple_pattern : Ast.triple_pattern -> string
+val select : Ast.select -> string
+val query : Ast.query -> string
+
+(** [analytical t] reassembles an analytical normal form back into a
+    SPARQL query (nested subselects under an outer SELECT). *)
+val analytical : Analytical.t -> string

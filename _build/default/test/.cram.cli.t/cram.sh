@@ -1,0 +1,17 @@
+  $ alias rapida='../../bin/rapida_cli.exe'
+  $ rapida gen -d bsbm -n 30 --seed 7 -o data.nt
+  $ rapida stats data.nt | head -2
+  $ rapida query -d data.nt -c G1 --verify
+  $ rapida query -d data.nt -c G1 -e hive-naive --verify | tail -1
+  $ rapida explain -c MG1 | grep -c "OVERLAP"
+  $ rapida explain -c MG1 | tail -5
+  $ rapida catalog | head -3
+  $ rapida query -d data.nt -c NOPE
+  $ cat > top.rq <<'RQ'
+  > SELECT ?f (SUM(?pr) AS ?rev) {
+  >   ?p a ProductType1 . ?p productFeature ?f .
+  >   ?off product ?p . ?off price ?pr .
+  > } GROUP BY ?f ORDER BY DESC(?rev) LIMIT 2
+  > RQ
+  $ rapida query -d data.nt -q top.rq --verify | head -2
+  $ rapida query -d data.nt -c G1 -v 2>&1 | grep -c "DEBUG"

@@ -1,0 +1,1 @@
+test/test_ablations.ml: Alcotest Lazy List Rapida_core Rapida_datagen Rapida_mapred Rapida_queries Rapida_relational

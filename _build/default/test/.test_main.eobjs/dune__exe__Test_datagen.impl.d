@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array List Rapida_datagen Rapida_rdf

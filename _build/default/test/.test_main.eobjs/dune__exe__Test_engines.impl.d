@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Fmt Hashtbl Lazy List Printf Rapida_core Rapida_datagen Rapida_mapred Rapida_queries Rapida_ref Rapida_relational

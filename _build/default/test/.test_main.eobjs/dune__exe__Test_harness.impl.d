@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Fmt Lazy List Option Rapida_core Rapida_datagen Rapida_harness Rapida_queries String

@@ -1,0 +1,1 @@
+test/test_having.ml: Alcotest List Rapida_core Rapida_rdf Rapida_ref Rapida_relational Rapida_sparql

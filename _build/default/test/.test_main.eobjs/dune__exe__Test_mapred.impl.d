@@ -1,0 +1,1 @@
+test/test_mapred.ml: Alcotest List Printf QCheck2 QCheck_alcotest Rapida_mapred String

@@ -1,0 +1,1 @@
+test/test_ntga.ml: Alcotest Joined List Ops Rapida_ntga Rapida_rdf Rapida_sparql Tg_match Tg_store Triplegroup

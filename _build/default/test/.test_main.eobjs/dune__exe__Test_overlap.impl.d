@@ -1,0 +1,1 @@
+test/test_overlap.ml: Alcotest List Rapida_core Rapida_ntga Rapida_queries Rapida_rdf Rapida_sparql

@@ -1,0 +1,1 @@
+test/test_props.ml: List Printf QCheck2 QCheck_alcotest Rapida_core Rapida_rdf Rapida_ref Rapida_relational Rapida_sparql String

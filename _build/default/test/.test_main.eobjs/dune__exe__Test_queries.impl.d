@@ -1,0 +1,1 @@
+test/test_queries.ml: Alcotest Fmt List Rapida_queries Rapida_sparql String

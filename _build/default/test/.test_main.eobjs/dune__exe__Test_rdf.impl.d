@@ -1,0 +1,1 @@
+test/test_rdf.ml: Alcotest Dictionary Filename Fun Graph List Ntriples Printf QCheck2 QCheck_alcotest Rapida_rdf String Sys Term Triple

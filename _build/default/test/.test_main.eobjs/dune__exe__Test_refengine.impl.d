@@ -1,0 +1,1 @@
+test/test_refengine.ml: Alcotest Array List Rapida_core Rapida_rdf Rapida_ref Rapida_relational Rapida_sparql

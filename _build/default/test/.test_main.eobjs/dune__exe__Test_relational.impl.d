@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array List Option QCheck2 QCheck_alcotest Rapida_mapred Rapida_rdf Rapida_relational Rapida_sparql

@@ -1,0 +1,1 @@
+test/test_sparql.ml: Aggregate Alcotest Analytical Ast Binding Float Lexer List Option Parser Printf QCheck2 QCheck_alcotest Rapida_rdf Rapida_sparql Star

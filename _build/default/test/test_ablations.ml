@@ -1,0 +1,98 @@
+(* Ablations: each optimization knob must preserve results exactly and
+   must actually deliver its claimed saving on a workload where it
+   applies. *)
+
+module Engine = Rapida_core.Engine
+module Plan_util = Rapida_core.Plan_util
+module Catalog = Rapida_queries.Catalog
+module Relops = Rapida_relational.Relops
+module Stats = Rapida_mapred.Stats
+
+let check_bool = Alcotest.(check bool)
+
+let bsbm =
+  lazy
+    (Engine.input_of_graph
+       Rapida_datagen.Bsbm.(generate (config ~products:150 ())))
+
+let chem =
+  lazy
+    (Engine.input_of_graph
+       Rapida_datagen.Chem2bio.(generate (config ~compounds:100 ())))
+
+let base = Plan_util.default_options
+
+let run_with options kind input id =
+  match Engine.run kind options input (Catalog.parse (Catalog.find_exn id)) with
+  | Ok out -> out
+  | Error msg -> Alcotest.failf "%s on %s: %s" (Engine.kind_name kind) id msg
+
+let test_combiner_ablation () =
+  let input = Lazy.force bsbm in
+  let on = run_with base Engine.Rapid_analytics input "MG1" in
+  let off =
+    run_with { base with ntga_combiner = false } Engine.Rapid_analytics input
+      "MG1"
+  in
+  check_bool "same result" true
+    (Relops.same_results on.Engine.table off.Engine.table);
+  check_bool "partial aggregation reduces shuffle" true
+    (Stats.total_shuffle_bytes on.Engine.stats
+    < Stats.total_shuffle_bytes off.Engine.stats)
+
+let test_filter_pushdown_ablation () =
+  (* G6's MAPK filter keeps one pathway out of fifteen; pushing it into
+     the scan must shrink the join input and shuffle. *)
+  let input = Lazy.force chem in
+  let on = run_with base Engine.Rapid_analytics input "G6" in
+  let off =
+    run_with
+      { base with ntga_filter_pushdown = false }
+      Engine.Rapid_analytics input "G6"
+  in
+  check_bool "same result" true
+    (Relops.same_results on.Engine.table off.Engine.table);
+  check_bool "pushdown reduces shuffle" true
+    (Stats.total_shuffle_bytes on.Engine.stats
+    < Stats.total_shuffle_bytes off.Engine.stats)
+
+let test_map_join_ablation () =
+  (* Disabling map-joins turns Hive's map-only cycles into full MR
+     cycles, with identical results. *)
+  let input = Lazy.force chem in
+  let on = run_with base Engine.Hive_naive input "G5" in
+  let off =
+    run_with { base with map_join_threshold = 0 } Engine.Hive_naive input "G5"
+  in
+  check_bool "same result" true
+    (Relops.same_results on.Engine.table off.Engine.table);
+  check_bool "map-joins produce map-only cycles" true
+    (Stats.map_only_cycles on.Engine.stats
+    > Stats.map_only_cycles off.Engine.stats);
+  check_bool "same total cycles" true
+    (Stats.cycles on.Engine.stats = Stats.cycles off.Engine.stats)
+
+let test_orc_ablation () =
+  (* ORC compression reduces Hive's stored input, hence map tasks. *)
+  let input = Lazy.force bsbm in
+  let compressed = run_with base Engine.Hive_naive input "MG3" in
+  let plain =
+    run_with { base with hive_compression = 1.0 } Engine.Hive_naive input "MG3"
+  in
+  check_bool "same result" true
+    (Relops.same_results compressed.Engine.table plain.Engine.table);
+  let max_tasks stats =
+    List.fold_left
+      (fun acc (j : Stats.job) -> max acc j.Stats.map_tasks)
+      0 stats.Stats.jobs
+  in
+  check_bool "compression reduces mappers" true
+    (max_tasks compressed.Engine.stats <= max_tasks plain.Engine.stats)
+
+let suite =
+  [
+    Alcotest.test_case "partial aggregation (combiner)" `Quick test_combiner_ablation;
+    Alcotest.test_case "filter pushdown" `Quick test_filter_pushdown_ablation;
+    Alcotest.test_case "map joins" `Quick test_map_join_ablation;
+    Alcotest.test_case "ORC compression" `Quick test_orc_ablation;
+  ]

@@ -1,0 +1,136 @@
+(* Data generators: determinism, schema coverage, uniqueness (the MQO
+   extraction's DISTINCT relies on set-semantics graphs), and the anchors
+   the catalog queries depend on. *)
+
+module Graph = Rapida_rdf.Graph
+module Triple = Rapida_rdf.Triple
+module Term = Rapida_rdf.Term
+module Namespace = Rapida_rdf.Namespace
+module Bsbm = Rapida_datagen.Bsbm
+module Chem2bio = Rapida_datagen.Chem2bio
+module Pubmed = Rapida_datagen.Pubmed
+module Prng = Rapida_datagen.Prng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let triples_sorted g = List.sort Triple.compare (Graph.triples g)
+
+let no_duplicates g =
+  let sorted = triples_sorted g in
+  let rec go = function
+    | a :: (b :: _ as rest) -> if Triple.equal a b then false else go rest
+    | [ _ ] | [] -> true
+  in
+  go sorted
+
+let has_property g name =
+  List.exists
+    (fun p -> Term.equal p (Term.iri (Namespace.bench ^ name)))
+    (Graph.properties g)
+
+let test_prng_deterministic () =
+  let seq seed = List.init 20 (fun _ -> Prng.int (Prng.create ~seed) 100) in
+  Alcotest.(check (list int)) "same seed same stream" (seq 5) (seq 5);
+  check_bool "different seeds differ" true
+    (List.init 50 (fun i -> Prng.int (Prng.create ~seed:1) (i + 2))
+    <> List.init 50 (fun i -> Prng.int (Prng.create ~seed:2) (i + 2)))
+
+let test_prng_ranges () =
+  let rng = Prng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 7 in
+    check_bool "int in range" true (v >= 0 && v < 7);
+    let f = Prng.float rng 2.0 in
+    check_bool "float in range" true (f >= 0.0 && f < 2.0);
+    let z = Prng.zipf rng 5 ~skew:1.0 in
+    check_bool "zipf in range" true (z >= 0 && z < 5)
+  done
+
+let test_prng_zipf_skew () =
+  let rng = Prng.create ~seed:12 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 5000 do
+    let i = Prng.zipf rng 10 ~skew:1.2 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check_bool "head heavier than tail" true (counts.(0) > 3 * counts.(9))
+
+let test_bsbm () =
+  let g1 = Bsbm.(generate (config ~products:100 ())) in
+  let g2 = Bsbm.(generate (config ~products:100 ())) in
+  check_int "deterministic" 0
+    (List.compare Triple.compare (triples_sorted g1) (triples_sorted g2));
+  check_bool "no duplicate triples" true (no_duplicates g1);
+  List.iter
+    (fun p -> check_bool (p ^ " present") true (has_property g1 p))
+    [ "label"; "productFeature"; "product"; "price"; "vendor"; "country" ];
+  (* Skew: ProductType1 common, ProductType9 rare. *)
+  let count_type i =
+    List.length
+      (List.filter
+         (fun (t : Triple.t) ->
+           Term.equal t.p Namespace.rdf_type
+           && Term.equal t.o (Bsbm.product_type i))
+         (Graph.triples g1))
+  in
+  check_bool "type1 low selectivity" true (count_type 1 > count_type 9);
+  check_bool "type9 exists" true (count_type 9 > 0)
+
+let test_bsbm_scales () =
+  let small = Bsbm.(generate (config ~products:50 ())) in
+  let large = Bsbm.(generate (config ~products:200 ())) in
+  check_bool "scale grows" true (Graph.size large > 2 * Graph.size small)
+
+let test_chem2bio () =
+  let g = Chem2bio.(generate (config ~compounds:80 ())) in
+  check_bool "no duplicate triples" true (no_duplicates g);
+  List.iter
+    (fun p -> check_bool (p ^ " present") true (has_property g p))
+    [ "CID"; "outcome"; "Score"; "gi"; "geneSymbol"; "gene"; "DBID";
+      "Generic_Name"; "protein"; "Pathway_name"; "pathwayid"; "side_effect";
+      "cid"; "disease" ];
+  (* Anchors the catalog queries rely on. *)
+  let has_literal name =
+    List.exists
+      (fun (t : Triple.t) -> Term.lexical t.o = name)
+      (Graph.triples g)
+  in
+  check_bool "known drug" true (has_literal Chem2bio.known_drug_name);
+  check_bool "MAPK pathway" true (has_literal Chem2bio.known_pathway_fragment);
+  check_bool "hepatomegaly" true (has_literal Chem2bio.known_side_effect)
+
+let test_pubmed () =
+  let g = Pubmed.(generate (config ~publications:200 ())) in
+  check_bool "no duplicate triples" true (no_duplicates g);
+  List.iter
+    (fun p -> check_bool (p ^ " present") true (has_property g p))
+    [ "journal"; "pub_type"; "author"; "grant"; "mesh_heading"; "chemical";
+      "grant_agency"; "grant_country"; "last_name" ];
+  let count_pub_type name =
+    List.length
+      (List.filter
+         (fun (t : Triple.t) -> Term.lexical t.o = name)
+         (Graph.by_property g (Term.iri (Namespace.bench ^ "pub_type"))))
+  in
+  check_bool "journal articles common" true
+    (count_pub_type Pubmed.common_pub_type > 3 * count_pub_type Pubmed.rare_pub_type);
+  check_bool "news present" true (count_pub_type Pubmed.rare_pub_type > 0)
+
+let test_seed_changes_data () =
+  let a = Bsbm.(generate (config ~seed:1 ~products:50 ())) in
+  let b = Bsbm.(generate (config ~seed:2 ~products:50 ())) in
+  check_bool "different seeds differ" true
+    (List.compare Triple.compare (triples_sorted a) (triples_sorted b) <> 0)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng ranges" `Quick test_prng_ranges;
+    Alcotest.test_case "prng zipf skew" `Quick test_prng_zipf_skew;
+    Alcotest.test_case "bsbm generator" `Quick test_bsbm;
+    Alcotest.test_case "bsbm scales" `Quick test_bsbm_scales;
+    Alcotest.test_case "chem2bio generator" `Quick test_chem2bio;
+    Alcotest.test_case "pubmed generator" `Quick test_pubmed;
+    Alcotest.test_case "seed changes data" `Quick test_seed_changes_data;
+  ]

@@ -1,0 +1,92 @@
+(* Experiment harness: runs collect verified per-engine statistics and the
+   reports render the paper-style tables. *)
+
+module Engine = Rapida_core.Engine
+module Plan_util = Rapida_core.Plan_util
+module Catalog = Rapida_queries.Catalog
+module Experiment = Rapida_harness.Experiment
+module Report = Rapida_harness.Report
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let input =
+  lazy
+    (Engine.input_of_graph
+       Rapida_datagen.Bsbm.(generate (config ~products:80 ())))
+
+let options = Plan_util.default_options
+
+let run_mg1 =
+  lazy
+    (Experiment.run_query options ~label:"test" (Lazy.force input)
+       (Catalog.find_exn "MG1"))
+
+let test_run_collects_all_engines () =
+  let run = Lazy.force run_mg1 in
+  check_int "four engine results" 4 (List.length run.Experiment.results);
+  check_bool "all agreed" true (Experiment.all_agreed run);
+  List.iter
+    (fun (r : Experiment.engine_result) ->
+      check_bool "cycles positive" true (r.cycles > 0);
+      check_bool "est time positive" true (r.est_time_s > 0.0);
+      check_bool "no error" true (r.error = None);
+      check_bool "rows" true (r.result_rows > 0))
+    run.Experiment.results
+
+let test_result_for () =
+  let run = Lazy.force run_mg1 in
+  check_bool "find rapid-analytics" true
+    (Experiment.result_for run Engine.Rapid_analytics <> None);
+  let ra = Option.get (Experiment.result_for run Engine.Rapid_analytics) in
+  let naive = Option.get (Experiment.result_for run Engine.Hive_naive) in
+  check_bool "RA uses fewer cycles than naive Hive" true
+    (ra.Experiment.cycles < naive.Experiment.cycles)
+
+let test_speedup () =
+  let run = Lazy.force run_mg1 in
+  match
+    Report.speedup run ~baseline:Engine.Hive_naive
+      ~target:Engine.Rapid_analytics
+  with
+  | Some s -> check_bool "speedup > 1" true (s > 1.0)
+  | None -> Alcotest.fail "expected a speedup"
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_reports_render () =
+  let runs = [ Lazy.force run_mg1 ] in
+  let comparison =
+    Fmt.str "%a" (Report.pp_comparison ~title:"T" ~engines:Engine.all_kinds) runs
+  in
+  check_bool "mentions query" true (contains ~needle:"MG1" comparison);
+  check_bool "mentions engine" true (contains ~needle:"RAPIDAnalytics" comparison);
+  let cycles =
+    Fmt.str "%a" (Report.pp_cycles ~title:"T" ~engines:Engine.all_kinds) runs
+  in
+  check_bool "cycles table renders" true (contains ~needle:"map-only" cycles);
+  let bytes =
+    Fmt.str "%a" (Report.pp_bytes ~title:"T" ~engines:Engine.all_kinds) runs
+  in
+  check_bool "bytes table renders" true (contains ~needle:"KB" bytes);
+  let verification = Fmt.str "%a" Report.pp_verification runs in
+  check_bool "verification summary" true (contains ~needle:"1/1" verification)
+
+let test_engine_subset () =
+  let run =
+    Experiment.run_query ~engines:[ Engine.Rapid_analytics ] options
+      ~label:"test" (Lazy.force input) (Catalog.find_exn "G1")
+  in
+  check_int "one engine" 1 (List.length run.Experiment.results)
+
+let suite =
+  [
+    Alcotest.test_case "run collects all engines" `Quick test_run_collects_all_engines;
+    Alcotest.test_case "result_for and cycle ordering" `Quick test_result_for;
+    Alcotest.test_case "speedup" `Quick test_speedup;
+    Alcotest.test_case "reports render" `Quick test_reports_render;
+    Alcotest.test_case "engine subset" `Quick test_engine_subset;
+  ]

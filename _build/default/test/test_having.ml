@@ -1,0 +1,136 @@
+(* HAVING: group filters evaluated after aggregation, applied identically
+   by the reference evaluator and all four engines. *)
+
+module Engine = Rapida_core.Engine
+module Plan_util = Rapida_core.Plan_util
+module Relops = Rapida_relational.Relops
+module Table = Rapida_relational.Table
+module Term = Rapida_rdf.Term
+module Triple = Rapida_rdf.Triple
+module Graph = Rapida_rdf.Graph
+module Namespace = Rapida_rdf.Namespace
+module Analytical = Rapida_sparql.Analytical
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ns = Namespace.bench
+let iri n = Term.iri (ns ^ n)
+
+let graph =
+  let t s p o = Triple.make (iri s) (iri p) o in
+  Graph.of_list
+    [
+      t "o1" "product" (iri "p1"); t "o1" "price" (Term.int 10);
+      t "o2" "product" (iri "p1"); t "o2" "price" (Term.int 20);
+      t "o3" "product" (iri "p1"); t "o3" "price" (Term.int 30);
+      t "o4" "product" (iri "p2"); t "o4" "price" (Term.int 5);
+      t "p1" "label" (Term.str "one");
+      t "p2" "label" (Term.str "two");
+    ]
+
+let engines_agree src =
+  let q = Analytical.parse_exn src in
+  let expected = Rapida_ref.Ref_engine.run graph q in
+  let input = Engine.input_of_graph graph in
+  List.iter
+    (fun kind ->
+      match Engine.run kind Plan_util.default_options input q with
+      | Error msg -> Alcotest.failf "%s: %s" (Engine.kind_name kind) msg
+      | Ok { table; _ } ->
+        check_bool (Engine.kind_name kind ^ " agrees") true
+          (Relops.same_results expected table))
+    Engine.all_kinds;
+  expected
+
+let test_parse () =
+  let q =
+    Analytical.parse_exn
+      "SELECT ?p (COUNT(?pr) AS ?n) { ?o product ?p . ?o price ?pr . } \
+       GROUP BY ?p HAVING(?n > 1)"
+  in
+  let sq = List.hd q.Analytical.subqueries in
+  check_int "one having clause" 1 (List.length sq.Analytical.having)
+
+let test_having_filters_groups () =
+  let t =
+    engines_agree
+      "SELECT ?p (COUNT(?pr) AS ?n) { ?o product ?p . ?o price ?pr . } \
+       GROUP BY ?p HAVING(?n > 1)"
+  in
+  (* p1 has 3 offers, p2 only 1. *)
+  check_int "only p1 survives" 1 (Table.cardinality t)
+
+let test_having_on_sum () =
+  let t =
+    engines_agree
+      "SELECT ?p (SUM(?pr) AS ?s) (COUNT(?pr) AS ?n) { ?o product ?p . ?o \
+       price ?pr . } GROUP BY ?p HAVING(?s >= 5 && ?s < 50)"
+  in
+  (* p1 sums to 60 (excluded), p2 to 5 (kept). *)
+  check_int "only p2 survives" 1 (Table.cardinality t)
+
+let test_having_on_group_key () =
+  let t =
+    engines_agree
+      {|SELECT ?p (COUNT(?pr) AS ?n) { ?o product ?p . ?o price ?pr . }
+GROUP BY ?p HAVING(?p = <http://rapida.bench/vocab/p2>)|}
+  in
+  check_int "key filter" 1 (Table.cardinality t)
+
+let test_having_empties_grand_total () =
+  (* A grand total whose HAVING fails produces no rows at all. *)
+  let t =
+    engines_agree
+      "SELECT (COUNT(?pr) AS ?n) { ?o product ?p . ?o price ?pr . } \
+       HAVING(?n > 100)"
+  in
+  check_int "no rows" 0 (Table.cardinality t)
+
+let test_having_in_multi_grouping () =
+  let t =
+    engines_agree
+      {|SELECT ?p ?n ?total {
+  { SELECT ?p (COUNT(?pr) AS ?n) { ?o product ?p . ?o price ?pr . }
+    GROUP BY ?p HAVING(?n > 1) }
+  { SELECT (COUNT(?pr1) AS ?total) { ?o1 product ?p1 . ?o1 price ?pr1 . } }
+}|}
+  in
+  check_int "joined with total" 1 (Table.cardinality t)
+
+let test_unknown_having_var_rejected () =
+  match
+    Analytical.parse
+      "SELECT ?p (COUNT(?pr) AS ?n) { ?o product ?p . ?o price ?pr . } \
+       GROUP BY ?p HAVING(?bogus > 1)"
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "HAVING over an unknown variable must be rejected"
+
+let test_having_roundtrips () =
+  let src =
+    "SELECT ?p (COUNT(?pr) AS ?n) { ?o product ?p . ?o price ?pr . } GROUP \
+     BY ?p HAVING(?n > 1)"
+  in
+  match Rapida_sparql.Parser.parse src with
+  | Error e -> Alcotest.fail e
+  | Ok q -> (
+    let printed = Rapida_sparql.To_sparql.query q in
+    match Rapida_sparql.Parser.parse printed with
+    | Error e -> Alcotest.failf "printed does not parse: %s\n%s" e printed
+    | Ok q' -> check_bool "round trip" true (q = q'))
+
+let suite =
+  [
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "filters groups" `Quick test_having_filters_groups;
+    Alcotest.test_case "on SUM with conjunction" `Quick test_having_on_sum;
+    Alcotest.test_case "on group key" `Quick test_having_on_group_key;
+    Alcotest.test_case "empties grand total" `Quick
+      test_having_empties_grand_total;
+    Alcotest.test_case "in multi-grouping query" `Quick
+      test_having_in_multi_grouping;
+    Alcotest.test_case "unknown variable rejected" `Quick
+      test_unknown_having_var_rejected;
+    Alcotest.test_case "round trips" `Quick test_having_roundtrips;
+  ]

@@ -1,0 +1,179 @@
+(* MapReduce simulator: execution semantics (determinism, combiner
+   soundness), task estimation, and the cost model's monotonicity. *)
+
+module Cluster = Rapida_mapred.Cluster
+module Job = Rapida_mapred.Job
+module Stats = Rapida_mapred.Stats
+module Workflow = Rapida_mapred.Workflow
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A classic word-count job over strings. *)
+let wordcount ~with_combiner : (string, string, int, string * int) Job.spec =
+  {
+    name = "wordcount";
+    map = (fun line -> List.map (fun w -> (w, 1)) (String.split_on_char ' ' line));
+    combine =
+      (if with_combiner then
+         Some (fun _k counts -> [ List.fold_left ( + ) 0 counts ])
+       else None);
+    reduce = (fun k counts -> [ (k, List.fold_left ( + ) 0 counts) ]);
+    input_size = String.length;
+    key_size = String.length;
+    value_size = (fun _ -> 4);
+    output_size = (fun (k, _) -> String.length k + 4);
+  }
+
+let lines = [ "a b a"; "b c"; "a"; "c c c b" ]
+
+let test_wordcount () =
+  let out, stats = Job.run Cluster.default (wordcount ~with_combiner:false) lines in
+  Alcotest.(check (list (pair string int)))
+    "counts" [ ("a", 3); ("b", 3); ("c", 4) ]
+    (List.sort compare out);
+  check_int "input records" 4 stats.Stats.input_records;
+  check_bool "shuffle bytes accounted" true (stats.Stats.shuffle_bytes > 0)
+
+let test_combiner_equivalence () =
+  let out1, s1 = Job.run Cluster.default (wordcount ~with_combiner:false) lines in
+  let out2, s2 = Job.run Cluster.default (wordcount ~with_combiner:true) lines in
+  Alcotest.(check (list (pair string int)))
+    "same result" (List.sort compare out1) (List.sort compare out2);
+  check_bool "combiner does not increase shuffle" true
+    (s2.Stats.shuffle_records <= s1.Stats.shuffle_records)
+
+let test_combiner_reduces_shuffle () =
+  (* Force multiple map tasks so per-task combining has something to do:
+     tiny blocks, repetitive input. *)
+  let cluster = { Cluster.default with block_size_bytes = 8 } in
+  let input = List.init 40 (fun _ -> "x x x") in
+  let _, s_plain = Job.run cluster (wordcount ~with_combiner:false) input in
+  let _, s_comb = Job.run cluster (wordcount ~with_combiner:true) input in
+  check_bool "combiner shrinks shuffle" true
+    (s_comb.Stats.shuffle_records < s_plain.Stats.shuffle_records)
+
+let test_determinism () =
+  let run () = fst (Job.run Cluster.default (wordcount ~with_combiner:true) lines) in
+  Alcotest.(check (list (pair string int))) "deterministic" (run ()) (run ())
+
+let test_empty_input () =
+  let out, stats = Job.run Cluster.default (wordcount ~with_combiner:true) [] in
+  check_int "no output" 0 (List.length out);
+  check_int "no shuffle" 0 stats.Stats.shuffle_records;
+  check_bool "still pays startup" true
+    (stats.Stats.est_time_s >= Cluster.default.Cluster.job_startup_s)
+
+let test_map_only () =
+  let spec : (int, int) Job.map_only_spec =
+    {
+      mo_name = "double";
+      mo_map = (fun x -> [ x * 2 ]);
+      mo_input_size = (fun _ -> 8);
+      mo_output_size = (fun _ -> 8);
+    }
+  in
+  let out, stats = Job.run_map_only Cluster.default spec [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "doubled" [ 2; 4; 6 ] out;
+  check_bool "map-only kind" true (stats.Stats.kind = Stats.Map_only);
+  check_int "no reducers" 0 stats.Stats.reduce_tasks
+
+let test_map_task_estimation () =
+  let c = { Cluster.default with block_size_bytes = 1024 } in
+  check_int "one block" 1 (Job.estimate_map_tasks c ~input_bytes:100);
+  check_int "exact" 2 (Job.estimate_map_tasks c ~input_bytes:2048);
+  check_int "round up" 3 (Job.estimate_map_tasks c ~input_bytes:2049);
+  check_int "empty input still one task" 1 (Job.estimate_map_tasks c ~input_bytes:0)
+
+let test_cost_monotone_in_data () =
+  let spec = wordcount ~with_combiner:false in
+  let small = [ "a b" ] in
+  let big = List.init 200 (fun i -> Printf.sprintf "w%d x%d y%d" i i i) in
+  let _, s1 = Job.run Cluster.default spec small in
+  let _, s2 = Job.run Cluster.default spec big in
+  check_bool "more data costs more" true (s2.Stats.est_time_s > s1.Stats.est_time_s)
+
+let test_compression_reduces_map_tasks () =
+  let c = { Cluster.default with block_size_bytes = 64; compression_ratio = 0.1 } in
+  let input = List.init 100 (fun i -> Printf.sprintf "longish input line %d" i) in
+  let _, s_comp = Job.run c (wordcount ~with_combiner:false) input in
+  let _, s_plain =
+    Job.run { c with compression_ratio = 1.0 } (wordcount ~with_combiner:false) input
+  in
+  check_bool "compressed input launches fewer mappers" true
+    (s_comp.Stats.map_tasks < s_plain.Stats.map_tasks);
+  (* ... and with map slots to spare, fewer mappers means more time. *)
+  check_bool "fewer mappers cost time" true
+    (s_comp.Stats.est_time_s >= s_plain.Stats.est_time_s)
+
+let test_workflow_accumulates () =
+  let wf = Workflow.create Cluster.default in
+  let _ = Workflow.run_job wf (wordcount ~with_combiner:false) lines in
+  let spec : (string * int, string) Job.map_only_spec =
+    {
+      mo_name = "format";
+      mo_map = (fun (k, v) -> [ Printf.sprintf "%s=%d" k v ]);
+      mo_input_size = (fun _ -> 8);
+      mo_output_size = String.length;
+    }
+  in
+  let _ =
+    Workflow.run_map_only wf spec [ ("a", 1) ]
+  in
+  let stats = Workflow.stats wf in
+  check_int "two cycles" 2 (Stats.cycles stats);
+  check_int "one full" 1 (Stats.full_cycles stats);
+  check_int "one map-only" 1 (Stats.map_only_cycles stats);
+  check_bool "est time positive" true (Stats.est_time_s stats > 0.0)
+
+let test_failure_injection () =
+  let spec = wordcount ~with_combiner:false in
+  let input = List.init 100 (fun i -> Printf.sprintf "alpha beta %d" i) in
+  let healthy = { Cluster.default with disk_mb_per_s = 0.001 } in
+  let flaky = { healthy with task_failure_rate = 0.3 } in
+  let out_h, s_h = Job.run healthy spec input in
+  let out_f, s_f = Job.run flaky spec input in
+  Alcotest.(check (list (pair string int)))
+    "failures never change results"
+    (List.sort compare out_h) (List.sort compare out_f);
+  check_bool "failures cost time" true
+    (s_f.Stats.est_time_s > s_h.Stats.est_time_s)
+
+let test_scaled_down_profile () =
+  let c = Cluster.scaled_down ~factor:1000.0 in
+  check_bool "bandwidth divided" true
+    (c.Cluster.disk_mb_per_s < Cluster.default.Cluster.disk_mb_per_s /. 999.0);
+  check_bool "startup preserved" true
+    (c.Cluster.job_startup_s = Cluster.default.Cluster.job_startup_s)
+
+(* Property: for random inputs, running with a combiner never changes the
+   reduce-side result (merge-based partial aggregation soundness at the
+   job level). *)
+let prop_combiner_sound =
+  QCheck2.Test.make ~count:200 ~name:"combiner never changes results"
+    QCheck2.Gen.(
+      list_size (0 -- 30)
+        (string_size ~gen:(char_range 'a' 'd') (1 -- 5)))
+    (fun words ->
+      let lines = List.map (fun w -> w ^ " " ^ w) words in
+      let cluster = { Cluster.default with block_size_bytes = 4 } in
+      let a = fst (Job.run cluster (wordcount ~with_combiner:false) lines) in
+      let b = fst (Job.run cluster (wordcount ~with_combiner:true) lines) in
+      List.sort compare a = List.sort compare b)
+
+let suite =
+  [
+    Alcotest.test_case "wordcount" `Quick test_wordcount;
+    Alcotest.test_case "combiner equivalence" `Quick test_combiner_equivalence;
+    Alcotest.test_case "combiner reduces shuffle" `Quick test_combiner_reduces_shuffle;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "empty input" `Quick test_empty_input;
+    Alcotest.test_case "map-only job" `Quick test_map_only;
+    Alcotest.test_case "map task estimation" `Quick test_map_task_estimation;
+    Alcotest.test_case "cost monotone in data" `Quick test_cost_monotone_in_data;
+    Alcotest.test_case "compression reduces mappers" `Quick test_compression_reduces_map_tasks;
+    Alcotest.test_case "workflow accumulates" `Quick test_workflow_accumulates;
+    Alcotest.test_case "failure injection" `Quick test_failure_injection;
+    Alcotest.test_case "scaled-down profile" `Quick test_scaled_down_profile;
+    QCheck_alcotest.to_alcotest prop_combiner_sound;
+  ]

@@ -1,0 +1,165 @@
+(* Randomized end-to-end property: on random graphs and random analytical
+   queries — overlapping and non-overlapping pattern pairs, multi-valued
+   properties, optional secondary triples, grand totals — every engine
+   returns exactly the reference evaluator's result. *)
+
+module Engine = Rapida_core.Engine
+module Plan_util = Rapida_core.Plan_util
+module Relops = Rapida_relational.Relops
+module Graph = Rapida_rdf.Graph
+module Triple = Rapida_rdf.Triple
+module Term = Rapida_rdf.Term
+module Namespace = Rapida_rdf.Namespace
+module Gen = QCheck2.Gen
+
+let ns = Namespace.bench
+let iri n = Term.iri (ns ^ n)
+
+(* --- random data --------------------------------------------------------- *)
+
+type datum = {
+  parents : (int * int * int * int list) list;
+      (** id, type index, aa value, bb values *)
+  children : (int * int * int * int list) list;
+      (** id, parent id, x value, y values *)
+}
+
+let gen_datum =
+  let open Gen in
+  let* n_parents = 2 -- 8 in
+  let* n_children = 2 -- 20 in
+  let gen_parent i =
+    let* ty = 0 -- 1 in
+    let* aa = 0 -- 3 in
+    let* bb = list_size (0 -- 2) (0 -- 5) in
+    return (i, ty, aa, List.sort_uniq compare bb)
+  in
+  let gen_child i =
+    let* parent = 1 -- n_parents in
+    let* x = 0 -- 9 in
+    let* y = list_size (0 -- 2) (0 -- 5) in
+    return (i, parent, x, List.sort_uniq compare y)
+  in
+  let* parents = flatten_l (List.init n_parents (fun i -> gen_parent (i + 1))) in
+  let* children = flatten_l (List.init n_children (fun i -> gen_child (i + 1))) in
+  return { parents; children }
+
+let graph_of_datum d =
+  let triples = ref [] in
+  let add s p o = triples := Triple.make s p o :: !triples in
+  List.iter
+    (fun (id, ty, aa, bbs) ->
+      let s = iri (Printf.sprintf "P%d" id) in
+      add s Namespace.rdf_type (iri (Printf.sprintf "T%d" ty));
+      add s (iri "aa") (Term.int aa);
+      List.iter (fun b -> add s (iri "bb") (Term.int b)) bbs)
+    d.parents;
+  List.iter
+    (fun (id, parent, x, ys) ->
+      let s = iri (Printf.sprintf "C%d" id) in
+      add s (iri "link") (iri (Printf.sprintf "P%d" parent));
+      add s (iri "x") (Term.int x);
+      List.iter (fun y -> add s (iri "y") (Term.int y)) ys)
+    d.children;
+  Graph.of_list !triples
+
+(* --- random queries ------------------------------------------------------ *)
+
+type pattern_shape = {
+  ty : int;  (** type constant index *)
+  with_y : bool;  (** include the multi-valued child property *)
+  with_bb : bool;  (** include the multi-valued parent property *)
+  with_unbound : bool;  (** include an unbound-property triple pattern *)
+  grouped : bool;  (** GROUP BY ?g vs grand total *)
+  agg_on_y : bool;  (** aggregate the multi-valued variable *)
+  agg_func : string;  (** second aggregate: SUM / AVG / MIN / MAX *)
+  distinct : bool;  (** DISTINCT on the second aggregate *)
+}
+
+let gen_shape =
+  let open Gen in
+  let* ty = 0 -- 1 in
+  let* with_y = bool in
+  let* with_bb = bool in
+  let* with_unbound = frequency [ (4, return false); (1, return true) ] in
+  let* grouped = bool in
+  let* agg_on_y = bool in
+  let* agg_func = oneofl [ "SUM"; "AVG"; "MIN"; "MAX" ] in
+  let* distinct = bool in
+  return
+    { ty; with_y; with_bb; with_unbound; grouped; agg_on_y; agg_func;
+      distinct }
+
+let subquery_src idx shape =
+  let v name = Printf.sprintf "?%s%d" name idx in
+  let agg_var = if shape.agg_on_y && shape.with_y then v "y" else v "x" in
+  let lines =
+    [ Printf.sprintf "%s link %s ." (v "c") (v "p");
+      Printf.sprintf "%s x %s ." (v "c") (v "x") ]
+    @ (if shape.with_y then [ Printf.sprintf "%s y %s ." (v "c") (v "y") ] else [])
+    @ (if shape.with_unbound then
+         [ Printf.sprintf "%s %s %s ." (v "c") (v "anyp") (v "anyo") ]
+       else [])
+    @ [ Printf.sprintf "%s a T%d ." (v "p") shape.ty;
+        Printf.sprintf "%s aa ?g ." (v "p") ]
+    @ (if shape.with_bb then [ Printf.sprintf "%s bb %s ." (v "p") (v "b") ] else [])
+  in
+  let projection, group_clause =
+    if shape.grouped then ("?g ", "GROUP BY ?g") else ("", "")
+  in
+  Printf.sprintf
+    "{ SELECT %s(COUNT(%s) AS ?cnt%d) (%s(%s%s) AS ?agg%d) { %s } %s }"
+    projection agg_var idx shape.agg_func
+    (if shape.distinct then "DISTINCT " else "")
+    agg_var idx (String.concat " " lines) group_clause
+
+let query_src (s1, s2) =
+  Printf.sprintf "SELECT * {\n %s\n %s\n}" (subquery_src 1 s1) (subquery_src 2 s2)
+
+let gen_case = Gen.(triple gen_datum gen_shape gen_shape)
+
+let print_case (d, s1, s2) =
+  Printf.sprintf "query:\n%s\nparents=%d children=%d"
+    (query_src (s1, s2))
+    (List.length d.parents) (List.length d.children)
+
+let check_all_engines (d, s1, s2) =
+  let graph = graph_of_datum d in
+  let src = query_src (s1, s2) in
+  match Rapida_sparql.Analytical.parse src with
+  | Error e -> QCheck2.Test.fail_reportf "query does not parse: %s\n%s" e src
+  | Ok q ->
+    let expected = Rapida_ref.Ref_engine.run graph q in
+    let input = Engine.input_of_graph graph in
+    List.for_all
+      (fun kind ->
+        match Engine.run kind Plan_util.default_options input q with
+        | Error msg ->
+          QCheck2.Test.fail_reportf "%s failed: %s" (Engine.kind_name kind) msg
+        | Ok { table; _ } ->
+          Relops.same_results expected table
+          || QCheck2.Test.fail_reportf "%s differs from reference"
+               (Engine.kind_name kind))
+      Engine.all_kinds
+
+let prop_random_queries =
+  QCheck2.Test.make ~count:120 ~name:"random analytical queries agree"
+    ~print:print_case gen_case check_all_engines
+
+(* Same property restricted to guaranteed-overlapping pairs (same type
+   constant), which always exercises the composite-rewriting path. *)
+let prop_overlapping_queries =
+  QCheck2.Test.make ~count:80
+    ~name:"random overlapping queries agree (composite path)"
+    ~print:print_case
+    Gen.(
+      map
+        (fun (d, s1, s2) -> (d, s1, { s2 with ty = s1.ty }))
+        gen_case)
+    check_all_engines
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest ~long:false prop_random_queries;
+    QCheck_alcotest.to_alcotest ~long:false prop_overlapping_queries;
+  ]

@@ -1,0 +1,110 @@
+(* Query catalog: every entry parses to the analytical normal form, and
+   the Figure 7 structure metadata (triple patterns per star) matches the
+   actual decomposition of the SPARQL text — the catalog is
+   self-describing and self-checked. *)
+
+module Catalog = Rapida_queries.Catalog
+module Analytical = Rapida_sparql.Analytical
+module Star = Rapida_sparql.Star
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_all_parse () =
+  List.iter
+    (fun entry ->
+      match Analytical.parse entry.Catalog.sparql with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s does not parse: %s" entry.Catalog.id e)
+    Catalog.all
+
+let test_counts () =
+  check_int "9 single-grouping queries" 9 (List.length Catalog.single_grouping);
+  check_int "17 multi-grouping queries" 17 (List.length Catalog.multi_grouping);
+  check_bool "MG5 skipped as in the paper" true (Catalog.find "MG5" = None)
+
+let test_find () =
+  check_bool "find known" true (Catalog.find "MG1" <> None);
+  check_bool "find unknown" true (Catalog.find "MG99" = None);
+  Alcotest.check_raises "find_exn unknown" (Failure "unknown catalog query MG99")
+    (fun () -> ignore (Catalog.find_exn "MG99"))
+
+let test_datasets () =
+  check_int "bsbm queries" 8 (List.length (Catalog.by_dataset Catalog.Bsbm));
+  check_int "chem queries" 10 (List.length (Catalog.by_dataset Catalog.Chem2bio));
+  check_int "pubmed queries" 8 (List.length (Catalog.by_dataset Catalog.Pubmed))
+
+(* "3:2 vs 2:2" -> [[3;2];[2;2]]: triple patterns per star, per pattern. *)
+let parse_structure s =
+  String.split_on_char 'v' s
+  |> List.filter_map (fun part ->
+         let part = String.trim part in
+         let part =
+           if String.length part > 0 && part.[0] = 's' then
+             String.trim (String.sub part 1 (String.length part - 1))
+           else part
+         in
+         if part = "" then None
+         else
+           Some
+             (String.split_on_char ':' part
+             |> List.map (fun n -> int_of_string (String.trim n))))
+
+let test_structure_metadata_matches () =
+  List.iter
+    (fun entry ->
+      let q = Catalog.parse entry in
+      let actual =
+        List.map
+          (fun (sq : Analytical.subquery) ->
+            List.map
+              (fun (s : Star.t) -> List.length s.Star.patterns)
+              sq.Analytical.stars)
+          q.Analytical.subqueries
+      in
+      let declared = parse_structure entry.Catalog.structure in
+      Alcotest.(check (list (list int)))
+        (entry.Catalog.id ^ " structure")
+        declared actual)
+    Catalog.all
+
+let test_grouping_metadata_consistent () =
+  (* "ALL" in the grouping summary means an empty GROUP BY somewhere. *)
+  List.iter
+    (fun entry ->
+      let q = Catalog.parse entry in
+      let has_all =
+        List.exists
+          (fun (sq : Analytical.subquery) -> sq.Analytical.group_by = [])
+          q.Analytical.subqueries
+      in
+      let declares_all =
+        let g = entry.Catalog.grouping in
+        let rec contains i =
+          i + 3 <= String.length g && (String.sub g i 3 = "ALL" || contains (i + 1))
+        in
+        contains 0
+      in
+      check_bool (entry.Catalog.id ^ " ALL consistency") declares_all has_all)
+    Catalog.all
+
+let test_figure7_renders () =
+  let s = Fmt.str "%a" Catalog.pp_figure7 () in
+  check_bool "mentions MG1" true
+    (let rec contains i =
+       i + 3 <= String.length s && (String.sub s i 3 = "MG1" || contains (i + 1))
+     in
+     contains 0)
+
+let suite =
+  [
+    Alcotest.test_case "all queries parse" `Quick test_all_parse;
+    Alcotest.test_case "catalog counts" `Quick test_counts;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "datasets" `Quick test_datasets;
+    Alcotest.test_case "Figure 7 structure matches SPARQL" `Quick
+      test_structure_metadata_matches;
+    Alcotest.test_case "grouping metadata consistent" `Quick
+      test_grouping_metadata_consistent;
+    Alcotest.test_case "Figure 7 renders" `Quick test_figure7_renders;
+  ]

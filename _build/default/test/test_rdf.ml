@@ -1,0 +1,182 @@
+(* RDF substrate: terms, triples, graph indexes, dictionary encoding, and
+   the N-Triples round trip. *)
+
+open Rapida_rdf
+
+let term = Alcotest.testable Term.pp Term.equal
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- generators for property tests -------------------------------------- *)
+
+let gen_simple_string =
+  QCheck2.Gen.(
+    string_size ~gen:(oneof [ char_range 'a' 'z'; char_range 'A' 'Z'; char_range '0' '9' ]) (1 -- 12))
+
+let gen_escapable_string =
+  QCheck2.Gen.(
+    string_size
+      ~gen:
+        (oneof
+           [ char_range 'a' 'z'; return '"'; return '\\'; return '\n';
+             return '\t'; return ' ' ])
+      (0 -- 12))
+
+let gen_term =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun s -> Term.iri ("http://x.test/" ^ s)) gen_simple_string;
+        map Term.str gen_escapable_string;
+        map Term.int (int_range (-1000000) 1000000);
+        map Term.decimal (float_bound_inclusive 100000.0);
+        map Term.boolean bool;
+        map (fun s -> Term.date ("2015-01-" ^ Printf.sprintf "%02d" (1 + (abs s mod 28)))) int;
+        map Term.bnode gen_simple_string;
+      ])
+
+let gen_triple =
+  QCheck2.Gen.(
+    map3 Triple.make
+      (map (fun s -> Term.iri ("http://x.test/s" ^ s)) gen_simple_string)
+      (map (fun s -> Term.iri ("http://x.test/p" ^ s)) gen_simple_string)
+      gen_term)
+
+(* --- unit tests ---------------------------------------------------------- *)
+
+let test_term_compare () =
+  check_bool "iri < literal" true (Term.compare (Term.iri "z") (Term.str "a") < 0);
+  check_bool "literal < bnode" true (Term.compare (Term.str "z") (Term.bnode "a") < 0);
+  check_bool "equal terms" true (Term.equal (Term.int 3) (Term.int 3));
+  check_bool "int lex differs from string" false
+    (Term.equal (Term.int 3) (Term.str "3"))
+
+let test_term_numbers () =
+  Alcotest.(check (option (float 1e-9))) "int" (Some 42.0) (Term.as_number (Term.int 42));
+  Alcotest.(check (option (float 1e-9))) "decimal" (Some 1.5) (Term.as_number (Term.decimal 1.5));
+  Alcotest.(check (option (float 1e-9))) "numeric string" (Some 7.0) (Term.as_number (Term.str "7"));
+  Alcotest.(check (option (float 1e-9))) "iri none" None (Term.as_number (Term.iri "x"));
+  Alcotest.(check (option int)) "as_int" (Some (-3)) (Term.as_int (Term.int (-3)))
+
+let test_decimal_canonical () =
+  Alcotest.(check string) "integral decimal" "3.0"
+    (Term.lexical (Term.decimal 3.0));
+  check_bool "12 significant digits survive" true
+    (String.length (Term.lexical (Term.decimal 12345.678901234)) >= 12)
+
+let test_graph_indexes () =
+  let p1 = Term.iri "http://x.test/p1" and p2 = Term.iri "http://x.test/p2" in
+  let s1 = Term.iri "http://x.test/s1" and s2 = Term.iri "http://x.test/s2" in
+  let g =
+    Graph.of_list
+      [
+        Triple.make s1 p1 (Term.int 1);
+        Triple.make s1 p2 (Term.int 2);
+        Triple.make s2 p1 (Term.int 3);
+      ]
+  in
+  check_int "size" 3 (Graph.size g);
+  check_int "by_subject s1" 2 (List.length (Graph.by_subject g s1));
+  check_int "by_property p1" 2 (List.length (Graph.by_property g p1));
+  check_int "subjects" 2 (List.length (Graph.subjects g));
+  check_int "properties" 2 (List.length (Graph.properties g));
+  check_int "missing subject" 0
+    (List.length (Graph.by_subject g (Term.iri "http://x.test/nope")));
+  let groups = Graph.fold_subject_groups g (fun _ _ acc -> acc + 1) 0 in
+  check_int "subject groups" 2 groups
+
+let test_dictionary () =
+  let d = Dictionary.create () in
+  let a = Dictionary.encode d (Term.iri "a") in
+  let b = Dictionary.encode d (Term.str "b") in
+  let a' = Dictionary.encode d (Term.iri "a") in
+  check_int "idempotent" a a';
+  check_bool "distinct ids" true (a <> b);
+  Alcotest.check term "decode a" (Term.iri "a") (Dictionary.decode d a);
+  Alcotest.check term "decode b" (Term.str "b") (Dictionary.decode d b);
+  check_int "cardinal" 2 (Dictionary.cardinal d);
+  Alcotest.(check (option int)) "find" (Some a) (Dictionary.find d (Term.iri "a"));
+  Alcotest.check_raises "decode out of range" Not_found (fun () ->
+      ignore (Dictionary.decode d 99))
+
+let test_dictionary_growth () =
+  let d = Dictionary.create () in
+  for i = 0 to 4999 do
+    ignore (Dictionary.encode d (Term.int i))
+  done;
+  check_int "cardinal after growth" 5000 (Dictionary.cardinal d);
+  Alcotest.check term "decode after growth" (Term.int 4321)
+    (Dictionary.decode d 4321)
+
+let test_ntriples_examples () =
+  let line = {|<http://x/s> <http://x/p> "hi \"there\""^^<http://www.w3.org/2001/XMLSchema#integer> .|} in
+  (match Ntriples.parse_line line with
+  | Ok (Some t) ->
+    Alcotest.check term "subject" (Term.iri "http://x/s") t.Triple.s
+  | Ok None -> Alcotest.fail "expected a triple"
+  | Error e -> Alcotest.fail e);
+  (match Ntriples.parse_line "# comment" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "comment should be skipped");
+  (match Ntriples.parse_line "   " with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "blank should be skipped");
+  (match Ntriples.parse_line "<a> <b> ." with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated triple should fail")
+
+let test_ntriples_file () =
+  let triples =
+    [
+      Triple.make (Term.iri "http://x/s") (Term.iri "http://x/p") (Term.str "v");
+      Triple.make (Term.bnode "b1") (Term.iri "http://x/p") (Term.int 5);
+    ]
+  in
+  let path = Filename.temp_file "rapida" ".nt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Ntriples.write_file path triples;
+      match Ntriples.read_file path with
+      | Ok read ->
+        check_int "round trip count" 2 (List.length read);
+        List.iter2
+          (fun a b -> check_bool "triple equal" true (Triple.equal a b))
+          triples read
+      | Error e -> Alcotest.fail e)
+
+(* --- property tests ------------------------------------------------------ *)
+
+let prop_ntriples_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"ntriples line round-trips"
+    gen_triple (fun t ->
+      match Ntriples.parse_line (Ntriples.triple_to_line t) with
+      | Ok (Some t') -> Triple.equal t t'
+      | Ok None | Error _ -> false)
+
+let prop_term_compare_total =
+  QCheck2.Test.make ~count:500 ~name:"term compare is antisymmetric"
+    QCheck2.Gen.(pair gen_term gen_term)
+    (fun (a, b) ->
+      let c1 = Term.compare a b and c2 = Term.compare b a in
+      (c1 = 0) = (c2 = 0) && (c1 > 0) = (c2 < 0))
+
+let prop_hash_consistent =
+  QCheck2.Test.make ~count:500 ~name:"equal terms hash equally"
+    gen_term (fun t -> Term.hash t = Term.hash t)
+
+let suite =
+  [
+    Alcotest.test_case "term compare" `Quick test_term_compare;
+    Alcotest.test_case "term numbers" `Quick test_term_numbers;
+    Alcotest.test_case "decimal canonical form" `Quick test_decimal_canonical;
+    Alcotest.test_case "graph indexes" `Quick test_graph_indexes;
+    Alcotest.test_case "dictionary" `Quick test_dictionary;
+    Alcotest.test_case "dictionary growth" `Quick test_dictionary_growth;
+    Alcotest.test_case "ntriples examples" `Quick test_ntriples_examples;
+    Alcotest.test_case "ntriples file round trip" `Quick test_ntriples_file;
+    QCheck_alcotest.to_alcotest prop_ntriples_roundtrip;
+    QCheck_alcotest.to_alcotest prop_term_compare_total;
+    QCheck_alcotest.to_alcotest prop_hash_consistent;
+  ]

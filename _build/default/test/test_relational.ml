@@ -1,0 +1,298 @@
+(* Relational substrate: vertical partitioning, in-memory operators, and
+   the equivalence of the MapReduce physical operators with their
+   in-memory counterparts (the core simulator-correctness property). *)
+
+module Term = Rapida_rdf.Term
+module Triple = Rapida_rdf.Triple
+module Graph = Rapida_rdf.Graph
+module Namespace = Rapida_rdf.Namespace
+module Table = Rapida_relational.Table
+module Relops = Rapida_relational.Relops
+module Mr_relops = Rapida_relational.Mr_relops
+module Vp_store = Rapida_relational.Vp_store
+module Workflow = Rapida_mapred.Workflow
+module Cluster = Rapida_mapred.Cluster
+module Ast = Rapida_sparql.Ast
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let iri n = Term.iri ("http://x.test/" ^ n)
+
+let test_table_basics () =
+  let t =
+    Table.make ~name:"t" ~schema:[ "a"; "b" ]
+      [ [| Some (Term.int 1); None |]; [| Some (Term.int 2); Some (Term.str "x") |] ]
+  in
+  check_int "arity" 2 (Table.arity t);
+  check_int "cardinality" 2 (Table.cardinality t);
+  check_int "col index" 1 (Table.col_index t "b");
+  check_bool "mem_col" true (Table.mem_col t "a");
+  check_bool "size positive" true (Table.size_bytes t > 0);
+  Alcotest.check_raises "bad arity"
+    (Invalid_argument "Table.make t: row arity 1, schema arity 2") (fun () ->
+      ignore (Table.make ~name:"t" ~schema:[ "a"; "b" ] [ [| None |] ]))
+
+let test_vp_store () =
+  let p = iri "p" and q = iri "q" in
+  let g =
+    Graph.of_list
+      [
+        Triple.make (iri "s1") p (Term.int 1);
+        Triple.make (iri "s2") p (Term.int 2);
+        Triple.make (iri "s1") q (Term.int 3);
+        Triple.make (iri "s1") Namespace.rdf_type (iri "T1");
+        Triple.make (iri "s2") Namespace.rdf_type (iri "T2");
+      ]
+  in
+  let vp = Vp_store.of_graph g in
+  check_int "p partition" 2 (Table.cardinality (Vp_store.property_table vp p));
+  check_int "q partition" 1 (Table.cardinality (Vp_store.property_table vp q));
+  check_int "type T1" 1 (Table.cardinality (Vp_store.type_table vp (iri "T1")));
+  check_int "missing property empty" 0
+    (Table.cardinality (Vp_store.property_table vp (iri "nope")));
+  let n, _ = Vp_store.stats vp in
+  check_int "four partitions" 4 n
+
+let row_list = Alcotest.(list (list (option string)))
+
+let rows_of t =
+  List.map
+    (fun row ->
+      Array.to_list (Array.map (Option.map Term.lexical) row))
+    (Relops.canonicalize t).Table.rows
+
+let test_hash_join_inner () =
+  let a =
+    Table.make ~name:"a" ~schema:[ "k"; "x" ]
+      [ [| Some (Term.int 1); Some (Term.str "a1") |];
+        [| Some (Term.int 2); Some (Term.str "a2") |];
+        [| None; Some (Term.str "anull") |] ]
+  in
+  let b =
+    Table.make ~name:"b" ~schema:[ "k"; "y" ]
+      [ [| Some (Term.int 1); Some (Term.str "b1") |];
+        [| Some (Term.int 1); Some (Term.str "b1bis") |];
+        [| Some (Term.int 3); Some (Term.str "b3") |] ]
+  in
+  let j = Relops.hash_join ~name:"j" a b in
+  check_int "two matches" 2 (Table.cardinality j);
+  Alcotest.(check (list string)) "schema" [ "k"; "x"; "y" ] j.Table.schema;
+  (* NULL keys never join. *)
+  check_bool "no null join" true
+    (List.for_all (fun r -> List.hd r <> None) (rows_of j))
+
+let test_hash_join_left_outer () =
+  let a =
+    Table.make ~name:"a" ~schema:[ "k" ]
+      [ [| Some (Term.int 1) |]; [| Some (Term.int 9) |]; [| None |] ]
+  in
+  let b =
+    Table.make ~name:"b" ~schema:[ "k"; "y" ]
+      [ [| Some (Term.int 1); Some (Term.str "hit") |] ]
+  in
+  let j = Relops.hash_join ~kind:`Left_outer ~name:"j" a b in
+  check_int "all left rows survive" 3 (Table.cardinality j);
+  let nulls =
+    List.length (List.filter (fun r -> List.nth r 1 = None) (rows_of j))
+  in
+  check_int "two padded" 2 nulls
+
+let test_cross_product () =
+  let a = Table.make ~name:"a" ~schema:[ "x" ] [ [| Some (Term.int 1) |]; [| Some (Term.int 2) |] ] in
+  let b = Table.make ~name:"b" ~schema:[ "y" ] [ [| Some (Term.int 3) |] ] in
+  let j = Relops.hash_join ~name:"j" a b in
+  check_int "cross product" 2 (Table.cardinality j)
+
+let test_group_by () =
+  let t =
+    Table.make ~name:"t" ~schema:[ "g"; "v" ]
+      [ [| Some (Term.str "a"); Some (Term.int 1) |];
+        [| Some (Term.str "a"); Some (Term.int 2) |];
+        [| Some (Term.str "b"); Some (Term.int 5) |];
+        [| Some (Term.str "a"); None |] ]
+  in
+  let aggs =
+    [ { Relops.func = Ast.Count; distinct = false; col = Some "v"; out = "c" };
+      { Relops.func = Ast.Sum; distinct = false; col = Some "v"; out = "s" };
+      { Relops.func = Ast.Count; distinct = false; col = None; out = "star" } ]
+  in
+  let r = Relops.group_by ~name:"r" ~keys:[ "g" ] ~aggs t in
+  check_int "two groups" 2 (Table.cardinality r);
+  (* rows_of canonicalizes: columns sort to [c; g; s; star]. *)
+  Alcotest.check row_list "values"
+    [ [ Some "1"; Some "b"; Some "5"; Some "1" ];
+      [ Some "2"; Some "a"; Some "3"; Some "3" ] ]
+    (rows_of r)
+
+let test_group_by_grand_total_empty () =
+  let t = Table.make ~name:"t" ~schema:[ "v" ] [] in
+  let aggs = [ { Relops.func = Ast.Count; distinct = false; col = Some "v"; out = "c" } ] in
+  let r = Relops.group_by ~name:"r" ~keys:[] ~aggs t in
+  Alcotest.check row_list "zero row" [ [ Some "0" ] ] (rows_of r)
+
+let test_distinct_and_project () =
+  let t =
+    Table.make ~name:"t" ~schema:[ "a"; "b" ]
+      [ [| Some (Term.int 1); Some (Term.int 2) |];
+        [| Some (Term.int 1); Some (Term.int 2) |];
+        [| Some (Term.int 1); Some (Term.int 3) |] ]
+  in
+  check_int "distinct" 2 (Table.cardinality (Relops.distinct t));
+  let p = Relops.project t [ "b" ] in
+  Alcotest.(check (list string)) "projected schema" [ "b" ] p.Table.schema;
+  check_int "projection keeps rows" 3 (Table.cardinality p)
+
+let test_project_exprs () =
+  let t =
+    Table.make ~name:"t" ~schema:[ "sumF"; "cntF" ]
+      [ [| Some (Term.int 10); Some (Term.int 4) |] ]
+  in
+  let items =
+    [ Ast.Svar "cntF";
+      Ast.Sexpr (Ast.Ebin (Ast.Div, Ast.Evar "sumF", Ast.Evar "cntF"), "avg") ]
+  in
+  let r = Relops.project_exprs ~name:"r" items t in
+  (* canonical column order: [avg; cntF] *)
+  Alcotest.check row_list "ratio" [ [ Some "2.5"; Some "4" ] ] (rows_of r)
+
+let test_same_results_modulo_order () =
+  let a =
+    Table.make ~name:"a" ~schema:[ "x"; "y" ]
+      [ [| Some (Term.int 1); Some (Term.int 2) |];
+        [| Some (Term.int 3); Some (Term.int 4) |] ]
+  in
+  let b =
+    Table.make ~name:"b" ~schema:[ "y"; "x" ]
+      [ [| Some (Term.int 4); Some (Term.int 3) |];
+        [| Some (Term.int 2); Some (Term.int 1) |] ]
+  in
+  check_bool "same modulo order" true (Relops.same_results a b);
+  let c = { b with Table.rows = List.tl b.Table.rows } in
+  check_bool "different cardinality" false (Relops.same_results a c)
+
+(* --- MR physical operators match the in-memory semantics ----------------- *)
+
+let gen_key = QCheck2.Gen.(map Term.int (0 -- 6))
+let gen_val = QCheck2.Gen.(map Term.int (0 -- 50))
+
+let gen_table ~schema =
+  QCheck2.Gen.(
+    map
+      (fun rows ->
+        Table.make ~name:"g" ~schema
+          (List.map
+             (fun (k, v) ->
+               [| (if Term.equal k (Term.int 6) then None else Some k); Some v |])
+             rows))
+      (list_size (0 -- 25) (pair gen_key gen_val)))
+
+let wf () = Workflow.create Cluster.default
+
+let prop_repartition_join_matches =
+  QCheck2.Test.make ~count:200 ~name:"repartition join = hash join"
+    QCheck2.Gen.(pair (gen_table ~schema:["k";"x"]) (gen_table ~schema:["k";"y"]))
+    (fun (a, b) ->
+      let expected = Relops.hash_join ~name:"e" a b in
+      let got = Mr_relops.repartition_join (wf ()) ~name:"g" a b in
+      Relops.same_results expected got)
+
+let prop_left_outer_matches =
+  QCheck2.Test.make ~count:200 ~name:"repartition left outer = hash left outer"
+    QCheck2.Gen.(pair (gen_table ~schema:["k";"x"]) (gen_table ~schema:["k";"y"]))
+    (fun (a, b) ->
+      let expected = Relops.hash_join ~kind:`Left_outer ~name:"e" a b in
+      let got = Mr_relops.repartition_join (wf ()) ~kind:`Left_outer ~name:"g" a b in
+      Relops.same_results expected got)
+
+let prop_map_join_matches =
+  QCheck2.Test.make ~count:200 ~name:"map join = hash join"
+    QCheck2.Gen.(pair (gen_table ~schema:["k";"x"]) (gen_table ~schema:["k";"y"]))
+    (fun (a, b) ->
+      let expected = Relops.hash_join ~name:"e" a b in
+      let got = Mr_relops.map_join (wf ()) ~name:"g" ~big:a ~small:b () in
+      Relops.same_results expected got)
+
+let prop_group_aggregate_matches =
+  QCheck2.Test.make ~count:200 ~name:"MR group-by = in-memory group-by"
+    (gen_table ~schema:["k";"v"])
+    (fun t ->
+      let aggs =
+        [ { Relops.func = Ast.Count; distinct = false; col = Some "v"; out = "c" };
+          { Relops.func = Ast.Sum; distinct = false; col = Some "v"; out = "s" };
+          { Relops.func = Ast.Min; distinct = false; col = Some "v"; out = "lo" };
+          { Relops.func = Ast.Max; distinct = true; col = Some "v"; out = "hi" } ]
+      in
+      let expected = Relops.group_by ~name:"e" ~keys:[ "k" ] ~aggs t in
+      let got = Mr_relops.group_aggregate (wf ()) ~name:"g" ~keys:[ "k" ] ~aggs t in
+      Relops.same_results expected got)
+
+let prop_distinct_project_matches =
+  QCheck2.Test.make ~count:200 ~name:"MR distinct = in-memory distinct"
+    (gen_table ~schema:["k";"v"])
+    (fun t ->
+      let expected = Relops.distinct (Relops.project t [ "k" ]) in
+      let got = Mr_relops.distinct_project (wf ()) ~name:"g" ~cols:[ "k" ] t in
+      Relops.same_results expected got)
+
+let suite =
+  [
+    Alcotest.test_case "table basics" `Quick test_table_basics;
+    Alcotest.test_case "vp store" `Quick test_vp_store;
+    Alcotest.test_case "hash join inner" `Quick test_hash_join_inner;
+    Alcotest.test_case "hash join left outer" `Quick test_hash_join_left_outer;
+    Alcotest.test_case "cross product" `Quick test_cross_product;
+    Alcotest.test_case "group by" `Quick test_group_by;
+    Alcotest.test_case "group by grand total on empty" `Quick test_group_by_grand_total_empty;
+    Alcotest.test_case "distinct and project" `Quick test_distinct_and_project;
+    Alcotest.test_case "project exprs" `Quick test_project_exprs;
+    Alcotest.test_case "same_results modulo order" `Quick test_same_results_modulo_order;
+    QCheck_alcotest.to_alcotest prop_repartition_join_matches;
+    QCheck_alcotest.to_alcotest prop_left_outer_matches;
+    QCheck_alcotest.to_alcotest prop_map_join_matches;
+    QCheck_alcotest.to_alcotest prop_group_aggregate_matches;
+    QCheck_alcotest.to_alcotest prop_distinct_project_matches;
+  ]
+
+let prop_canonicalize_idempotent =
+  QCheck2.Test.make ~count:200 ~name:"canonicalize is idempotent"
+    (gen_table ~schema:["k";"v"])
+    (fun t ->
+      let once = Relops.canonicalize t in
+      let twice = Relops.canonicalize once in
+      once.Table.schema = twice.Table.schema
+      && List.for_all2
+           (fun a b -> Relops.row_compare a b = 0)
+           once.Table.rows twice.Table.rows)
+
+let prop_same_results_reflexive =
+  QCheck2.Test.make ~count:200 ~name:"same_results is reflexive"
+    (gen_table ~schema:["k";"v"])
+    (fun t -> Relops.same_results t t)
+
+let prop_order_limit_deterministic =
+  QCheck2.Test.make ~count:200
+    ~name:"order_limit picks a deterministic prefix"
+    QCheck2.Gen.(pair (gen_table ~schema:["k";"v"]) (0 -- 5))
+    (fun (t, n) ->
+      let order_by = [ Ast.Desc "v"; Ast.Asc "k" ] in
+      let a = Relops.order_limit ~order_by ~limit:(Some n) t in
+      let b = Relops.order_limit ~order_by ~limit:(Some n) t in
+      Table.cardinality a = min n (Table.cardinality t)
+      && List.for_all2 (fun x y -> Relops.row_compare x y = 0) a.Table.rows
+           b.Table.rows
+      &&
+      (* the limited rows are a prefix of the full ordering *)
+      let full = Relops.order_limit ~order_by ~limit:None t in
+      List.for_all2
+        (fun x y -> Relops.row_compare x y = 0)
+        a.Table.rows
+        (List.filteri (fun i _ -> i < n) full.Table.rows))
+
+let suite =
+  suite
+  @ [
+      QCheck_alcotest.to_alcotest prop_canonicalize_idempotent;
+      QCheck_alcotest.to_alcotest prop_same_results_reflexive;
+      QCheck_alcotest.to_alcotest prop_order_limit_deterministic;
+    ]

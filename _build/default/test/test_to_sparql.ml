@@ -1,0 +1,138 @@
+(* SPARQL re-printer: printed text re-parses to the same AST (round trip)
+   — on every catalog query, on grouping-set expansions, and on random
+   queries from the property-test generator. Also covers the ORDER BY /
+   LIMIT modifiers end to end across the engines. *)
+
+module To_sparql = Rapida_sparql.To_sparql
+module Parser = Rapida_sparql.Parser
+module Ast = Rapida_sparql.Ast
+module Analytical = Rapida_sparql.Analytical
+module Catalog = Rapida_queries.Catalog
+module Engine = Rapida_core.Engine
+module Plan_util = Rapida_core.Plan_util
+module Relops = Rapida_relational.Relops
+module Table = Rapida_relational.Table
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let roundtrip src =
+  match Parser.parse src with
+  | Error e -> Alcotest.failf "original does not parse: %s\n%s" e src
+  | Ok q -> (
+    let printed = To_sparql.query q in
+    match Parser.parse printed with
+    | Error e -> Alcotest.failf "printed does not parse: %s\n%s" e printed
+    | Ok q' ->
+      if q <> q' then
+        Alcotest.failf "round trip changed the AST:\n%s\n--- printed:\n%s" src
+          printed)
+
+let test_catalog_roundtrip () =
+  List.iter (fun entry -> roundtrip entry.Catalog.sparql) Catalog.all
+
+let test_modifier_roundtrip () =
+  List.iter roundtrip
+    [
+      "SELECT ?g (COUNT(?x) AS ?n) { ?g v ?x . } GROUP BY ?g ORDER BY \
+       DESC(?n) LIMIT 10";
+      "SELECT DISTINCT ?g { ?g v ?x . FILTER(?x > 3 && ?x < 10) }";
+      {|SELECT ?s { ?s p "hello \"world\"" . }|};
+      {|SELECT ?s { ?s p "5"^^<http://www.w3.org/2001/XMLSchema#integer> . }|};
+      "SELECT (MIN(?x) AS ?lo) { ?s p ?x . FILTER regex(?s, \"abc\", \"i\") }";
+    ]
+
+let test_typed_literal_parses () =
+  match
+    Parser.parse
+      {|SELECT ?s { ?s p "7"^^<http://www.w3.org/2001/XMLSchema#integer> . }|}
+  with
+  | Error e -> Alcotest.fail e
+  | Ok q -> (
+    match q.Ast.base_select.Ast.where with
+    | [ Ast.Ptriple { tp_o = Ast.Nterm o; _ } ] ->
+      check_bool "typed as int" true
+        (Rapida_rdf.Term.equal o (Rapida_rdf.Term.int 7))
+    | _ -> Alcotest.fail "expected one triple")
+
+let test_analytical_reassembly () =
+  (* Reassembling the normal form and re-normalizing is stable. *)
+  List.iter
+    (fun entry ->
+      let q = Catalog.parse entry in
+      let printed = To_sparql.analytical q in
+      match Analytical.parse printed with
+      | Error e ->
+        Alcotest.failf "%s reassembly does not parse: %s\n%s" entry.Catalog.id
+          e printed
+      | Ok q' ->
+        check_int
+          (entry.Catalog.id ^ " same subquery count")
+          (List.length q.Analytical.subqueries)
+          (List.length q'.Analytical.subqueries))
+    Catalog.all
+
+let test_grouping_sets_printable () =
+  let sq =
+    List.hd
+      (Analytical.parse_exn
+         {|SELECT ?f (COUNT(?pr) AS ?cnt)
+  { ?p a ProductType1 . ?p productFeature ?f .
+    ?off product ?p . ?off price ?pr . }
+  GROUP BY ?f|})
+        .Analytical.subqueries
+  in
+  match Rapida_core.Grouping_sets.rollup sq ~dims:[ "f" ] with
+  | Error e -> Alcotest.fail e
+  | Ok q -> (
+    let printed = To_sparql.analytical q in
+    match Analytical.parse printed with
+    | Error e -> Alcotest.failf "rollup not printable: %s\n%s" e printed
+    | Ok _ -> ())
+
+(* ORDER BY / LIMIT applied identically by every engine. *)
+let test_order_limit_across_engines () =
+  let graph = Rapida_datagen.Bsbm.(generate (config ~products:100 ())) in
+  let input = Engine.input_of_graph graph in
+  let src =
+    "SELECT ?f (SUM(?pr) AS ?s) { ?p a ProductType1 . ?p productFeature ?f \
+     . ?off product ?p . ?off price ?pr . } GROUP BY ?f ORDER BY DESC(?s) \
+     LIMIT 3"
+  in
+  let expected =
+    match Rapida_ref.Ref_engine.run_sparql graph src with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  check_int "limited" 3 (Table.cardinality expected);
+  List.iter
+    (fun kind ->
+      match Engine.run_sparql kind Plan_util.default_options input src with
+      | Error e -> Alcotest.failf "%s: %s" (Engine.kind_name kind) e
+      | Ok { table; _ } ->
+        check_bool
+          (Engine.kind_name kind ^ " agrees under LIMIT")
+          true
+          (Relops.same_results expected table))
+    Engine.all_kinds
+
+let test_order_rejected_in_subquery () =
+  match
+    Analytical.parse
+      {|SELECT ?g ?n { { SELECT ?g (COUNT(?x) AS ?n) { ?g v ?x . } GROUP BY ?g ORDER BY ?g } }|}
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "subquery ORDER BY must be rejected"
+
+let suite =
+  [
+    Alcotest.test_case "catalog round trips" `Quick test_catalog_roundtrip;
+    Alcotest.test_case "modifier round trips" `Quick test_modifier_roundtrip;
+    Alcotest.test_case "typed literals" `Quick test_typed_literal_parses;
+    Alcotest.test_case "analytical reassembly" `Quick test_analytical_reassembly;
+    Alcotest.test_case "grouping sets printable" `Quick test_grouping_sets_printable;
+    Alcotest.test_case "ORDER/LIMIT across engines" `Quick
+      test_order_limit_across_engines;
+    Alcotest.test_case "subquery ORDER rejected" `Quick
+      test_order_rejected_in_subquery;
+  ]
