@@ -16,7 +16,11 @@
    (documented in DESIGN.md); the paper-facing claims are the shapes:
    who wins, by what factor, and where the crossovers are. Usage:
 
-     dune exec bench/main.exe [--scale N] [section ...]   (default: all) *)
+     dune exec bench/main.exe [--scale N] [--trace DIR] [section ...]
+                                                          (default: all)
+
+   With --trace DIR, each engine run writes its Chrome trace-event file
+   to DIR/<section>-<query>-<engine>.json. *)
 
 module Engine = Rapida_core.Engine
 module Plan_util = Rapida_core.Plan_util
@@ -26,12 +30,16 @@ module Report = Rapida_harness.Report
 
 let scale = ref 1
 let sections = ref []
+let trace_dir = ref None
 
 let () =
   let rec parse = function
     | [] -> ()
     | "--scale" :: n :: rest ->
       scale := int_of_string n;
+      parse rest
+    | "--trace" :: dir :: rest ->
+      trace_dir := Some dir;
       parse rest
     | s :: rest ->
       sections := s :: !sections;
@@ -47,13 +55,9 @@ let want section =
    GB) and this harness's (hundreds of KB), so that the startup-vs-data
    balance of each MR cycle matches the paper's regime. *)
 let options =
-  {
-    Plan_util.cluster = Rapida_mapred.Cluster.scaled_down ~factor:1.0e5;
-    map_join_threshold = 24 * 1024;
-    hive_compression = 0.06;
-    ntga_combiner = true;
-    ntga_filter_pushdown = true;
-  }
+  Plan_util.make
+    ~cluster:(Rapida_mapred.Cluster.scaled_down ~factor:1.0e5)
+    ~map_join_threshold:(24 * 1024) ()
 
 let all_engines = Engine.all_kinds
 let table3_engines = Engine.[ Hive_naive; Rapid_analytics ]
@@ -87,13 +91,46 @@ let section_fig7 () =
   Fmt.pr "@.== Figure 7: evaluated RDF analytical queries ==@.";
   Fmt.pr "%a" Catalog.pp_figure7 ()
 
-let report ~title ~engines runs =
+(* With --trace DIR, persist every engine run's span trace for offline
+   inspection (chrome://tracing / Perfetto). *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+let dump_traces ~section runs =
+  match !trace_dir with
+  | None -> ()
+  | Some dir ->
+    mkdir_p dir;
+    List.iter
+      (fun run ->
+        List.iter
+          (fun (r : Experiment.engine_result) ->
+            let path =
+              Filename.concat dir
+                (Printf.sprintf "%s-%s-%s.json" section
+                   run.Experiment.query.Catalog.id
+                   (Engine.kind_name r.engine))
+            in
+            Rapida_mapred.Trace.write_file r.Experiment.trace path)
+          run.Experiment.results)
+      runs
+
+let report ?section ~title ~engines runs =
   Fmt.pr "%a" (Report.pp_comparison ~title ~engines) runs;
   Fmt.pr "%a" (Report.pp_cycles ~title:(title ^ " - MR cycles") ~engines) runs;
   Fmt.pr "%a"
     (Report.pp_bytes ~title:(title ^ " - shuffle volume") ~engines)
     runs;
-  Fmt.pr "%a" Report.pp_verification runs
+  Fmt.pr "%a"
+    (Report.pp_phases ~title:(title ^ " - phase breakdown") ~engines)
+    runs;
+  Fmt.pr "%a" Report.pp_verification runs;
+  match section with
+  | Some section -> dump_traces ~section runs
+  | None -> ()
 
 let section_table3 () =
   let g_bsbm = queries [ "G1"; "G2"; "G3"; "G4" ] in
@@ -101,18 +138,18 @@ let section_table3 () =
     Experiment.run_queries ~engines:table3_engines options
       ~label:"BSBM-small" (Lazy.force bsbm_small) g_bsbm
   in
-  report ~title:"Table 3 (BSBM, small)" ~engines:table3_engines runs_small;
+  report ~section:"table3" ~title:"Table 3 (BSBM, small)" ~engines:table3_engines runs_small;
   let runs_large =
     Experiment.run_queries ~engines:table3_engines options
       ~label:"BSBM-large" (Lazy.force bsbm_large) g_bsbm
   in
-  report ~title:"Table 3 (BSBM, large)" ~engines:table3_engines runs_large;
+  report ~section:"table3" ~title:"Table 3 (BSBM, large)" ~engines:table3_engines runs_large;
   let g_chem = queries [ "G5"; "G6"; "G7"; "G8"; "G9" ] in
   let runs_chem =
     Experiment.run_queries ~engines:table3_engines options
       ~label:"Chem2Bio2RDF" (Lazy.force chem) g_chem
   in
-  report ~title:"Table 3 (Chem2Bio2RDF)" ~engines:table3_engines runs_chem
+  report ~section:"table3" ~title:"Table 3 (Chem2Bio2RDF)" ~engines:table3_engines runs_chem
 
 let section_fig8a () =
   let runs =
@@ -120,7 +157,7 @@ let section_fig8a () =
       (Lazy.force bsbm_small)
       (queries [ "MG1"; "MG2"; "MG3"; "MG4" ])
   in
-  report ~title:"Figure 8(a): MG1-MG4" ~engines:all_engines runs
+  report ~section:"fig8a" ~title:"Figure 8(a): MG1-MG4" ~engines:all_engines runs
 
 let section_fig8b () =
   let runs =
@@ -128,14 +165,14 @@ let section_fig8b () =
       (Lazy.force bsbm_large)
       (queries [ "MG1"; "MG2"; "MG3"; "MG4" ])
   in
-  report ~title:"Figure 8(b): MG1-MG4 (4x scale)" ~engines:all_engines runs
+  report ~section:"fig8b" ~title:"Figure 8(b): MG1-MG4 (4x scale)" ~engines:all_engines runs
 
 let section_fig8c () =
   let runs =
     Experiment.run_queries options ~label:"Chem2Bio2RDF" (Lazy.force chem)
       (queries [ "MG6"; "MG7"; "MG8"; "MG9"; "MG10" ])
   in
-  report ~title:"Figure 8(c): MG6-MG10" ~engines:all_engines runs
+  report ~section:"fig8c" ~title:"Figure 8(c): MG6-MG10" ~engines:all_engines runs
 
 let section_table4 () =
   let runs =
@@ -143,7 +180,7 @@ let section_table4 () =
       (queries
          [ "MG11"; "MG12"; "MG13"; "MG14"; "MG15"; "MG16"; "MG17"; "MG18" ])
   in
-  report ~title:"Table 4: MG11-MG18" ~engines:all_engines runs
+  report ~section:"table4" ~title:"Table 4: MG11-MG18" ~engines:all_engines runs
 
 (* Ablations over the design choices DESIGN.md calls out: each knob is
    toggled in isolation on a workload where it matters, reporting the
@@ -153,7 +190,7 @@ let section_ablation () =
   Fmt.pr "@.== Ablations ==@.";
   let run opts kind input id =
     match
-      Engine.run kind opts (Lazy.force input)
+      Engine.run kind (Plan_util.context opts) (Lazy.force input)
         (Catalog.parse (Catalog.find_exn id))
     with
     | Ok out -> out
@@ -171,19 +208,24 @@ let section_ablation () =
   in
   show "RA partial aggregation (MG1)"
     (run options Engine.Rapid_analytics bsbm_small "MG1")
-    (run { options with ntga_combiner = false } Engine.Rapid_analytics
-       bsbm_small "MG1");
+    (run
+       (Plan_util.make ~base:options ~ntga_combiner:false ())
+       Engine.Rapid_analytics bsbm_small "MG1");
   show "RA filter pushdown (G6)"
     (run options Engine.Rapid_analytics chem "G6")
-    (run { options with ntga_filter_pushdown = false } Engine.Rapid_analytics
-       chem "G6");
+    (run
+       (Plan_util.make ~base:options ~ntga_filter_pushdown:false ())
+       Engine.Rapid_analytics chem "G6");
   show "Hive map-joins (G5)"
     (run options Engine.Hive_naive chem "G5")
-    (run { options with map_join_threshold = 0 } Engine.Hive_naive chem "G5");
+    (run
+       (Plan_util.make ~base:options ~map_join_threshold:0 ())
+       Engine.Hive_naive chem "G5");
   show "Hive ORC storage (MG3)"
     (run options Engine.Hive_naive bsbm_small "MG3")
-    (run { options with hive_compression = 1.0 } Engine.Hive_naive bsbm_small
-       "MG3")
+    (run
+       (Plan_util.make ~base:options ~hive_compression:1.0 ())
+       Engine.Hive_naive bsbm_small "MG3")
 
 (* Wall-clock microbenchmarks of the real in-memory executions, per
    engine, on representative queries from each workload. *)
@@ -197,7 +239,7 @@ let section_wall () =
         Test.make
           ~name:(Printf.sprintf "%s/%s/%s" label id (Engine.kind_name kind))
           (Staged.stage (fun () ->
-               match Engine.run kind options input q with
+               match Engine.run kind (Plan_util.context options) input q with
                | Ok _ -> ()
                | Error msg -> failwith msg)))
       all_engines

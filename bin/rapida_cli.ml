@@ -12,6 +12,10 @@ module Catalog = Rapida_queries.Catalog
 module Table = Rapida_relational.Table
 module Relops = Rapida_relational.Relops
 module Stats = Rapida_mapred.Stats
+module Exec_ctx = Rapida_mapred.Exec_ctx
+module Metrics = Rapida_mapred.Metrics
+module Trace = Rapida_mapred.Trace
+module Json = Rapida_mapred.Json
 module Graph = Rapida_rdf.Graph
 module Rterm = Rapida_rdf.Term
 
@@ -73,6 +77,24 @@ let print_table t =
       print_string (String.concat "  " cells);
       print_newline ())
     t.Table.rows
+
+let table_json t =
+  Json.Obj
+    [
+      ("schema", Json.List (List.map (fun c -> Json.String c) t.Table.schema));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row ->
+               Json.List
+                 (Array.to_list
+                    (Array.map
+                       (function
+                         | Some v -> Json.String (Rterm.lexical v)
+                         | None -> Json.Null)
+                       row)))
+             t.Table.rows) );
+    ]
 
 (* --- gen ---------------------------------------------------------------- *)
 
@@ -169,39 +191,81 @@ let query_cmd =
   let show_stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print per-job simulator statistics.")
   in
-  let run (data, query_file, catalog_id) engine verify show_stats verbose =
+  let trace_file =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace-event file (one span per simulated \
+                   job phase; open in chrome://tracing or Perfetto).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the result table, statistics with per-phase time \
+                   breakdown, and counters as JSON.")
+  in
+  let run (data, query_file, catalog_id) engine verify show_stats trace_file
+      json verbose =
     setup_logs verbose;
     let ( let* ) = Result.bind in
+    let ctx = Plan_util.context Plan_util.default_options in
     match
       let* graph = load_graph data in
       let* src = query_text query_file catalog_id in
       let input = Engine.input_of_graph graph in
-      let* out = Engine.run_sparql engine Plan_util.default_options input src in
+      let* out = Engine.run_sparql engine ctx input src in
       let* () =
         if not verify then Ok ()
         else
           let* expected = Rapida_ref.Ref_engine.run_sparql graph src in
           if Relops.same_results expected out.Engine.table then begin
-            print_endline "verification: result matches the reference evaluator";
+            if not json then
+              print_endline
+                "verification: result matches the reference evaluator";
             Ok ()
           end
           else Error "verification FAILED: result differs from reference"
       in
-      Ok (out.Engine.table, out.Engine.stats)
+      Ok out
     with
     | Error msg ->
       prerr_endline ("error: " ^ msg);
       exit 1
-    | Ok (table, stats) ->
-      print_table table;
-      Fmt.pr "-- %d rows; %a@." (Table.cardinality table) Stats.pp_summary stats;
-      if show_stats then Fmt.pr "%a@." Stats.pp stats
+    | Ok { Engine.table; stats; trace } ->
+      (match trace_file with
+      | Some path -> (
+        match Trace.write_file trace path with
+        | () ->
+          if not json then
+            Printf.printf "wrote trace (%d events) to %s\n"
+              (List.length (Trace.events trace))
+              path
+        | exception Sys_error msg ->
+          prerr_endline ("error: cannot write trace: " ^ msg);
+          exit 1)
+      | None -> ());
+      if json then
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("engine", Json.String (Engine.kind_name engine));
+                  ("rows", Json.Int (Table.cardinality table));
+                  ("table", table_json table);
+                  ("stats", Stats.to_json stats);
+                  ("counters", Metrics.to_json (Exec_ctx.metrics ctx));
+                ]))
+      else begin
+        print_table table;
+        Fmt.pr "-- %d rows; %a@." (Table.cardinality table) Stats.pp_summary
+          stats;
+        if show_stats then Fmt.pr "%a@." Stats.pp stats
+      end
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a SPARQL analytical query on a dataset")
     Term.(const run
           $ query_source_args (fun d q c -> (d, q, c))
-          $ engine $ verify $ show_stats $ verbose_arg)
+          $ engine $ verify $ show_stats $ trace_file $ json $ verbose_arg)
 
 (* --- explain ------------------------------------------------------------ *)
 
@@ -214,7 +278,13 @@ let explain_cmd =
     Arg.(value & opt (some string) None
          & info [ "c"; "catalog" ] ~doc:"Catalog query id.")
   in
-  let run query_file catalog_id =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the plan description and predicted MR-cycle counts \
+                   per engine as JSON.")
+  in
+  let run query_file catalog_id json =
     match
       Result.bind (query_text query_file catalog_id) (fun src ->
           Rapida_sparql.Analytical.parse src)
@@ -223,20 +293,42 @@ let explain_cmd =
       prerr_endline ("error: " ^ msg);
       exit 1
     | Ok q ->
-      Fmt.pr "%a@." Rapida_sparql.Analytical.pp q;
-      (match q.Rapida_sparql.Analytical.subqueries with
-      | a :: b :: _ ->
-        let report = Rapida_core.Overlap.check a b in
-        Fmt.pr "@.%a@." Rapida_core.Overlap.pp_report report
-      | _ -> ());
-      Fmt.pr "@.%s@." (Rapida_core.Rapid_analytics.plan_description q);
-      Fmt.pr "@.predicted MapReduce workflow lengths:@.%s@."
-        (Rapida_core.Plan_summary.describe q)
+      if json then
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [
+                  ( "subqueries",
+                    Json.Int
+                      (List.length q.Rapida_sparql.Analytical.subqueries) );
+                  ( "plan",
+                    Json.String (Rapida_core.Rapid_analytics.plan_description q)
+                  );
+                  ( "predicted_cycles",
+                    Json.Obj
+                      (List.map
+                         (fun kind ->
+                           ( Engine.kind_name kind,
+                             Json.Int (Rapida_core.Plan_summary.predict kind q)
+                           ))
+                         Engine.all_kinds) );
+                ]))
+      else begin
+        Fmt.pr "%a@." Rapida_sparql.Analytical.pp q;
+        (match q.Rapida_sparql.Analytical.subqueries with
+        | a :: b :: _ ->
+          let report = Rapida_core.Overlap.check a b in
+          Fmt.pr "@.%a@." Rapida_core.Overlap.pp_report report
+        | _ -> ());
+        Fmt.pr "@.%s@." (Rapida_core.Rapid_analytics.plan_description q);
+        Fmt.pr "@.predicted MapReduce workflow lengths:@.%s@."
+          (Rapida_core.Plan_summary.describe q)
+      end
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Show overlap analysis and the composite rewriting for a query")
-    Term.(const run $ query_file $ catalog_id)
+    Term.(const run $ query_file $ catalog_id $ json)
 
 (* --- catalog ------------------------------------------------------------ *)
 

@@ -66,9 +66,10 @@ let () =
      so the optimizer reports why and falls back to the naive NTGA plan —
      exactly the scoping rule of Def. 3.1. *)
   print_endline (Rapida_core.Rapid_analytics.plan_description q);
-  match Engine.run Engine.Rapid_analytics Plan_util.default_options input q with
+  let ctx = Plan_util.context Plan_util.default_options in
+  match Engine.run Engine.Rapid_analytics ctx input q with
   | Error msg -> prerr_endline ("error: " ^ msg)
-  | Ok { table; stats } ->
+  | Ok { table; stats; _ } ->
     let sorted = Rapida_relational.Relops.canonicalize table in
     Fmt.pr "%a@." Table.pp sorted;
     Fmt.pr "executed in %a@." Rapida_mapred.Stats.pp_summary stats;

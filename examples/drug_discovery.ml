@@ -10,13 +10,12 @@ module Plan_util = Rapida_core.Plan_util
 module Catalog = Rapida_queries.Catalog
 module Table = Rapida_relational.Table
 
-let options = Plan_util.default_options
-
 let run_and_show input entry =
   Fmt.pr "@.-- %s: %s@." entry.Catalog.id entry.Catalog.description;
-  match Engine.run Engine.Rapid_analytics options input (Catalog.parse entry) with
+  let ctx = Plan_util.context Plan_util.default_options in
+  match Engine.run Engine.Rapid_analytics ctx input (Catalog.parse entry) with
   | Error msg -> prerr_endline ("error: " ^ msg)
-  | Ok { table; stats } ->
+  | Ok { table; stats; _ } ->
     let preview =
       { table with
         Table.rows = List.filteri (fun i _ -> i < 8) table.Table.rows }

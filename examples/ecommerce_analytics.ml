@@ -17,13 +17,9 @@ let () =
     (Rapida_rdf.Graph.size graph);
   let input = Engine.input_of_graph graph in
   let options =
-    {
-      Plan_util.cluster = Rapida_mapred.Cluster.scaled_down ~factor:1.0e5;
-      map_join_threshold = 24 * 1024;
-      hive_compression = 0.06;
-      ntga_combiner = true;
-      ntga_filter_pushdown = true;
-    }
+    Plan_util.make
+      ~cluster:(Rapida_mapred.Cluster.scaled_down ~factor:1.0e5)
+      ~map_join_threshold:(24 * 1024) ()
   in
   let runs =
     Experiment.run_queries options ~label:"bsbm-example" input
@@ -40,7 +36,7 @@ let () =
   Fmt.pr "%a" Report.pp_verification runs;
   (* Peek at the actual answer: top rows of the MG1 result. *)
   match
-    Engine.run Engine.Rapid_analytics options input
+    Engine.run Engine.Rapid_analytics (Plan_util.context options) input
       (Catalog.parse (Catalog.find_exn "MG1"))
   with
   | Error msg -> prerr_endline msg

@@ -24,7 +24,8 @@ let base =
   GROUP BY ?f ?c|}
 
 let run_ra input q =
-  match Engine.run Engine.Rapid_analytics Plan_util.default_options input q with
+  let ctx = Plan_util.context Plan_util.default_options in
+  match Engine.run Engine.Rapid_analytics ctx input q with
   | Ok out -> out
   | Error msg -> failwith msg
 
@@ -42,7 +43,7 @@ let () =
     (To_sparql.analytical rollup);
   Fmt.pr "@.predicted workflow lengths:@.%s@."
     (Rapida_core.Plan_summary.describe rollup);
-  let { Engine.table; stats } = run_ra input rollup in
+  let { Engine.table; stats; _ } = run_ra input rollup in
   Fmt.pr
     "@.rollup computed in %a@.(all three grouping levels share one composite \
      pattern and one Agg-Join cycle)@."

@@ -56,11 +56,9 @@ let () =
   let q = Rapida_sparql.Analytical.parse_exn query in
   print_endline (Rapida_core.Rapid_analytics.plan_description q);
   print_newline ();
-  match
-    Engine.run_sparql Engine.Rapid_analytics Plan_util.default_options input
-      query
-  with
+  let ctx = Plan_util.context Plan_util.default_options in
+  match Engine.run_sparql Engine.Rapid_analytics ctx input query with
   | Error msg -> prerr_endline ("error: " ^ msg)
-  | Ok { table; stats } ->
+  | Ok { table; stats; _ } ->
     Fmt.pr "%a@." Table.pp table;
     Fmt.pr "executed in %a@." Rapida_mapred.Stats.pp_summary stats

@@ -4,6 +4,8 @@ module Table = Rapida_relational.Table
 module Vp_store = Rapida_relational.Vp_store
 module Tg_store = Rapida_ntga.Tg_store
 module Stats = Rapida_mapred.Stats
+module Exec_ctx = Rapida_mapred.Exec_ctx
+module Trace = Rapida_mapred.Trace
 
 type kind = Hive_naive | Hive_mqo | Rapid_plus | Rapid_analytics
 
@@ -37,18 +39,26 @@ let input_of_graph graph =
 
 let graph_of_input input = input.graph
 
-type output = { table : Table.t; stats : Stats.t }
+type output = { table : Table.t; stats : Stats.t; trace : Trace.t }
 
-let run kind options input query =
+let run kind ctx input query =
   let result =
     match kind with
-    | Hive_naive -> Hive_naive.run options (Lazy.force input.vp) query
-    | Hive_mqo -> Hive_mqo.run options (Lazy.force input.vp) query
-    | Rapid_plus -> Rapid_plus.run options (Lazy.force input.tg_store) query
+    | Hive_naive -> Hive_naive.run ctx (Lazy.force input.vp) query
+    | Hive_mqo -> Hive_mqo.run ctx (Lazy.force input.vp) query
+    | Rapid_plus -> Rapid_plus.run ctx (Lazy.force input.tg_store) query
     | Rapid_analytics ->
-      Rapid_analytics.run options (Lazy.force input.tg_store) query
+      Rapid_analytics.run ctx (Lazy.force input.tg_store) query
   in
-  Result.map (fun (table, stats) -> { table; stats }) result
+  Result.map
+    (fun (table, stats) -> { table; stats; trace = Exec_ctx.trace ctx })
+    result
 
-let run_sparql kind options input src =
-  Result.bind (Analytical.parse src) (run kind options input)
+let run_sparql kind ctx input src =
+  Result.bind (Analytical.parse src) (run kind ctx input)
+
+let run_with_options kind options input query =
+  run kind (Plan_util.context options) input query
+
+let run_sparql_with_options kind options input src =
+  run_sparql kind (Plan_util.context options) input src

@@ -1,10 +1,19 @@
 (** Engine dispatch: the four evaluation strategies the paper compares,
-    behind one interface. *)
+    behind one interface.
+
+    Every run goes through an execution context
+    ({!Rapida_mapred.Exec_ctx}): the context picks the cluster model and
+    planner options, and collects the per-phase trace and counters as the
+    simulated jobs execute. Create a fresh context per query run (e.g.
+    with {!Plan_util.context}) so the telemetry attributes to a single
+    execution. *)
 
 open Rapida_rdf
 module Analytical = Rapida_sparql.Analytical
 module Table = Rapida_relational.Table
 module Stats = Rapida_mapred.Stats
+module Exec_ctx = Rapida_mapred.Exec_ctx
+module Trace = Rapida_mapred.Trace
 
 type kind = Hive_naive | Hive_mqo | Rapid_plus | Rapid_analytics
 
@@ -19,14 +28,30 @@ type input
 val input_of_graph : Graph.t -> input
 val graph_of_input : input -> Graph.t
 
-type output = { table : Table.t; stats : Stats.t }
+type output = {
+  table : Table.t;
+  stats : Stats.t;
+  trace : Trace.t;  (** the context's trace, one span per simulated phase *)
+}
 
-(** [run kind options input query] evaluates an analytical query with the
-    chosen engine. *)
+(** [run kind ctx input query] evaluates an analytical query with the
+    chosen engine, recording telemetry into [ctx]. *)
 val run :
+  kind -> Exec_ctx.t -> input -> Analytical.t -> (output, string) result
+
+(** [run_sparql kind ctx input src] parses and runs. *)
+val run_sparql :
+  kind -> Exec_ctx.t -> input -> string -> (output, string) result
+
+val run_with_options :
   kind -> Plan_util.options -> input -> Analytical.t ->
   (output, string) result
+[@@ocaml.deprecated
+  "Use run with an Exec_ctx (e.g. Plan_util.context options); this shim \
+   will be removed next release."]
 
-(** [run_sparql kind options input src] parses and runs. *)
-val run_sparql :
+val run_sparql_with_options :
   kind -> Plan_util.options -> input -> string -> (output, string) result
+[@@ocaml.deprecated
+  "Use run_sparql with an Exec_ctx (e.g. Plan_util.context options); this \
+   shim will be removed next release."]

@@ -16,22 +16,22 @@ let is_prim composite (c : Composite.ctp) =
 
 (* One composite star, assembled in one multiway MR cycle: inner joins on
    the shared triples, left outer joins on the pattern-specific ones. *)
-let star_table wf options vp composite (star : Composite.star) =
+let star_table wf vp composite (star : Composite.star) =
   let required, optional =
     List.partition (is_prim composite) star.ctps
   in
   let scan = Plan_util.ctp_table vp ~subject_var:star.subject_var in
-  Plan_util.star_join wf options
+  Plan_util.star_join wf
     ~name:(Printf.sprintf "mqo_star%d" star.cs_id)
     ~required:(List.map scan required)
     ~optional:(List.map scan optional)
 
-let eval_composite wf options vp (composite : Composite.t) =
+let eval_composite wf vp (composite : Composite.t) =
   let star_of id =
     List.find (fun (s : Composite.star) -> s.cs_id = id) composite.stars
   in
   match composite.stars with
-  | [ only ] -> star_table wf options vp composite only
+  | [ only ] -> star_table wf vp composite only
   | _ -> (
     match Composite.join_plan composite with
     | Error msg -> failwith msg
@@ -41,9 +41,9 @@ let eval_composite wf options vp (composite : Composite.t) =
       Hashtbl.add seen first.Star.left.star ();
       Hashtbl.add seen first.Star.right.star ();
       let init =
-        Plan_util.pair_join wf options ~name:"mqo_join0"
-          (star_table wf options vp composite (star_of first.Star.left.star))
-          (star_table wf options vp composite (star_of first.Star.right.star))
+        Plan_util.pair_join wf ~name:"mqo_join0"
+          (star_table wf vp composite (star_of first.Star.left.star))
+          (star_table wf vp composite (star_of first.Star.right.star))
       in
       let acc, _ =
         List.fold_left
@@ -54,10 +54,10 @@ let eval_composite wf options vp (composite : Composite.t) =
             in
             Hashtbl.replace seen new_star ();
             let joined =
-              Plan_util.pair_join wf options
+              Plan_util.pair_join wf
                 ~name:(Printf.sprintf "mqo_join%d" i)
                 acc
-                (star_table wf options vp composite (star_of new_star))
+                (star_table wf vp composite (star_of new_star))
             in
             (joined, i + 1))
           (init, 1) rest
@@ -112,10 +112,10 @@ let extract_and_aggregate wf composite q_opt (sq : Analytical.subquery)
     ~keys:sq.group_by ~aggs:(Plan_util.agg_specs sq) renamed
   |> Plan_util.finish_subquery sq
 
-let run_composite options vp (q : Analytical.t) composite =
-  let wf = Workflow.create (Plan_util.hive_cluster options) in
+let run_composite ctx vp (q : Analytical.t) composite =
+  let wf = Workflow.create (Plan_util.hive_ctx ctx) in
   match
-    let q_opt = eval_composite wf options vp composite in
+    let q_opt = eval_composite wf vp composite in
     let tables =
       List.map
         (fun (sq : Analytical.subquery) ->
@@ -127,13 +127,13 @@ let run_composite options vp (q : Analytical.t) composite =
           extract_and_aggregate wf composite q_opt sq info)
         q.subqueries
     in
-    Plan_util.final_join wf options q tables
+    Plan_util.final_join wf q tables
   with
   | table -> Ok (table, Workflow.stats wf)
   | exception Failure msg -> Error msg
   | exception Invalid_argument msg -> Error msg
 
-let run options vp (q : Analytical.t) =
+let run ctx vp (q : Analytical.t) =
   match Composite.build q.subqueries with
-  | Ok composite -> run_composite options vp q composite
-  | Error _ -> Hive_naive.run options vp q
+  | Ok composite -> run_composite ctx vp q composite
+  | Error _ -> Hive_naive.run ctx vp q

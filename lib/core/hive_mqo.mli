@@ -17,5 +17,5 @@ module Vp_store = Rapida_relational.Vp_store
 module Stats = Rapida_mapred.Stats
 
 val run :
-  Plan_util.options -> Vp_store.t -> Analytical.t ->
+  Rapida_mapred.Exec_ctx.t -> Vp_store.t -> Analytical.t ->
   (Table.t * Stats.t, string) result

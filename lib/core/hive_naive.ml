@@ -18,12 +18,12 @@ let needed_vars (sq : Analytical.subquery) =
 let edge_vars (sq : Analytical.subquery) =
   List.map (fun (e : Star.edge) -> e.var) sq.edges |> List.sort_uniq String.compare
 
-let eval_subquery wf options vp (sq : Analytical.subquery) =
+let eval_subquery wf vp (sq : Analytical.subquery) =
   let keep = needed_vars sq @ edge_vars sq in
   let star_table (star : Star.t) =
     let tables = List.map (Plan_util.tp_table vp) star.patterns in
     let t =
-      Plan_util.star_join wf options
+      Plan_util.star_join wf
         ~name:(Printf.sprintf "sq%d_star%d" sq.sq_id star.id)
         ~required:tables ~optional:[]
     in
@@ -47,7 +47,7 @@ let eval_subquery wf options vp (sq : Analytical.subquery) =
         Hashtbl.add seen first.Star.left.star ();
         Hashtbl.add seen first.Star.right.star ();
         let init =
-          Plan_util.pair_join wf options
+          Plan_util.pair_join wf
             ~name:(Printf.sprintf "sq%d_join0" sq.sq_id)
             (star_table (star_of first.Star.left.star))
             (star_table (star_of first.Star.right.star))
@@ -61,7 +61,7 @@ let eval_subquery wf options vp (sq : Analytical.subquery) =
               in
               Hashtbl.replace seen new_star ();
               let joined =
-                Plan_util.pair_join wf options
+                Plan_util.pair_join wf
                   ~name:(Printf.sprintf "sq%d_join%d" sq.sq_id i)
                   acc
                   (star_table (star_of new_star))
@@ -81,11 +81,11 @@ let eval_subquery wf options vp (sq : Analytical.subquery) =
     ~keys:sq.group_by ~aggs:(Plan_util.agg_specs sq) joined
   |> Plan_util.finish_subquery sq
 
-let run options vp (q : Analytical.t) =
-  let wf = Workflow.create (Plan_util.hive_cluster options) in
+let run ctx vp (q : Analytical.t) =
+  let wf = Workflow.create (Plan_util.hive_ctx ctx) in
   match
-    let tables = List.map (eval_subquery wf options vp) q.subqueries in
-    Plan_util.final_join wf options q tables
+    let tables = List.map (eval_subquery wf vp) q.subqueries in
+    Plan_util.final_join wf q tables
   with
   | table -> Ok (table, Workflow.stats wf)
   | exception Failure msg -> Error msg

@@ -8,6 +8,7 @@ module Mr_relops = Rapida_relational.Mr_relops
 module Vp_store = Rapida_relational.Vp_store
 module Workflow = Rapida_mapred.Workflow
 module Job = Rapida_mapred.Job
+module Exec_ctx = Rapida_mapred.Exec_ctx
 
 type options = {
   cluster : Rapida_mapred.Cluster.t;
@@ -26,11 +27,40 @@ let default_options =
     ntga_filter_pushdown = true;
   }
 
-let hive_cluster options =
+let make ?(base = default_options) ?cluster ?map_join_threshold
+    ?hive_compression ?ntga_combiner ?ntga_filter_pushdown () =
   {
-    options.cluster with
-    Rapida_mapred.Cluster.compression_ratio = options.hive_compression;
+    cluster = Option.value ~default:base.cluster cluster;
+    map_join_threshold =
+      Option.value ~default:base.map_join_threshold map_join_threshold;
+    hive_compression =
+      Option.value ~default:base.hive_compression hive_compression;
+    ntga_combiner = Option.value ~default:base.ntga_combiner ntga_combiner;
+    ntga_filter_pushdown =
+      Option.value ~default:base.ntga_filter_pushdown ntga_filter_pushdown;
   }
+
+let context options =
+  Exec_ctx.create ~cluster:options.cluster
+    ~planner:
+      {
+        Exec_ctx.map_join_threshold = options.map_join_threshold;
+        hive_compression = options.hive_compression;
+        ntga_combiner = options.ntga_combiner;
+        ntga_filter_pushdown = options.ntga_filter_pushdown;
+      }
+    ()
+
+let hive_ctx ctx =
+  Exec_ctx.with_cluster ctx
+    {
+      (Exec_ctx.cluster ctx) with
+      Rapida_mapred.Cluster.compression_ratio =
+        (Exec_ctx.planner ctx).Exec_ctx.hive_compression;
+    }
+
+(* The planner options a workflow's jobs were configured with. *)
+let planner_of wf = Exec_ctx.planner (Workflow.ctx wf)
 
 let var_name = function
   | Ast.Nvar v -> v
@@ -303,7 +333,7 @@ let star_join_map_only wf ~name ~required ~optional ~stream_index =
   let rows = Workflow.run_map_only wf spec stream.Table.rows in
   Table.make ~name ~schema:(star_schema subject required optional) rows
 
-let star_join wf options ~name ~required ~optional =
+let star_join wf ~name ~required ~optional =
   match required, optional with
   | [ only ], [] -> only
   | _ ->
@@ -311,7 +341,10 @@ let star_join wf options ~name ~required ~optional =
     let sizes = List.map Table.size_bytes all in
     let max_size = List.fold_left max 0 sizes in
     let small_enough =
-      List.length (List.filter (fun s -> s < options.map_join_threshold) sizes)
+      List.length
+        (List.filter
+           (fun s -> s < (planner_of wf).Exec_ctx.map_join_threshold)
+           sizes)
       >= List.length all - 1
     in
     (* The streamed table must be required (outer-joining a streamed
@@ -328,12 +361,11 @@ let star_join wf options ~name ~required ~optional =
       star_join_map_only wf ~name ~required ~optional ~stream_index:i
     | _ -> star_join_mr wf ~name ~required ~optional)
 
-let pair_join wf options ~name a b =
+let pair_join wf ~name a b =
+  let threshold = (planner_of wf).Exec_ctx.map_join_threshold in
   let sa = Table.size_bytes a and sb = Table.size_bytes b in
-  if sb < options.map_join_threshold then
-    Mr_relops.map_join wf ~name ~big:a ~small:b ()
-  else if sa < options.map_join_threshold then
-    Mr_relops.map_join wf ~name ~big:b ~small:a ()
+  if sb < threshold then Mr_relops.map_join wf ~name ~big:a ~small:b ()
+  else if sa < threshold then Mr_relops.map_join wf ~name ~big:b ~small:a ()
   else Mr_relops.repartition_join wf ~name a b
 
 (* --- Filters and projections ------------------------------------------- *)
@@ -408,13 +440,12 @@ let apply_having (sq : Analytical.subquery) table =
 let finish_subquery sq table =
   apply_having sq (ensure_total_row sq table)
 
-let final_join wf options (q : Analytical.t) tables =
+let final_join wf (q : Analytical.t) tables =
   let finish t =
     Relops.project_exprs ~name:"result" q.outer_projection t
     |> Relops.order_limit ~order_by:q.Analytical.order_by
          ~limit:q.Analytical.limit
   in
-  ignore options;
   match tables with
   | [] -> invalid_arg "final_join: no subquery results"
   | [ only ] -> finish only

@@ -11,6 +11,7 @@ module Analytical = Rapida_sparql.Analytical
 module Table = Rapida_relational.Table
 module Vp_store = Rapida_relational.Vp_store
 module Workflow = Rapida_mapred.Workflow
+module Exec_ctx = Rapida_mapred.Exec_ctx
 
 type options = {
   cluster : Rapida_mapred.Cluster.t;
@@ -31,11 +32,29 @@ type options = {
           filter instead of at aggregation time. *)
 }
 
-(** [hive_cluster options] is the cluster with the Hive engines' storage
-    compression applied. *)
-val hive_cluster : options -> Rapida_mapred.Cluster.t
-
 val default_options : options
+
+(** [make ()] is {!default_options}; each argument overrides one field.
+    [?base] picks the record the unspecified fields come from, so option
+    fields can be added later without breaking any caller — construct
+    options with [make], never with a record literal. *)
+val make :
+  ?base:options ->
+  ?cluster:Rapida_mapred.Cluster.t ->
+  ?map_join_threshold:int ->
+  ?hive_compression:float ->
+  ?ntga_combiner:bool ->
+  ?ntga_filter_pushdown:bool ->
+  unit -> options
+
+(** [context options] is a fresh execution context (empty trace and
+    counters) configured with [options]. Create one per query run. *)
+val context : options -> Exec_ctx.t
+
+(** [hive_ctx ctx] prices jobs with the Hive engines' storage compression
+    applied to the cluster, sharing [ctx]'s planner, trace, and
+    counters. *)
+val hive_ctx : Exec_ctx.t -> Exec_ctx.t
 
 (** [tp_table vp tp] scans the VP partition of a triple pattern into a
     table whose columns are named by the pattern's variables. Constant
@@ -48,20 +67,19 @@ val tp_table : Vp_store.t -> Ast.triple_pattern -> Table.t
     witness column) — the form the MQO rewriting needs. *)
 val ctp_table : Vp_store.t -> subject_var:Ast.var -> Composite.ctp -> Table.t
 
-(** [star_join wf options ~name ~required ~optional] joins tables sharing
+(** [star_join wf ~name ~required ~optional] joins tables sharing
     their subject column in one MR cycle (Hive merges same-key joins):
     inner on [required], left-outer on [optional]. Becomes a map-only
     cycle when every table but the largest required one fits the map-join
-    threshold. A single required table with no optionals is returned
-    as-is (a scan is not a join). *)
+    threshold of the workflow's context. A single required table with no
+    optionals is returned as-is (a scan is not a join). *)
 val star_join :
-  Workflow.t -> options -> name:string -> required:Table.t list ->
+  Workflow.t -> name:string -> required:Table.t list ->
   optional:Table.t list -> Table.t
 
-(** [pair_join wf options ~name a b] is a natural join as one MR cycle,
+(** [pair_join wf ~name a b] is a natural join as one MR cycle,
     map-only when one side fits the threshold. *)
-val pair_join :
-  Workflow.t -> options -> name:string -> Table.t -> Table.t -> Table.t
+val pair_join : Workflow.t -> name:string -> Table.t -> Table.t -> Table.t
 
 (** [apply_ready_filters table filters] applies (map-side, no cycle) every
     filter whose variables are all present as columns; returns the
@@ -89,11 +107,10 @@ val apply_having : Analytical.subquery -> Table.t -> Table.t
     {!apply_having} — the post-aggregation finish every engine applies. *)
 val finish_subquery : Analytical.subquery -> Table.t -> Table.t
 
-(** [final_join wf options q tables] joins the per-subquery result tables
+(** [final_join wf q tables] joins the per-subquery result tables
     (map-only cycles, as the aggregated results are small) and applies the
     outer projection. Single-table queries skip the join. *)
-val final_join :
-  Workflow.t -> options -> Analytical.t -> Table.t list -> Table.t
+val final_join : Workflow.t -> Analytical.t -> Table.t list -> Table.t
 
 (** [push_star_filters star filters] splits [filters] into those
     evaluable during the map-side group filter of [star] —

@@ -5,15 +5,16 @@ module Joined = Rapida_ntga.Joined
 module Tg_store = Rapida_ntga.Tg_store
 module Workflow = Rapida_mapred.Workflow
 module Stats = Rapida_mapred.Stats
+module Exec_ctx = Rapida_mapred.Exec_ctx
 module Table = Rapida_relational.Table
 
 (* Star-local filters are pushed into the scan only for single-pattern
    queries; with several patterns the paper's scope assumes identical
    filters across patterns, and the catalog's multi-pattern queries carry
    none, so the general case keeps filters in the aggregation phase. *)
-let star_filter_refine options (q : Analytical.t) (star : Composite.star) =
+let star_filter_refine planner (q : Analytical.t) (star : Composite.star) =
   match q.subqueries with
-  | _ when not options.Plan_util.ntga_filter_pushdown -> Option.some
+  | _ when not planner.Exec_ctx.ntga_filter_pushdown -> Option.some
   | [ sq ] -> (
     match
       List.find_opt
@@ -29,12 +30,12 @@ let star_filter_refine options (q : Analytical.t) (star : Composite.star) =
 (* Map-side source of a composite star: scan the partitions covering the
    primary properties, push star-local filters, then apply the Optional
    Group Filter. *)
-let star_source options q composite store (star : Composite.star) =
+let star_source planner q composite store (star : Composite.star) =
   let prim = Composite.prim_reqs composite star in
   let sec = Composite.sec_reqs composite star in
   let props = List.map (fun (r : Ops.prop_req) -> r.prop) prim in
   let tgs = Tg_store.scan store ~required:props in
-  let filter_refine = star_filter_refine options q star in
+  let filter_refine = star_filter_refine planner q star in
   let refine tg =
     match filter_refine tg with
     | None -> None
@@ -56,7 +57,8 @@ let partial_keep (composite : Composite.t) seen joined =
       Composite.alpha_holds restricted joined)
     composite.patterns
 
-let eval_composite wf options q store (composite : Composite.t) =
+let eval_composite wf q store (composite : Composite.t) =
+  let planner = Exec_ctx.planner (Workflow.ctx wf) in
   let star_of id =
     List.find (fun (s : Composite.star) -> s.cs_id = id) composite.stars
   in
@@ -65,7 +67,7 @@ let eval_composite wf options q store (composite : Composite.t) =
     let prim = Composite.prim_reqs composite only in
     let sec = Composite.sec_reqs composite only in
     let props = List.map (fun (r : Ops.prop_req) -> r.prop) prim in
-    let filter_refine = star_filter_refine options q only in
+    let filter_refine = star_filter_refine planner q only in
     Tg_store.scan store ~required:props
     |> List.concat_map (fun tg ->
            match filter_refine tg with
@@ -85,10 +87,10 @@ let eval_composite wf options q store (composite : Composite.t) =
       let init =
         Phys_ntga.join_cycle wf ~name:"composite_join0"
           ~left:
-            (star_source options q composite store
+            (star_source planner q composite store
                (star_of first.Star.left.star))
           ~right:
-            (star_source options q composite store
+            (star_source planner q composite store
                (star_of first.Star.right.star))
           ~left_key:(Rapid_plus.key_of_endpoint first.Star.left)
           ~right_key:(Rapid_plus.key_of_endpoint first.Star.right)
@@ -107,7 +109,7 @@ let eval_composite wf options q store (composite : Composite.t) =
                 ~name:(Printf.sprintf "composite_join%d" i)
                 ~left:(Phys_ntga.Pre acc)
                 ~right:
-                  (star_source options q composite store
+                  (star_source planner q composite store
                      (star_of new_endpoint.Star.star))
                 ~left_key:(Rapid_plus.key_of_endpoint old_endpoint)
                 ~right_key:(Rapid_plus.key_of_endpoint new_endpoint)
@@ -122,7 +124,7 @@ let eval_composite wf options q store (composite : Composite.t) =
    MR cycle over the composite matches. Bindings are extracted with each
    subquery's original star patterns against the joined parts they map
    to (the implicit n-split). *)
-let agjs_of options composite (q : Analytical.t) =
+let agjs_of planner composite (q : Analytical.t) =
   List.map
     (fun (sq : Analytical.subquery) ->
       let info =
@@ -138,7 +140,7 @@ let agjs_of options composite (q : Analytical.t) =
       in
       let filters =
         match q.subqueries with
-        | [ _ ] when options.Plan_util.ntga_filter_pushdown ->
+        | [ _ ] when planner.Exec_ctx.ntga_filter_pushdown ->
           List.filter
             (fun f ->
               not
@@ -162,31 +164,32 @@ let agjs_of options composite (q : Analytical.t) =
       })
     q.subqueries
 
-let run_composite options store (q : Analytical.t) composite =
-  let wf = Workflow.create options.Plan_util.cluster in
+let run_composite ctx store (q : Analytical.t) composite =
+  let wf = Workflow.create ctx in
+  let planner = Exec_ctx.planner ctx in
   match
-    let joined = eval_composite wf options q store composite in
+    let joined = eval_composite wf q store composite in
     let tables =
       Phys_ntga.agg_cycle wf ~name:"parallel_aggjoin"
-        ~combiner:options.Plan_util.ntga_combiner ~input:joined
-        (agjs_of options composite q)
+        ~combiner:planner.Exec_ctx.ntga_combiner ~input:joined
+        (agjs_of planner composite q)
     in
     let tables =
       List.map2 Plan_util.finish_subquery q.subqueries tables
     in
-    Plan_util.final_join wf options q tables
+    Plan_util.final_join wf q tables
   with
   | table -> Ok (table, Workflow.stats wf)
   | exception Failure msg -> Error msg
   | exception Invalid_argument msg -> Error msg
 
-let run options store (q : Analytical.t) =
+let run ctx store (q : Analytical.t) =
   match Composite.build q.subqueries with
-  | Ok composite -> run_composite options store q composite
+  | Ok composite -> run_composite ctx store q composite
   | Error _ ->
     (* Non-overlapping patterns: the optimization does not apply; evaluate
        with the naive NTGA plan. *)
-    Rapid_plus.run options store q
+    Rapid_plus.run ctx store q
 
 let plan_description (q : Analytical.t) =
   match Composite.build q.subqueries with

@@ -14,7 +14,7 @@ module Tg_store = Rapida_ntga.Tg_store
 module Stats = Rapida_mapred.Stats
 
 val run :
-  Plan_util.options -> Tg_store.t -> Analytical.t ->
+  Rapida_mapred.Exec_ctx.t -> Tg_store.t -> Analytical.t ->
   (Table.t * Stats.t, string) result
 
 (** [plan_description q] renders the composite rewriting that [run] would

@@ -6,6 +6,7 @@ module Joined = Rapida_ntga.Joined
 module Tg_store = Rapida_ntga.Tg_store
 module Workflow = Rapida_mapred.Workflow
 module Stats = Rapida_mapred.Stats
+module Exec_ctx = Rapida_mapred.Exec_ctx
 module Table = Rapida_relational.Table
 
 (* Property requirements of a star's bound-property triple patterns;
@@ -43,12 +44,12 @@ let key_of_endpoint (e : Star.endpoint) : Ops.join_key =
 (* Map-side star source: scan only the equivalence-class partitions that
    cover the star's properties, push star-local filters into the scan,
    then group-filter each triplegroup. *)
-let star_source options store filters (star : Star.t) =
+let star_source planner store filters (star : Star.t) =
   let reqs = star_reqs star in
   let props = List.map (fun (r : Ops.prop_req) -> r.prop) reqs in
   let tgs = Tg_store.scan store ~required:props in
   let filter_refine, _, _ =
-    if options.Plan_util.ntga_filter_pushdown then
+    if planner.Exec_ctx.ntga_filter_pushdown then
       Plan_util.push_star_filters star filters
     else (Option.some, [], filters)
   in
@@ -75,8 +76,8 @@ let star_source options store filters (star : Star.t) =
   Phys_ntga.Tgs { tgs; refine; star = star.id }
 
 (* Filters no star can consume map-side; these run during aggregation. *)
-let pending_filters options stars filters =
-  if not options.Plan_util.ntga_filter_pushdown then filters
+let pending_filters planner stars filters =
+  if not planner.Exec_ctx.ntga_filter_pushdown then filters
   else
     List.filter
       (fun f ->
@@ -88,7 +89,8 @@ let pending_filters options stars filters =
              stars))
       filters
 
-let eval_pattern wf options store (sq : Analytical.subquery) =
+let eval_pattern wf store (sq : Analytical.subquery) =
+  let planner = Exec_ctx.planner (Workflow.ctx wf) in
   let star_of id = List.find (fun (s : Star.t) -> s.id = id) sq.stars in
   match sq.stars with
   | [ only ] ->
@@ -97,7 +99,7 @@ let eval_pattern wf options store (sq : Analytical.subquery) =
     let reqs = star_reqs only in
     let props = List.map (fun (r : Ops.prop_req) -> r.prop) reqs in
     let filter_refine, _, _ =
-      if options.Plan_util.ntga_filter_pushdown then
+      if planner.Exec_ctx.ntga_filter_pushdown then
         Plan_util.push_star_filters only sq.filters
       else (Option.some, [], sq.filters)
     in
@@ -135,10 +137,10 @@ let eval_pattern wf options store (sq : Analytical.subquery) =
         Phys_ntga.join_cycle wf
           ~name:(Printf.sprintf "sq%d_tgjoin0" sq.sq_id)
           ~left:
-            (star_source options store sq.filters
+            (star_source planner store sq.filters
                (star_of first.Star.left.star))
           ~right:
-            (star_source options store sq.filters
+            (star_source planner store sq.filters
                (star_of first.Star.right.star))
           ~left_key:(key_of_endpoint first.Star.left)
           ~right_key:(key_of_endpoint first.Star.right)
@@ -157,7 +159,7 @@ let eval_pattern wf options store (sq : Analytical.subquery) =
                 ~name:(Printf.sprintf "sq%d_tgjoin%d" sq.sq_id i)
                 ~left:(Phys_ntga.Pre acc)
                 ~right:
-                  (star_source options store sq.filters
+                  (star_source planner store sq.filters
                      (star_of new_endpoint.Star.star))
                 ~left_key:(key_of_endpoint old_endpoint)
                 ~right_key:(key_of_endpoint new_endpoint)
@@ -168,13 +170,14 @@ let eval_pattern wf options store (sq : Analytical.subquery) =
       in
       acc)
 
-let eval_subquery wf options store (sq : Analytical.subquery) =
-  let joined = eval_pattern wf options store sq in
+let eval_subquery wf store (sq : Analytical.subquery) =
+  let planner = Exec_ctx.planner (Workflow.ctx wf) in
+  let joined = eval_pattern wf store sq in
   let agj : Phys_ntga.agj =
     {
       agj_id = sq.sq_id;
       stars = List.map (fun (s : Star.t) -> (s.id, s)) sq.stars;
-      filters = pending_filters options sq.stars sq.filters;
+      filters = pending_filters planner sq.stars sq.filters;
       group_by = sq.group_by;
       aggregates = sq.aggregates;
       alpha = (fun _ -> true);
@@ -183,16 +186,16 @@ let eval_subquery wf options store (sq : Analytical.subquery) =
   match
     Phys_ntga.agg_cycle wf
       ~name:(Printf.sprintf "sq%d_aggjoin" sq.sq_id)
-      ~combiner:options.Plan_util.ntga_combiner ~input:joined [ agj ]
+      ~combiner:planner.Exec_ctx.ntga_combiner ~input:joined [ agj ]
   with
   | [ table ] -> Plan_util.finish_subquery sq table
   | _ -> assert false
 
-let run options store (q : Analytical.t) =
-  let wf = Workflow.create options.Plan_util.cluster in
+let run ctx store (q : Analytical.t) =
+  let wf = Workflow.create ctx in
   match
-    let tables = List.map (eval_subquery wf options store) q.subqueries in
-    Plan_util.final_join wf options q tables
+    let tables = List.map (eval_subquery wf store) q.subqueries in
+    Plan_util.final_join wf q tables
   with
   | table -> Ok (table, Workflow.stats wf)
   | exception Failure msg -> Error msg

@@ -11,7 +11,7 @@ module Tg_store = Rapida_ntga.Tg_store
 module Stats = Rapida_mapred.Stats
 
 val run :
-  Plan_util.options -> Tg_store.t -> Analytical.t ->
+  Rapida_mapred.Exec_ctx.t -> Tg_store.t -> Analytical.t ->
   (Table.t * Stats.t, string) result
 
 (** [star_reqs star] is the property requirements of a star pattern

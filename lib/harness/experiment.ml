@@ -1,8 +1,10 @@
 module Engine = Rapida_core.Engine
+module Plan_util = Rapida_core.Plan_util
 module Catalog = Rapida_queries.Catalog
 module Relops = Rapida_relational.Relops
 module Table = Rapida_relational.Table
 module Stats = Rapida_mapred.Stats
+module Trace = Rapida_mapred.Trace
 module Graph = Rapida_rdf.Graph
 
 type engine_result = {
@@ -13,10 +15,12 @@ type engine_result = {
   shuffle_bytes : int;
   output_bytes : int;
   est_time_s : float;
+  phases : Stats.breakdown;
   wall_s : float;
   result_rows : int;
   agreed : bool;
   error : string option;
+  trace : Trace.t;
 }
 
 type run = {
@@ -26,7 +30,7 @@ type run = {
   results : engine_result list;
 }
 
-let failed_result engine msg =
+let failed_result engine trace msg =
   {
     engine;
     cycles = 0;
@@ -35,10 +39,12 @@ let failed_result engine msg =
     shuffle_bytes = 0;
     output_bytes = 0;
     est_time_s = 0.0;
+    phases = Stats.breakdown_zero;
     wall_s = 0.0;
     result_rows = 0;
     agreed = false;
     error = Some msg;
+    trace;
   }
 
 let run_query ?(engines = Engine.all_kinds) options ~label input entry =
@@ -48,10 +54,14 @@ let run_query ?(engines = Engine.all_kinds) options ~label input entry =
   let results =
     List.map
       (fun kind ->
+        (* A fresh context per engine run: each result's trace and
+           counters describe exactly one engine's workflow. *)
+        let ctx = Plan_util.context options in
         let t0 = Unix.gettimeofday () in
-        match Engine.run kind options input q with
-        | Error msg -> failed_result kind msg
-        | Ok { table; stats } ->
+        match Engine.run kind ctx input q with
+        | Error msg ->
+          failed_result kind (Rapida_mapred.Exec_ctx.trace ctx) msg
+        | Ok { table; stats; trace } ->
           let wall_s = Unix.gettimeofday () -. t0 in
           {
             engine = kind;
@@ -61,10 +71,12 @@ let run_query ?(engines = Engine.all_kinds) options ~label input entry =
             shuffle_bytes = Stats.total_shuffle_bytes stats;
             output_bytes = Stats.total_output_bytes stats;
             est_time_s = Stats.est_time_s stats;
+            phases = Stats.total_breakdown stats;
             wall_s;
             result_rows = Table.cardinality table;
             agreed = Relops.same_results expected table;
             error = None;
+            trace;
           })
       engines
   in

@@ -1,10 +1,16 @@
 (** Experiment runner: evaluate catalog queries on all engines over a
     prepared dataset, verify every engine against the reference
     evaluator, and collect simulator statistics plus measured wall-clock
-    time. *)
+    time.
+
+    Each engine run gets a fresh execution context built from the given
+    options, so the per-result trace and phase breakdown describe exactly
+    one engine's workflow. *)
 
 module Engine = Rapida_core.Engine
 module Catalog = Rapida_queries.Catalog
+module Stats = Rapida_mapred.Stats
+module Trace = Rapida_mapred.Trace
 
 type engine_result = {
   engine : Engine.kind;
@@ -14,10 +20,12 @@ type engine_result = {
   shuffle_bytes : int;
   output_bytes : int;
   est_time_s : float;  (** simulated cluster seconds from the cost model *)
+  phases : Stats.breakdown;  (** per-phase totals across the workflow *)
   wall_s : float;  (** measured wall-clock of the in-memory execution *)
   result_rows : int;
   agreed : bool;  (** result identical to the reference evaluator *)
   error : string option;
+  trace : Trace.t;  (** the run's span trace (Chrome trace-event export) *)
 }
 
 type run = {

@@ -100,6 +100,30 @@ let pp_bytes ~title ~engines ppf runs =
     runs;
   Fmt.pf ppf "(bytes shuffled between map and reduce phases)@."
 
+let pp_phases ~title ~engines ppf runs =
+  header ~title ~engines ppf runs;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun run ->
+      Fmt.pf ppf "%-6s" run.Experiment.query.Catalog.id;
+      List.iter
+        (fun k ->
+          Fmt.pf ppf " %14s"
+            (cell_for run k
+               (fun r ->
+                 let b = r.Experiment.phases in
+                 let module Stats = Rapida_mapred.Stats in
+                 Printf.sprintf "%.0f/%.0f/%.0f/%.0f"
+                   b.Stats.startup_s b.Stats.map_s
+                   (b.Stats.shuffle_s +. b.Stats.sort_s)
+                   b.Stats.reduce_s)
+               "-"))
+        engines;
+      Fmt.pf ppf "@.")
+    runs;
+  Fmt.pf ppf
+    "(simulated seconds per phase: startup/map/shuffle+sort/reduce)@."
+
 let pp_verification ppf runs =
   let total = List.length runs in
   let ok = List.length (List.filter Experiment.all_agreed runs) in

@@ -19,6 +19,13 @@ val pp_cycles :
 val pp_bytes :
   title:string -> engines:Engine.kind list -> Experiment.run list Fmt.t
 
+(** [pp_phases ~title ~engines runs] renders the per-phase time
+    breakdown — where each engine's simulated seconds go
+    (startup / map / shuffle+sort / reduce), the attribution view the
+    paper's cycle-count arguments rest on. *)
+val pp_phases :
+  title:string -> engines:Engine.kind list -> Experiment.run list Fmt.t
+
 (** [pp_verification runs] summarizes cross-engine agreement. *)
 val pp_verification : Experiment.run list Fmt.t
 

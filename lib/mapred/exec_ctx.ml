@@ -1,0 +1,30 @@
+type planner = {
+  map_join_threshold : int;
+  hive_compression : float;
+  ntga_combiner : bool;
+  ntga_filter_pushdown : bool;
+}
+
+let default_planner =
+  {
+    map_join_threshold = 64 * 1024;
+    hive_compression = 0.06;
+    ntga_combiner = true;
+    ntga_filter_pushdown = true;
+  }
+
+type t = {
+  cluster : Cluster.t;
+  planner : planner;
+  metrics : Metrics.t;
+  trace : Trace.t;
+}
+
+let create ?(cluster = Cluster.default) ?(planner = default_planner) () =
+  { cluster; planner; metrics = Metrics.create (); trace = Trace.create () }
+
+let cluster t = t.cluster
+let planner t = t.planner
+let metrics t = t.metrics
+let trace t = t.trace
+let with_cluster t cluster = { t with cluster }

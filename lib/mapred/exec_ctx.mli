@@ -1,0 +1,43 @@
+(** Execution context for the MapReduce simulator.
+
+    One context bundles everything a query execution threads through the
+    stack: the cluster model the cost model prices against, the planner
+    options the engines consult, a counter registry, and a trace sink
+    recording per-phase spans. Every job run against a context appends to
+    the same trace and counters, so a full query workflow — across
+    engines' helper cycles — is observable end to end.
+
+    Contexts are cheap; create a fresh one per query run so traces and
+    counters attribute to a single execution. *)
+
+(** Planner knobs shared by all engines (the fields mirror the paper's
+    ablations; see {!Rapida_core.Plan_util.options} for the user-facing
+    record that also picks the cluster). *)
+type planner = {
+  map_join_threshold : int;
+      (** a join input below this many bytes is broadcast (Hive map-join) *)
+  hive_compression : float;
+      (** on-disk size ratio of the Hive engines' ORC-format tables *)
+  ntga_combiner : bool;
+      (** per-mapper partial aggregation in the NTGA Agg-Join cycles *)
+  ntga_filter_pushdown : bool;
+      (** evaluate star-local FILTERs during the map-side group filter *)
+}
+
+val default_planner : planner
+
+type t
+
+(** [create ?cluster ?planner ()] is a fresh context with empty metrics
+    and trace. Defaults: {!Cluster.default}, {!default_planner}. *)
+val create : ?cluster:Cluster.t -> ?planner:planner -> unit -> t
+
+val cluster : t -> Cluster.t
+val planner : t -> planner
+val metrics : t -> Metrics.t
+val trace : t -> Trace.t
+
+(** [with_cluster t cluster] prices jobs against [cluster] while sharing
+    [t]'s planner, metrics, and trace — how the Hive engines apply their
+    storage compression without forking the telemetry. *)
+val with_cluster : t -> Cluster.t -> t

@@ -62,7 +62,50 @@ let parallel_throughput ~per_node_mb_s ~tasks ~slots =
   let effective = min tasks slots in
   per_node_mb_s *. float_of_int (max 1 effective)
 
-let run cluster spec input =
+(* Record the job's telemetry into the context: per-phase spans on the
+   simulated clock, then the clock advance and the counter bumps. *)
+let record ctx (stats : Stats.job) ~phase_spans =
+  let trace = Exec_ctx.trace ctx in
+  let t0 = Trace.now_s trace in
+  Trace.span trace ~name:stats.Stats.name ~cat:"job" ~start_s:t0
+    ~dur_s:stats.Stats.est_time_s
+    [
+      ("map_tasks", Json.Int stats.Stats.map_tasks);
+      ("reduce_tasks", Json.Int stats.Stats.reduce_tasks);
+      ("input_bytes", Json.Int stats.Stats.input_bytes);
+      ("shuffle_bytes", Json.Int stats.Stats.shuffle_bytes);
+      ("output_bytes", Json.Int stats.Stats.output_bytes);
+    ];
+  let _ =
+    List.fold_left
+      (fun at (phase, dur_s, args) ->
+        Trace.span trace
+          ~name:(stats.Stats.name ^ "/" ^ phase)
+          ~cat:"phase" ~start_s:at ~dur_s
+          (("phase", Json.String phase) :: args);
+        at +. dur_s)
+      t0 phase_spans
+  in
+  Trace.advance trace stats.Stats.est_time_s;
+  let m = Exec_ctx.metrics ctx in
+  Metrics.add m "mr.jobs" 1;
+  (match stats.Stats.kind with
+  | Stats.Map_only -> Metrics.add m "mr.map_only_jobs" 1
+  | Stats.Map_reduce -> ());
+  Metrics.add m "mr.map_tasks" stats.Stats.map_tasks;
+  Metrics.add m "mr.reduce_tasks" stats.Stats.reduce_tasks;
+  Metrics.add m "mr.input_records" stats.Stats.input_records;
+  Metrics.add m "mr.input_bytes" stats.Stats.input_bytes;
+  Metrics.add m "mr.shuffle_records" stats.Stats.shuffle_records;
+  Metrics.add m "mr.shuffle_bytes" stats.Stats.shuffle_bytes;
+  Metrics.add m "mr.output_records" stats.Stats.output_records;
+  Metrics.add m "mr.output_bytes" stats.Stats.output_bytes;
+  Metrics.add m "mr.combine.input_records" stats.Stats.combine_input_records;
+  Metrics.add m "mr.combine.output_records" stats.Stats.combine_output_records;
+  Metrics.add m "mr.reduce.groups" stats.Stats.reduce_groups
+
+let run ctx spec input =
+  let cluster = Exec_ctx.cluster ctx in
   let input_records = List.length input in
   let input_bytes =
     List.fold_left (fun acc r -> acc + spec.input_size r) 0 input
@@ -73,10 +116,12 @@ let run cluster spec input =
   let map_tasks = estimate_map_tasks cluster ~input_bytes:stored_bytes in
   let task_inputs = partition_input input map_tasks in
   (* Map phase, with an optional per-task combiner. *)
+  let combine_input = ref 0 in
   let shuffle_pairs =
     List.concat_map
       (fun task_input ->
         let emitted = List.concat_map spec.map task_input in
+        combine_input := !combine_input + List.length emitted;
         match spec.combine with
         | None -> emitted
         | Some combine ->
@@ -107,14 +152,17 @@ let run cluster spec input =
     /. parallel_throughput ~per_node_mb_s:cluster.Cluster.disk_mb_per_s
          ~tasks:map_tasks ~slots:(Cluster.map_slots cluster)
   in
-  let shuffle_s =
+  let shuffle_net_s =
     mb shuffle_bytes
     /. parallel_throughput ~per_node_mb_s:cluster.Cluster.network_mb_per_s
          ~tasks:reduce_tasks ~slots:(Cluster.reduce_slots cluster)
-    +. mb shuffle_bytes
-       /. parallel_throughput ~per_node_mb_s:cluster.Cluster.sort_mb_per_s
-            ~tasks:reduce_tasks ~slots:(Cluster.reduce_slots cluster)
   in
+  let shuffle_sort_s =
+    mb shuffle_bytes
+    /. parallel_throughput ~per_node_mb_s:cluster.Cluster.sort_mb_per_s
+         ~tasks:reduce_tasks ~slots:(Cluster.reduce_slots cluster)
+  in
+  let shuffle_s = shuffle_net_s +. shuffle_sort_s in
   let reduce_write_s =
     mb output_bytes
     /. parallel_throughput ~per_node_mb_s:cluster.Cluster.disk_mb_per_s
@@ -126,6 +174,18 @@ let run cluster spec input =
   let est_time_s =
     cluster.Cluster.job_startup_s
     +. (retry *. (map_read_s +. shuffle_s +. reduce_write_s))
+  in
+  let combine_input_records = !combine_input in
+  let combine_output_records = shuffle_records in
+  let reduce_groups = List.length groups in
+  let breakdown : Stats.breakdown =
+    {
+      startup_s = cluster.Cluster.job_startup_s;
+      map_s = retry *. map_read_s;
+      shuffle_s = retry *. shuffle_net_s;
+      sort_s = retry *. shuffle_sort_s;
+      reduce_s = retry *. reduce_write_s;
+    }
   in
   let stats : Stats.job =
     {
@@ -140,11 +200,50 @@ let run cluster spec input =
       map_tasks;
       reduce_tasks;
       est_time_s;
+      breakdown;
+      combine_input_records;
+      combine_output_records;
+      reduce_groups;
     }
   in
+  let combine_span =
+    match spec.combine with
+    | None -> []
+    | Some _ ->
+      [
+        ( "combine",
+          0.0,
+          [
+            ("input_records", Json.Int combine_input_records);
+            ("output_records", Json.Int combine_output_records);
+          ] );
+      ]
+  in
+  record ctx stats
+    ~phase_spans:
+      ([
+         ("startup", breakdown.startup_s, []);
+         ( "map-read",
+           breakdown.map_s,
+           [ ("input_records", Json.Int input_records) ] );
+       ]
+      @ combine_span
+      @ [
+          ( "shuffle",
+            breakdown.shuffle_s,
+            [ ("shuffle_records", Json.Int shuffle_records) ] );
+          ("sort", breakdown.sort_s, []);
+          ( "reduce-write",
+            breakdown.reduce_s,
+            [
+              ("groups", Json.Int reduce_groups);
+              ("output_records", Json.Int output_records);
+            ] );
+        ]);
   (output, stats)
 
-let run_map_only cluster spec input =
+let run_map_only ctx spec input =
+  let cluster = Exec_ctx.cluster ctx in
   let input_records = List.length input in
   let input_bytes =
     List.fold_left (fun acc r -> acc + spec.mo_input_size r) 0 input
@@ -158,13 +257,22 @@ let run_map_only cluster spec input =
   let output_bytes =
     List.fold_left (fun acc r -> acc + spec.mo_output_size r) 0 output
   in
-  let io_s =
-    (mb input_bytes +. mb output_bytes)
-    /. parallel_throughput ~per_node_mb_s:cluster.Cluster.disk_mb_per_s
-         ~tasks:map_tasks ~slots:(Cluster.map_slots cluster)
+  let throughput =
+    parallel_throughput ~per_node_mb_s:cluster.Cluster.disk_mb_per_s
+      ~tasks:map_tasks ~slots:(Cluster.map_slots cluster)
   in
+  let io_s = (mb input_bytes +. mb output_bytes) /. throughput in
   let retry = 1.0 +. (2.0 *. cluster.Cluster.task_failure_rate) in
   let est_time_s = cluster.Cluster.map_only_startup_s +. (retry *. io_s) in
+  let breakdown : Stats.breakdown =
+    {
+      startup_s = cluster.Cluster.map_only_startup_s;
+      map_s = retry *. io_s;
+      shuffle_s = 0.0;
+      sort_s = 0.0;
+      reduce_s = 0.0;
+    }
+  in
   let stats : Stats.job =
     {
       name = spec.mo_name;
@@ -178,6 +286,21 @@ let run_map_only cluster spec input =
       map_tasks;
       reduce_tasks = 0;
       est_time_s;
+      breakdown;
+      combine_input_records = 0;
+      combine_output_records = 0;
+      reduce_groups = 0;
     }
   in
+  record ctx stats
+    ~phase_spans:
+      [
+        ("startup", breakdown.startup_s, []);
+        ( "map-read",
+          retry *. (mb input_bytes /. throughput),
+          [ ("input_records", Json.Int input_records) ] );
+        ( "map-write",
+          retry *. (mb output_bytes /. throughput),
+          [ ("output_records", Json.Int output_records) ] );
+      ];
   (output, stats)

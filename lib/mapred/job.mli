@@ -8,7 +8,12 @@
     Execution is real: map functions run over the actual input records,
     combiners run per map task, reducers run per key group. Only the time
     is simulated. Key groups are processed in first-seen order so the whole
-    pipeline is deterministic. *)
+    pipeline is deterministic.
+
+    Jobs run against an {!Exec_ctx.t}: the context's cluster prices the
+    job, and every run appends one span per simulated phase to the
+    context's trace, advances its simulated clock, and bumps its
+    counters. *)
 
 type ('a, 'k, 'v, 'b) spec = {
   name : string;
@@ -29,13 +34,13 @@ type ('a, 'b) map_only_spec = {
   mo_output_size : 'b -> int;
 }
 
-(** [run cluster spec input] executes a full map-reduce cycle and returns
+(** [run ctx spec input] executes a full map-reduce cycle and returns
     the reducer outputs (in key-first-seen order) plus the job stats. *)
-val run : Cluster.t -> ('a, 'k, 'v, 'b) spec -> 'a list -> 'b list * Stats.job
+val run : Exec_ctx.t -> ('a, 'k, 'v, 'b) spec -> 'a list -> 'b list * Stats.job
 
-(** [run_map_only cluster spec input] executes a map-only cycle. *)
+(** [run_map_only ctx spec input] executes a map-only cycle. *)
 val run_map_only :
-  Cluster.t -> ('a, 'b) map_only_spec -> 'a list -> 'b list * Stats.job
+  Exec_ctx.t -> ('a, 'b) map_only_spec -> 'a list -> 'b list * Stats.job
 
 (** [estimate_map_tasks cluster ~input_bytes] is the number of map tasks a
     job with that much (compressed) input would launch: one per input

@@ -1,0 +1,20 @@
+(** Minimal JSON values and serialization.
+
+    Just enough to emit machine-consumable output (Chrome trace-event
+    files, [--json] CLI output) without an external dependency. Output is
+    compact, UTF-8 passthrough, with the mandatory escapes applied. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** must be finite; NaN/infinity raise on output *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+
+(** [to_string v] is the compact serialization of [v].
+    @raise Invalid_argument on non-finite floats. *)
+val to_string : t -> string

@@ -1,0 +1,23 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let add t name n =
+  match Hashtbl.find_opt t name with
+  | Some cell -> cell := !cell + n
+  | None -> Hashtbl.add t name (ref n)
+
+let get t name =
+  match Hashtbl.find_opt t name with Some cell -> !cell | None -> 0
+
+let to_alist t =
+  Hashtbl.fold (fun name cell acc -> (name, !cell) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let to_json t =
+  Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) (to_alist t))
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:Fmt.cut (fun ppf (name, v) -> Fmt.pf ppf "%s=%d" name v))
+    (to_alist t)

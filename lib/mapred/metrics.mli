@@ -1,0 +1,22 @@
+(** A registry of named monotonic counters.
+
+    Execution contexts carry one registry; the simulator bumps counters
+    as jobs run (records, bytes, tasks, combiner activity) so callers can
+    attribute work without parsing per-job stats. Counter names are
+    dot-separated, e.g. ["mr.shuffle_bytes"]. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t name n] bumps counter [name] by [n], creating it at 0 first. *)
+val add : t -> string -> int -> unit
+
+(** [get t name] is the counter's value, 0 when never bumped. *)
+val get : t -> string -> int
+
+(** All counters in name order. *)
+val to_alist : t -> (string * int) list
+
+val to_json : t -> Json.t
+val pp : t Fmt.t

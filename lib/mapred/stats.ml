@@ -1,5 +1,28 @@
 type job_kind = Map_reduce | Map_only
 
+type breakdown = {
+  startup_s : float;
+  map_s : float;
+  shuffle_s : float;
+  sort_s : float;
+  reduce_s : float;
+}
+
+let breakdown_zero =
+  { startup_s = 0.0; map_s = 0.0; shuffle_s = 0.0; sort_s = 0.0; reduce_s = 0.0 }
+
+let breakdown_add a b =
+  {
+    startup_s = a.startup_s +. b.startup_s;
+    map_s = a.map_s +. b.map_s;
+    shuffle_s = a.shuffle_s +. b.shuffle_s;
+    sort_s = a.sort_s +. b.sort_s;
+    reduce_s = a.reduce_s +. b.reduce_s;
+  }
+
+let breakdown_total_s b =
+  b.startup_s +. b.map_s +. b.shuffle_s +. b.sort_s +. b.reduce_s
+
 type job = {
   name : string;
   kind : job_kind;
@@ -12,6 +35,10 @@ type job = {
   map_tasks : int;
   reduce_tasks : int;
   est_time_s : float;
+  breakdown : breakdown;
+  combine_input_records : int;
+  combine_output_records : int;
+  reduce_groups : int;
 }
 
 type t = { jobs : job list }
@@ -32,11 +59,65 @@ let total_input_bytes = sum (fun j -> j.input_bytes)
 let total_shuffle_bytes = sum (fun j -> j.shuffle_bytes)
 let total_output_bytes = sum (fun j -> j.output_bytes)
 
+let total_breakdown t =
+  List.fold_left (fun acc j -> breakdown_add acc j.breakdown) breakdown_zero
+    t.jobs
+
 let est_time_s t = List.fold_left (fun acc j -> acc +. j.est_time_s) 0.0 t.jobs
+
+let kind_string = function Map_reduce -> "map-reduce" | Map_only -> "map-only"
+
+let breakdown_to_json b =
+  Json.Obj
+    [
+      ("startup_s", Json.Float b.startup_s);
+      ("map_s", Json.Float b.map_s);
+      ("shuffle_s", Json.Float b.shuffle_s);
+      ("sort_s", Json.Float b.sort_s);
+      ("reduce_s", Json.Float b.reduce_s);
+    ]
+
+let job_to_json j =
+  Json.Obj
+    [
+      ("name", Json.String j.name);
+      ("kind", Json.String (kind_string j.kind));
+      ("input_records", Json.Int j.input_records);
+      ("input_bytes", Json.Int j.input_bytes);
+      ("shuffle_records", Json.Int j.shuffle_records);
+      ("shuffle_bytes", Json.Int j.shuffle_bytes);
+      ("output_records", Json.Int j.output_records);
+      ("output_bytes", Json.Int j.output_bytes);
+      ("map_tasks", Json.Int j.map_tasks);
+      ("reduce_tasks", Json.Int j.reduce_tasks);
+      ("est_time_s", Json.Float j.est_time_s);
+      ("phases", breakdown_to_json j.breakdown);
+      ("combine_input_records", Json.Int j.combine_input_records);
+      ("combine_output_records", Json.Int j.combine_output_records);
+      ("reduce_groups", Json.Int j.reduce_groups);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("cycles", Json.Int (cycles t));
+      ("full_cycles", Json.Int (full_cycles t));
+      ("map_only_cycles", Json.Int (map_only_cycles t));
+      ("input_bytes", Json.Int (total_input_bytes t));
+      ("shuffle_bytes", Json.Int (total_shuffle_bytes t));
+      ("output_bytes", Json.Int (total_output_bytes t));
+      ("est_time_s", Json.Float (est_time_s t));
+      ("phases", breakdown_to_json (total_breakdown t));
+      ("jobs", Json.List (List.map job_to_json t.jobs));
+    ]
 
 let pp_kind ppf = function
   | Map_reduce -> Fmt.string ppf "MR"
   | Map_only -> Fmt.string ppf "M "
+
+let pp_breakdown ppf b =
+  Fmt.pf ppf "startup=%.1fs map=%.1fs shuffle=%.1fs sort=%.1fs reduce=%.1fs"
+    b.startup_s b.map_s b.shuffle_s b.sort_s b.reduce_s
 
 let pp_job ppf j =
   Fmt.pf ppf "%a %-28s in=%8dB shuf=%8dB out=%8dB maps=%2d reds=%2d t=%6.1fs"

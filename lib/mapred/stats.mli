@@ -2,6 +2,25 @@
 
 type job_kind = Map_reduce | Map_only
 
+(** Where a job's simulated time goes. All phase times include the
+    failure-retry re-work, so
+    [startup_s + map_s + shuffle_s + sort_s + reduce_s = est_time_s]
+    (up to float rounding). Map-only jobs charge all their I/O to
+    [map_s]. *)
+type breakdown = {
+  startup_s : float;  (** fixed per-cycle scheduling/JVM cost *)
+  map_s : float;  (** map-phase read (and, map-only, write) I/O *)
+  shuffle_s : float;  (** network transfer of the shuffle *)
+  sort_s : float;  (** merge sort of the shuffled pairs *)
+  reduce_s : float;  (** reduce output write *)
+}
+
+val breakdown_zero : breakdown
+val breakdown_add : breakdown -> breakdown -> breakdown
+
+(** Sum of every phase including startup. *)
+val breakdown_total_s : breakdown -> float
+
 type job = {
   name : string;
   kind : job_kind;
@@ -14,6 +33,12 @@ type job = {
   map_tasks : int;
   reduce_tasks : int;
   est_time_s : float;  (** simulated wall-clock from the cost model *)
+  breakdown : breakdown;
+  combine_input_records : int;
+      (** map-emitted records entering the combiner (equals
+          [combine_output_records] when the job has no combiner) *)
+  combine_output_records : int;  (** records leaving the combiner *)
+  reduce_groups : int;  (** distinct reduce keys (0 for map-only jobs) *)
 }
 
 type t = { jobs : job list }  (** in execution order *)
@@ -30,12 +55,22 @@ val total_input_bytes : t -> int
 val total_shuffle_bytes : t -> int
 val total_output_bytes : t -> int
 
+(** Per-phase totals across all jobs. *)
+val total_breakdown : t -> breakdown
+
 (** Sum of per-job simulated times: jobs in a workflow run sequentially,
     as in a Hadoop DAG of dependent stages. *)
 val est_time_s : t -> float
 
+val job_to_json : job -> Json.t
+
+(** Machine-consumable form: cycle counts, byte totals, per-phase time
+    totals, and the per-job list. *)
+val to_json : t -> Json.t
+
 val pp_job : job Fmt.t
 val pp : t Fmt.t
+val pp_breakdown : breakdown Fmt.t
 
 (** One-line summary: cycles, bytes, simulated seconds. *)
 val pp_summary : t Fmt.t

@@ -1,0 +1,94 @@
+type event = {
+  name : string;
+  cat : string;
+  ph : string;
+  ts_us : float;
+  dur_us : float;
+  tid : int;
+  args : (string * Json.t) list;
+}
+
+type t = {
+  mutable rev_events : event list;
+  mutable now_s : float;
+}
+
+let pid = 1
+
+let create () =
+  let t = { rev_events = []; now_s = 0.0 } in
+  (* Name the single simulated process/thread so viewers label the rows. *)
+  t.rev_events <-
+    [
+      {
+        name = "thread_name";
+        cat = "__metadata";
+        ph = "M";
+        ts_us = 0.0;
+        dur_us = 0.0;
+        tid = 1;
+        args = [ ("name", Json.String "simulated cluster") ];
+      };
+      {
+        name = "process_name";
+        cat = "__metadata";
+        ph = "M";
+        ts_us = 0.0;
+        dur_us = 0.0;
+        tid = 1;
+        args = [ ("name", Json.String "rapida MapReduce simulator") ];
+      };
+    ];
+  t
+
+let now_s t = t.now_s
+let advance t dt_s = t.now_s <- t.now_s +. dt_s
+
+let span t ~name ~cat ~start_s ~dur_s args =
+  let e =
+    {
+      name;
+      cat;
+      ph = "X";
+      ts_us = start_s *. 1e6;
+      dur_us = dur_s *. 1e6;
+      tid = 1;
+      args;
+    }
+  in
+  t.rev_events <- e :: t.rev_events
+
+let events t = List.rev t.rev_events
+
+let spans_with_cat t cat =
+  List.filter (fun e -> e.ph = "X" && String.equal e.cat cat) (events t)
+
+let event_to_json e =
+  Json.Obj
+    ([
+       ("name", Json.String e.name);
+       ("cat", Json.String e.cat);
+       ("ph", Json.String e.ph);
+       ("ts", Json.Float e.ts_us);
+       ("pid", Json.Int pid);
+       ("tid", Json.Int e.tid);
+     ]
+    @ (if e.ph = "X" then [ ("dur", Json.Float e.dur_us) ] else [])
+    @ match e.args with [] -> [] | args -> [ ("args", Json.Obj args) ])
+
+let to_json t =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_to_json (events t)));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let to_string t = Json.to_string (to_json t)
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string t);
+      output_char oc '\n')

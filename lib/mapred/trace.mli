@@ -1,0 +1,48 @@
+(** Structured trace of the simulated execution, exportable as a Chrome
+    trace-event file (load in [chrome://tracing] or Perfetto).
+
+    A trace sink owns a simulated clock. Each simulated job emits one
+    span per phase (startup, map read, combine, shuffle, sort, reduce
+    write) positioned on that clock, then advances it by the job's
+    simulated duration — so the exported timeline reads exactly like the
+    sequential Hadoop DAG the cost model describes. Spans are recorded in
+    emission order and the whole pipeline is deterministic. *)
+
+type event = {
+  name : string;
+  cat : string;  (** Chrome trace category, e.g. ["job"] or ["phase"] *)
+  ph : string;  (** event type: ["X"] complete span, ["M"] metadata *)
+  ts_us : float;  (** start, simulated microseconds *)
+  dur_us : float;  (** duration, simulated microseconds *)
+  tid : int;
+  args : (string * Json.t) list;
+}
+
+type t
+
+val create : unit -> t
+
+(** Current simulated time, seconds since the trace began. *)
+val now_s : t -> float
+
+(** [advance t dt_s] moves the simulated clock forward. *)
+val advance : t -> float -> unit
+
+(** [span t ~name ~cat ~start_s ~dur_s args] records a complete span at
+    absolute simulated time [start_s]. *)
+val span :
+  t -> name:string -> cat:string -> start_s:float -> dur_s:float ->
+  (string * Json.t) list -> unit
+
+(** Events in emission order. *)
+val events : t -> event list
+
+(** Spans (ph = "X") whose category is [cat], in emission order. *)
+val spans_with_cat : t -> string -> event list
+
+(** The full Chrome trace-event document:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)
+val to_json : t -> Json.t
+
+val to_string : t -> string
+val write_file : t -> string -> unit

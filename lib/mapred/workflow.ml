@@ -2,19 +2,20 @@ let log_src = Logs.Src.create "rapida.mapred" ~doc:"MapReduce simulator jobs"
 
 module Log = (val Logs.src_log log_src)
 
-type t = { cluster : Cluster.t; mutable stats : Stats.t }
+type t = { ctx : Exec_ctx.t; mutable stats : Stats.t }
 
-let create cluster = { cluster; stats = Stats.empty }
-let cluster t = t.cluster
+let create ctx = { ctx; stats = Stats.empty }
+let ctx t = t.ctx
+let cluster t = Exec_ctx.cluster t.ctx
 
 let run_job t spec input =
-  let output, job_stats = Job.run t.cluster spec input in
+  let output, job_stats = Job.run t.ctx spec input in
   Log.debug (fun m -> m "%a" Stats.pp_job job_stats);
   t.stats <- Stats.append t.stats job_stats;
   output
 
 let run_map_only t spec input =
-  let output, job_stats = Job.run_map_only t.cluster spec input in
+  let output, job_stats = Job.run_map_only t.ctx spec input in
   Log.debug (fun m -> m "%a" Stats.pp_job job_stats);
   t.stats <- Stats.append t.stats job_stats;
   output

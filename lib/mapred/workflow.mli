@@ -1,5 +1,6 @@
 (** A workflow is a sequence of MapReduce jobs executed by one query plan.
-    It owns the cluster config and accumulates per-job statistics. *)
+    It runs against an {!Exec_ctx.t} (cluster model, trace, counters) and
+    accumulates per-job statistics for the plan it executes. *)
 
 (** Logs source for per-job debug lines (enable with
     [Logs.Src.set_level]). *)
@@ -7,11 +8,16 @@ val log_src : Logs.src
 
 type t
 
-val create : Cluster.t -> t
+val create : Exec_ctx.t -> t
+
+(** The execution context the workflow runs against. *)
+val ctx : t -> Exec_ctx.t
+
+(** Shorthand for [Exec_ctx.cluster (ctx t)]. *)
 val cluster : t -> Cluster.t
 
 (** [run_job wf spec input] executes a full map-reduce cycle, recording its
-    stats in [wf]. *)
+    stats in [wf] and its spans/counters in the context. *)
 val run_job : t -> ('a, 'k, 'v, 'b) Job.spec -> 'a list -> 'b list
 
 (** [run_map_only wf spec input] executes a map-only cycle. *)

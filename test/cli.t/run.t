@@ -71,3 +71,42 @@ Verbose mode logs each simulated MapReduce job:
 
   $ rapida query -d data.nt -c G1 -v 2>&1 | grep -c "DEBUG"
   2
+
+--trace exports the execution as a Chrome trace-event file, with one
+span per simulated job and per phase:
+
+  $ rapida query -d data.nt -c G1 --trace g1.json | head -1
+  wrote trace (15 events) to g1.json
+  $ grep -o '"ph":"X"' g1.json | wc -l
+  13
+  $ grep -o '"phase":"[a-z-]*"' g1.json | sort | uniq -c | sort -k2
+        1 "phase":"combine"
+        2 "phase":"map-read"
+        2 "phase":"reduce-write"
+        2 "phase":"shuffle"
+        2 "phase":"sort"
+        2 "phase":"startup"
+
+--json bundles the result table, per-phase statistics, and the
+execution counters into one machine-readable document:
+
+  $ rapida query -d data.nt -c G1 --json | python3 -m json.tool | head -8
+  {
+      "engine": "rapid-analytics",
+      "rows": 1,
+      "table": {
+          "schema": [
+              "cnt",
+              "sum"
+          ],
+  $ rapida query -d data.nt -c G1 --json \
+  >   | python3 -c 'import json,sys; d=json.load(sys.stdin); \
+  > print(d["stats"]["cycles"], d["counters"]["mr.jobs"])'
+  2 2
+
+explain --json reports the predicted workflow lengths per engine:
+
+  $ rapida explain -c MG1 --json \
+  >   | python3 -c 'import json,sys; d=json.load(sys.stdin); \
+  > print(d["predicted_cycles"]["rapid-analytics"], d["subqueries"])'
+  3 2

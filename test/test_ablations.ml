@@ -23,7 +23,10 @@ let chem =
 let base = Plan_util.default_options
 
 let run_with options kind input id =
-  match Engine.run kind options input (Catalog.parse (Catalog.find_exn id)) with
+  match
+    Engine.run kind (Plan_util.context options) input
+      (Catalog.parse (Catalog.find_exn id))
+  with
   | Ok out -> out
   | Error msg -> Alcotest.failf "%s on %s: %s" (Engine.kind_name kind) id msg
 
@@ -31,7 +34,7 @@ let test_combiner_ablation () =
   let input = Lazy.force bsbm in
   let on = run_with base Engine.Rapid_analytics input "MG1" in
   let off =
-    run_with { base with ntga_combiner = false } Engine.Rapid_analytics input
+    run_with (Plan_util.make ~base ~ntga_combiner:false ()) Engine.Rapid_analytics input
       "MG1"
   in
   check_bool "same result" true
@@ -47,7 +50,7 @@ let test_filter_pushdown_ablation () =
   let on = run_with base Engine.Rapid_analytics input "G6" in
   let off =
     run_with
-      { base with ntga_filter_pushdown = false }
+      (Plan_util.make ~base ~ntga_filter_pushdown:false ())
       Engine.Rapid_analytics input "G6"
   in
   check_bool "same result" true
@@ -62,7 +65,7 @@ let test_map_join_ablation () =
   let input = Lazy.force chem in
   let on = run_with base Engine.Hive_naive input "G5" in
   let off =
-    run_with { base with map_join_threshold = 0 } Engine.Hive_naive input "G5"
+    run_with (Plan_util.make ~base ~map_join_threshold:0 ()) Engine.Hive_naive input "G5"
   in
   check_bool "same result" true
     (Relops.same_results on.Engine.table off.Engine.table);
@@ -77,7 +80,7 @@ let test_orc_ablation () =
   let input = Lazy.force bsbm in
   let compressed = run_with base Engine.Hive_naive input "MG3" in
   let plain =
-    run_with { base with hive_compression = 1.0 } Engine.Hive_naive input "MG3"
+    run_with (Plan_util.make ~base ~hive_compression:1.0 ()) Engine.Hive_naive input "MG3"
   in
   check_bool "same result" true
     (Relops.same_results compressed.Engine.table plain.Engine.table);

@@ -42,7 +42,7 @@ let check_query_all_engines entry () =
   List.iter
     (fun kind ->
       match
-        Engine.run kind Plan_util.default_options
+        Engine.run kind (Plan_util.context Plan_util.default_options)
           (input_for entry.Catalog.dataset) q
       with
       | Error msg ->
@@ -74,7 +74,7 @@ let cycle_contract id kind expected () =
   let entry = Catalog.find_exn id in
   let q = Catalog.parse entry in
   match
-    Engine.run kind Plan_util.default_options (input_for entry.Catalog.dataset) q
+    Engine.run kind (Plan_util.context Plan_util.default_options) (input_for entry.Catalog.dataset) q
   with
   | Error msg -> Alcotest.failf "engine error: %s" msg
   | Ok { stats; _ } ->
@@ -89,7 +89,7 @@ let prediction_matches_execution entry () =
   List.iter
     (fun kind ->
       match
-        Engine.run kind Plan_util.default_options
+        Engine.run kind (Plan_util.context Plan_util.default_options)
           (input_for entry.Catalog.dataset) q
       with
       | Error msg ->

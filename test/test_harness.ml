@@ -31,7 +31,14 @@ let test_run_collects_all_engines () =
       check_bool "cycles positive" true (r.cycles > 0);
       check_bool "est time positive" true (r.est_time_s > 0.0);
       check_bool "no error" true (r.error = None);
-      check_bool "rows" true (r.result_rows > 0))
+      check_bool "rows" true (r.result_rows > 0);
+      let module Trace = Rapida_mapred.Trace in
+      let module Stats = Rapida_mapred.Stats in
+      check_bool "one job span per cycle" true
+        (List.length (Trace.spans_with_cat r.trace "job") = r.cycles);
+      check_bool "phase breakdown covers the estimate" true
+        (Float.abs (Stats.breakdown_total_s r.phases -. r.est_time_s)
+        < 1e-6 *. Float.max 1.0 r.est_time_s))
     run.Experiment.results
 
 let test_result_for () =
@@ -72,6 +79,11 @@ let test_reports_render () =
     Fmt.str "%a" (Report.pp_bytes ~title:"T" ~engines:Engine.all_kinds) runs
   in
   check_bool "bytes table renders" true (contains ~needle:"KB" bytes);
+  let phases =
+    Fmt.str "%a" (Report.pp_phases ~title:"T" ~engines:Engine.all_kinds) runs
+  in
+  check_bool "phase table renders" true
+    (contains ~needle:"startup/map/shuffle+sort/reduce" phases);
   let verification = Fmt.str "%a" Report.pp_verification runs in
   check_bool "verification summary" true (contains ~needle:"1/1" verification)
 

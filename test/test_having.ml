@@ -35,7 +35,7 @@ let engines_agree src =
   let input = Engine.input_of_graph graph in
   List.iter
     (fun kind ->
-      match Engine.run kind Plan_util.default_options input q with
+      match Engine.run kind (Plan_util.context Plan_util.default_options) input q with
       | Error msg -> Alcotest.failf "%s: %s" (Engine.kind_name kind) msg
       | Ok { table; _ } ->
         check_bool (Engine.kind_name kind ^ " agrees") true

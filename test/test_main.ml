@@ -5,6 +5,7 @@ let () =
       ("sparql", Test_sparql.suite);
       ("ntga", Test_ntga.suite);
       ("mapred", Test_mapred.suite);
+      ("trace", Test_trace.suite);
       ("relational", Test_relational.suite);
       ("to-sparql", Test_to_sparql.suite);
       ("refengine", Test_refengine.suite);

@@ -2,12 +2,16 @@
    soundness), task estimation, and the cost model's monotonicity. *)
 
 module Cluster = Rapida_mapred.Cluster
+module Exec_ctx = Rapida_mapred.Exec_ctx
 module Job = Rapida_mapred.Job
 module Stats = Rapida_mapred.Stats
 module Workflow = Rapida_mapred.Workflow
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
+
+(* Every job runs inside an execution context; build one per cluster. *)
+let ctx cluster = Exec_ctx.create ~cluster ()
 
 (* A classic word-count job over strings. *)
 let wordcount ~with_combiner : (string, string, int, string * int) Job.spec =
@@ -28,7 +32,7 @@ let wordcount ~with_combiner : (string, string, int, string * int) Job.spec =
 let lines = [ "a b a"; "b c"; "a"; "c c c b" ]
 
 let test_wordcount () =
-  let out, stats = Job.run Cluster.default (wordcount ~with_combiner:false) lines in
+  let out, stats = Job.run (ctx Cluster.default) (wordcount ~with_combiner:false) lines in
   Alcotest.(check (list (pair string int)))
     "counts" [ ("a", 3); ("b", 3); ("c", 4) ]
     (List.sort compare out);
@@ -36,8 +40,8 @@ let test_wordcount () =
   check_bool "shuffle bytes accounted" true (stats.Stats.shuffle_bytes > 0)
 
 let test_combiner_equivalence () =
-  let out1, s1 = Job.run Cluster.default (wordcount ~with_combiner:false) lines in
-  let out2, s2 = Job.run Cluster.default (wordcount ~with_combiner:true) lines in
+  let out1, s1 = Job.run (ctx Cluster.default) (wordcount ~with_combiner:false) lines in
+  let out2, s2 = Job.run (ctx Cluster.default) (wordcount ~with_combiner:true) lines in
   Alcotest.(check (list (pair string int)))
     "same result" (List.sort compare out1) (List.sort compare out2);
   check_bool "combiner does not increase shuffle" true
@@ -48,17 +52,17 @@ let test_combiner_reduces_shuffle () =
      tiny blocks, repetitive input. *)
   let cluster = { Cluster.default with block_size_bytes = 8 } in
   let input = List.init 40 (fun _ -> "x x x") in
-  let _, s_plain = Job.run cluster (wordcount ~with_combiner:false) input in
-  let _, s_comb = Job.run cluster (wordcount ~with_combiner:true) input in
+  let _, s_plain = Job.run (ctx cluster) (wordcount ~with_combiner:false) input in
+  let _, s_comb = Job.run (ctx cluster) (wordcount ~with_combiner:true) input in
   check_bool "combiner shrinks shuffle" true
     (s_comb.Stats.shuffle_records < s_plain.Stats.shuffle_records)
 
 let test_determinism () =
-  let run () = fst (Job.run Cluster.default (wordcount ~with_combiner:true) lines) in
+  let run () = fst (Job.run (ctx Cluster.default) (wordcount ~with_combiner:true) lines) in
   Alcotest.(check (list (pair string int))) "deterministic" (run ()) (run ())
 
 let test_empty_input () =
-  let out, stats = Job.run Cluster.default (wordcount ~with_combiner:true) [] in
+  let out, stats = Job.run (ctx Cluster.default) (wordcount ~with_combiner:true) [] in
   check_int "no output" 0 (List.length out);
   check_int "no shuffle" 0 stats.Stats.shuffle_records;
   check_bool "still pays startup" true
@@ -73,7 +77,7 @@ let test_map_only () =
       mo_output_size = (fun _ -> 8);
     }
   in
-  let out, stats = Job.run_map_only Cluster.default spec [ 1; 2; 3 ] in
+  let out, stats = Job.run_map_only (ctx Cluster.default) spec [ 1; 2; 3 ] in
   Alcotest.(check (list int)) "doubled" [ 2; 4; 6 ] out;
   check_bool "map-only kind" true (stats.Stats.kind = Stats.Map_only);
   check_int "no reducers" 0 stats.Stats.reduce_tasks
@@ -89,16 +93,16 @@ let test_cost_monotone_in_data () =
   let spec = wordcount ~with_combiner:false in
   let small = [ "a b" ] in
   let big = List.init 200 (fun i -> Printf.sprintf "w%d x%d y%d" i i i) in
-  let _, s1 = Job.run Cluster.default spec small in
-  let _, s2 = Job.run Cluster.default spec big in
+  let _, s1 = Job.run (ctx Cluster.default) spec small in
+  let _, s2 = Job.run (ctx Cluster.default) spec big in
   check_bool "more data costs more" true (s2.Stats.est_time_s > s1.Stats.est_time_s)
 
 let test_compression_reduces_map_tasks () =
   let c = { Cluster.default with block_size_bytes = 64; compression_ratio = 0.1 } in
   let input = List.init 100 (fun i -> Printf.sprintf "longish input line %d" i) in
-  let _, s_comp = Job.run c (wordcount ~with_combiner:false) input in
+  let _, s_comp = Job.run (ctx c) (wordcount ~with_combiner:false) input in
   let _, s_plain =
-    Job.run { c with compression_ratio = 1.0 } (wordcount ~with_combiner:false) input
+    Job.run (ctx { c with compression_ratio = 1.0 }) (wordcount ~with_combiner:false) input
   in
   check_bool "compressed input launches fewer mappers" true
     (s_comp.Stats.map_tasks < s_plain.Stats.map_tasks);
@@ -107,7 +111,7 @@ let test_compression_reduces_map_tasks () =
     (s_comp.Stats.est_time_s >= s_plain.Stats.est_time_s)
 
 let test_workflow_accumulates () =
-  let wf = Workflow.create Cluster.default in
+  let wf = Workflow.create (ctx Cluster.default) in
   let _ = Workflow.run_job wf (wordcount ~with_combiner:false) lines in
   let spec : (string * int, string) Job.map_only_spec =
     {
@@ -131,8 +135,8 @@ let test_failure_injection () =
   let input = List.init 100 (fun i -> Printf.sprintf "alpha beta %d" i) in
   let healthy = { Cluster.default with disk_mb_per_s = 0.001 } in
   let flaky = { healthy with task_failure_rate = 0.3 } in
-  let out_h, s_h = Job.run healthy spec input in
-  let out_f, s_f = Job.run flaky spec input in
+  let out_h, s_h = Job.run (ctx healthy) spec input in
+  let out_f, s_f = Job.run (ctx flaky) spec input in
   Alcotest.(check (list (pair string int)))
     "failures never change results"
     (List.sort compare out_h) (List.sort compare out_f);
@@ -157,8 +161,8 @@ let prop_combiner_sound =
     (fun words ->
       let lines = List.map (fun w -> w ^ " " ^ w) words in
       let cluster = { Cluster.default with block_size_bytes = 4 } in
-      let a = fst (Job.run cluster (wordcount ~with_combiner:false) lines) in
-      let b = fst (Job.run cluster (wordcount ~with_combiner:true) lines) in
+      let a = fst (Job.run (ctx cluster) (wordcount ~with_combiner:false) lines) in
+      let b = fst (Job.run (ctx cluster) (wordcount ~with_combiner:true) lines) in
       List.sort compare a = List.sort compare b)
 
 let suite =

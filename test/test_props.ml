@@ -133,7 +133,7 @@ let check_all_engines (d, s1, s2) =
     let input = Engine.input_of_graph graph in
     List.for_all
       (fun kind ->
-        match Engine.run kind Plan_util.default_options input q with
+        match Engine.run kind (Plan_util.context Plan_util.default_options) input q with
         | Error msg ->
           QCheck2.Test.fail_reportf "%s failed: %s" (Engine.kind_name kind) msg
         | Ok { table; _ } ->

@@ -155,7 +155,7 @@ let test_engines_reject_unbound_property () =
   List.iter
     (fun kind ->
       match
-        Rapida_core.Engine.run kind Rapida_core.Plan_util.default_options
+        Rapida_core.Engine.run kind (Rapida_core.Plan_util.context Rapida_core.Plan_util.default_options)
           input q
       with
       | Error _ -> ()

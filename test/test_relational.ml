@@ -187,7 +187,9 @@ let gen_table ~schema =
              rows))
       (list_size (0 -- 25) (pair gen_key gen_val)))
 
-let wf () = Workflow.create Cluster.default
+let wf () =
+  Workflow.create
+    (Rapida_mapred.Exec_ctx.create ~cluster:Cluster.default ())
 
 let prop_repartition_join_matches =
   QCheck2.Test.make ~count:200 ~name:"repartition join = hash join"

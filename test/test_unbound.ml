@@ -41,7 +41,7 @@ let engines_agree src =
   let input = Engine.input_of_graph graph in
   List.iter
     (fun kind ->
-      match Engine.run kind Plan_util.default_options input q with
+      match Engine.run kind (Plan_util.context Plan_util.default_options) input q with
       | Error msg -> Alcotest.failf "%s: %s" (Engine.kind_name kind) msg
       | Ok { table; _ } ->
         if not (Relops.same_results expected table) then
@@ -144,7 +144,7 @@ let test_repeated_property () =
   let input = Engine.input_of_graph g in
   List.iter
     (fun kind ->
-      match Engine.run kind Plan_util.default_options input q with
+      match Engine.run kind (Plan_util.context Plan_util.default_options) input q with
       | Error msg -> Alcotest.failf "%s: %s" (Engine.kind_name kind) msg
       | Ok { table; _ } ->
         check_bool (Engine.kind_name kind ^ " agrees") true
@@ -174,7 +174,7 @@ let test_entity_chain () =
   let input = Engine.input_of_graph g in
   List.iter
     (fun kind ->
-      match Engine.run kind Plan_util.default_options input q with
+      match Engine.run kind (Plan_util.context Plan_util.default_options) input q with
       | Error msg -> Alcotest.failf "%s: %s" (Engine.kind_name kind) msg
       | Ok { table; _ } ->
         check_bool (Engine.kind_name kind ^ " agrees") true
