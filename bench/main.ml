@@ -9,6 +9,8 @@
      fig8c   - Figure 8(c): MG6-MG10 on Chem2Bio2RDF, 4 engines
      table4  - Table 4: MG11-MG18 on PubMed, 4 engines
      ablation- toggle each optimization knob in isolation
+     faults  - fault-injection degradation: simulated time vs fault
+               rate for all four engines
      wall    - Bechamel wall-clock microbenchmarks of the in-memory
                engines on representative queries
 
@@ -16,11 +18,13 @@
    (documented in DESIGN.md); the paper-facing claims are the shapes:
    who wins, by what factor, and where the crossovers are. Usage:
 
-     dune exec bench/main.exe [--scale N] [--trace DIR] [section ...]
-                                                          (default: all)
+     dune exec bench/main.exe [--scale N] [--trace DIR] [--faults SPEC]
+                              [section ...]              (default: all)
 
    With --trace DIR, each engine run writes its Chrome trace-event file
-   to DIR/<section>-<query>-<engine>.json. *)
+   to DIR/<section>-<query>-<engine>.json. With --faults SPEC (same
+   key=value spec as `rapida query --faults`), every section's engine
+   runs execute under that fault configuration. *)
 
 module Engine = Rapida_core.Engine
 module Plan_util = Rapida_core.Plan_util
@@ -28,9 +32,12 @@ module Catalog = Rapida_queries.Catalog
 module Experiment = Rapida_harness.Experiment
 module Report = Rapida_harness.Report
 
+module Fault_injector = Rapida_mapred.Fault_injector
+
 let scale = ref 1
 let sections = ref []
 let trace_dir = ref None
+let fault_cfg = ref Fault_injector.default
 
 let () =
   let rec parse = function
@@ -40,6 +47,13 @@ let () =
       parse rest
     | "--trace" :: dir :: rest ->
       trace_dir := Some dir;
+      parse rest
+    | "--faults" :: spec :: rest ->
+      (match Fault_injector.parse_spec spec with
+      | Ok cfg -> fault_cfg := cfg
+      | Error msg ->
+        prerr_endline ("error: " ^ msg);
+        exit 2);
       parse rest
     | s :: rest ->
       sections := s :: !sections;
@@ -57,7 +71,7 @@ let want section =
 let options =
   Plan_util.make
     ~cluster:(Rapida_mapred.Cluster.scaled_down ~factor:1.0e5)
-    ~map_join_threshold:(24 * 1024) ()
+    ~map_join_threshold:(24 * 1024) ~faults:!fault_cfg ()
 
 let all_engines = Engine.all_kinds
 let table3_engines = Engine.[ Hive_naive; Rapid_analytics ]
@@ -227,6 +241,20 @@ let section_ablation () =
        (Plan_util.make ~base:options ~hive_compression:1.0 ())
        Engine.Hive_naive bsbm_small "MG3")
 
+(* Fault-injection degradation: each engine's simulated time as the
+   per-attempt crash/straggler rate rises, relative to its own
+   fault-free run. RAPIDAnalytics' shorter workflows re-roll fewer
+   attempts, so it degrades the least in absolute seconds. *)
+let section_faults () =
+  List.iter
+    (fun (input, id) ->
+      let deg =
+        Experiment.degradation options (Lazy.force input)
+          (Catalog.find_exn id)
+      in
+      Fmt.pr "%a" (Report.pp_degradation ~engines:all_engines) deg)
+    [ (bsbm_small, "MG1"); (chem, "MG6") ]
+
 (* Wall-clock microbenchmarks of the real in-memory executions, per
    engine, on representative queries from each workload. *)
 let section_wall () =
@@ -281,4 +309,5 @@ let () =
   if want "fig8c" then section_fig8c ();
   if want "table4" then section_table4 ();
   if want "ablation" then section_ablation ();
+  if want "faults" then section_faults ();
   if want "wall" then section_wall ()

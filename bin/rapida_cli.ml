@@ -16,12 +16,25 @@ module Exec_ctx = Rapida_mapred.Exec_ctx
 module Metrics = Rapida_mapred.Metrics
 module Trace = Rapida_mapred.Trace
 module Json = Rapida_mapred.Json
+module Fault_injector = Rapida_mapred.Fault_injector
 module Graph = Rapida_rdf.Graph
 module Rterm = Rapida_rdf.Term
 
 open Cmdliner
 
 (* --- shared helpers ----------------------------------------------------- *)
+
+(* Exit codes: 2 for usage/input errors (unreadable or unparsable query,
+   bad flag values, unknown catalog id), 1 for runtime failures
+   (verification mismatch, aborted workflow). Both print a one-line
+   diagnostic on stderr — never a backtrace. *)
+let die_usage msg =
+  prerr_endline ("error: " ^ msg);
+  exit 2
+
+let die_runtime msg =
+  prerr_endline ("error: " ^ msg);
+  exit 1
 
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -37,10 +50,13 @@ let load_graph path =
   | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
 
 let read_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  match open_in path with
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+    |> Result.ok
+  | exception Sys_error msg -> Error (Printf.sprintf "cannot read %s" msg)
 
 let print_table t =
   let widths =
@@ -171,7 +187,7 @@ let query_source_args f =
 
 let query_text query_file catalog_id =
   match query_file, catalog_id with
-  | Some path, None -> Ok (read_file path)
+  | Some path, None -> read_file path
   | None, Some id -> (
     match Catalog.find id with
     | Some entry -> Ok entry.Catalog.sparql
@@ -203,34 +219,54 @@ let query_cmd =
              ~doc:"Print the result table, statistics with per-phase time \
                    breakdown, and counters as JSON.")
   in
+  let faults =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Inject faults into the simulated cluster: comma-separated \
+                   key=value pairs over seed, task-fail, straggler, slowdown, \
+                   max-attempts, speculation (on|off), job-retries, backoff, \
+                   and phase (map|reduce|all), e.g. \
+                   seed=7,task-fail=0.05,straggler=0.1. Fault tolerance is \
+                   transparent: unless a task exhausts its attempts, results \
+                   are identical to a fault-free run and only the simulated \
+                   time and counters change.")
+  in
   let run (data, query_file, catalog_id) engine verify show_stats trace_file
-      json verbose =
+      json faults_spec verbose =
     setup_logs verbose;
     let ( let* ) = Result.bind in
-    let ctx = Plan_util.context Plan_util.default_options in
+    let usage r = Result.map_error (fun msg -> (2, msg)) r in
+    let runtime r = Result.map_error (fun msg -> (1, msg)) r in
     match
-      let* graph = load_graph data in
-      let* src = query_text query_file catalog_id in
+      let* fault_cfg =
+        usage
+          (match faults_spec with
+          | None -> Ok Fault_injector.default
+          | Some spec -> Fault_injector.parse_spec spec)
+      in
+      let ctx = Plan_util.context (Plan_util.make ~faults:fault_cfg ()) in
+      let* graph = usage (load_graph data) in
+      let* src = usage (query_text query_file catalog_id) in
+      let* query = usage (Rapida_sparql.Analytical.parse src) in
       let input = Engine.input_of_graph graph in
-      let* out = Engine.run_sparql engine ctx input src in
+      let* out = runtime (Engine.run engine ctx input query) in
       let* () =
         if not verify then Ok ()
         else
-          let* expected = Rapida_ref.Ref_engine.run_sparql graph src in
+          let* expected = runtime (Rapida_ref.Ref_engine.run_sparql graph src) in
           if Relops.same_results expected out.Engine.table then begin
             if not json then
               print_endline
                 "verification: result matches the reference evaluator";
             Ok ()
           end
-          else Error "verification FAILED: result differs from reference"
+          else Error (1, "verification FAILED: result differs from reference")
       in
-      Ok out
+      Ok (ctx, out)
     with
-    | Error msg ->
-      prerr_endline ("error: " ^ msg);
-      exit 1
-    | Ok { Engine.table; stats; trace } ->
+    | Error (2, msg) -> die_usage msg
+    | Error (_, msg) -> die_runtime msg
+    | Ok (ctx, { Engine.table; stats; trace }) ->
       (match trace_file with
       | Some path -> (
         match Trace.write_file trace path with
@@ -239,9 +275,7 @@ let query_cmd =
             Printf.printf "wrote trace (%d events) to %s\n"
               (List.length (Trace.events trace))
               path
-        | exception Sys_error msg ->
-          prerr_endline ("error: cannot write trace: " ^ msg);
-          exit 1)
+        | exception Sys_error msg -> die_runtime ("cannot write trace: " ^ msg))
       | None -> ());
       if json then
         print_endline
@@ -265,7 +299,8 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run a SPARQL analytical query on a dataset")
     Term.(const run
           $ query_source_args (fun d q c -> (d, q, c))
-          $ engine $ verify $ show_stats $ trace_file $ json $ verbose_arg)
+          $ engine $ verify $ show_stats $ trace_file $ json $ faults
+          $ verbose_arg)
 
 (* --- explain ------------------------------------------------------------ *)
 
@@ -289,9 +324,7 @@ let explain_cmd =
       Result.bind (query_text query_file catalog_id) (fun src ->
           Rapida_sparql.Analytical.parse src)
     with
-    | Error msg ->
-      prerr_endline ("error: " ^ msg);
-      exit 1
+    | Error msg -> die_usage msg
     | Ok q ->
       if json then
         print_endline
@@ -344,9 +377,7 @@ let catalog_cmd =
         Fmt.pr "-- %s (%s): %s@.%s@." e.Catalog.id
           (Catalog.dataset_name e.Catalog.dataset)
           e.Catalog.description e.Catalog.sparql
-      | None ->
-        prerr_endline ("unknown catalog query " ^ id);
-        exit 1)
+      | None -> die_usage ("unknown catalog query " ^ id))
     | None ->
       Fmt.pr "%-5s %-13s %s@." "Id" "Dataset" "Description";
       List.iter
@@ -369,9 +400,7 @@ let stats_cmd =
   in
   let run data =
     match load_graph data with
-    | Error msg ->
-      prerr_endline ("error: " ^ msg);
-      exit 1
+    | Error msg -> die_usage msg
     | Ok graph ->
       let tg = Rapida_ntga.Tg_store.of_graph graph in
       let vp = Rapida_relational.Vp_store.of_graph graph in

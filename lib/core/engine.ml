@@ -6,6 +6,7 @@ module Tg_store = Rapida_ntga.Tg_store
 module Stats = Rapida_mapred.Stats
 module Exec_ctx = Rapida_mapred.Exec_ctx
 module Trace = Rapida_mapred.Trace
+module Workflow = Rapida_mapred.Workflow
 
 type kind = Hive_naive | Hive_mqo | Rapid_plus | Rapid_analytics
 
@@ -43,12 +44,16 @@ type output = { table : Table.t; stats : Stats.t; trace : Trace.t }
 
 let run kind ctx input query =
   let result =
-    match kind with
-    | Hive_naive -> Hive_naive.run ctx (Lazy.force input.vp) query
-    | Hive_mqo -> Hive_mqo.run ctx (Lazy.force input.vp) query
-    | Rapid_plus -> Rapid_plus.run ctx (Lazy.force input.tg_store) query
-    | Rapid_analytics ->
-      Rapid_analytics.run ctx (Lazy.force input.tg_store) query
+    (* A workflow that exhausts its whole-job retries surfaces as a
+       structured error, never an escaping exception. *)
+    try
+      match kind with
+      | Hive_naive -> Hive_naive.run ctx (Lazy.force input.vp) query
+      | Hive_mqo -> Hive_mqo.run ctx (Lazy.force input.vp) query
+      | Rapid_plus -> Rapid_plus.run ctx (Lazy.force input.tg_store) query
+      | Rapid_analytics ->
+        Rapid_analytics.run ctx (Lazy.force input.tg_store) query
+    with Workflow.Aborted a -> Error (Fmt.str "%a" Workflow.pp_abort a)
   in
   Result.map
     (fun (table, stats) -> { table; stats; trace = Exec_ctx.trace ctx })

@@ -16,6 +16,7 @@ type options = {
   hive_compression : float;
   ntga_combiner : bool;
   ntga_filter_pushdown : bool;
+  faults : Rapida_mapred.Fault_injector.config;
 }
 
 let default_options =
@@ -25,10 +26,11 @@ let default_options =
     hive_compression = 0.06;
     ntga_combiner = true;
     ntga_filter_pushdown = true;
+    faults = Rapida_mapred.Fault_injector.default;
   }
 
 let make ?(base = default_options) ?cluster ?map_join_threshold
-    ?hive_compression ?ntga_combiner ?ntga_filter_pushdown () =
+    ?hive_compression ?ntga_combiner ?ntga_filter_pushdown ?faults () =
   {
     cluster = Option.value ~default:base.cluster cluster;
     map_join_threshold =
@@ -38,6 +40,7 @@ let make ?(base = default_options) ?cluster ?map_join_threshold
     ntga_combiner = Option.value ~default:base.ntga_combiner ntga_combiner;
     ntga_filter_pushdown =
       Option.value ~default:base.ntga_filter_pushdown ntga_filter_pushdown;
+    faults = Option.value ~default:base.faults faults;
   }
 
 let context options =
@@ -49,6 +52,7 @@ let context options =
         ntga_combiner = options.ntga_combiner;
         ntga_filter_pushdown = options.ntga_filter_pushdown;
       }
+    ~faults:(Rapida_mapred.Fault_injector.create options.faults)
     ()
 
 let hive_ctx ctx =

@@ -30,6 +30,10 @@ type options = {
   ntga_filter_pushdown : bool;
       (** ablation: evaluate star-local FILTERs during the map-side group
           filter instead of at aggregation time. *)
+  faults : Rapida_mapred.Fault_injector.config;
+      (** fault-injection knobs (seed, crash/straggler probabilities,
+          retry policy); the all-zero {!Rapida_mapred.Fault_injector.default}
+          leaves the cost model untouched. *)
 }
 
 val default_options : options
@@ -45,6 +49,7 @@ val make :
   ?hive_compression:float ->
   ?ntga_combiner:bool ->
   ?ntga_filter_pushdown:bool ->
+  ?faults:Rapida_mapred.Fault_injector.config ->
   unit -> options
 
 (** [context options] is a fresh execution context (empty trace and

@@ -89,3 +89,100 @@ let result_for run kind =
   List.find_opt (fun r -> r.engine = kind) run.results
 
 let all_agreed run = List.for_all (fun r -> r.agreed) run.results
+
+(* --- Fault-injection degradation sweep --------------------------------- *)
+
+module Fault_injector = Rapida_mapred.Fault_injector
+
+type degradation_point = {
+  d_engine : Engine.kind;
+  d_rate : float;
+  d_time_s : float;
+  d_slowdown : float;
+  d_attempts_failed : int;
+  d_speculative : int;
+  d_transparent : bool;
+  d_aborted : bool;
+}
+
+type degradation = {
+  d_query : Catalog.entry;
+  d_seed : int;
+  d_rates : float list;
+  d_baseline : (Engine.kind * float) list;
+  d_points : degradation_point list;
+}
+
+let degradation ?(engines = Engine.all_kinds) ?(seed = 7)
+    ?(rates = [ 0.0; 0.02; 0.05; 0.1; 0.2 ]) options input entry =
+  let q = Catalog.parse entry in
+  let run_one kind cfg =
+    let ctx =
+      Plan_util.context (Plan_util.make ~base:options ~faults:cfg ())
+    in
+    Engine.run kind ctx input q
+  in
+  let baseline =
+    List.map
+      (fun kind ->
+        match run_one kind Fault_injector.default with
+        | Ok { table; stats; _ } -> (kind, table, Stats.est_time_s stats)
+        | Error msg ->
+          invalid_arg
+            (Printf.sprintf "degradation: fault-free %s failed: %s"
+               (Engine.kind_name kind) msg))
+      engines
+  in
+  let points =
+    List.concat_map
+      (fun rate ->
+        List.map
+          (fun (kind, base_table, base_s) ->
+            let cfg =
+              {
+                Fault_injector.default with
+                Fault_injector.seed;
+                task_fail_p = rate;
+                straggler_p = rate;
+                job_retries = 2;
+              }
+            in
+            match run_one kind cfg with
+            | Ok { table; stats; _ } ->
+              let t = Stats.est_time_s stats in
+              {
+                d_engine = kind;
+                d_rate = rate;
+                d_time_s = t;
+                d_slowdown = (if base_s > 0.0 then t /. base_s else 1.0);
+                d_attempts_failed = Stats.total_attempts_failed stats;
+                d_speculative = Stats.total_speculative_launched stats;
+                d_transparent = Relops.same_results base_table table;
+                d_aborted = false;
+              }
+            | Error _ ->
+              {
+                d_engine = kind;
+                d_rate = rate;
+                d_time_s = 0.0;
+                d_slowdown = 0.0;
+                d_attempts_failed = 0;
+                d_speculative = 0;
+                d_transparent = false;
+                d_aborted = true;
+              })
+          baseline)
+      rates
+  in
+  {
+    d_query = entry;
+    d_seed = seed;
+    d_rates = rates;
+    d_baseline = List.map (fun (k, _, s) -> (k, s)) baseline;
+    d_points = points;
+  }
+
+let degradation_point deg kind rate =
+  List.find_opt
+    (fun p -> p.d_engine = kind && p.d_rate = rate)
+    deg.d_points

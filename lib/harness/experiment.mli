@@ -53,3 +53,46 @@ val result_for : run -> Engine.kind -> engine_result option
 
 (** [all_agreed run] holds when every engine matched the reference. *)
 val all_agreed : run -> bool
+
+(** One engine at one fault rate in a {!degradation} sweep. *)
+type degradation_point = {
+  d_engine : Engine.kind;
+  d_rate : float;  (** per-attempt crash and straggler probability *)
+  d_time_s : float;  (** simulated time under faults (0 when aborted) *)
+  d_slowdown : float;  (** [d_time_s] over the engine's fault-free time *)
+  d_attempts_failed : int;
+  d_speculative : int;
+  d_transparent : bool;
+      (** result identical to the engine's fault-free result *)
+  d_aborted : bool;  (** the workflow ran out of retries *)
+}
+
+type degradation = {
+  d_query : Catalog.entry;
+  d_seed : int;
+  d_rates : float list;
+  d_baseline : (Engine.kind * float) list;  (** fault-free times *)
+  d_points : degradation_point list;  (** rate-major, engine order *)
+}
+
+(** [degradation ?engines ?seed ?rates options input entry] sweeps fault
+    rates over one catalog query: for each rate, every engine runs with
+    per-attempt crash and straggler probability set to the rate (two
+    whole-job retries, seeded injection), and the point records the
+    simulated-time degradation relative to that engine's fault-free run
+    plus whether fault tolerance stayed transparent. Rates default to
+    [0, 0.02, 0.05, 0.1, 0.2].
+
+    @raise Invalid_argument when a fault-free run fails. *)
+val degradation :
+  ?engines:Engine.kind list ->
+  ?seed:int ->
+  ?rates:float list ->
+  Rapida_core.Plan_util.options ->
+  Engine.input ->
+  Catalog.entry ->
+  degradation
+
+(** [degradation_point deg kind rate] finds one sweep point. *)
+val degradation_point :
+  degradation -> Engine.kind -> float -> degradation_point option

@@ -124,6 +124,34 @@ let pp_phases ~title ~engines ppf runs =
   Fmt.pf ppf
     "(simulated seconds per phase: startup/map/shuffle+sort/reduce)@."
 
+let pp_degradation ~engines ppf (deg : Experiment.degradation) =
+  Fmt.pf ppf "@.== fault degradation: %s (seed %d) ==@."
+    deg.Experiment.d_query.Catalog.id deg.Experiment.d_seed;
+  Fmt.pf ppf "%-6s" "fault";
+  List.iter (fun k -> Fmt.pf ppf " %18s" (engine_header k)) engines;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun rate ->
+      Fmt.pf ppf "%-6s" (Printf.sprintf "%g" rate);
+      List.iter
+        (fun k ->
+          let cell =
+            match Experiment.degradation_point deg k rate with
+            | None -> "-"
+            | Some p ->
+              if p.Experiment.d_aborted then "aborted"
+              else
+                Printf.sprintf "%.1fs (%.2fx)%s" p.Experiment.d_time_s
+                  p.Experiment.d_slowdown
+                  (if p.Experiment.d_transparent then "" else "*")
+          in
+          Fmt.pf ppf " %18s" cell)
+        engines;
+      Fmt.pf ppf "@.")
+    deg.Experiment.d_rates;
+  Fmt.pf ppf
+    "(simulated seconds and slowdown vs fault-free; * = result diverged)@."
+
 let pp_verification ppf runs =
   let total = List.length runs in
   let ok = List.length (List.filter Experiment.all_agreed runs) in

@@ -26,6 +26,14 @@ val pp_bytes :
 val pp_phases :
   title:string -> engines:Engine.kind list -> Experiment.run list Fmt.t
 
+(** [pp_degradation ~engines deg] renders a fault-injection degradation
+    sweep: a row per fault rate, a column per engine showing simulated
+    seconds and the slowdown over that engine's fault-free run.
+    [aborted] marks a workflow that ran out of retries; a trailing [*]
+    marks a (would-be-transparency-violating) diverged result. *)
+val pp_degradation :
+  engines:Engine.kind list -> Experiment.degradation Fmt.t
+
 (** [pp_verification runs] summarizes cross-engine agreement. *)
 val pp_verification : Experiment.run list Fmt.t
 

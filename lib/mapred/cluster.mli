@@ -22,10 +22,21 @@ type t = {
       (** on-disk size multiplier for stored inputs (e.g. ORC ~ 0.15);
           1.0 = uncompressed *)
   task_failure_rate : float;
-      (** fraction of tasks that fail and are re-executed (speculative
-          retry); adds proportional re-work time to each phase. Results
-          are unaffected — MapReduce retries are transparent. 0.0 = a
-          healthy cluster. *)
+      (** {b Deprecated.} Flat re-work multiplier: a fraction of tasks
+          assumed to fail and be re-executed, adding proportional time to
+          each phase. Superseded by {!Fault_injector}, which models
+          individual task attempts (crash points, stragglers, speculative
+          copies, attempt exhaustion) instead of a uniform surcharge.
+
+          Migration: replace [{ cluster with task_failure_rate = p }]
+          with an execution context carrying
+          [Fault_injector.create { Fault_injector.default with task_fail_p = p }]
+          (see {!Exec_ctx.create}'s [?faults]), or pass
+          [--faults task-fail=p] on the CLI. For compatibility the flat
+          multiplier still prices re-work when the context's injector is
+          inactive; an {e active} injector replaces it entirely, so the
+          two models never compound. The field will be removed once the
+          remaining presets migrate. 0.0 = a healthy cluster. *)
 }
 
 (** A 10-node VCL-like cluster, matching the paper's small setup. *)

@@ -16,15 +16,18 @@ let default_planner =
 type t = {
   cluster : Cluster.t;
   planner : planner;
+  faults : Fault_injector.t;
   metrics : Metrics.t;
   trace : Trace.t;
 }
 
-let create ?(cluster = Cluster.default) ?(planner = default_planner) () =
-  { cluster; planner; metrics = Metrics.create (); trace = Trace.create () }
+let create ?(cluster = Cluster.default) ?(planner = default_planner)
+    ?(faults = Fault_injector.create Fault_injector.default) () =
+  { cluster; planner; faults; metrics = Metrics.create (); trace = Trace.create () }
 
 let cluster t = t.cluster
 let planner t = t.planner
+let faults t = t.faults
 let metrics t = t.metrics
 let trace t = t.trace
 let with_cluster t cluster = { t with cluster }

@@ -28,12 +28,23 @@ val default_planner : planner
 
 type t
 
-(** [create ?cluster ?planner ()] is a fresh context with empty metrics
-    and trace. Defaults: {!Cluster.default}, {!default_planner}. *)
-val create : ?cluster:Cluster.t -> ?planner:planner -> unit -> t
+(** [create ?cluster ?planner ?faults ()] is a fresh context with empty
+    metrics and trace. Defaults: {!Cluster.default}, {!default_planner},
+    and an inactive {!Fault_injector.t} (healthy cluster). *)
+val create :
+  ?cluster:Cluster.t ->
+  ?planner:planner ->
+  ?faults:Fault_injector.t ->
+  unit ->
+  t
 
 val cluster : t -> Cluster.t
 val planner : t -> planner
+
+(** The fault injector every job run against this context consults for
+    task-attempt crashes and stragglers. Inactive by default. *)
+val faults : t -> Fault_injector.t
+
 val metrics : t -> Metrics.t
 val trace : t -> Trace.t
 

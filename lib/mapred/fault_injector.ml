@@ -1,0 +1,262 @@
+type phase = Map | Reduce
+
+let phase_name = function Map -> "map" | Reduce -> "reduce"
+
+type config = {
+  seed : int;
+  task_fail_p : float;
+  straggler_p : float;
+  straggler_slowdown : float;
+  max_attempts : int;
+  speculation : bool;
+  job_retries : int;
+  retry_backoff_s : float;
+  target : phase option;
+}
+
+let default =
+  {
+    seed = 0;
+    task_fail_p = 0.0;
+    straggler_p = 0.0;
+    straggler_slowdown = 3.0;
+    max_attempts = 4;
+    speculation = true;
+    job_retries = 0;
+    retry_backoff_s = 30.0;
+    target = None;
+  }
+
+type t = config
+
+let create cfg =
+  if cfg.task_fail_p < 0.0 || cfg.task_fail_p >= 1.0 then
+    invalid_arg "Fault_injector.create: task_fail_p must be in [0, 1)";
+  if cfg.straggler_p < 0.0 || cfg.straggler_p > 1.0 then
+    invalid_arg "Fault_injector.create: straggler_p must be in [0, 1]";
+  if cfg.max_attempts < 1 then
+    invalid_arg "Fault_injector.create: max_attempts must be >= 1";
+  if cfg.straggler_slowdown < 1.0 then
+    invalid_arg "Fault_injector.create: straggler_slowdown must be >= 1";
+  cfg
+
+let config t = t
+let active t = t.task_fail_p > 0.0 || t.straggler_p > 0.0
+
+(* splitmix64: one mixing step. Used as a hash, not a stream — every
+   decision hashes its full coordinates so outcomes are independent of
+   the order the simulator asks in. *)
+let mix64 z =
+  let z = Int64.add z 0x9E3779B97F4A7C15L in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let mix_int h x = mix64 (Int64.logxor h (Int64.of_int x))
+
+let hash_string h s =
+  let acc = ref h in
+  String.iter (fun c -> acc := mix_int !acc (Char.code c)) s;
+  !acc
+
+(* Top 53 bits as a float in [0, 1). *)
+let u01 h =
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+
+let decision_hash t ~job ~job_attempt ~phase ~task ~attempt =
+  let h = mix_int 0L t.seed in
+  let h = hash_string h job in
+  let h = mix_int h job_attempt in
+  let h = mix_int h (match phase with Map -> 1 | Reduce -> 2) in
+  let h = mix_int h task in
+  mix_int h attempt
+
+type outcome = Healthy | Crash of float | Straggle
+
+let targets t phase =
+  match t.target with None -> true | Some p -> p = phase
+
+let attempt_outcome t ~job ~job_attempt ~phase ~task ~attempt =
+  if not (active t && targets t phase) then Healthy
+  else
+    let h = decision_hash t ~job ~job_attempt ~phase ~task ~attempt in
+    let crash_draw = u01 h in
+    if crash_draw < t.task_fail_p then
+      (* Crash point: how much of the attempt's work was done before the
+         container died — in [0.1, 0.9] so a crash is never free and
+         never a full duplicate. *)
+      Crash (0.1 +. (0.8 *. u01 (mix_int h 1)))
+    else if u01 (mix_int h 2) < t.straggler_p then Straggle
+    else Healthy
+
+type attempt_fate = Crashed of float | Speculated | Straggled
+
+type attempt_event = {
+  ev_task : int;
+  ev_attempt : int;
+  ev_fate : attempt_fate;
+  ev_wasted_s : float;
+}
+
+type phase_sim = {
+  elapsed_s : float;
+  attempts_failed : int;
+  speculative_launched : int;
+  attempts_killed : int;
+  events : attempt_event list;
+  exhausted : (int * int) option;
+}
+
+let healthy_sim base_s =
+  {
+    elapsed_s = base_s;
+    attempts_failed = 0;
+    speculative_launched = 0;
+    attempts_killed = 0;
+    events = [];
+    exhausted = None;
+  }
+
+let simulate_phase t ~job ~job_attempt ~phase ~tasks ~slots ~base_s =
+  if not (active t && targets t phase) || tasks <= 0 || base_s <= 0.0 then
+    healthy_sim base_s
+  else begin
+    let slots = max 1 (min tasks slots) in
+    (* Work conservation: [base_s] is the wall time of [tasks] tasks over
+       [slots] slots, so one task's serial work is [base_s * slots /
+       tasks] slot-seconds. Every wasted or slowed attempt adds work on
+       the same slots. *)
+    let per_task_s = base_s *. float_of_int slots /. float_of_int tasks in
+    let wasted = ref 0.0 in
+    let failed = ref 0 in
+    let speculative = ref 0 in
+    let killed = ref 0 in
+    let events = ref [] in
+    let exhausted = ref None in
+    let record_event ev_task ev_attempt ev_fate ev_wasted_s =
+      wasted := !wasted +. ev_wasted_s;
+      events := { ev_task; ev_attempt; ev_fate; ev_wasted_s } :: !events
+    in
+    (let task = ref 0 in
+     while !exhausted = None && !task < tasks do
+       let rec run_attempt attempt =
+         match
+           attempt_outcome t ~job ~job_attempt ~phase ~task:!task ~attempt
+         with
+         | Crash frac ->
+           incr failed;
+           record_event !task attempt (Crashed frac) (frac *. per_task_s);
+           if attempt >= t.max_attempts then
+             exhausted := Some (!task, attempt)
+           else run_attempt (attempt + 1)
+         | Straggle ->
+           if t.speculation then begin
+             (* The speculative copy finishes in normal time; the
+                straggling original is killed after occupying its slot
+                for that long. *)
+             incr speculative;
+             incr killed;
+             record_event !task attempt Speculated per_task_s
+           end
+           else
+             record_event !task attempt Straggled
+               ((t.straggler_slowdown -. 1.0) *. per_task_s)
+         | Healthy -> ()
+       in
+       run_attempt 1;
+       incr task
+     done);
+    {
+      elapsed_s = base_s +. (!wasted /. float_of_int slots);
+      attempts_failed = !failed;
+      speculative_launched = !speculative;
+      attempts_killed = !killed;
+      events = List.rev !events;
+      exhausted = !exhausted;
+    }
+  end
+
+(* --- CLI spec parsing --------------------------------------------------- *)
+
+let parse_spec s =
+  let ( let* ) = Result.bind in
+  let parse_float key v =
+    match float_of_string_opt v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "--faults: %s expects a number, got %S" key v)
+  in
+  let parse_int key v =
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None ->
+      Error (Printf.sprintf "--faults: %s expects an integer, got %S" key v)
+  in
+  let parse_pair cfg pair =
+    match String.index_opt pair '=' with
+    | None ->
+      Error
+        (Printf.sprintf "--faults: expected key=value, got %S" pair)
+    | Some i -> (
+      let key = String.sub pair 0 i in
+      let v = String.sub pair (i + 1) (String.length pair - i - 1) in
+      match key with
+      | "seed" ->
+        let* seed = parse_int key v in
+        Ok { cfg with seed }
+      | "task-fail" ->
+        let* task_fail_p = parse_float key v in
+        Ok { cfg with task_fail_p }
+      | "straggler" ->
+        let* straggler_p = parse_float key v in
+        Ok { cfg with straggler_p }
+      | "slowdown" ->
+        let* straggler_slowdown = parse_float key v in
+        Ok { cfg with straggler_slowdown }
+      | "max-attempts" ->
+        let* max_attempts = parse_int key v in
+        Ok { cfg with max_attempts }
+      | "speculation" -> (
+        match v with
+        | "on" -> Ok { cfg with speculation = true }
+        | "off" -> Ok { cfg with speculation = false }
+        | _ -> Error "--faults: speculation expects on or off")
+      | "job-retries" ->
+        let* job_retries = parse_int key v in
+        Ok { cfg with job_retries }
+      | "backoff" ->
+        let* retry_backoff_s = parse_float key v in
+        Ok { cfg with retry_backoff_s }
+      | "phase" -> (
+        match v with
+        | "map" -> Ok { cfg with target = Some Map }
+        | "reduce" -> Ok { cfg with target = Some Reduce }
+        | "all" -> Ok { cfg with target = None }
+        | _ -> Error "--faults: phase expects map, reduce, or all")
+      | _ -> Error (Printf.sprintf "--faults: unknown key %S" key))
+  in
+  let* cfg =
+    List.fold_left
+      (fun acc pair ->
+        let* cfg = acc in
+        if pair = "" then Ok cfg else parse_pair cfg pair)
+      (Ok default)
+      (String.split_on_char ',' s)
+  in
+  match create cfg with
+  | t -> Ok (config t)
+  | exception Invalid_argument msg -> Error msg
+
+let pp ppf t =
+  Fmt.pf ppf
+    "faults(seed=%d task-fail=%g straggler=%g slowdown=%gx max-attempts=%d \
+     speculation=%s job-retries=%d backoff=%gs phase=%s)"
+    t.seed t.task_fail_p t.straggler_p t.straggler_slowdown t.max_attempts
+    (if t.speculation then "on" else "off")
+    t.job_retries t.retry_backoff_s
+    (match t.target with None -> "all" | Some p -> phase_name p)

@@ -16,6 +16,24 @@ type ('a, 'b) map_only_spec = {
   mo_output_size : 'b -> int;
 }
 
+type failure = {
+  f_job : string;
+  f_phase : Fault_injector.phase;
+  f_task : int;
+  f_attempts : int;
+  f_reason : string;
+  f_elapsed_s : float;
+}
+
+exception Job_failed of failure
+
+let pp_failure ppf f =
+  Fmt.pf ppf "job %S: %s task %d failed %d attempt%s: %s" f.f_job
+    (Fault_injector.phase_name f.f_phase)
+    f.f_task f.f_attempts
+    (if f.f_attempts = 1 then "" else "s")
+    f.f_reason
+
 (* Group (k, v) pairs by key, preserving the order in which keys first
    appear so that the simulator is deterministic end to end. Values within
    a group keep arrival order. *)
@@ -62,9 +80,79 @@ let parallel_throughput ~per_node_mb_s ~tasks ~slots =
   let effective = min tasks slots in
   per_node_mb_s *. float_of_int (max 1 effective)
 
+(* The legacy flat re-work multiplier from the deprecated
+   [Cluster.task_failure_rate] knob. The fault injector replaces it: an
+   active injector prices retries and speculation per attempt, so the
+   multiplier is only applied when no injector is configured. *)
+let legacy_retry inj cluster =
+  if Fault_injector.active inj then 1.0
+  else 1.0 +. (2.0 *. cluster.Cluster.task_failure_rate)
+
+let fate_label = function
+  | Fault_injector.Crashed _ -> "crashed"
+  | Fault_injector.Speculated -> "speculated"
+  | Fault_injector.Straggled -> "straggled"
+
+(* One span per non-healthy attempt, laid at the phase's start offset. *)
+let attempt_spans job phase ~phase_offset_s (sim : Fault_injector.phase_sim) =
+  List.map
+    (fun (ev : Fault_injector.attempt_event) ->
+      ( Printf.sprintf "%s/%s.t%d.a%d:%s" job
+          (Fault_injector.phase_name phase)
+          ev.Fault_injector.ev_task ev.Fault_injector.ev_attempt
+          (fate_label ev.Fault_injector.ev_fate),
+        phase_offset_s,
+        ev.Fault_injector.ev_wasted_s,
+        [
+          ("task", Json.Int ev.Fault_injector.ev_task);
+          ("attempt", Json.Int ev.Fault_injector.ev_attempt);
+          ("fate", Json.String (fate_label ev.Fault_injector.ev_fate));
+        ] ))
+    sim.Fault_injector.events
+
+(* A user map/combine/reduce function threw: the input is deterministic,
+   so every one of the task's attempts fails the same way and the job is
+   lost (Hadoop semantics for a buggy job). *)
+let user_failure metrics inj ~job ~phase ~task ~elapsed_s exn =
+  let max_attempts = (Fault_injector.config inj).Fault_injector.max_attempts in
+  Metrics.add metrics "mr.attempts_failed" max_attempts;
+  Metrics.add metrics "mr.jobs_failed" 1;
+  raise
+    (Job_failed
+       {
+         f_job = job;
+         f_phase = phase;
+         f_task = task;
+         f_attempts = max_attempts;
+         f_reason = Printexc.to_string exn;
+         f_elapsed_s = elapsed_s;
+       })
+
+(* An injected crash sequence exhausted a task's attempts. *)
+let injected_failure metrics ~job ~phase ~task ~attempts ~elapsed_s
+    (sim : Fault_injector.phase_sim) =
+  Metrics.add metrics "mr.attempts_failed" sim.Fault_injector.attempts_failed;
+  if sim.Fault_injector.speculative_launched > 0 then
+    Metrics.add metrics "mr.speculative_launched"
+      sim.Fault_injector.speculative_launched;
+  if sim.Fault_injector.attempts_killed > 0 then
+    Metrics.add metrics "mr.attempts_killed" sim.Fault_injector.attempts_killed;
+  Metrics.add metrics "mr.jobs_failed" 1;
+  raise
+    (Job_failed
+       {
+         f_job = job;
+         f_phase = phase;
+         f_task = task;
+         f_attempts = attempts;
+         f_reason = "injected task-attempt crashes exhausted retries";
+         f_elapsed_s = elapsed_s;
+       })
+
 (* Record the job's telemetry into the context: per-phase spans on the
-   simulated clock, then the clock advance and the counter bumps. *)
-let record ctx (stats : Stats.job) ~phase_spans =
+   simulated clock, then per-attempt fault spans, then the clock advance
+   and the counter bumps. *)
+let record ctx (stats : Stats.job) ~phase_spans ~attempt_spans =
   let trace = Exec_ctx.trace ctx in
   let t0 = Trace.now_s trace in
   Trace.span trace ~name:stats.Stats.name ~cat:"job" ~start_s:t0
@@ -86,6 +174,11 @@ let record ctx (stats : Stats.job) ~phase_spans =
         at +. dur_s)
       t0 phase_spans
   in
+  List.iter
+    (fun (name, offset_s, dur_s, args) ->
+      Trace.span trace ~name ~cat:"attempt" ~start_s:(t0 +. offset_s) ~dur_s
+        args)
+    attempt_spans;
   Trace.advance trace stats.Stats.est_time_s;
   let m = Exec_ctx.metrics ctx in
   Metrics.add m "mr.jobs" 1;
@@ -102,10 +195,18 @@ let record ctx (stats : Stats.job) ~phase_spans =
   Metrics.add m "mr.output_bytes" stats.Stats.output_bytes;
   Metrics.add m "mr.combine.input_records" stats.Stats.combine_input_records;
   Metrics.add m "mr.combine.output_records" stats.Stats.combine_output_records;
-  Metrics.add m "mr.reduce.groups" stats.Stats.reduce_groups
+  Metrics.add m "mr.reduce.groups" stats.Stats.reduce_groups;
+  if stats.Stats.attempts_failed > 0 then
+    Metrics.add m "mr.attempts_failed" stats.Stats.attempts_failed;
+  if stats.Stats.speculative_launched > 0 then
+    Metrics.add m "mr.speculative_launched" stats.Stats.speculative_launched;
+  if stats.Stats.attempts_killed > 0 then
+    Metrics.add m "mr.attempts_killed" stats.Stats.attempts_killed
 
-let run ctx spec input =
+let run ?(attempt = 0) ctx spec input =
   let cluster = Exec_ctx.cluster ctx in
+  let inj = Exec_ctx.faults ctx in
+  let metrics = Exec_ctx.metrics ctx in
   let input_records = List.length input in
   let input_bytes =
     List.fold_left (fun acc r -> acc + spec.input_size r) 0 input
@@ -115,21 +216,55 @@ let run ctx spec input =
   in
   let map_tasks = estimate_map_tasks cluster ~input_bytes:stored_bytes in
   let task_inputs = partition_input input map_tasks in
-  (* Map phase, with an optional per-task combiner. *)
+  (* Map tasks are launched per stored (possibly compressed) split, but
+     each task processes the uncompressed records: compression reduces
+     parallelism, not work — the paper's observed ORC effect. *)
+  let map_read_s =
+    mb input_bytes
+    /. parallel_throughput ~per_node_mb_s:cluster.Cluster.disk_mb_per_s
+         ~tasks:map_tasks ~slots:(Cluster.map_slots cluster)
+  in
+  (* Map phase, with an optional per-task combiner. A user function that
+     throws becomes a structured task failure, never an escaping
+     exception. *)
   let combine_input = ref 0 in
   let shuffle_pairs =
-    List.concat_map
-      (fun task_input ->
-        let emitted = List.concat_map spec.map task_input in
-        combine_input := !combine_input + List.length emitted;
-        match spec.combine with
-        | None -> emitted
-        | Some combine ->
-          group_pairs emitted
-          |> List.concat_map (fun (k, vs) ->
-                 List.map (fun v -> (k, v)) (combine k vs)))
-      task_inputs
+    List.concat
+      (List.mapi
+         (fun task task_input ->
+           try
+             let emitted = List.concat_map spec.map task_input in
+             combine_input := !combine_input + List.length emitted;
+             match spec.combine with
+             | None -> emitted
+             | Some combine ->
+               group_pairs emitted
+               |> List.concat_map (fun (k, vs) ->
+                      List.map (fun v -> (k, v)) (combine k vs))
+           with
+           | Job_failed _ as e -> raise e
+           | exn ->
+             user_failure metrics inj ~job:spec.name ~phase:Fault_injector.Map
+               ~task
+               ~elapsed_s:(cluster.Cluster.job_startup_s +. map_read_s)
+               exn)
+         task_inputs)
   in
+  (* Injected map faults: retried and speculative attempts re-do real
+     read work on the same slots. *)
+  let map_sim =
+    Fault_injector.simulate_phase inj ~job:spec.name ~job_attempt:attempt
+      ~phase:Fault_injector.Map ~tasks:map_tasks
+      ~slots:(Cluster.map_slots cluster) ~base_s:map_read_s
+  in
+  (match map_sim.Fault_injector.exhausted with
+  | Some (task, attempts) ->
+    injected_failure metrics ~job:spec.name ~phase:Fault_injector.Map ~task
+      ~attempts
+      ~elapsed_s:
+        (cluster.Cluster.job_startup_s +. map_sim.Fault_injector.elapsed_s)
+      map_sim
+  | None -> ());
   let shuffle_records = List.length shuffle_pairs in
   let shuffle_bytes =
     List.fold_left
@@ -138,19 +273,8 @@ let run ctx spec input =
   in
   (* Shuffle + reduce. *)
   let groups = group_pairs shuffle_pairs in
-  let output = List.concat_map (fun (k, vs) -> spec.reduce k vs) groups in
-  let output_records = List.length output in
-  let output_bytes =
-    List.fold_left (fun acc r -> acc + spec.output_size r) 0 output
-  in
-  let reduce_tasks = min (max 1 (List.length groups)) (Cluster.reduce_slots cluster) in
-  (* Map tasks are launched per stored (possibly compressed) split, but
-     each task processes the uncompressed records: compression reduces
-     parallelism, not work — the paper's observed ORC effect. *)
-  let map_read_s =
-    mb input_bytes
-    /. parallel_throughput ~per_node_mb_s:cluster.Cluster.disk_mb_per_s
-         ~tasks:map_tasks ~slots:(Cluster.map_slots cluster)
+  let reduce_tasks =
+    min (max 1 (List.length groups)) (Cluster.reduce_slots cluster)
   in
   let shuffle_net_s =
     mb shuffle_bytes
@@ -162,18 +286,64 @@ let run ctx spec input =
     /. parallel_throughput ~per_node_mb_s:cluster.Cluster.sort_mb_per_s
          ~tasks:reduce_tasks ~slots:(Cluster.reduce_slots cluster)
   in
-  let shuffle_s = shuffle_net_s +. shuffle_sort_s in
+  let output =
+    List.concat
+      (List.mapi
+         (fun group (k, vs) ->
+           try spec.reduce k vs
+           with
+           | Job_failed _ as e -> raise e
+           | exn ->
+             user_failure metrics inj ~job:spec.name
+               ~phase:Fault_injector.Reduce ~task:(group mod reduce_tasks)
+               ~elapsed_s:
+                 (cluster.Cluster.job_startup_s
+                 +. map_sim.Fault_injector.elapsed_s +. shuffle_net_s
+                 +. shuffle_sort_s)
+               exn)
+         groups)
+  in
+  let output_records = List.length output in
+  let output_bytes =
+    List.fold_left (fun acc r -> acc + spec.output_size r) 0 output
+  in
   let reduce_write_s =
     mb output_bytes
     /. parallel_throughput ~per_node_mb_s:cluster.Cluster.disk_mb_per_s
          ~tasks:reduce_tasks ~slots:(Cluster.reduce_slots cluster)
   in
-  (* Failed tasks are retried: the failed fraction of each phase's work
-     is done twice (read + re-shuffle), modeled as proportional re-work. *)
-  let retry = 1.0 +. (2.0 *. cluster.Cluster.task_failure_rate) in
+  (* Injected reduce faults: a crashed reduce attempt redoes its fetch,
+     sort, and write, so the whole reduce-side phase is simulated as one
+     unit and its re-work is spread over the sub-phases. *)
+  let reduce_base_s = shuffle_net_s +. shuffle_sort_s +. reduce_write_s in
+  let red_sim =
+    Fault_injector.simulate_phase inj ~job:spec.name ~job_attempt:attempt
+      ~phase:Fault_injector.Reduce ~tasks:reduce_tasks
+      ~slots:(Cluster.reduce_slots cluster) ~base_s:reduce_base_s
+  in
+  (match red_sim.Fault_injector.exhausted with
+  | Some (task, attempts) ->
+    injected_failure metrics ~job:spec.name ~phase:Fault_injector.Reduce ~task
+      ~attempts
+      ~elapsed_s:
+        (cluster.Cluster.job_startup_s +. map_sim.Fault_injector.elapsed_s
+        +. red_sim.Fault_injector.elapsed_s)
+      red_sim
+  | None -> ());
+  let rfactor =
+    if reduce_base_s > 0.0 then
+      red_sim.Fault_injector.elapsed_s /. reduce_base_s
+    else 1.0
+  in
+  let map_fault_s = map_sim.Fault_injector.elapsed_s in
+  let shuffle_net_fault_s = shuffle_net_s *. rfactor in
+  let shuffle_sort_fault_s = shuffle_sort_s *. rfactor in
+  let reduce_write_fault_s = reduce_write_s *. rfactor in
+  let shuffle_fault_s = shuffle_net_fault_s +. shuffle_sort_fault_s in
+  let retry = legacy_retry inj cluster in
   let est_time_s =
     cluster.Cluster.job_startup_s
-    +. (retry *. (map_read_s +. shuffle_s +. reduce_write_s))
+    +. (retry *. (map_fault_s +. shuffle_fault_s +. reduce_write_fault_s))
   in
   let combine_input_records = !combine_input in
   let combine_output_records = shuffle_records in
@@ -181,10 +351,10 @@ let run ctx spec input =
   let breakdown : Stats.breakdown =
     {
       startup_s = cluster.Cluster.job_startup_s;
-      map_s = retry *. map_read_s;
-      shuffle_s = retry *. shuffle_net_s;
-      sort_s = retry *. shuffle_sort_s;
-      reduce_s = retry *. reduce_write_s;
+      map_s = retry *. map_fault_s;
+      shuffle_s = retry *. shuffle_net_fault_s;
+      sort_s = retry *. shuffle_sort_fault_s;
+      reduce_s = retry *. reduce_write_fault_s;
     }
   in
   let stats : Stats.job =
@@ -204,6 +374,15 @@ let run ctx spec input =
       combine_input_records;
       combine_output_records;
       reduce_groups;
+      attempts_failed =
+        map_sim.Fault_injector.attempts_failed
+        + red_sim.Fault_injector.attempts_failed;
+      speculative_launched =
+        map_sim.Fault_injector.speculative_launched
+        + red_sim.Fault_injector.speculative_launched;
+      attempts_killed =
+        map_sim.Fault_injector.attempts_killed
+        + red_sim.Fault_injector.attempts_killed;
     }
   in
   let combine_span =
@@ -239,11 +418,19 @@ let run ctx spec input =
               ("groups", Json.Int reduce_groups);
               ("output_records", Json.Int output_records);
             ] );
-        ]);
+        ])
+    ~attempt_spans:
+      (attempt_spans spec.name Fault_injector.Map
+         ~phase_offset_s:breakdown.startup_s map_sim
+      @ attempt_spans spec.name Fault_injector.Reduce
+          ~phase_offset_s:(breakdown.startup_s +. breakdown.map_s)
+          red_sim);
   (output, stats)
 
-let run_map_only ctx spec input =
+let run_map_only ?(attempt = 0) ctx spec input =
   let cluster = Exec_ctx.cluster ctx in
+  let inj = Exec_ctx.faults ctx in
+  let metrics = Exec_ctx.metrics ctx in
   let input_records = List.length input in
   let input_bytes =
     List.fold_left (fun acc r -> acc + spec.mo_input_size r) 0 input
@@ -252,22 +439,57 @@ let run_map_only ctx spec input =
     int_of_float (float_of_int input_bytes *. cluster.Cluster.compression_ratio)
   in
   let map_tasks = estimate_map_tasks cluster ~input_bytes:stored_bytes in
-  let output = List.concat_map spec.mo_map input in
-  let output_records = List.length output in
-  let output_bytes =
-    List.fold_left (fun acc r -> acc + spec.mo_output_size r) 0 output
-  in
+  let task_inputs = partition_input input map_tasks in
   let throughput =
     parallel_throughput ~per_node_mb_s:cluster.Cluster.disk_mb_per_s
       ~tasks:map_tasks ~slots:(Cluster.map_slots cluster)
   in
+  let output =
+    List.concat
+      (List.mapi
+         (fun task task_input ->
+           try List.concat_map spec.mo_map task_input
+           with
+           | Job_failed _ as e -> raise e
+           | exn ->
+             user_failure metrics inj ~job:spec.mo_name
+               ~phase:Fault_injector.Map ~task
+               ~elapsed_s:
+                 (cluster.Cluster.map_only_startup_s
+                 +. (mb input_bytes /. throughput))
+               exn)
+         task_inputs)
+  in
+  let output_records = List.length output in
+  let output_bytes =
+    List.fold_left (fun acc r -> acc + spec.mo_output_size r) 0 output
+  in
   let io_s = (mb input_bytes +. mb output_bytes) /. throughput in
-  let retry = 1.0 +. (2.0 *. cluster.Cluster.task_failure_rate) in
-  let est_time_s = cluster.Cluster.map_only_startup_s +. (retry *. io_s) in
+  let sim =
+    Fault_injector.simulate_phase inj ~job:spec.mo_name ~job_attempt:attempt
+      ~phase:Fault_injector.Map ~tasks:map_tasks
+      ~slots:(Cluster.map_slots cluster) ~base_s:io_s
+  in
+  (match sim.Fault_injector.exhausted with
+  | Some (task, attempts) ->
+    injected_failure metrics ~job:spec.mo_name ~phase:Fault_injector.Map ~task
+      ~attempts
+      ~elapsed_s:
+        (cluster.Cluster.map_only_startup_s +. sim.Fault_injector.elapsed_s)
+      sim
+  | None -> ());
+  let mfactor =
+    if io_s > 0.0 then sim.Fault_injector.elapsed_s /. io_s else 1.0
+  in
+  let retry = legacy_retry inj cluster in
+  let est_time_s =
+    cluster.Cluster.map_only_startup_s
+    +. (retry *. sim.Fault_injector.elapsed_s)
+  in
   let breakdown : Stats.breakdown =
     {
       startup_s = cluster.Cluster.map_only_startup_s;
-      map_s = retry *. io_s;
+      map_s = retry *. sim.Fault_injector.elapsed_s;
       shuffle_s = 0.0;
       sort_s = 0.0;
       reduce_s = 0.0;
@@ -290,6 +512,9 @@ let run_map_only ctx spec input =
       combine_input_records = 0;
       combine_output_records = 0;
       reduce_groups = 0;
+      attempts_failed = sim.Fault_injector.attempts_failed;
+      speculative_launched = sim.Fault_injector.speculative_launched;
+      attempts_killed = sim.Fault_injector.attempts_killed;
     }
   in
   record ctx stats
@@ -297,10 +522,13 @@ let run_map_only ctx spec input =
       [
         ("startup", breakdown.startup_s, []);
         ( "map-read",
-          retry *. (mb input_bytes /. throughput),
+          retry *. (mb input_bytes /. throughput *. mfactor),
           [ ("input_records", Json.Int input_records) ] );
         ( "map-write",
-          retry *. (mb output_bytes /. throughput),
+          retry *. (mb output_bytes /. throughput *. mfactor),
           [ ("output_records", Json.Int output_records) ] );
-      ];
+      ]
+    ~attempt_spans:
+      (attempt_spans spec.mo_name Fault_injector.Map
+         ~phase_offset_s:breakdown.startup_s sim);
   (output, stats)

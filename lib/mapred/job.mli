@@ -34,13 +34,51 @@ type ('a, 'b) map_only_spec = {
   mo_output_size : 'b -> int;
 }
 
-(** [run ctx spec input] executes a full map-reduce cycle and returns
-    the reducer outputs (in key-first-seen order) plus the job stats. *)
-val run : Exec_ctx.t -> ('a, 'k, 'v, 'b) spec -> 'a list -> 'b list * Stats.job
+(** Why a job died: the task that burned all of its attempts. [f_reason]
+    distinguishes injected attempt crashes from a user map/combine/reduce
+    function raising (the exception's text). [f_elapsed_s] is the
+    simulated time the failed submission consumed before dying. *)
+type failure = {
+  f_job : string;
+  f_phase : Fault_injector.phase;
+  f_task : int;
+  f_attempts : int;
+  f_reason : string;
+  f_elapsed_s : float;
+}
 
-(** [run_map_only ctx spec input] executes a map-only cycle. *)
+(** Raised when a task exhausts its attempts ({!Fault_injector} crashes
+    or a deterministic user-code exception). {!Workflow} catches this and
+    either resubmits the whole job or aborts the workflow — it should not
+    escape to callers of the engines. *)
+exception Job_failed of failure
+
+val pp_failure : failure Fmt.t
+
+(** [run ctx spec input] executes a full map-reduce cycle and returns
+    the reducer outputs (in key-first-seen order) plus the job stats.
+
+    [attempt] is the whole-job submission number (0 = first submission);
+    resubmitting with a higher [attempt] re-rolls every injected fault
+    decision. Raises {!Job_failed} when a task exhausts its attempts.
+
+    @raise Job_failed *)
+val run :
+  ?attempt:int ->
+  Exec_ctx.t ->
+  ('a, 'k, 'v, 'b) spec ->
+  'a list ->
+  'b list * Stats.job
+
+(** [run_map_only ctx spec input] executes a map-only cycle.
+
+    @raise Job_failed *)
 val run_map_only :
-  Exec_ctx.t -> ('a, 'b) map_only_spec -> 'a list -> 'b list * Stats.job
+  ?attempt:int ->
+  Exec_ctx.t ->
+  ('a, 'b) map_only_spec ->
+  'a list ->
+  'b list * Stats.job
 
 (** [estimate_map_tasks cluster ~input_bytes] is the number of map tasks a
     job with that much (compressed) input would launch: one per input

@@ -39,12 +39,16 @@ type job = {
   combine_input_records : int;
   combine_output_records : int;
   reduce_groups : int;
+  attempts_failed : int;
+  speculative_launched : int;
+  attempts_killed : int;
 }
 
-type t = { jobs : job list }
+type t = { jobs : job list; lost_s : float }
 
-let empty = { jobs = [] }
-let append t job = { jobs = t.jobs @ [ job ] }
+let empty = { jobs = []; lost_s = 0.0 }
+let append t job = { t with jobs = t.jobs @ [ job ] }
+let charge_lost t dt_s = { t with lost_s = t.lost_s +. dt_s }
 
 let cycles t = List.length t.jobs
 
@@ -58,12 +62,17 @@ let sum f t = List.fold_left (fun acc j -> acc + f j) 0 t.jobs
 let total_input_bytes = sum (fun j -> j.input_bytes)
 let total_shuffle_bytes = sum (fun j -> j.shuffle_bytes)
 let total_output_bytes = sum (fun j -> j.output_bytes)
+let total_attempts_failed = sum (fun j -> j.attempts_failed)
+let total_speculative_launched = sum (fun j -> j.speculative_launched)
+let total_attempts_killed = sum (fun j -> j.attempts_killed)
+let lost_s t = t.lost_s
 
 let total_breakdown t =
   List.fold_left (fun acc j -> breakdown_add acc j.breakdown) breakdown_zero
     t.jobs
 
-let est_time_s t = List.fold_left (fun acc j -> acc +. j.est_time_s) 0.0 t.jobs
+let est_time_s t =
+  List.fold_left (fun acc j -> acc +. j.est_time_s) 0.0 t.jobs +. t.lost_s
 
 let kind_string = function Map_reduce -> "map-reduce" | Map_only -> "map-only"
 
@@ -95,6 +104,9 @@ let job_to_json j =
       ("combine_input_records", Json.Int j.combine_input_records);
       ("combine_output_records", Json.Int j.combine_output_records);
       ("reduce_groups", Json.Int j.reduce_groups);
+      ("attempts_failed", Json.Int j.attempts_failed);
+      ("speculative_launched", Json.Int j.speculative_launched);
+      ("attempts_killed", Json.Int j.attempts_killed);
     ]
 
 let to_json t =
@@ -107,6 +119,10 @@ let to_json t =
       ("shuffle_bytes", Json.Int (total_shuffle_bytes t));
       ("output_bytes", Json.Int (total_output_bytes t));
       ("est_time_s", Json.Float (est_time_s t));
+      ("lost_s", Json.Float t.lost_s);
+      ("attempts_failed", Json.Int (total_attempts_failed t));
+      ("speculative_launched", Json.Int (total_speculative_launched t));
+      ("attempts_killed", Json.Int (total_attempts_killed t));
       ("phases", breakdown_to_json (total_breakdown t));
       ("jobs", Json.List (List.map job_to_json t.jobs));
     ]

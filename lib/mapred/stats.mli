@@ -39,12 +39,24 @@ type job = {
           [combine_output_records] when the job has no combiner) *)
   combine_output_records : int;  (** records leaving the combiner *)
   reduce_groups : int;  (** distinct reduce keys (0 for map-only jobs) *)
+  attempts_failed : int;  (** injected task-attempt crashes, retried *)
+  speculative_launched : int;  (** speculative duplicate attempts started *)
+  attempts_killed : int;  (** attempts killed after losing the race *)
 }
 
-type t = { jobs : job list }  (** in execution order *)
+type t = {
+  jobs : job list;  (** in execution order *)
+  lost_s : float;
+      (** simulated time charged to failed job submissions (partial runs
+          that aborted and were resubmitted) and their retry backoff;
+          not part of any job's phase breakdown *)
+}
 
 val empty : t
 val append : t -> job -> t
+
+(** [charge_lost t dt_s] adds time lost to a failed job submission. *)
+val charge_lost : t -> float -> t
 
 (** Total number of MR cycles (map-reduce + map-only jobs). *)
 val cycles : t -> int
@@ -54,12 +66,19 @@ val full_cycles : t -> int
 val total_input_bytes : t -> int
 val total_shuffle_bytes : t -> int
 val total_output_bytes : t -> int
+val total_attempts_failed : t -> int
+val total_speculative_launched : t -> int
+val total_attempts_killed : t -> int
 
-(** Per-phase totals across all jobs. *)
+(** Time charged to aborted job submissions (see {!type:t}). *)
+val lost_s : t -> float
+
+(** Per-phase totals across all jobs. Excludes {!lost_s}, so under
+    whole-job retries the breakdown covers [est_time_s - lost_s]. *)
 val total_breakdown : t -> breakdown
 
-(** Sum of per-job simulated times: jobs in a workflow run sequentially,
-    as in a Hadoop DAG of dependent stages. *)
+(** Sum of per-job simulated times plus {!lost_s}: jobs in a workflow
+    run sequentially, as in a Hadoop DAG of dependent stages. *)
 val est_time_s : t -> float
 
 val job_to_json : job -> Json.t

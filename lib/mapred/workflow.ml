@@ -4,20 +4,82 @@ module Log = (val Logs.src_log log_src)
 
 type t = { ctx : Exec_ctx.t; mutable stats : Stats.t }
 
+type abort = {
+  a_failure : Job.failure;
+  a_resubmissions : int;
+  a_completed : int;
+}
+
+exception Aborted of abort
+
+let pp_abort ppf a =
+  Fmt.pf ppf
+    "workflow aborted: %a (%d whole-job resubmission%s, %d job%s completed \
+     before the abort)"
+    Job.pp_failure a.a_failure a.a_resubmissions
+    (if a.a_resubmissions = 1 then "" else "s")
+    a.a_completed
+    (if a.a_completed = 1 then "" else "s")
+
 let create ctx = { ctx; stats = Stats.empty }
 let ctx t = t.ctx
 let cluster t = Exec_ctx.cluster t.ctx
 
+(* Run one job submission with Hadoop-style whole-job resubmission: a
+   [Job_failed] charges the doomed submission's partial runtime as lost
+   time, then (while retries remain) waits out the backoff and resubmits
+   with a bumped attempt number, re-rolling every injected fault
+   decision. Out of retries, the workflow aborts. *)
+let run_with_retries t name run =
+  let cfg = Fault_injector.config (Exec_ctx.faults t.ctx) in
+  let trace = Exec_ctx.trace t.ctx in
+  let metrics = Exec_ctx.metrics t.ctx in
+  let rec go attempt =
+    match run ~attempt with
+    | output, job_stats ->
+      Log.debug (fun m -> m "%a" Stats.pp_job job_stats);
+      t.stats <- Stats.append t.stats job_stats;
+      output
+    | exception Job.Job_failed f ->
+      Log.warn (fun m ->
+          m "submission %d of %S lost: %a" attempt name Job.pp_failure f);
+      Trace.span trace ~name:(name ^ "/failed") ~cat:"abort"
+        ~start_s:(Trace.now_s trace) ~dur_s:f.Job.f_elapsed_s
+        [
+          ("submission", Json.Int attempt);
+          ("reason", Json.String f.Job.f_reason);
+        ];
+      Trace.advance trace f.Job.f_elapsed_s;
+      t.stats <- Stats.charge_lost t.stats f.Job.f_elapsed_s;
+      if attempt < cfg.Fault_injector.job_retries then begin
+        Metrics.add metrics "mr.job_resubmissions" 1;
+        let backoff = cfg.Fault_injector.retry_backoff_s in
+        if backoff > 0.0 then begin
+          Trace.span trace ~name:(name ^ "/backoff") ~cat:"abort"
+            ~start_s:(Trace.now_s trace) ~dur_s:backoff
+            [ ("next_submission", Json.Int (attempt + 1)) ];
+          Trace.advance trace backoff;
+          t.stats <- Stats.charge_lost t.stats backoff
+        end;
+        go (attempt + 1)
+      end
+      else
+        raise
+          (Aborted
+             {
+               a_failure = f;
+               a_resubmissions = attempt;
+               a_completed = Stats.cycles t.stats;
+             })
+  in
+  go 0
+
 let run_job t spec input =
-  let output, job_stats = Job.run t.ctx spec input in
-  Log.debug (fun m -> m "%a" Stats.pp_job job_stats);
-  t.stats <- Stats.append t.stats job_stats;
-  output
+  run_with_retries t spec.Job.name (fun ~attempt ->
+      Job.run ~attempt t.ctx spec input)
 
 let run_map_only t spec input =
-  let output, job_stats = Job.run_map_only t.ctx spec input in
-  Log.debug (fun m -> m "%a" Stats.pp_job job_stats);
-  t.stats <- Stats.append t.stats job_stats;
-  output
+  run_with_retries t spec.Job.mo_name (fun ~attempt ->
+      Job.run_map_only ~attempt t.ctx spec input)
 
 let stats t = t.stats

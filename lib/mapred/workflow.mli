@@ -8,6 +8,22 @@ val log_src : Logs.src
 
 type t
 
+(** A workflow that ran out of whole-job resubmissions (see
+    {!Fault_injector.config}[.job_retries]) aborts. [a_resubmissions] is
+    the number of failed submissions beyond the first; [a_completed] is
+    how many jobs of the workflow finished before the abort. The time of
+    every lost submission (plus retry backoff) is charged to
+    {!Stats.lost_s}. *)
+type abort = {
+  a_failure : Job.failure;
+  a_resubmissions : int;
+  a_completed : int;
+}
+
+exception Aborted of abort
+
+val pp_abort : abort Fmt.t
+
 val create : Exec_ctx.t -> t
 
 (** The execution context the workflow runs against. *)
@@ -17,10 +33,18 @@ val ctx : t -> Exec_ctx.t
 val cluster : t -> Cluster.t
 
 (** [run_job wf spec input] executes a full map-reduce cycle, recording its
-    stats in [wf] and its spans/counters in the context. *)
+    stats in [wf] and its spans/counters in the context. A {!Job.Job_failed}
+    submission is resubmitted up to the context's
+    {!Fault_injector.config}[.job_retries] times (charging lost time and
+    backoff), then the workflow aborts.
+
+    @raise Aborted *)
 val run_job : t -> ('a, 'k, 'v, 'b) Job.spec -> 'a list -> 'b list
 
-(** [run_map_only wf spec input] executes a map-only cycle. *)
+(** [run_map_only wf spec input] executes a map-only cycle, with the same
+    resubmission-then-abort behaviour as {!run_job}.
+
+    @raise Aborted *)
 val run_map_only : t -> ('a, 'b) Job.map_only_spec -> 'a list -> 'b list
 
 (** Stats of all jobs run so far, in order. *)

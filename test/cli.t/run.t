@@ -49,10 +49,59 @@ The catalog lists the paper's workload:
   G1    BSBM          Total offer count and price sum for ProductType1 (low selectivity), GROUP BY ALL
   G2    BSBM          Total offer count and price sum for ProductType9 (high selectivity), GROUP BY ALL
 
-Unknown queries fail cleanly:
+Usage and input errors exit with code 2 and a one-line diagnostic —
+never a backtrace. Unknown catalog queries:
 
   $ rapida query -d data.nt -c NOPE
   error: unknown catalog query NOPE
+  [2]
+
+An unreadable query file:
+
+  $ rapida query -d data.nt -q no-such-file.rq
+  error: cannot read no-such-file.rq: No such file or directory
+  [2]
+
+A query that does not parse:
+
+  $ printf 'SELECT ?x WHERE {' > broken.rq
+  $ rapida query -d data.nt -q broken.rq
+  error: line 1, col 18: unexpected end of input in group pattern (at <eof>)
+  [2]
+
+A malformed --faults spec:
+
+  $ rapida query -d data.nt -c G1 --faults task-fail=lots
+  error: --faults: task-fail expects a number, got "lots"
+  [2]
+  $ rapida query -d data.nt -c G1 --faults seed
+  error: --faults: expected key=value, got "seed"
+  [2]
+  $ rapida query -d data.nt -c G1 --faults task-fail=1.5
+  error: Fault_injector.create: task_fail_p must be in [0, 1)
+  [2]
+
+Fault injection is transparent: the answer (and its verification) is
+identical to the fault-free run; only the simulated time and the fault
+counters change (on this tiny dataset the re-work is milliseconds, so
+the rounded summary still reads 36.0 s):
+
+  $ rapida query -d data.nt -c G1 --verify --faults seed=7,task-fail=0.2,straggler=0.2
+  verification: result matches the reference evaluator
+  cnt  sum          
+  30   133983.589195
+  -- 1 rows; 2 cycles (2 full MR, 0 map-only), 24079 B shuffled, 36.0 s
+  $ rapida query -d data.nt -c G1 --json --faults seed=7,task-fail=0.2,straggler=0.2 \
+  >   | python3 -c 'import json,sys; d=json.load(sys.stdin); \
+  > print(d["rows"], d["stats"]["attempts_failed"] > 0)'
+  1 True
+
+A workflow that burns through every task attempt and job retry aborts
+with a structured diagnostic and exit code 1:
+
+  $ rapida query -d data.nt -c G1 --faults seed=1,task-fail=0.9,max-attempts=1
+  rapida_cli.exe: [WARNING] submission 0 of "composite_join0" lost: job "composite_join0": map task 0 failed 1 attempt: injected task-attempt crashes exhausted retries
+  error: workflow aborted: job "composite_join0": map task 0 failed 1 attempt: injected task-attempt crashes exhausted retries (0 whole-job resubmissions, 0 jobs completed before the abort)
   [1]
 
 Queries can also come from a file, with ORDER BY and LIMIT:

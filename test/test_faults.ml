@@ -1,0 +1,347 @@
+(* Fault injection and fault tolerance: deterministic injector decisions,
+   transparency of retries/speculation, structured job failure and
+   workflow abort, and the engine-level invariant that faulted runs
+   return byte-identical results. *)
+
+module Cluster = Rapida_mapred.Cluster
+module Exec_ctx = Rapida_mapred.Exec_ctx
+module Fi = Rapida_mapred.Fault_injector
+module Job = Rapida_mapred.Job
+module Stats = Rapida_mapred.Stats
+module Workflow = Rapida_mapred.Workflow
+module Metrics = Rapida_mapred.Metrics
+module Engine = Rapida_core.Engine
+module Plan_util = Rapida_core.Plan_util
+module Catalog = Rapida_queries.Catalog
+module Relops = Rapida_relational.Relops
+
+let check_bool = Alcotest.(check bool)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* A cluster slow enough that injected re-work dominates rounding. *)
+let slow = { Cluster.default with disk_mb_per_s = 0.001 }
+
+let ctx ?cluster ?faults () =
+  let cluster = Option.value ~default:Cluster.default cluster in
+  match faults with
+  | None -> Exec_ctx.create ~cluster ()
+  | Some cfg -> Exec_ctx.create ~cluster ~faults:(Fi.create cfg) ()
+
+let wordcount : (string, string, int, string * int) Job.spec =
+  {
+    name = "wordcount";
+    map = (fun line -> List.map (fun w -> (w, 1)) (String.split_on_char ' ' line));
+    combine = None;
+    reduce = (fun k counts -> [ (k, List.fold_left ( + ) 0 counts) ]);
+    input_size = String.length;
+    key_size = String.length;
+    value_size = (fun _ -> 4);
+    output_size = (fun (k, _) -> String.length k + 4);
+  }
+
+let lines = List.init 60 (fun i -> Printf.sprintf "alpha beta gamma %d" i)
+
+(* --- injector ----------------------------------------------------------- *)
+
+let test_parse_spec () =
+  match
+    Fi.parse_spec
+      "seed=9,task-fail=0.1,straggler=0.25,slowdown=2.5,max-attempts=3,\
+       speculation=off,job-retries=1,backoff=5,phase=map"
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok cfg ->
+    check_int "seed" 9 cfg.Fi.seed;
+    Alcotest.(check (float 0.0)) "task-fail" 0.1 cfg.Fi.task_fail_p;
+    Alcotest.(check (float 0.0)) "straggler" 0.25 cfg.Fi.straggler_p;
+    Alcotest.(check (float 0.0)) "slowdown" 2.5 cfg.Fi.straggler_slowdown;
+    check_int "max-attempts" 3 cfg.Fi.max_attempts;
+    check_bool "speculation" false cfg.Fi.speculation;
+    check_int "job-retries" 1 cfg.Fi.job_retries;
+    Alcotest.(check (float 0.0)) "backoff" 5.0 cfg.Fi.retry_backoff_s;
+    check_bool "phase" true (cfg.Fi.target = Some Fi.Map)
+
+let test_parse_spec_errors () =
+  let expect_error spec =
+    match Fi.parse_spec spec with
+    | Ok _ -> Alcotest.failf "%S should not parse" spec
+    | Error msg -> check_bool "non-empty diagnostic" true (msg <> "")
+  in
+  List.iter expect_error
+    [
+      "task-fail=lots";
+      "seed";
+      "bogus=1";
+      "speculation=maybe";
+      "phase=both";
+      "task-fail=1.5";
+      "straggler=-0.1";
+      "max-attempts=0";
+      "slowdown=0.5";
+    ]
+
+let test_outcome_deterministic () =
+  let t =
+    Fi.create { Fi.default with Fi.seed = 3; task_fail_p = 0.3; straggler_p = 0.3 }
+  in
+  let outcome task attempt =
+    Fi.attempt_outcome t ~job:"j" ~job_attempt:0 ~phase:Fi.Map ~task ~attempt
+  in
+  for task = 0 to 20 do
+    for attempt = 1 to 4 do
+      check_bool "same coordinates, same fate" true
+        (outcome task attempt = outcome task attempt)
+    done
+  done;
+  (* Bumping the whole-job attempt re-rolls the dice: over enough tasks,
+     at least one fate must change. *)
+  let differs =
+    List.exists
+      (fun task ->
+        Fi.attempt_outcome t ~job:"j" ~job_attempt:1 ~phase:Fi.Map ~task
+          ~attempt:1
+        <> outcome task 1)
+      (List.init 50 Fun.id)
+  in
+  check_bool "job_attempt re-rolls" true differs
+
+let test_simulate_phase_inactive_exact () =
+  let t = Fi.create Fi.default in
+  let base_s = 123.456789 in
+  let sim =
+    Fi.simulate_phase t ~job:"j" ~job_attempt:0 ~phase:Fi.Map ~tasks:7
+      ~slots:4 ~base_s
+  in
+  check_bool "elapsed is exactly base" true (sim.Fi.elapsed_s = base_s);
+  check_int "no events" 0 (List.length sim.Fi.events)
+
+let test_simulate_phase_seeds_differ () =
+  let sim seed =
+    Fi.simulate_phase
+      (Fi.create { Fi.default with Fi.seed; task_fail_p = 0.5 })
+      ~job:"j" ~job_attempt:0 ~phase:Fi.Map ~tasks:50 ~slots:10 ~base_s:100.0
+  in
+  check_bool "same seed reproduces" true
+    ((sim 1).Fi.elapsed_s = (sim 1).Fi.elapsed_s);
+  check_bool "different seeds diverge" true
+    ((sim 1).Fi.elapsed_s <> (sim 2).Fi.elapsed_s)
+
+let test_straggler_cost () =
+  (* Every attempt straggles. With speculation the duplicate finishes in
+     normal time and the original is killed after occupying its slot that
+     long (2x work); without it the phase runs at the slowdown factor. *)
+  let sim ~speculation =
+    Fi.simulate_phase
+      (Fi.create
+         {
+           Fi.default with
+           Fi.seed = 1;
+           straggler_p = 1.0;
+           straggler_slowdown = 3.0;
+           speculation;
+         })
+      ~job:"j" ~job_attempt:0 ~phase:Fi.Reduce ~tasks:10 ~slots:5 ~base_s:50.0
+  in
+  let spec = sim ~speculation:true in
+  check_int "one speculative copy per task" 10 spec.Fi.speculative_launched;
+  check_int "losers killed" 10 spec.Fi.attempts_killed;
+  Alcotest.(check (float 1e-9)) "speculation doubles the work" 100.0
+    spec.Fi.elapsed_s;
+  let slow = sim ~speculation:false in
+  check_int "no speculative copies" 0 slow.Fi.speculative_launched;
+  Alcotest.(check (float 1e-9)) "slowdown factor" 150.0 slow.Fi.elapsed_s
+
+(* --- job-level fault tolerance ------------------------------------------ *)
+
+let faulty_cfg seed =
+  { Fi.default with Fi.seed; task_fail_p = 0.2; straggler_p = 0.2 }
+
+let test_transparency_and_cost () =
+  let out_h, s_h = Job.run (ctx ~cluster:slow ()) wordcount lines in
+  let c = ctx ~cluster:slow ~faults:(faulty_cfg 3) () in
+  let out_f, s_f = Job.run c wordcount lines in
+  Alcotest.(check (list (pair string int)))
+    "faults never change results"
+    (List.sort compare out_h) (List.sort compare out_f);
+  check_int "same shuffle bytes" s_h.Stats.shuffle_bytes s_f.Stats.shuffle_bytes;
+  check_bool "some attempts were injected upon" true
+    (s_f.Stats.attempts_failed + s_f.Stats.speculative_launched > 0);
+  check_bool "re-work costs simulated time" true
+    (s_f.Stats.est_time_s > s_h.Stats.est_time_s);
+  check_bool "counters surfaced" true
+    (Metrics.get (Exec_ctx.metrics c) "mr.attempts_failed"
+     + Metrics.get (Exec_ctx.metrics c) "mr.speculative_launched"
+     > 0)
+
+let test_disabled_faults_identical_times () =
+  (* An execution context built with an explicit all-zero fault config
+     prices jobs bit-identically to one built with no fault config. *)
+  let _, s_plain = Job.run (ctx ~cluster:slow ()) wordcount lines in
+  let _, s_cfg =
+    Job.run (ctx ~cluster:slow ~faults:Fi.default ()) wordcount lines
+  in
+  check_bool "est_time_s bit-identical" true
+    (s_plain.Stats.est_time_s = s_cfg.Stats.est_time_s);
+  check_bool "breakdown bit-identical" true
+    (s_plain.Stats.breakdown = s_cfg.Stats.breakdown)
+
+let test_legacy_failure_rate_shim () =
+  (* The deprecated Cluster.task_failure_rate still applies its flat
+     multiplier when no injector is active... *)
+  let flaky = { slow with Cluster.task_failure_rate = 0.3 } in
+  let _, s_legacy = Job.run (ctx ~cluster:flaky ()) wordcount lines in
+  let _, s_clean = Job.run (ctx ~cluster:slow ()) wordcount lines in
+  check_bool "legacy multiplier still prices re-work" true
+    (s_legacy.Stats.est_time_s > s_clean.Stats.est_time_s);
+  (* ... but an active injector replaces it: the injected run's time does
+     not also get the flat multiplier. *)
+  let c_inj = ctx ~cluster:flaky ~faults:(faulty_cfg 5) () in
+  let c_ref = ctx ~cluster:slow ~faults:(faulty_cfg 5) () in
+  let _, s_inj = Job.run c_inj wordcount lines in
+  let _, s_ref = Job.run c_ref wordcount lines in
+  check_bool "injector supersedes the flat multiplier" true
+    (s_inj.Stats.est_time_s = s_ref.Stats.est_time_s)
+
+let exhausting_cfg = { Fi.default with Fi.seed = 1; task_fail_p = 0.9; max_attempts = 1 }
+
+let test_exhaustion_raises_job_failed () =
+  match Job.run (ctx ~cluster:slow ~faults:exhausting_cfg ()) wordcount lines with
+  | _ -> Alcotest.fail "expected Job_failed"
+  | exception Job.Job_failed f ->
+    check_string "job name" "wordcount" f.Job.f_job;
+    check_bool "attempt count" true (f.Job.f_attempts = 1);
+    check_bool "charges partial time" true (f.Job.f_elapsed_s > 0.0)
+
+let test_workflow_abort () =
+  let wf = Workflow.create (ctx ~cluster:slow ~faults:exhausting_cfg ()) in
+  match Workflow.run_job wf wordcount lines with
+  | _ -> Alcotest.fail "expected Aborted"
+  | exception Workflow.Aborted a ->
+    check_int "no retries configured" 0 a.Workflow.a_resubmissions;
+    check_int "nothing completed" 0 a.Workflow.a_completed;
+    check_bool "lost time charged" true
+      (Stats.lost_s (Workflow.stats wf) > 0.0)
+
+let test_workflow_retry_succeeds () =
+  (* With task-fail high enough to kill some submission but retries
+     re-rolling the dice, the workflow eventually completes; every lost
+     submission's time plus backoff lands in lost_s. *)
+  let cfg =
+    { Fi.default with Fi.seed = 8; task_fail_p = 0.55; max_attempts = 1;
+      job_retries = 10; retry_backoff_s = 2.0; target = Some Fi.Map }
+  in
+  let c = ctx ~cluster:slow ~faults:cfg () in
+  let wf = Workflow.create c in
+  let out = Workflow.run_job wf wordcount lines in
+  let out_h = fst (Job.run (ctx ~cluster:slow ()) wordcount lines) in
+  Alcotest.(check (list (pair string int)))
+    "retried job still returns the right answer"
+    (List.sort compare out_h) (List.sort compare out);
+  let resubmissions =
+    Metrics.get (Exec_ctx.metrics c) "mr.job_resubmissions"
+  in
+  check_bool "at least one submission was lost" true (resubmissions > 0);
+  let stats = Workflow.stats wf in
+  check_bool "lost time includes backoff" true
+    (Stats.lost_s stats >= 2.0 *. float_of_int resubmissions);
+  check_bool "est includes lost time" true
+    (Stats.est_time_s stats > Stats.lost_s stats)
+
+let test_user_exception_captured () =
+  let bomb = { wordcount with
+               Job.name = "bomb";
+               reduce = (fun k counts ->
+                 if k = "beta" then failwith "user bug";
+                 [ (k, List.fold_left ( + ) 0 counts) ]) }
+  in
+  (match Job.run (ctx ()) bomb lines with
+  | _ -> Alcotest.fail "expected Job_failed"
+  | exception Job.Job_failed f ->
+    check_string "job" "bomb" f.Job.f_job;
+    check_bool "reduce phase" true (f.Job.f_phase = Fi.Reduce);
+    check_bool "carries the exception text" true
+      (contains_sub f.Job.f_reason "user bug"));
+  (* Through a workflow it becomes a structured abort, not an escaping
+     exception — and retrying a deterministic bug never helps. *)
+  let wf =
+    Workflow.create
+      (ctx ~faults:{ Fi.default with Fi.job_retries = 2 } ())
+  in
+  match Workflow.run_job wf bomb lines with
+  | _ -> Alcotest.fail "expected Aborted"
+  | exception Workflow.Aborted a ->
+    check_int "burned every retry" 2 a.Workflow.a_resubmissions
+
+(* --- engine-level property ---------------------------------------------- *)
+
+(* 20 fault seeds on a seeded BSBM workload: every engine's result is
+   byte-identical to its fault-free run (the transparency invariant end
+   to end), and no workflow aborts at these rates. *)
+let test_engines_transparent_under_faults () =
+  let input =
+    Engine.input_of_graph
+      Rapida_datagen.Bsbm.(generate (config ~seed:11 ~products:30 ()))
+  in
+  let entries = [ Catalog.find_exn "G1"; Catalog.find_exn "MG1" ] in
+  List.iter
+    (fun entry ->
+      let q = Catalog.parse entry in
+      let baselines =
+        List.map
+          (fun kind ->
+            let ctx = Plan_util.context (Plan_util.make ()) in
+            match Engine.run kind ctx input q with
+            | Ok out -> (kind, out.Engine.table)
+            | Error msg -> Alcotest.failf "fault-free %s: %s" entry.Catalog.id msg)
+          Engine.all_kinds
+      in
+      for seed = 1 to 20 do
+        List.iter
+          (fun (kind, base_table) ->
+            let cfg =
+              { Fi.default with Fi.seed; task_fail_p = 0.15;
+                straggler_p = 0.15; job_retries = 3 }
+            in
+            let ctx = Plan_util.context (Plan_util.make ~faults:cfg ()) in
+            match Engine.run kind ctx input q with
+            | Error msg ->
+              Alcotest.failf "%s seed %d %s: %s" entry.Catalog.id seed
+                (Engine.kind_name kind) msg
+            | Ok out ->
+              if not (Relops.same_results base_table out.Engine.table) then
+                Alcotest.failf "%s seed %d %s: result diverged under faults"
+                  entry.Catalog.id seed (Engine.kind_name kind))
+          baselines
+      done)
+    entries
+
+let suite =
+  [
+    Alcotest.test_case "parse spec" `Quick test_parse_spec;
+    Alcotest.test_case "parse spec errors" `Quick test_parse_spec_errors;
+    Alcotest.test_case "deterministic outcomes" `Quick test_outcome_deterministic;
+    Alcotest.test_case "inactive injector is exact" `Quick
+      test_simulate_phase_inactive_exact;
+    Alcotest.test_case "seeds diverge" `Quick test_simulate_phase_seeds_differ;
+    Alcotest.test_case "straggler cost model" `Quick test_straggler_cost;
+    Alcotest.test_case "transparency and cost" `Quick test_transparency_and_cost;
+    Alcotest.test_case "disabled faults identical times" `Quick
+      test_disabled_faults_identical_times;
+    Alcotest.test_case "legacy failure-rate shim" `Quick
+      test_legacy_failure_rate_shim;
+    Alcotest.test_case "exhaustion raises Job_failed" `Quick
+      test_exhaustion_raises_job_failed;
+    Alcotest.test_case "workflow abort" `Quick test_workflow_abort;
+    Alcotest.test_case "workflow retry succeeds" `Quick
+      test_workflow_retry_succeeds;
+    Alcotest.test_case "user exception captured" `Quick
+      test_user_exception_captured;
+    Alcotest.test_case "engines transparent under faults" `Slow
+      test_engines_transparent_under_faults;
+  ]

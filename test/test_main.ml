@@ -19,4 +19,5 @@ let () =
       ("having", Test_having.suite);
       ("harness", Test_harness.suite);
       ("properties", Test_props.suite);
+      ("faults", Test_faults.suite);
     ]

@@ -87,7 +87,21 @@ let test_map_task_estimation () =
   check_int "one block" 1 (Job.estimate_map_tasks c ~input_bytes:100);
   check_int "exact" 2 (Job.estimate_map_tasks c ~input_bytes:2048);
   check_int "round up" 3 (Job.estimate_map_tasks c ~input_bytes:2049);
-  check_int "empty input still one task" 1 (Job.estimate_map_tasks c ~input_bytes:0)
+  check_int "empty input still one task" 1 (Job.estimate_map_tasks c ~input_bytes:0);
+  (* One byte past a boundary opens a new split; one byte under does not. *)
+  check_int "one under boundary" 1 (Job.estimate_map_tasks c ~input_bytes:1023);
+  check_int "one block exactly" 1 (Job.estimate_map_tasks c ~input_bytes:1024);
+  check_int "one over boundary" 2 (Job.estimate_map_tasks c ~input_bytes:1025);
+  (* Splitting goes by stored (compressed) bytes: a 0.25 ratio turns
+     8 raw blocks into 2 splits, and a compressed sub-block input (or a
+     zero-byte one) still launches a single task. *)
+  let stored bytes ratio = int_of_float (float_of_int bytes *. ratio) in
+  check_int "compression shrinks splits" 2
+    (Job.estimate_map_tasks c ~input_bytes:(stored (8 * 1024) 0.25));
+  check_int "compressed below one block" 1
+    (Job.estimate_map_tasks c ~input_bytes:(stored 2048 0.25));
+  check_int "compressed to nothing" 1
+    (Job.estimate_map_tasks c ~input_bytes:(stored 3 0.25))
 
 let test_cost_monotone_in_data () =
   let spec = wordcount ~with_combiner:false in
