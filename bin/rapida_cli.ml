@@ -2,12 +2,16 @@
 
      rapida gen     - generate a synthetic benchmark dataset (N-Triples)
      rapida query   - run a SPARQL analytical query on a dataset
+     rapida lint    - static analysis: AST lint + plan verification
      rapida explain - show the overlap analysis and composite rewriting
      rapida catalog - list the paper's query workload, print query text
      rapida stats   - dataset statistics (triples, partitions) *)
 
 module Engine = Rapida_core.Engine
 module Plan_util = Rapida_core.Plan_util
+module Diagnostic = Rapida_analysis.Diagnostic
+module Ast_lint = Rapida_analysis.Ast_lint
+module Plan_verify = Rapida_analysis.Plan_verify
 module Catalog = Rapida_queries.Catalog
 module Table = Rapida_relational.Table
 module Relops = Rapida_relational.Relops
@@ -204,6 +208,15 @@ let query_cmd =
     Arg.(value & flag
          & info [ "verify" ] ~doc:"Check the result against the reference evaluator.")
   in
+  let verify_plans =
+    Arg.(value & flag
+         & info [ "verify-plans" ]
+             ~doc:"Debug mode: re-check the optimizer invariants (composite \
+                   cover, role equivalence, n-split arity, Agg-Join keys, \
+                   workflow shape) and the result schema after the run. \
+                   Verification is out-of-band and leaves the cost model \
+                   untouched; a violation fails the run.")
+  in
   let show_stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print per-job simulator statistics.")
   in
@@ -231,8 +244,8 @@ let query_cmd =
                    are identical to a fault-free run and only the simulated \
                    time and counters change.")
   in
-  let run (data, query_file, catalog_id) engine verify show_stats trace_file
-      json faults_spec verbose =
+  let run (data, query_file, catalog_id) engine verify verify_plans show_stats
+      trace_file json faults_spec verbose =
     setup_logs verbose;
     let ( let* ) = Result.bind in
     let usage r = Result.map_error (fun msg -> (2, msg)) r in
@@ -244,7 +257,9 @@ let query_cmd =
           | None -> Ok Fault_injector.default
           | Some spec -> Fault_injector.parse_spec spec)
       in
-      let ctx = Plan_util.context (Plan_util.make ~faults:fault_cfg ()) in
+      let ctx =
+        Plan_util.context (Plan_util.make ~faults:fault_cfg ~verify_plans ())
+      in
       let* graph = usage (load_graph data) in
       let* src = usage (query_text query_file catalog_id) in
       let* query = usage (Rapida_sparql.Analytical.parse src) in
@@ -299,8 +314,111 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run a SPARQL analytical query on a dataset")
     Term.(const run
           $ query_source_args (fun d q c -> (d, q, c))
-          $ engine $ verify $ show_stats $ trace_file $ json $ faults
-          $ verbose_arg)
+          $ engine $ verify $ verify_plans $ show_stats $ trace_file $ json
+          $ faults $ verbose_arg)
+
+(* --- lint --------------------------------------------------------------- *)
+
+(* Both analysis layers over one query text: the AST lint, then — when
+   the query is inside the analytical fragment — the optimizer-invariant
+   verifier. Parse failures surface as [parse-error] diagnostics, so
+   every input yields a report rather than a usage error. *)
+let lint_text src =
+  let ast_ds = Ast_lint.lint_source src in
+  let plan_ds =
+    match Rapida_sparql.Analytical.parse src with
+    | Ok q -> Plan_verify.verify_query q
+    | Error _ -> [] (* already reported as parse-error / analytical-form *)
+  in
+  Diagnostic.sort (ast_ds @ plan_ds)
+
+let lint_cmd =
+  let files =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"FILE" ~doc:"SPARQL query files to lint.")
+  in
+  let catalog_ids =
+    Arg.(value & opt_all string []
+         & info [ "c"; "catalog" ]
+             ~doc:"Lint a catalog query by id (repeatable).")
+  in
+  let catalog_all =
+    Arg.(value & flag
+         & info [ "catalog-all" ] ~doc:"Lint every catalog query.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print one report object per input: file, counts by \
+                   severity, and the diagnostics with rule ids and spans.")
+  in
+  let run files catalog_ids catalog_all json =
+    let file_inputs =
+      List.map
+        (fun path ->
+          match read_file path with
+          | Ok src -> (path, src)
+          | Error msg -> die_usage msg)
+        files
+    in
+    let catalog_inputs =
+      let entries =
+        if catalog_all then Catalog.all
+        else
+          List.map
+            (fun id ->
+              match Catalog.find id with
+              | Some e -> e
+              | None -> die_usage ("unknown catalog query " ^ id))
+            catalog_ids
+      in
+      List.map
+        (fun e -> ("catalog:" ^ e.Catalog.id, e.Catalog.sparql))
+        entries
+    in
+    let inputs = file_inputs @ catalog_inputs in
+    if inputs = [] then
+      die_usage "nothing to lint: pass FILEs, --catalog ID, or --catalog-all";
+    let reports = List.map (fun (label, src) -> (label, lint_text src)) inputs in
+    let count sev =
+      List.fold_left
+        (fun n (_, ds) ->
+          n
+          + List.length
+              (List.filter (fun d -> d.Diagnostic.severity = sev) ds))
+        0 reports
+    in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ( "reports",
+                  Json.List
+                    (List.map
+                       (fun (file, ds) -> Diagnostic.report_json ~file ds)
+                       reports) );
+                ("errors", Json.Int (count Diagnostic.Error));
+                ("warnings", Json.Int (count Diagnostic.Warning));
+                ("infos", Json.Int (count Diagnostic.Info));
+              ]))
+    else
+      List.iter
+        (fun (file, ds) ->
+          List.iter
+            (fun d -> Fmt.pr "%a@." (Diagnostic.pp_located ~file) d)
+            ds)
+        reports;
+    if List.exists (fun (_, ds) -> Diagnostic.has_errors ds) reports then
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze SPARQL queries: semantic lint of the AST \
+             plus verification of the optimizer's derived plans. Exits 0 \
+             when no error-severity diagnostics were reported, 1 otherwise, \
+             2 on usage errors.")
+    Term.(const run $ files $ catalog_ids $ catalog_all $ json)
 
 (* --- explain ------------------------------------------------------------ *)
 
@@ -319,33 +437,44 @@ let explain_cmd =
              ~doc:"Print the plan description and predicted MR-cycle counts \
                    per engine as JSON.")
   in
-  let run query_file catalog_id json =
-    match
-      Result.bind (query_text query_file catalog_id) (fun src ->
-          Rapida_sparql.Analytical.parse src)
-    with
+  let lint =
+    Arg.(value & flag
+         & info [ "lint" ]
+             ~doc:"Also run the static analyzer (AST lint + plan \
+                   verification) and print its diagnostics.")
+  in
+  let run query_file catalog_id json lint =
+    let src =
+      match query_text query_file catalog_id with
+      | Ok src -> src
+      | Error msg -> die_usage msg
+    in
+    let lint_ds = if lint then lint_text src else [] in
+    match Rapida_sparql.Analytical.parse src with
     | Error msg -> die_usage msg
     | Ok q ->
-      if json then
-        print_endline
-          (Json.to_string
-             (Json.Obj
-                [
-                  ( "subqueries",
-                    Json.Int
-                      (List.length q.Rapida_sparql.Analytical.subqueries) );
-                  ( "plan",
-                    Json.String (Rapida_core.Rapid_analytics.plan_description q)
-                  );
-                  ( "predicted_cycles",
-                    Json.Obj
-                      (List.map
-                         (fun kind ->
-                           ( Engine.kind_name kind,
-                             Json.Int (Rapida_core.Plan_summary.predict kind q)
-                           ))
-                         Engine.all_kinds) );
-                ]))
+      if json then begin
+        let fields =
+          [
+            ( "subqueries",
+              Json.Int (List.length q.Rapida_sparql.Analytical.subqueries) );
+            ( "plan",
+              Json.String (Rapida_core.Rapid_analytics.plan_description q) );
+            ( "predicted_cycles",
+              Json.Obj
+                (List.map
+                   (fun kind ->
+                     ( Engine.kind_name kind,
+                       Json.Int (Rapida_core.Plan_summary.predict kind q) ))
+                   Engine.all_kinds) );
+          ]
+          @
+          if lint then
+            [ ("lint", Json.List (List.map Diagnostic.to_json lint_ds)) ]
+          else []
+        in
+        print_endline (Json.to_string (Json.Obj fields))
+      end
       else begin
         Fmt.pr "%a@." Rapida_sparql.Analytical.pp q;
         (match q.Rapida_sparql.Analytical.subqueries with
@@ -355,13 +484,18 @@ let explain_cmd =
         | _ -> ());
         Fmt.pr "@.%s@." (Rapida_core.Rapid_analytics.plan_description q);
         Fmt.pr "@.predicted MapReduce workflow lengths:@.%s@."
-          (Rapida_core.Plan_summary.describe q)
+          (Rapida_core.Plan_summary.describe q);
+        if lint then begin
+          Fmt.pr "@.static analysis:@.";
+          if lint_ds = [] then Fmt.pr "  clean@."
+          else List.iter (fun d -> Fmt.pr "  %a@." Diagnostic.pp d) lint_ds
+        end
       end
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Show overlap analysis and the composite rewriting for a query")
-    Term.(const run $ query_file $ catalog_id $ json)
+    Term.(const run $ query_file $ catalog_id $ json $ lint)
 
 (* --- catalog ------------------------------------------------------------ *)
 
@@ -418,6 +552,10 @@ let stats_cmd =
     Term.(const run $ data)
 
 let () =
+  Plan_verify.install_engine_hook ();
   let doc = "RAPIDAnalytics: optimization of complex SPARQL analytical queries" in
   let info = Cmd.info "rapida" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ gen_cmd; query_cmd; explain_cmd; catalog_cmd; stats_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; query_cmd; lint_cmd; explain_cmd; catalog_cmd; stats_cmd ]))

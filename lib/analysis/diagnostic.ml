@@ -1,0 +1,84 @@
+module Srcloc = Rapida_sparql.Srcloc
+module Json = Rapida_mapred.Json
+
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let compare_severity a b = Int.compare (severity_rank a) (severity_rank b)
+
+type t = {
+  severity : severity;
+  rule : string;
+  message : string;
+  span : Srcloc.span option;
+}
+
+let make ?span severity ~rule message = { severity; rule; message; span }
+
+let kfmt ?span severity ~rule fmt =
+  Fmt.kstr (fun message -> make ?span severity ~rule message) fmt
+
+let errorf ?span ~rule fmt = kfmt ?span Error ~rule fmt
+let warningf ?span ~rule fmt = kfmt ?span Warning ~rule fmt
+let infof ?span ~rule fmt = kfmt ?span Info ~rule fmt
+let is_error d = d.severity = Error
+let has_errors ds = List.exists is_error ds
+
+let compare a b =
+  let by_span =
+    match (a.span, b.span) with
+    | Some sa, Some sb -> Srcloc.compare_pos sa.Srcloc.first sb.Srcloc.first
+    | Some _, None -> -1
+    | None, Some _ -> 1
+    | None, None -> 0
+  in
+  if by_span <> 0 then by_span
+  else
+    let by_sev = compare_severity a.severity b.severity in
+    if by_sev <> 0 then by_sev else String.compare a.rule b.rule
+
+let sort ds = List.stable_sort compare ds
+
+let pp ppf d =
+  (match d.span with
+  | Some s -> Fmt.pf ppf "%a: " Srcloc.pp_span s
+  | None -> ());
+  Fmt.pf ppf "%s[%s] %s" (severity_name d.severity) d.rule d.message
+
+let pp_located ~file ppf d = Fmt.pf ppf "%s:%a" file pp d
+
+let to_json d =
+  let span_fields =
+    match d.span with
+    | None -> []
+    | Some s ->
+      [
+        ("line", Json.Int s.Srcloc.first.Srcloc.line);
+        ("col", Json.Int s.Srcloc.first.Srcloc.col);
+        ("end_line", Json.Int s.Srcloc.last.Srcloc.line);
+        ("end_col", Json.Int s.Srcloc.last.Srcloc.col);
+      ]
+  in
+  Json.Obj
+    ([
+       ("severity", Json.String (severity_name d.severity));
+       ("rule", Json.String d.rule);
+       ("message", Json.String d.message);
+     ]
+    @ span_fields)
+
+let report_json ~file ds =
+  let count sev = List.length (List.filter (fun d -> d.severity = sev) ds) in
+  Json.Obj
+    [
+      ("file", Json.String file);
+      ("errors", Json.Int (count Error));
+      ("warnings", Json.Int (count Warning));
+      ("infos", Json.Int (count Info));
+      ("diagnostics", Json.List (List.map to_json (sort ds)));
+    ]

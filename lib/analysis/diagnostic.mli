@@ -1,0 +1,68 @@
+(** Structured, source-located diagnostics.
+
+    Every finding of the static-analysis layers — the AST lint
+    ({!Ast_lint}) and the optimizer-invariant verifier ({!Plan_verify}) —
+    is a value of {!t}: a severity, a stable rule identifier suitable for
+    suppression and testing, a human-readable message, and an optional
+    source span. Rendering follows the conventional
+    [FILE:LINE:COL: severity[rule] message] shape so editors and CI can
+    parse it; [to_json] emits the machine-readable form used by
+    [rapida lint --json]. *)
+
+module Srcloc = Rapida_sparql.Srcloc
+module Json = Rapida_mapred.Json
+
+type severity = Error | Warning | Info
+
+val severity_name : severity -> string
+
+(** Severity ordering: [Error] ranks above [Warning] above [Info]. *)
+val compare_severity : severity -> severity -> int
+
+type t = {
+  severity : severity;
+  rule : string;  (** stable rule identifier, e.g. ["unbound-var"] *)
+  message : string;
+  span : Srcloc.span option;  (** [None] for plan-level findings *)
+}
+
+val make : ?span:Srcloc.span -> severity -> rule:string -> string -> t
+
+(** [errorf ~rule fmt ...] (and [warningf], [infof]) build a diagnostic
+    with a formatted message. *)
+val errorf :
+  ?span:Srcloc.span -> rule:string -> ('a, Format.formatter, unit, t) format4
+  -> 'a
+
+val warningf :
+  ?span:Srcloc.span -> rule:string -> ('a, Format.formatter, unit, t) format4
+  -> 'a
+
+val infof :
+  ?span:Srcloc.span -> rule:string -> ('a, Format.formatter, unit, t) format4
+  -> 'a
+
+val is_error : t -> bool
+
+(** [has_errors ds] holds when any diagnostic is [Error]-severity — the
+    condition under which [rapida lint] exits 1. *)
+val has_errors : t list -> bool
+
+(** [sort ds] orders by source position (unlocated findings last), then
+    severity, then rule id — the stable presentation order. *)
+val sort : t list -> t list
+
+(** Prints ["LINE:COL: severity[rule] message"] (span elided when
+    absent). *)
+val pp : t Fmt.t
+
+(** [pp_located ~file] prefixes every line with the originating file (or
+    catalog id), giving the conventional grep-able shape. *)
+val pp_located : file:string -> t Fmt.t
+
+val to_json : t -> Json.t
+
+(** [report_json ~file ds] is the [--json] document for one input:
+    [{"file": ..., "errors": n, "warnings": n, "infos": n,
+    "diagnostics": [...]}]. *)
+val report_json : file:string -> t list -> Json.t

@@ -1,0 +1,58 @@
+(** Layer 2 of the static analyzer: optimizer-invariant verification.
+
+    While {!Ast_lint} checks what the user wrote, this module re-checks
+    what the optimizer {e derived}: the composite-pattern rewriting of
+    paper §3 and the schemas the engines produce. Rules and their ids:
+
+    - [composite-cover] (error): the composite pattern's stars do not
+      exactly cover the original patterns' properties as primary
+      (owned by all) plus secondary (owned by a strict subset)
+      requirements, or a property lost its ownership (Def. 3.1).
+    - [composite-role] (error): merged join variables of corresponding
+      star pairs are not role-equivalent (Def. 3.2); carries the
+      {!Rapida_core.Overlap} evidence.
+    - [nsplit-arity] (error): the n-split of the composite pattern does
+      not produce exactly one pattern per input subquery, or a pattern's
+      α condition / variable mapping refers outside the composite
+      pattern (Defs. 3.4–3.5).
+    - [aggjoin-keys] (error): a subquery's grouping keys or aggregate
+      arguments are not available in the bindings its split pattern
+      carries, or aggregate output names collide (Def. 3.6).
+    - [workflow-dag] (error): the join-order a workflow would execute is
+      not a connected left-deep sequence — some join's shuffle key is
+      not bound by an upstream star.
+    - [schema-mismatch] (error): an engine's result schema differs from
+      the statically expected schema, or the four engines disagree. *)
+
+module Analytical = Rapida_sparql.Analytical
+module Table = Rapida_relational.Table
+module Engine = Rapida_core.Engine
+
+(** [expected_schema q] is the result schema every engine must produce:
+    the subquery output columns folded left-to-right with natural-join
+    semantics (shared columns kept once), then the outer projection
+    (identity when empty). *)
+val expected_schema : Analytical.t -> string list
+
+(** [verify_query q] checks every static invariant — per-subquery
+    grouping/aggregation consistency and join-order connectivity, plus
+    the composite-pattern invariants when the query has at least two
+    subqueries (the MQO case). An empty result means the optimizer's
+    derivations are sound for [q]. *)
+val verify_query : Analytical.t -> Diagnostic.t list
+
+(** [verify_result ~engine q table] checks an actual result table
+    against {!expected_schema} ([schema-mismatch]). *)
+val verify_result : engine:string -> Analytical.t -> Table.t -> Diagnostic.t list
+
+(** [verify_cross_engine q results] checks that every engine produced
+    the same schema ([schema-mismatch] names the disagreeing pair). *)
+val verify_cross_engine :
+  Analytical.t -> (string * Table.t) list -> Diagnostic.t list
+
+(** [install_engine_hook ()] registers {!verify_query} + {!verify_result}
+    as the {!Rapida_core.Engine.set_plan_verifier} callback, so engines
+    re-verify after every run when the execution context has
+    [verify_plans] set. The registry indirection exists because core
+    cannot depend on this library. Idempotent. *)
+val install_engine_hook : unit -> unit

@@ -42,6 +42,15 @@ let graph_of_input input = input.graph
 
 type output = { table : Table.t; stats : Stats.t; trace : Trace.t }
 
+(* Static plan verification is provided by the analysis library, which
+   depends on this one; the registry indirection breaks the cycle. The
+   default verifier accepts everything, so nothing changes until
+   [Rapida_analysis.Plan_verify.install_engine_hook] runs. *)
+let plan_verifier : (kind -> Analytical.t -> Table.t -> string list) ref =
+  ref (fun _ _ _ -> [])
+
+let set_plan_verifier f = plan_verifier := f
+
 let run kind ctx input query =
   let result =
     (* A workflow that exhausts its whole-job retries surfaces as a
@@ -55,9 +64,18 @@ let run kind ctx input query =
         Rapid_analytics.run ctx (Lazy.force input.tg_store) query
     with Workflow.Aborted a -> Error (Fmt.str "%a" Workflow.pp_abort a)
   in
-  Result.map
-    (fun (table, stats) -> { table; stats; trace = Exec_ctx.trace ctx })
-    result
+  Result.bind result (fun (table, stats) ->
+      let output = { table; stats; trace = Exec_ctx.trace ctx } in
+      if not (Exec_ctx.verify_plans ctx) then Ok output
+      else
+        (* Verification is pure and runs no simulated jobs, so the trace
+           and counters — the cost-model outputs — are untouched. *)
+        match !plan_verifier kind query table with
+        | [] -> Ok output
+        | problems ->
+          Error
+            (Fmt.str "plan verification failed (%s): %s" (kind_name kind)
+               (String.concat "; " problems)))
 
 let run_sparql kind ctx input src =
   Result.bind (Analytical.parse src) (run kind ctx input)

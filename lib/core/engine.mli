@@ -34,8 +34,20 @@ type output = {
   trace : Trace.t;  (** the context's trace, one span per simulated phase *)
 }
 
+(** [set_plan_verifier f] registers the static plan verifier consulted
+    by {!run} whenever the context has {!Exec_ctx.verify_plans} set: [f
+    kind query table] returns human-readable problems, and a non-empty
+    list fails the run. Registered by
+    [Rapida_analysis.Plan_verify.install_engine_hook] — a registry,
+    rather than a direct call, because the analysis library depends on
+    this one. The default verifier accepts everything. *)
+val set_plan_verifier : (kind -> Analytical.t -> Table.t -> string list) -> unit
+
 (** [run kind ctx input query] evaluates an analytical query with the
-    chosen engine, recording telemetry into [ctx]. *)
+    chosen engine, recording telemetry into [ctx]. When the context has
+    [verify_plans] set and a verifier is installed, the optimizer
+    invariants and result schema are re-checked after the run — out of
+    band, so cost-model outputs are unchanged. *)
 val run :
   kind -> Exec_ctx.t -> input -> Analytical.t -> (output, string) result
 

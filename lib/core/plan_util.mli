@@ -34,6 +34,11 @@ type options = {
       (** fault-injection knobs (seed, crash/straggler probabilities,
           retry policy); the all-zero {!Rapida_mapred.Fault_injector.default}
           leaves the cost model untouched. *)
+  verify_plans : bool;
+      (** debug mode: after every engine run, re-check the optimizer
+          invariants and result schema with the registered static plan
+          verifier (see {!Engine.set_plan_verifier}). Pure and
+          out-of-band — cost-model outputs are unchanged. *)
 }
 
 val default_options : options
@@ -50,6 +55,7 @@ val make :
   ?ntga_combiner:bool ->
   ?ntga_filter_pushdown:bool ->
   ?faults:Rapida_mapred.Fault_injector.config ->
+  ?verify_plans:bool ->
   unit -> options
 
 (** [context options] is a fresh execution context (empty trace and

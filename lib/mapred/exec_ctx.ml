@@ -17,17 +17,27 @@ type t = {
   cluster : Cluster.t;
   planner : planner;
   faults : Fault_injector.t;
+  verify_plans : bool;
   metrics : Metrics.t;
   trace : Trace.t;
 }
 
 let create ?(cluster = Cluster.default) ?(planner = default_planner)
-    ?(faults = Fault_injector.create Fault_injector.default) () =
-  { cluster; planner; faults; metrics = Metrics.create (); trace = Trace.create () }
+    ?(faults = Fault_injector.create Fault_injector.default)
+    ?(verify_plans = false) () =
+  {
+    cluster;
+    planner;
+    faults;
+    verify_plans;
+    metrics = Metrics.create ();
+    trace = Trace.create ();
+  }
 
 let cluster t = t.cluster
 let planner t = t.planner
 let faults t = t.faults
+let verify_plans t = t.verify_plans
 let metrics t = t.metrics
 let trace t = t.trace
 let with_cluster t cluster = { t with cluster }

@@ -28,13 +28,15 @@ val default_planner : planner
 
 type t
 
-(** [create ?cluster ?planner ?faults ()] is a fresh context with empty
-    metrics and trace. Defaults: {!Cluster.default}, {!default_planner},
-    and an inactive {!Fault_injector.t} (healthy cluster). *)
+(** [create ?cluster ?planner ?faults ?verify_plans ()] is a fresh
+    context with empty metrics and trace. Defaults: {!Cluster.default},
+    {!default_planner}, an inactive {!Fault_injector.t} (healthy
+    cluster), and [verify_plans = false]. *)
 val create :
   ?cluster:Cluster.t ->
   ?planner:planner ->
   ?faults:Fault_injector.t ->
+  ?verify_plans:bool ->
   unit ->
   t
 
@@ -44,6 +46,13 @@ val planner : t -> planner
 (** The fault injector every job run against this context consults for
     task-attempt crashes and stragglers. Inactive by default. *)
 val faults : t -> Fault_injector.t
+
+(** Debug mode: when set, engines ask the registered static plan
+    verifier (see [Rapida_core.Engine.set_plan_verifier]) to re-check
+    optimizer invariants and the result schema after every run.
+    Verification is pure and out-of-band — it runs no simulated jobs, so
+    enabling it never perturbs the cost model. *)
+val verify_plans : t -> bool
 
 val metrics : t -> Metrics.t
 val trace : t -> Trace.t

@@ -24,6 +24,10 @@ let keywords =
     "LIMIT"; "ASC"; "DESC"; "TRUE"; "FALSE"; "UNION"; "BASE";
   ]
 
+type error = { pos : Srcloc.pos; reason : string }
+
+let pp_error ppf e = Fmt.pf ppf "%a: %s" Srcloc.pp_pos e.pos e.reason
+
 type state = { src : string; mutable pos : int; mutable line : int; mutable col : int }
 
 let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
@@ -52,7 +56,8 @@ let is_name_char c = is_name_start c || is_digit c || c = '-'
    digits and '-'. *)
 let is_qname_char c = is_name_char c || c = ':' || c = '.'
 
-let error st msg = Error (Printf.sprintf "line %d, col %d: %s" st.line st.col msg)
+let error st msg =
+  Error { pos = Srcloc.pos ~line:st.line ~col:st.col; reason = msg }
 
 let scan_while st pred =
   let start = st.pos in

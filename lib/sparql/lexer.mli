@@ -19,7 +19,13 @@ type token =
 
 type located = { tok : token; line : int; col : int }
 
+(** A lexing failure, located at the offending character. *)
+type error = { pos : Srcloc.pos; reason : string }
+
+(** Prints ["line L, col C: reason"]. *)
+val pp_error : error Fmt.t
+
 (** [tokenize src] lexes the whole input. Comments start with [#]. *)
-val tokenize : string -> (located list, string) result
+val tokenize : string -> (located list, error) result
 
 val pp_token : token Fmt.t

@@ -1,25 +1,40 @@
 open Rapida_rdf
 
+type error = { pos : Srcloc.pos option; reason : string }
+
+let pp_error ppf (e : error) =
+  match e.pos with
+  | Some p -> Fmt.pf ppf "%a: %s" Srcloc.pp_pos p e.reason
+  | None -> Fmt.string ppf e.reason
+
+exception Parse_error of error
+
 type state = {
   toks : Lexer.located array;
   mutable pos : int;
   mutable env : Namespace.env;
 }
 
-exception Parse_error of string
-
 let peek st = st.toks.(st.pos).tok
 let peek_at st n =
   if st.pos + n < Array.length st.toks then st.toks.(st.pos + n).tok
   else Lexer.EOF
 
+(* Position of the token the parser is looking at. *)
+let cur_pos st =
+  let { Lexer.line; col; _ } = st.toks.(st.pos) in
+  Srcloc.pos ~line ~col
+
 let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
 
 let fail st msg =
-  let { Lexer.tok; line; col } = st.toks.(st.pos) in
+  let { Lexer.tok; _ } = st.toks.(st.pos) in
   raise
     (Parse_error
-       (Fmt.str "line %d, col %d: %s (at %a)" line col msg Lexer.pp_token tok))
+       {
+         pos = Some (cur_pos st);
+         reason = Fmt.str "%s (at %a)" msg Lexer.pp_token tok;
+       })
 
 let expect st tok msg =
   if peek st = tok then advance st else fail st msg
@@ -36,11 +51,18 @@ let accept_keyword st kw =
     true
   | _ -> false
 
-let expand_qname st qname =
+(* [at] is the position of the QNAME token (captured before advancing). *)
+let expand_qname st ~at qname =
   if String.contains qname ':' then
     match Namespace.expand st.env qname with
     | Some iri -> iri
-    | None -> raise (Parse_error (Printf.sprintf "unknown prefix in %s" qname))
+    | None ->
+      raise
+        (Parse_error
+           {
+             pos = Some at;
+             reason = Printf.sprintf "unknown prefix in %s" qname;
+           })
   else Namespace.bench ^ qname
 
 (* --- Expressions ------------------------------------------------------ *)
@@ -146,8 +168,9 @@ and parse_prim st =
           advance st;
           Term.typed s iri
         | Lexer.QNAME q ->
+          let at = cur_pos st in
           advance st;
-          Term.typed s (expand_qname st q)
+          Term.typed s (expand_qname st ~at q)
         | _ -> fail st "expected datatype IRI after ^^"
       end
       else Term.str s
@@ -163,8 +186,9 @@ and parse_prim st =
     advance st;
     Ast.Eterm (Term.iri iri)
   | Lexer.QNAME q ->
+    let at = cur_pos st in
     advance st;
-    Ast.Eterm (Term.iri (expand_qname st q))
+    Ast.Eterm (Term.iri (expand_qname st ~at q))
   | Lexer.LPAREN ->
     advance st;
     let e = parse_expr st in
@@ -226,8 +250,9 @@ let parse_typed_string st s =
       advance st;
       Term.typed s iri
     | Lexer.QNAME q ->
+      let at = cur_pos st in
       advance st;
-      Term.typed s (expand_qname st q)
+      Term.typed s (expand_qname st ~at q)
     | _ -> fail st "expected datatype IRI after ^^"
   end
   else Term.str s
@@ -241,8 +266,9 @@ let parse_node st : Ast.node =
     advance st;
     Ast.Nterm (Term.iri iri)
   | Lexer.QNAME q ->
+    let at = cur_pos st in
     advance st;
-    Ast.Nterm (Term.iri (expand_qname st q))
+    Ast.Nterm (Term.iri (expand_qname st ~at q))
   | Lexer.STRING s ->
     advance st;
     Ast.Nterm (parse_typed_string st s)
@@ -475,9 +501,9 @@ let parse_prologue st =
     | _ -> fail st "expected IRI after prefix name"
   done
 
-let parse src =
+let parse_located src =
   match Lexer.tokenize src with
-  | Error e -> Error e
+  | Error { Lexer.pos; reason } -> Error { pos = Some pos; reason }
   | Ok toks -> (
     let st = { toks = Array.of_list toks; pos = 0; env = Namespace.default_env } in
     try
@@ -487,7 +513,10 @@ let parse src =
       | Lexer.EOF -> ()
       | _ -> fail st "trailing tokens after query");
       Ok { Ast.base_select = select }
-    with Parse_error msg -> Error msg)
+    with Parse_error e -> Error e)
+
+let parse src =
+  Result.map_error (fun e -> Fmt.str "%a" pp_error e) (parse_located src)
 
 let parse_exn src =
   match parse src with Ok q -> q | Error e -> failwith ("SPARQL parse: " ^ e)

@@ -5,7 +5,21 @@
     into the [bench:] namespace, matching the abbreviated property names
     used throughout the paper and this repo's synthetic datasets. *)
 
-(** [parse src] parses a complete SELECT query. *)
+(** A parse failure. [pos] is the position of the offending token (or of
+    the lexing error); it is [None] only for failures with no meaningful
+    location. *)
+type error = { pos : Srcloc.pos option; reason : string }
+
+(** Prints ["line L, col C: reason"], or just the reason without a
+    position. *)
+val pp_error : error Fmt.t
+
+(** [parse_located src] parses a complete SELECT query, reporting
+    failures with source positions. *)
+val parse_located : string -> (Ast.query, error) result
+
+(** [parse src] is {!parse_located} with the error rendered by
+    {!pp_error}. *)
 val parse : string -> (Ast.query, string) result
 
 (** [parse_exn src] is [parse], raising [Failure] on error. *)

@@ -1,0 +1,23 @@
+type pos = { line : int; col : int }
+
+type span = { first : pos; last : pos }
+
+let pos ~line ~col = { line; col }
+
+let span_of_token p ~len =
+  { first = p; last = { p with col = p.col + max 0 (len - 1) } }
+
+let compare_pos a b =
+  match Int.compare a.line b.line with
+  | 0 -> Int.compare a.col b.col
+  | c -> c
+
+let pp_pos ppf p = Fmt.pf ppf "line %d, col %d" p.line p.col
+
+let pp_span ppf s =
+  if s.first.line = s.last.line && s.first.col = s.last.col then
+    Fmt.pf ppf "%d:%d" s.first.line s.first.col
+  else if s.first.line = s.last.line then
+    Fmt.pf ppf "%d:%d-%d" s.first.line s.first.col s.last.col
+  else
+    Fmt.pf ppf "%d:%d-%d:%d" s.first.line s.first.col s.last.line s.last.col

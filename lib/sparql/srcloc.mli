@@ -1,0 +1,30 @@
+(** Source locations in query text.
+
+    The lexer stamps every token with a {!pos}; the parser and the
+    static-analysis passes ({!Rapida_analysis.Diagnostic}) carry these
+    positions so that an error in a 40-line analytical query points at
+    the offending token instead of at "the query". Lines and columns are
+    1-based, following the convention of every editor. *)
+
+type pos = { line : int; col : int }
+
+(** A contiguous source region, inclusive on both ends. Single-token
+    spans have [first = last] or share the line with a wider column
+    range. *)
+type span = { first : pos; last : pos }
+
+val pos : line:int -> col:int -> pos
+
+(** [span_of_token p ~len] is the span of a token of [len] characters
+    starting at [p] (never spanning lines). *)
+val span_of_token : pos -> len:int -> span
+
+val compare_pos : pos -> pos -> int
+
+(** Prints ["line L, col C"] — the format the parser has always used in
+    error messages. *)
+val pp_pos : pos Fmt.t
+
+(** Prints ["L:C"] or ["L:C-C'"], the compact form lint diagnostics
+    use. *)
+val pp_span : span Fmt.t

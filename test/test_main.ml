@@ -20,4 +20,5 @@ let () =
       ("harness", Test_harness.suite);
       ("properties", Test_props.suite);
       ("faults", Test_faults.suite);
+      ("analysis", Test_analysis.suite);
     ]

@@ -13,7 +13,7 @@ let check_string = Alcotest.(check string)
 
 let test_lexer_basics () =
   match Lexer.tokenize {|SELECT ?x { ?x a Thing . FILTER(?y >= 5.5) } # end|} with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.failf "%a" Lexer.pp_error e
   | Ok toks ->
     let kinds = List.map (fun t -> t.Lexer.tok) toks in
     check_bool "has SELECT" true (List.mem (Lexer.KEYWORD "SELECT") kinds);
@@ -27,7 +27,7 @@ let test_lexer_basics () =
 let test_lexer_number_dot () =
   (* "?o 5 ." must lex the 5 and the terminating dot separately. *)
   match Lexer.tokenize "?s p 5 . ?s q 7." with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.failf "%a" Lexer.pp_error e
   | Ok toks ->
     let dots =
       List.length (List.filter (fun t -> t.Lexer.tok = Lexer.DOT) toks)
@@ -36,7 +36,7 @@ let test_lexer_number_dot () =
 
 let test_lexer_iri_vs_lt () =
   match Lexer.tokenize "FILTER(?x < 5) ?s <http://a/b> ?o" with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.failf "%a" Lexer.pp_error e
   | Ok toks ->
     let kinds = List.map (fun t -> t.Lexer.tok) toks in
     check_bool "LT" true (List.mem Lexer.LT kinds);
@@ -149,6 +149,39 @@ let test_parse_errors () =
       "SELECT ?s WHERE ?s p ?o";
       "SELECT ?s { ?s p ?o . } GROUP BY";
     ]
+
+let test_parse_error_positions () =
+  (* Structured parse errors locate the offending token. *)
+  let expect src line col =
+    match Parser.parse_located src with
+    | Ok _ -> Alcotest.failf "should not parse: %s" src
+    | Error { Parser.pos = None; reason } ->
+      Alcotest.failf "no position for %S: %s" src reason
+    | Error { Parser.pos = Some p; _ } ->
+      check_int (Printf.sprintf "%S line" src) line p.Srcloc.line;
+      check_int (Printf.sprintf "%S col" src) col p.Srcloc.col
+  in
+  (* The trailing garbage starts at column 25 of line 1. *)
+  expect "SELECT ?s { ?s p ?o . } trailing" 1 25;
+  (* The closing brace where an object was expected, line 2 col 12. *)
+  expect "SELECT ?s {\n  ?s price }" 2 12;
+  (* EOF after GROUP BY on line 3. *)
+  expect "SELECT ?s {\n  ?s price ?p . }\nGROUP BY" 3 9
+
+let test_lexer_error_positions () =
+  match Lexer.tokenize "?s price \"unterminated" with
+  | Ok _ -> Alcotest.fail "should not lex"
+  | Error e ->
+    check_int "line" 1 e.Lexer.pos.Srcloc.line;
+    check_string "reason" "unterminated string" e.Lexer.reason
+
+let test_parse_located_string_agreement () =
+  (* [parse] renders exactly what [parse_located] reports. *)
+  let src = "SELECT ?s { ?s price }" in
+  match (Parser.parse src, Parser.parse_located src) with
+  | Error rendered, Error e ->
+    check_string "rendering" rendered (Fmt.str "%a" Parser.pp_error e)
+  | _ -> Alcotest.fail "both should fail"
 
 (* --- star decomposition --------------------------------------------------- *)
 
@@ -378,6 +411,12 @@ let suite =
     Alcotest.test_case "parse subselect" `Quick test_parse_subselect;
     Alcotest.test_case "parse optional" `Quick test_parse_optional;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse error positions" `Quick
+      test_parse_error_positions;
+    Alcotest.test_case "lexer error positions" `Quick
+      test_lexer_error_positions;
+    Alcotest.test_case "parse/parse_located agreement" `Quick
+      test_parse_located_string_agreement;
     Alcotest.test_case "star decompose" `Quick test_star_decompose;
     Alcotest.test_case "star edges subject-object" `Quick test_star_edges_subject_object;
     Alcotest.test_case "star edges object-object" `Quick test_star_edges_object_object;
