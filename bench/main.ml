@@ -11,6 +11,9 @@
      ablation- toggle each optimization knob in isolation
      faults  - fault-injection degradation: simulated time vs fault
                rate for all four engines
+     memory  - memory-budget degradation: simulated time, spills, OOM
+               retries, and map-join fallbacks as the per-task heap
+               shrinks, for all four engines
      wall    - Bechamel wall-clock microbenchmarks of the in-memory
                engines on representative queries
 
@@ -19,12 +22,14 @@
    who wins, by what factor, and where the crossovers are. Usage:
 
      dune exec bench/main.exe [--scale N] [--trace DIR] [--faults SPEC]
-                              [section ...]              (default: all)
+                              [--mem SPEC] [section ...]  (default: all)
 
    With --trace DIR, each engine run writes its Chrome trace-event file
    to DIR/<section>-<query>-<engine>.json. With --faults SPEC (same
    key=value spec as `rapida query --faults`), every section's engine
-   runs execute under that fault configuration. *)
+   runs execute under that fault configuration; --mem SPEC (same spec as
+   `rapida query --mem`) likewise bounds the per-task memory of every
+   section's simulated cluster. *)
 
 module Engine = Rapida_core.Engine
 module Plan_util = Rapida_core.Plan_util
@@ -33,11 +38,13 @@ module Experiment = Rapida_harness.Experiment
 module Report = Rapida_harness.Report
 
 module Fault_injector = Rapida_mapred.Fault_injector
+module Memory = Rapida_mapred.Memory
 
 let scale = ref 1
 let sections = ref []
 let trace_dir = ref None
 let fault_cfg = ref Fault_injector.default
+let mem_cfg = ref Memory.default
 
 let () =
   let rec parse = function
@@ -51,6 +58,13 @@ let () =
     | "--faults" :: spec :: rest ->
       (match Fault_injector.parse_spec spec with
       | Ok cfg -> fault_cfg := cfg
+      | Error msg ->
+        prerr_endline ("error: " ^ msg);
+        exit 2);
+      parse rest
+    | "--mem" :: spec :: rest ->
+      (match Memory.parse_spec spec with
+      | Ok cfg -> mem_cfg := cfg
       | Error msg ->
         prerr_endline ("error: " ^ msg);
         exit 2);
@@ -70,7 +84,10 @@ let want section =
    balance of each MR cycle matches the paper's regime. *)
 let options =
   Plan_util.make
-    ~cluster:(Rapida_mapred.Cluster.scaled_down ~factor:1.0e5)
+    ~cluster:
+      (Rapida_mapred.Cluster.with_memory
+         (Rapida_mapred.Cluster.scaled_down ~factor:1.0e5)
+         !mem_cfg)
     ~map_join_threshold:(24 * 1024) ~faults:!fault_cfg ()
 
 let all_engines = Engine.all_kinds
@@ -255,6 +272,21 @@ let section_faults () =
       Fmt.pr "%a" (Report.pp_degradation ~engines:all_engines) deg)
     [ (bsbm_small, "MG1"); (chem, "MG6") ]
 
+(* Memory-budget degradation: each engine's simulated time as the
+   per-task heap (and with it the sort buffer) shrinks, relative to its
+   own unbounded run. Results stay byte-identical at every budget; the
+   sweep shows where each engine starts spilling, OOM-retrying, and
+   falling back from broadcast map-joins to repartition joins. *)
+let section_memory () =
+  List.iter
+    (fun (input, id) ->
+      let sweep =
+        Experiment.memory_sweep options (Lazy.force input)
+          (Catalog.find_exn id)
+      in
+      Fmt.pr "%a" (Report.pp_memory ~engines:all_engines) sweep)
+    [ (bsbm_small, "MG1"); (chem, "G5") ]
+
 (* Wall-clock microbenchmarks of the real in-memory executions, per
    engine, on representative queries from each workload. *)
 let section_wall () =
@@ -310,4 +342,5 @@ let () =
   if want "table4" then section_table4 ();
   if want "ablation" then section_ablation ();
   if want "faults" then section_faults ();
+  if want "memory" then section_memory ();
   if want "wall" then section_wall ()

@@ -21,6 +21,8 @@ module Metrics = Rapida_mapred.Metrics
 module Trace = Rapida_mapred.Trace
 module Json = Rapida_mapred.Json
 module Fault_injector = Rapida_mapred.Fault_injector
+module Memory = Rapida_mapred.Memory
+module Cluster = Rapida_mapred.Cluster
 module Graph = Rapida_rdf.Graph
 module Rterm = Rapida_rdf.Term
 
@@ -244,8 +246,19 @@ let query_cmd =
                    are identical to a fault-free run and only the simulated \
                    time and counters change.")
   in
+  let mem =
+    Arg.(value & opt (some string) None
+         & info [ "mem" ] ~docv:"SPEC"
+             ~doc:"Bound the simulated cluster's per-task memory: \
+                   comma-separated key=value pairs over heap, sort-buffer \
+                   (sizes in bytes, or with a k/m/g suffix) and \
+                   spill-threshold (0-1], e.g. heap=64m,sort-buffer=1m. \
+                   Memory pressure prices spill passes, OOM retries, and \
+                   map-join fallbacks into the simulated time; results are \
+                   byte-identical at every budget.")
+  in
   let run (data, query_file, catalog_id) engine verify verify_plans show_stats
-      trace_file json faults_spec verbose =
+      trace_file json faults_spec mem_spec verbose =
     setup_logs verbose;
     let ( let* ) = Result.bind in
     let usage r = Result.map_error (fun msg -> (2, msg)) r in
@@ -257,8 +270,18 @@ let query_cmd =
           | None -> Ok Fault_injector.default
           | Some spec -> Fault_injector.parse_spec spec)
       in
+      let* mem_cfg =
+        usage
+          (match mem_spec with
+          | None -> Ok Memory.default
+          | Some spec -> Memory.parse_spec spec)
+      in
+      let cluster =
+        Cluster.with_memory Plan_util.default_options.Plan_util.cluster mem_cfg
+      in
       let ctx =
-        Plan_util.context (Plan_util.make ~faults:fault_cfg ~verify_plans ())
+        Plan_util.context
+          (Plan_util.make ~cluster ~faults:fault_cfg ~verify_plans ())
       in
       let* graph = usage (load_graph data) in
       let* src = usage (query_text query_file catalog_id) in
@@ -282,6 +305,14 @@ let query_cmd =
     | Error (2, msg) -> die_usage msg
     | Error (_, msg) -> die_runtime msg
     | Ok (ctx, { Engine.table; stats; trace }) ->
+      if verify_plans then
+        List.iter
+          (fun d -> Fmt.epr "%a@." Diagnostic.pp d)
+          (Plan_verify.verify_memory
+             ~heap_bytes:
+               (Exec_ctx.cluster ctx).Cluster.task_heap_bytes
+             ~agj_ht_bytes:
+               (Metrics.get (Exec_ctx.metrics ctx) "mem.agj_ht_bytes"));
       (match trace_file with
       | Some path -> (
         match Trace.write_file trace path with
@@ -315,7 +346,7 @@ let query_cmd =
     Term.(const run
           $ query_source_args (fun d q c -> (d, q, c))
           $ engine $ verify $ verify_plans $ show_stats $ trace_file $ json
-          $ faults $ verbose_arg)
+          $ faults $ mem $ verbose_arg)
 
 (* --- lint --------------------------------------------------------------- *)
 

@@ -434,3 +434,16 @@ let install_engine_hook () =
           if Diagnostic.is_error d then Some (Fmt.str "%a" Diagnostic.pp d)
           else None)
         ds)
+
+(* --- memory overcommit (warning) -------------------------------------- *)
+
+let verify_memory ~heap_bytes ~agj_ht_bytes =
+  if agj_ht_bytes > heap_bytes then
+    [
+      Diagnostic.warningf ~rule:"mem-overcommit"
+        "Agg-Join estimates a per-task hash table of %d bytes against a \
+         %d-byte task heap; expect OOM retries and a combiner-disabled \
+         (degraded) rerun"
+        agj_ht_bytes heap_bytes;
+    ]
+  else []

@@ -22,7 +22,11 @@
       not a connected left-deep sequence — some join's shuffle key is
       not bound by an upstream star.
     - [schema-mismatch] (error): an engine's result schema differs from
-      the statically expected schema, or the four engines disagree. *)
+      the statically expected schema, or the four engines disagree.
+    - [mem-overcommit] (warning): the Agg-Join's estimated per-task
+      hash-table footprint exceeds the cluster's per-task heap; the run
+      degrades (OOM retries, combiner disabled) instead of failing
+      (see {!verify_memory}). *)
 
 module Analytical = Rapida_sparql.Analytical
 module Table = Rapida_relational.Table
@@ -56,3 +60,13 @@ val verify_cross_engine :
     [verify_plans] set. The registry indirection exists because core
     cannot depend on this library. Idempotent. *)
 val install_engine_hook : unit -> unit
+
+(** [verify_memory ~heap_bytes ~agj_ht_bytes] checks the Agg-Join's
+    estimated per-task hash-table footprint (the [mem.agj_ht_bytes]
+    metric recorded by the NTGA engines) against the cluster's per-task
+    heap, and emits a [mem-overcommit] {e warning} when the estimate
+    exceeds the budget: the run still completes — the simulator retries
+    the OOM-killed attempts and reruns the task with its combiner
+    disabled — but pays for the kills and the bigger shuffle. Warnings
+    never affect exit codes. *)
+val verify_memory : heap_bytes:int -> agj_ht_bytes:int -> Diagnostic.t list

@@ -70,6 +70,21 @@ let hive_ctx ctx =
 (* The planner options a workflow's jobs were configured with. *)
 let planner_of wf = Exec_ctx.planner (Workflow.ctx wf)
 
+(* --- Memory-aware broadcast decisions ----------------------------------- *)
+
+(* A build side broadcasts only when it also fits the per-task container
+   heap: a map-join whose hash table overflows the heap would OOM every
+   mapper, so the planner degrades to a repartition join instead — an
+   extra full MR cycle, priced honestly (Hive's
+   hive.mapjoin.localtask.max.memory safety fallback). *)
+let task_heap_bytes wf =
+  (Exec_ctx.cluster (Workflow.ctx wf)).Rapida_mapred.Cluster.task_heap_bytes
+
+let note_mapjoin_fallback wf =
+  Rapida_mapred.Metrics.add
+    (Exec_ctx.metrics (Workflow.ctx wf))
+    "mem.mapjoin_fallbacks" 1
+
 let var_name = function
   | Ast.Nvar v -> v
   | Ast.Nterm t ->
@@ -366,15 +381,28 @@ let star_join wf ~name ~required ~optional =
     in
     (match stream_index with
     | Some i when small_enough && i < List.length required ->
-      star_join_map_only wf ~name ~required ~optional ~stream_index:i
+      (* The map-only form hashes every non-streamed table; that build
+         side must also fit the task heap or each mapper would OOM. *)
+      let build_bytes = List.fold_left ( + ) 0 sizes - max_size in
+      if build_bytes < task_heap_bytes wf then
+        star_join_map_only wf ~name ~required ~optional ~stream_index:i
+      else begin
+        note_mapjoin_fallback wf;
+        star_join_mr wf ~name ~required ~optional
+      end
     | _ -> star_join_mr wf ~name ~required ~optional)
 
 let pair_join wf ~name a b =
   let threshold = (planner_of wf).Exec_ctx.map_join_threshold in
+  let heap = task_heap_bytes wf in
   let sa = Table.size_bytes a and sb = Table.size_bytes b in
-  if sb < threshold then Mr_relops.map_join wf ~name ~big:a ~small:b ()
-  else if sa < threshold then Mr_relops.map_join wf ~name ~big:b ~small:a ()
-  else Mr_relops.repartition_join wf ~name a b
+  let broadcastable s = s < threshold && s < heap in
+  if broadcastable sb then Mr_relops.map_join wf ~name ~big:a ~small:b ()
+  else if broadcastable sa then Mr_relops.map_join wf ~name ~big:b ~small:a ()
+  else begin
+    if min sa sb < threshold then note_mapjoin_fallback wf;
+    Mr_relops.repartition_join wf ~name a b
+  end
 
 (* --- Filters and projections ------------------------------------------- *)
 
@@ -458,10 +486,19 @@ let final_join wf (q : Analytical.t) tables =
   | [] -> invalid_arg "final_join: no subquery results"
   | [ only ] -> finish only
   | first :: rest ->
+    let heap = task_heap_bytes wf in
     let joined =
       List.fold_left
         (fun acc t ->
-          Mr_relops.map_join wf ~name:"join_aggregates" ~big:acc ~small:t ())
+          (* Aggregated results are normally tiny, but the heap guard
+             still applies: an over-budget build side degrades to a
+             repartition cycle rather than OOM-ing the mappers. *)
+          if Table.size_bytes t < heap then
+            Mr_relops.map_join wf ~name:"join_aggregates" ~big:acc ~small:t ()
+          else begin
+            note_mapjoin_fallback wf;
+            Mr_relops.repartition_join wf ~name:"join_aggregates" acc t
+          end)
         first rest
     in
     finish joined

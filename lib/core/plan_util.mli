@@ -82,14 +82,19 @@ val ctp_table : Vp_store.t -> subject_var:Ast.var -> Composite.ctp -> Table.t
     their subject column in one MR cycle (Hive merges same-key joins):
     inner on [required], left-outer on [optional]. Becomes a map-only
     cycle when every table but the largest required one fits the map-join
-    threshold of the workflow's context. A single required table with no
-    optionals is returned as-is (a scan is not a join). *)
+    threshold of the workflow's context {e and} the combined build side
+    fits the cluster's per-task heap — otherwise it degrades to the
+    reduce-side form (counted in the [mem.mapjoin_fallbacks] metric). A
+    single required table with no optionals is returned as-is (a scan is
+    not a join). *)
 val star_join :
   Workflow.t -> name:string -> required:Table.t list ->
   optional:Table.t list -> Table.t
 
 (** [pair_join wf ~name a b] is a natural join as one MR cycle,
-    map-only when one side fits the threshold. *)
+    map-only when one side fits both the threshold and the per-task
+    heap; a side that fits the threshold but not the heap falls back to
+    a repartition join (counted in [mem.mapjoin_fallbacks]). *)
 val pair_join : Workflow.t -> name:string -> Table.t -> Table.t -> Table.t
 
 (** [apply_ready_filters table filters] applies (map-side, no cycle) every
@@ -119,8 +124,10 @@ val apply_having : Analytical.subquery -> Table.t -> Table.t
 val finish_subquery : Analytical.subquery -> Table.t -> Table.t
 
 (** [final_join wf q tables] joins the per-subquery result tables
-    (map-only cycles, as the aggregated results are small) and applies the
-    outer projection. Single-table queries skip the join. *)
+    (map-only cycles, as the aggregated results are small — unless one
+    overflows the per-task heap, which degrades that step to a
+    repartition cycle) and applies the outer projection. Single-table
+    queries skip the join. *)
 val final_join : Workflow.t -> Analytical.t -> Table.t list -> Table.t
 
 (** [push_star_filters star filters] splits [filters] into those

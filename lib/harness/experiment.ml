@@ -186,3 +186,110 @@ let degradation_point deg kind rate =
   List.find_opt
     (fun p -> p.d_engine = kind && p.d_rate = rate)
     deg.d_points
+
+(* --- Memory-budget sweep ------------------------------------------------ *)
+
+module Cluster = Rapida_mapred.Cluster
+module Memory = Rapida_mapred.Memory
+module Metrics = Rapida_mapred.Metrics
+
+type memory_point = {
+  m_engine : Engine.kind;
+  m_heap_bytes : int;
+  m_time_s : float;
+  m_slowdown : float;
+  m_spilled_bytes : int;
+  m_spill_passes : int;
+  m_oom_kills : int;
+  m_mapjoin_fallbacks : int;
+  m_transparent : bool;
+}
+
+type memory_sweep = {
+  m_query : Catalog.entry;
+  m_heaps : int list;
+  m_baseline : (Engine.kind * float) list;
+  m_points : memory_point list;
+}
+
+(* Shrinking the heap also shrinks the sort buffer (a container's sort
+   buffer is a fraction of its heap, as in Hadoop), so one knob drives
+   both spill pricing and the OOM/fallback ladder. *)
+let mem_of_heap heap_bytes =
+  {
+    Memory.default with
+    Memory.task_heap_bytes = heap_bytes;
+    sort_buffer_bytes =
+      max 1 (min Memory.default.Memory.sort_buffer_bytes (heap_bytes / 4));
+  }
+
+let memory_sweep ?(engines = Engine.all_kinds)
+    ?(heaps =
+      [
+        Memory.default.Memory.task_heap_bytes;
+        256 * 1024;
+        64 * 1024;
+        16 * 1024;
+        4 * 1024;
+        1024;
+      ]) options input entry =
+  let q = Catalog.parse entry in
+  let run_one kind heap =
+    let cluster =
+      Cluster.with_memory options.Plan_util.cluster (mem_of_heap heap)
+    in
+    let ctx = Plan_util.context (Plan_util.make ~base:options ~cluster ()) in
+    (ctx, Engine.run kind ctx input q)
+  in
+  let unbounded = Memory.default.Memory.task_heap_bytes in
+  let baseline =
+    List.map
+      (fun kind ->
+        match run_one kind unbounded with
+        | _, Ok { table; stats; _ } -> (kind, table, Stats.est_time_s stats)
+        | _, Error msg ->
+          invalid_arg
+            (Printf.sprintf "memory_sweep: unbounded %s failed: %s"
+               (Engine.kind_name kind) msg))
+      engines
+  in
+  let points =
+    List.concat_map
+      (fun heap ->
+        List.map
+          (fun (kind, base_table, base_s) ->
+            match run_one kind heap with
+            | ctx, Ok { table; stats; _ } ->
+              let t = Stats.est_time_s stats in
+              {
+                m_engine = kind;
+                m_heap_bytes = heap;
+                m_time_s = t;
+                m_slowdown = (if base_s > 0.0 then t /. base_s else 1.0);
+                m_spilled_bytes = Stats.total_spilled_bytes stats;
+                m_spill_passes = Stats.total_spill_passes stats;
+                m_oom_kills = Stats.total_oom_kills stats;
+                m_mapjoin_fallbacks =
+                  Metrics.get
+                    (Rapida_mapred.Exec_ctx.metrics ctx)
+                    "mem.mapjoin_fallbacks";
+                m_transparent = Relops.same_results base_table table;
+              }
+            | _, Error msg ->
+              invalid_arg
+                (Printf.sprintf "memory_sweep: %s at heap=%d failed: %s"
+                   (Engine.kind_name kind) heap msg))
+          baseline)
+      heaps
+  in
+  {
+    m_query = entry;
+    m_heaps = heaps;
+    m_baseline = List.map (fun (k, _, s) -> (k, s)) baseline;
+    m_points = points;
+  }
+
+let memory_point sweep kind heap =
+  List.find_opt
+    (fun p -> p.m_engine = kind && p.m_heap_bytes = heap)
+    sweep.m_points

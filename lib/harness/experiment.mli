@@ -96,3 +96,46 @@ val degradation :
 (** [degradation_point deg kind rate] finds one sweep point. *)
 val degradation_point :
   degradation -> Engine.kind -> float -> degradation_point option
+
+(** One engine at one heap budget in a {!memory_sweep}. *)
+type memory_point = {
+  m_engine : Engine.kind;
+  m_heap_bytes : int;  (** per-task heap for this point *)
+  m_time_s : float;  (** simulated time under the budget *)
+  m_slowdown : float;  (** [m_time_s] over the engine's unbounded time *)
+  m_spilled_bytes : int;  (** external-sort bytes moved through local disk *)
+  m_spill_passes : int;
+  m_oom_kills : int;  (** attempts killed over the hard heap limit *)
+  m_mapjoin_fallbacks : int;
+      (** broadcast joins degraded to repartition joins by the planner *)
+  m_transparent : bool;
+      (** result identical to the engine's unbounded result *)
+}
+
+type memory_sweep = {
+  m_query : Catalog.entry;
+  m_heaps : int list;  (** swept budgets, largest first *)
+  m_baseline : (Engine.kind * float) list;  (** unbounded times *)
+  m_points : memory_point list;  (** heap-major, engine order *)
+}
+
+(** [memory_sweep ?engines ?heaps options input entry] shrinks the
+    per-task heap across [heaps] (the sort buffer follows at a quarter
+    of the heap, capped at the default) over one catalog query: each
+    point records the simulated-time degradation relative to that
+    engine's unbounded run, the spill/OOM/fallback counters, and
+    whether the results stayed byte-identical — the memory model's
+    transparency invariant. Defaults sweep 1 GiB down to 1 KiB.
+
+    @raise Invalid_argument when a run fails. *)
+val memory_sweep :
+  ?engines:Engine.kind list ->
+  ?heaps:int list ->
+  Rapida_core.Plan_util.options ->
+  Engine.input ->
+  Catalog.entry ->
+  memory_sweep
+
+(** [memory_point sweep kind heap] finds one sweep point. *)
+val memory_point :
+  memory_sweep -> Engine.kind -> int -> memory_point option

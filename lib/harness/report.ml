@@ -113,16 +113,22 @@ let pp_phases ~title ~engines ppf runs =
                (fun r ->
                  let b = r.Experiment.phases in
                  let module Stats = Rapida_mapred.Stats in
-                 Printf.sprintf "%.0f/%.0f/%.0f/%.0f"
-                   b.Stats.startup_s b.Stats.map_s
-                   (b.Stats.shuffle_s +. b.Stats.sort_s)
-                   b.Stats.reduce_s)
+                 let base =
+                   Printf.sprintf "%.0f/%.0f/%.0f/%.0f"
+                     b.Stats.startup_s b.Stats.map_s
+                     (b.Stats.shuffle_s +. b.Stats.sort_s)
+                     b.Stats.reduce_s
+                 in
+                 if b.Stats.spill_s > 0.0 then
+                   Printf.sprintf "%s/%.0f" base b.Stats.spill_s
+                 else base)
                "-"))
         engines;
       Fmt.pf ppf "@.")
     runs;
   Fmt.pf ppf
-    "(simulated seconds per phase: startup/map/shuffle+sort/reduce)@."
+    "(simulated seconds per phase: startup/map/shuffle+sort/reduce\
+     [/spill])@."
 
 let pp_degradation ~engines ppf (deg : Experiment.degradation) =
   Fmt.pf ppf "@.== fault degradation: %s (seed %d) ==@."
@@ -151,6 +157,50 @@ let pp_degradation ~engines ppf (deg : Experiment.degradation) =
     deg.Experiment.d_rates;
   Fmt.pf ppf
     "(simulated seconds and slowdown vs fault-free; * = result diverged)@."
+
+let pp_memory ~engines ppf (sweep : Experiment.memory_sweep) =
+  Fmt.pf ppf "@.== memory degradation: %s ==@."
+    sweep.Experiment.m_query.Catalog.id;
+  Fmt.pf ppf "%-8s" "heap";
+  List.iter (fun k -> Fmt.pf ppf " %24s" (engine_header k)) engines;
+  Fmt.pf ppf "@.";
+  let pp_heap b =
+    if b >= 1024 * 1024 * 1024 then
+      Printf.sprintf "%dG" (b / (1024 * 1024 * 1024))
+    else if b >= 1024 * 1024 then Printf.sprintf "%dM" (b / (1024 * 1024))
+    else if b >= 1024 then Printf.sprintf "%dK" (b / 1024)
+    else Printf.sprintf "%dB" b
+  in
+  List.iter
+    (fun heap ->
+      Fmt.pf ppf "%-8s" (pp_heap heap);
+      List.iter
+        (fun k ->
+          let cell =
+            match Experiment.memory_point sweep k heap with
+            | None -> "-"
+            | Some p ->
+              let flags =
+                String.concat ""
+                  [
+                    (if p.Experiment.m_spill_passes > 0 then " s" else "");
+                    (if p.Experiment.m_oom_kills > 0 then "!o" else "");
+                    (if p.Experiment.m_mapjoin_fallbacks > 0 then "+r"
+                     else "");
+                    (if p.Experiment.m_transparent then "" else "*");
+                  ]
+              in
+              Printf.sprintf "%.1fs (%.2fx)%s" p.Experiment.m_time_s
+                p.Experiment.m_slowdown flags
+          in
+          Fmt.pf ppf " %24s" cell)
+        engines;
+      Fmt.pf ppf "@.")
+    sweep.Experiment.m_heaps;
+  Fmt.pf ppf
+    "(simulated seconds and slowdown vs the unbounded run; s = spilled, \
+     !o = OOM retries, +r = map-join fell back to repartition, * = result \
+     diverged)@."
 
 let pp_verification ppf runs =
   let total = List.length runs in

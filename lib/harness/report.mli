@@ -42,3 +42,13 @@ val pp_verification : Experiment.run list Fmt.t
 val speedup :
   Experiment.run -> baseline:Engine.kind -> target:Engine.kind ->
   float option
+
+(** [pp_memory ~engines sweep] renders a memory-budget sweep: a row per
+    heap budget, a column per engine showing simulated seconds and the
+    slowdown over that engine's unbounded run, flagged with [s] when the
+    engine spilled, [!o] when tasks were OOM-killed (and rerun with the
+    combiner disabled), [+r] when a broadcast join fell back to a
+    repartition join, and a trailing [*] on a
+    (would-be-transparency-violating) diverged result. *)
+val pp_memory :
+  engines:Engine.kind list -> Experiment.memory_sweep Fmt.t

@@ -9,7 +9,9 @@ type t = {
   block_size_bytes : int;
   sort_mb_per_s : float;
   compression_ratio : float;
-  task_failure_rate : float;
+  task_heap_bytes : int;
+  sort_buffer_bytes : int;
+  spill_threshold : float;
 }
 
 let default =
@@ -24,7 +26,9 @@ let default =
     block_size_bytes = 128 * 1024 * 1024;
     sort_mb_per_s = 80.0;
     compression_ratio = 1.0;
-    task_failure_rate = 0.0;
+    task_heap_bytes = Memory.default.Memory.task_heap_bytes;
+    sort_buffer_bytes = Memory.default.Memory.sort_buffer_bytes;
+    spill_threshold = Memory.default.Memory.spill_threshold;
   }
 
 let vcl ~nodes = { default with nodes }
@@ -36,6 +40,21 @@ let scaled_down ~factor =
     network_mb_per_s = default.network_mb_per_s /. factor;
     sort_mb_per_s = default.sort_mb_per_s /. factor;
     block_size_bytes = 32 * 1024;
+  }
+
+let memory c =
+  {
+    Memory.task_heap_bytes = c.task_heap_bytes;
+    sort_buffer_bytes = c.sort_buffer_bytes;
+    spill_threshold = c.spill_threshold;
+  }
+
+let with_memory c m =
+  {
+    c with
+    task_heap_bytes = m.Memory.task_heap_bytes;
+    sort_buffer_bytes = m.Memory.sort_buffer_bytes;
+    spill_threshold = m.Memory.spill_threshold;
   }
 
 let map_slots c = c.nodes * c.map_slots_per_node

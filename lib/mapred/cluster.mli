@@ -21,22 +21,14 @@ type t = {
   compression_ratio : float;
       (** on-disk size multiplier for stored inputs (e.g. ORC ~ 0.15);
           1.0 = uncompressed *)
-  task_failure_rate : float;
-      (** {b Deprecated.} Flat re-work multiplier: a fraction of tasks
-          assumed to fail and be re-executed, adding proportional time to
-          each phase. Superseded by {!Fault_injector}, which models
-          individual task attempts (crash points, stragglers, speculative
-          copies, attempt exhaustion) instead of a uniform surcharge.
-
-          Migration: replace [{ cluster with task_failure_rate = p }]
-          with an execution context carrying
-          [Fault_injector.create { Fault_injector.default with task_fail_p = p }]
-          (see {!Exec_ctx.create}'s [?faults]), or pass
-          [--faults task-fail=p] on the CLI. For compatibility the flat
-          multiplier still prices re-work when the context's injector is
-          inactive; an {e active} injector replaces it entirely, so the
-          two models never compound. The field will be removed once the
-          remaining presets migrate. 0.0 = a healthy cluster. *)
+  task_heap_bytes : int;
+      (** per-task container heap; see {!Memory.config.task_heap_bytes} *)
+  sort_buffer_bytes : int;
+      (** per-task in-memory sort buffer; see
+          {!Memory.config.sort_buffer_bytes} *)
+  spill_threshold : float;
+      (** sort-buffer fill fraction that triggers a spill; see
+          {!Memory.config.spill_threshold} *)
 }
 
 (** A 10-node VCL-like cluster, matching the paper's small setup. *)
@@ -53,6 +45,16 @@ val vcl : nodes:int -> t
     times smaller, so a factor near 1e5 makes the relative weight of job
     startup vs. data movement match the paper's regime. *)
 val scaled_down : factor:float -> t
+
+(** The cluster's per-task memory budget as a {!Memory.config}. The
+    {!default} cluster carries {!Memory.default} — generous enough that
+    nothing spills, keeping the cost model byte-identical to an
+    unbounded simulator. *)
+val memory : t -> Memory.config
+
+(** [with_memory c m] is [c] with its memory knobs replaced by [m]
+    (the CLI's [--mem SPEC] lands here). *)
+val with_memory : t -> Memory.config -> t
 
 (** Total map (resp. reduce) slots in the cluster. *)
 val map_slots : t -> int

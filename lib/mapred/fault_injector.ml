@@ -95,7 +95,7 @@ let attempt_outcome t ~job ~job_attempt ~phase ~task ~attempt =
     else if u01 (mix_int h 2) < t.straggler_p then Straggle
     else Healthy
 
-type attempt_fate = Crashed of float | Speculated | Straggled
+type attempt_fate = Crashed of float | Speculated | Straggled | Oom_killed
 
 type attempt_event = {
   ev_task : int;

@@ -80,6 +80,10 @@ type attempt_fate =
   | Speculated
       (** straggled; a speculative copy won and the original was killed *)
   | Straggled  (** straggled to completion (speculation off) *)
+  | Oom_killed
+      (** killed for exceeding the container heap (emitted by {!Job}'s
+          memory model, not by {!attempt_outcome}: OOM is a deterministic
+          consequence of the working-set estimate, not a random fate) *)
 
 type attempt_event = {
   ev_task : int;

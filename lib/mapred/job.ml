@@ -80,21 +80,14 @@ let parallel_throughput ~per_node_mb_s ~tasks ~slots =
   let effective = min tasks slots in
   per_node_mb_s *. float_of_int (max 1 effective)
 
-(* The legacy flat re-work multiplier from the deprecated
-   [Cluster.task_failure_rate] knob. The fault injector replaces it: an
-   active injector prices retries and speculation per attempt, so the
-   multiplier is only applied when no injector is configured. *)
-let legacy_retry inj cluster =
-  if Fault_injector.active inj then 1.0
-  else 1.0 +. (2.0 *. cluster.Cluster.task_failure_rate)
-
 let fate_label = function
   | Fault_injector.Crashed _ -> "crashed"
   | Fault_injector.Speculated -> "speculated"
   | Fault_injector.Straggled -> "straggled"
+  | Fault_injector.Oom_killed -> "oom"
 
 (* One span per non-healthy attempt, laid at the phase's start offset. *)
-let attempt_spans job phase ~phase_offset_s (sim : Fault_injector.phase_sim) =
+let event_spans job phase ~phase_offset_s events =
   List.map
     (fun (ev : Fault_injector.attempt_event) ->
       ( Printf.sprintf "%s/%s.t%d.a%d:%s" job
@@ -108,7 +101,10 @@ let attempt_spans job phase ~phase_offset_s (sim : Fault_injector.phase_sim) =
           ("attempt", Json.Int ev.Fault_injector.ev_attempt);
           ("fate", Json.String (fate_label ev.Fault_injector.ev_fate));
         ] ))
-    sim.Fault_injector.events
+    events
+
+let attempt_spans job phase ~phase_offset_s (sim : Fault_injector.phase_sim) =
+  event_spans job phase ~phase_offset_s sim.Fault_injector.events
 
 (* A user map/combine/reduce function threw: the input is deterministic,
    so every one of the task's attempts fails the same way and the job is
@@ -201,7 +197,13 @@ let record ctx (stats : Stats.job) ~phase_spans ~attempt_spans =
   if stats.Stats.speculative_launched > 0 then
     Metrics.add m "mr.speculative_launched" stats.Stats.speculative_launched;
   if stats.Stats.attempts_killed > 0 then
-    Metrics.add m "mr.attempts_killed" stats.Stats.attempts_killed
+    Metrics.add m "mr.attempts_killed" stats.Stats.attempts_killed;
+  if stats.Stats.spilled_bytes > 0 then
+    Metrics.add m "mr.spilled_bytes" stats.Stats.spilled_bytes;
+  if stats.Stats.spill_passes > 0 then
+    Metrics.add m "mr.spill_passes" stats.Stats.spill_passes;
+  if stats.Stats.oom_kills > 0 then
+    Metrics.add m "mr.oom_kills" stats.Stats.oom_kills
 
 let run ?(attempt = 0) ctx spec input =
   let cluster = Exec_ctx.cluster ctx in
@@ -224,10 +226,34 @@ let run ?(attempt = 0) ctx spec input =
     /. parallel_throughput ~per_node_mb_s:cluster.Cluster.disk_mb_per_s
          ~tasks:map_tasks ~slots:(Cluster.map_slots cluster)
   in
-  (* Map phase, with an optional per-task combiner. A user function that
-     throws becomes a structured task failure, never an escaping
-     exception. *)
+  (* Map phase, with an optional per-task combiner under the cluster's
+     memory budget. Each task's pre-combine working set (the combiner
+     hash table) is estimated from the pair size estimators; a task whose
+     estimate exceeds the container heap is OOM-killed
+     [Memory.oom_attempts] times and then rerun with its combiner
+     disabled — degraded (bigger shuffle) but completing, and because the
+     combiner is merge-sound the results are unchanged. A task's map
+     output that overflows the sort buffer prices external-sort spill
+     passes. A user function that throws becomes a structured task
+     failure, never an escaping exception. *)
+  let memcfg = Cluster.memory cluster in
+  let spill_budget = Memory.spill_budget memcfg in
+  let max_attempts = (Fault_injector.config inj).Fault_injector.max_attempts in
+  let eff_map_slots = max 1 (min map_tasks (Cluster.map_slots cluster)) in
+  (* Work conservation, as in [Fault_injector.simulate_phase]: one map
+     task's serial work in slot-seconds. An OOM-killed attempt wastes a
+     whole attempt's work — the JVM dies at the end of the fill, not
+     proportionally to the heap it was granted (a smaller heap must
+     never make the waste cheaper). *)
+  let per_task_map_slot_s =
+    map_read_s *. float_of_int eff_map_slots /. float_of_int map_tasks
+  in
+  let pair_bytes (k, v) = spec.key_size k + spec.value_size v + 12 in
+  let pairs_bytes = List.fold_left (fun acc p -> acc + pair_bytes p) 0 in
   let combine_input = ref 0 in
+  let oom_events = ref [] in
+  let map_spilled_bytes = ref 0 in
+  let map_spill_passes = ref 0 in
   let shuffle_pairs =
     List.concat
       (List.mapi
@@ -235,12 +261,43 @@ let run ?(attempt = 0) ctx spec input =
            try
              let emitted = List.concat_map spec.map task_input in
              combine_input := !combine_input + List.length emitted;
-             match spec.combine with
-             | None -> emitted
-             | Some combine ->
-               group_pairs emitted
-               |> List.concat_map (fun (k, vs) ->
-                      List.map (fun v -> (k, v)) (combine k vs))
+             let emitted_bytes = pairs_bytes emitted in
+             let combine =
+               match spec.combine with
+               | Some _ when emitted_bytes > memcfg.Memory.task_heap_bytes ->
+                 for a = 1 to Memory.oom_attempts ~max_attempts do
+                   oom_events :=
+                     {
+                       Fault_injector.ev_task = task;
+                       ev_attempt = a;
+                       ev_fate = Fault_injector.Oom_killed;
+                       ev_wasted_s = per_task_map_slot_s;
+                     }
+                     :: !oom_events
+                 done;
+                 None
+               | c -> c
+             in
+             let out, out_bytes =
+               match combine with
+               | None -> (emitted, emitted_bytes)
+               | Some combine ->
+                 let out =
+                   group_pairs emitted
+                   |> List.concat_map (fun (k, vs) ->
+                          List.map (fun v -> (k, v)) (combine k vs))
+                 in
+                 (out, pairs_bytes out)
+             in
+             let passes =
+               Memory.spill_passes ~budget_bytes:spill_budget
+                 ~data_bytes:out_bytes
+             in
+             if passes > 0 then begin
+               map_spilled_bytes := !map_spilled_bytes + (passes * out_bytes);
+               map_spill_passes := !map_spill_passes + passes
+             end;
+             out
            with
            | Job_failed _ as e -> raise e
            | exn ->
@@ -249,6 +306,21 @@ let run ?(attempt = 0) ctx spec input =
                ~elapsed_s:(cluster.Cluster.job_startup_s +. map_read_s)
                exn)
          task_inputs)
+  in
+  let oom_events = List.rev !oom_events in
+  let oom_kills = List.length oom_events in
+  let oom_s =
+    List.fold_left
+      (fun acc (ev : Fault_injector.attempt_event) ->
+        acc +. ev.Fault_injector.ev_wasted_s)
+      0.0 oom_events
+    /. float_of_int eff_map_slots
+  in
+  let map_spill_s =
+    2.0
+    *. mb !map_spilled_bytes
+    /. parallel_throughput ~per_node_mb_s:cluster.Cluster.disk_mb_per_s
+         ~tasks:map_tasks ~slots:(Cluster.map_slots cluster)
   in
   (* Injected map faults: retried and speculative attempts re-do real
      read work on the same slots. *)
@@ -335,15 +407,36 @@ let run ?(attempt = 0) ctx spec input =
       red_sim.Fault_injector.elapsed_s /. reduce_base_s
     else 1.0
   in
+  (* Reduce-side merge under the same sort-buffer budget: each reduce
+     task merges its share of the shuffle; a share that overflows the
+     buffer pays external-sort passes on local disk. *)
+  let reduce_share_bytes = shuffle_bytes / max 1 reduce_tasks in
+  let reduce_task_passes =
+    Memory.spill_passes ~budget_bytes:spill_budget
+      ~data_bytes:reduce_share_bytes
+  in
+  let reduce_spilled_bytes = reduce_task_passes * shuffle_bytes in
+  let reduce_spill_passes = reduce_task_passes * reduce_tasks in
+  let merge_spill_s =
+    2.0
+    *. mb reduce_spilled_bytes
+    /. parallel_throughput ~per_node_mb_s:cluster.Cluster.disk_mb_per_s
+         ~tasks:reduce_tasks ~slots:(Cluster.reduce_slots cluster)
+  in
   let map_fault_s = map_sim.Fault_injector.elapsed_s in
   let shuffle_net_fault_s = shuffle_net_s *. rfactor in
   let shuffle_sort_fault_s = shuffle_sort_s *. rfactor in
   let reduce_write_fault_s = reduce_write_s *. rfactor in
   let shuffle_fault_s = shuffle_net_fault_s +. shuffle_sort_fault_s in
-  let retry = legacy_retry inj cluster in
+  let map_pressure_s = oom_s +. map_spill_s in
+  let spill_s = map_pressure_s +. merge_spill_s in
+  (* Grouped as [startup + (map + shuffle + reduce)] so that a zero
+     spill term leaves the float result bit-identical to a simulator
+     with no memory model. *)
   let est_time_s =
     cluster.Cluster.job_startup_s
-    +. (retry *. (map_fault_s +. shuffle_fault_s +. reduce_write_fault_s))
+    +. (map_fault_s +. shuffle_fault_s +. reduce_write_fault_s)
+    +. spill_s
   in
   let combine_input_records = !combine_input in
   let combine_output_records = shuffle_records in
@@ -351,10 +444,11 @@ let run ?(attempt = 0) ctx spec input =
   let breakdown : Stats.breakdown =
     {
       startup_s = cluster.Cluster.job_startup_s;
-      map_s = retry *. map_fault_s;
-      shuffle_s = retry *. shuffle_net_fault_s;
-      sort_s = retry *. shuffle_sort_fault_s;
-      reduce_s = retry *. reduce_write_fault_s;
+      map_s = map_fault_s;
+      shuffle_s = shuffle_net_fault_s;
+      sort_s = shuffle_sort_fault_s;
+      reduce_s = reduce_write_fault_s;
+      spill_s;
     }
   in
   let stats : Stats.job =
@@ -383,6 +477,9 @@ let run ?(attempt = 0) ctx spec input =
       attempts_killed =
         map_sim.Fault_injector.attempts_killed
         + red_sim.Fault_injector.attempts_killed;
+      spilled_bytes = !map_spilled_bytes + reduce_spilled_bytes;
+      spill_passes = !map_spill_passes + reduce_spill_passes;
+      oom_kills;
     }
   in
   let combine_span =
@@ -398,6 +495,34 @@ let run ?(attempt = 0) ctx spec input =
           ] );
       ]
   in
+  (* Spill spans appear only under memory pressure, so the default
+     (generous) budget leaves the phase list — and its tiling of the job
+     span — exactly as before. *)
+  let spill_span =
+    if map_pressure_s > 0.0 then
+      [
+        ( "spill",
+          map_pressure_s,
+          [
+            ("spilled_bytes", Json.Int !map_spilled_bytes);
+            ("spill_passes", Json.Int !map_spill_passes);
+            ("oom_kills", Json.Int oom_kills);
+          ] );
+      ]
+    else []
+  in
+  let merge_spill_span =
+    if merge_spill_s > 0.0 then
+      [
+        ( "merge-spill",
+          merge_spill_s,
+          [
+            ("spilled_bytes", Json.Int reduce_spilled_bytes);
+            ("spill_passes", Json.Int reduce_spill_passes);
+          ] );
+      ]
+    else []
+  in
   record ctx stats
     ~phase_spans:
       ([
@@ -406,7 +531,7 @@ let run ?(attempt = 0) ctx spec input =
            breakdown.map_s,
            [ ("input_records", Json.Int input_records) ] );
        ]
-      @ combine_span
+      @ combine_span @ spill_span
       @ [
           ( "shuffle",
             breakdown.shuffle_s,
@@ -418,12 +543,16 @@ let run ?(attempt = 0) ctx spec input =
               ("groups", Json.Int reduce_groups);
               ("output_records", Json.Int output_records);
             ] );
-        ])
+        ]
+      @ merge_spill_span)
     ~attempt_spans:
-      (attempt_spans spec.name Fault_injector.Map
-         ~phase_offset_s:breakdown.startup_s map_sim
+      (event_spans spec.name Fault_injector.Map
+         ~phase_offset_s:breakdown.startup_s oom_events
+      @ attempt_spans spec.name Fault_injector.Map
+          ~phase_offset_s:breakdown.startup_s map_sim
       @ attempt_spans spec.name Fault_injector.Reduce
-          ~phase_offset_s:(breakdown.startup_s +. breakdown.map_s)
+          ~phase_offset_s:
+            (breakdown.startup_s +. breakdown.map_s +. map_pressure_s)
           red_sim);
   (output, stats)
 
@@ -481,18 +610,17 @@ let run_map_only ?(attempt = 0) ctx spec input =
   let mfactor =
     if io_s > 0.0 then sim.Fault_injector.elapsed_s /. io_s else 1.0
   in
-  let retry = legacy_retry inj cluster in
   let est_time_s =
-    cluster.Cluster.map_only_startup_s
-    +. (retry *. sim.Fault_injector.elapsed_s)
+    cluster.Cluster.map_only_startup_s +. sim.Fault_injector.elapsed_s
   in
   let breakdown : Stats.breakdown =
     {
       startup_s = cluster.Cluster.map_only_startup_s;
-      map_s = retry *. sim.Fault_injector.elapsed_s;
+      map_s = sim.Fault_injector.elapsed_s;
       shuffle_s = 0.0;
       sort_s = 0.0;
       reduce_s = 0.0;
+      spill_s = 0.0;
     }
   in
   let stats : Stats.job =
@@ -515,6 +643,9 @@ let run_map_only ?(attempt = 0) ctx spec input =
       attempts_failed = sim.Fault_injector.attempts_failed;
       speculative_launched = sim.Fault_injector.speculative_launched;
       attempts_killed = sim.Fault_injector.attempts_killed;
+      spilled_bytes = 0;
+      spill_passes = 0;
+      oom_kills = 0;
     }
   in
   record ctx stats
@@ -522,10 +653,10 @@ let run_map_only ?(attempt = 0) ctx spec input =
       [
         ("startup", breakdown.startup_s, []);
         ( "map-read",
-          retry *. (mb input_bytes /. throughput *. mfactor),
+          mb input_bytes /. throughput *. mfactor,
           [ ("input_records", Json.Int input_records) ] );
         ( "map-write",
-          retry *. (mb output_bytes /. throughput *. mfactor),
+          mb output_bytes /. throughput *. mfactor,
           [ ("output_records", Json.Int output_records) ] );
       ]
     ~attempt_spans:

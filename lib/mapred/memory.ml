@@ -1,0 +1,115 @@
+type config = {
+  task_heap_bytes : int;
+  sort_buffer_bytes : int;
+  spill_threshold : float;
+}
+
+let default =
+  {
+    task_heap_bytes = 1024 * 1024 * 1024;
+    sort_buffer_bytes = 256 * 1024 * 1024;
+    spill_threshold = 0.8;
+  }
+
+let merge_factor = 10
+
+let create cfg =
+  if cfg.task_heap_bytes < 1 then
+    invalid_arg "Memory.create: task_heap_bytes must be >= 1";
+  if cfg.sort_buffer_bytes < 1 then
+    invalid_arg "Memory.create: sort_buffer_bytes must be >= 1";
+  if cfg.spill_threshold <= 0.0 || cfg.spill_threshold > 1.0 then
+    invalid_arg "Memory.create: spill_threshold must be in (0, 1]";
+  cfg
+
+let spill_budget cfg =
+  max 1
+    (int_of_float (cfg.spill_threshold *. float_of_int cfg.sort_buffer_bytes))
+
+let spill_passes ~budget_bytes ~data_bytes =
+  let budget = max 1 budget_bytes in
+  if data_bytes <= budget then 0
+  else
+    (* External sort: the buffer fills [runs] times producing sorted runs
+       on local disk, then [merge_factor]-way merge passes reduce them to
+       one — each pass re-reads and re-writes the whole dataset. *)
+    let runs = (data_bytes + budget - 1) / budget in
+    let rec merge passes runs =
+      if runs <= 1 then passes
+      else merge (passes + 1) ((runs + merge_factor - 1) / merge_factor)
+    in
+    merge 0 runs
+
+let oom_attempts ~max_attempts = min 2 (max 0 (max_attempts - 1))
+
+(* --- CLI spec parsing --------------------------------------------------- *)
+
+let parse_bytes key v =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "--mem: %s expects a size (bytes, or with a k/m/g suffix), got %S" key
+         v)
+  in
+  let n = String.length v in
+  if n = 0 then fail ()
+  else
+    let unit_, digits =
+      match Char.lowercase_ascii v.[n - 1] with
+      | 'k' -> (1024, String.sub v 0 (n - 1))
+      | 'm' -> (1024 * 1024, String.sub v 0 (n - 1))
+      | 'g' -> (1024 * 1024 * 1024, String.sub v 0 (n - 1))
+      | _ -> (1, v)
+    in
+    match int_of_string_opt digits with
+    | Some i when i >= 0 -> Ok (i * unit_)
+    | _ -> fail ()
+
+let parse_spec s =
+  let ( let* ) = Result.bind in
+  let parse_float key v =
+    match float_of_string_opt v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "--mem: %s expects a number, got %S" key v)
+  in
+  let parse_pair cfg pair =
+    match String.index_opt pair '=' with
+    | None -> Error (Printf.sprintf "--mem: expected key=value, got %S" pair)
+    | Some i -> (
+      let key = String.sub pair 0 i in
+      let v = String.sub pair (i + 1) (String.length pair - i - 1) in
+      match key with
+      | "heap" ->
+        let* task_heap_bytes = parse_bytes key v in
+        Ok { cfg with task_heap_bytes }
+      | "sort-buffer" ->
+        let* sort_buffer_bytes = parse_bytes key v in
+        Ok { cfg with sort_buffer_bytes }
+      | "spill-threshold" ->
+        let* spill_threshold = parse_float key v in
+        Ok { cfg with spill_threshold }
+      | _ -> Error (Printf.sprintf "--mem: unknown key %S" key))
+  in
+  let* cfg =
+    List.fold_left
+      (fun acc pair ->
+        let* cfg = acc in
+        if pair = "" then Ok cfg else parse_pair cfg pair)
+      (Ok default)
+      (String.split_on_char ',' s)
+  in
+  match create cfg with
+  | cfg -> Ok cfg
+  | exception Invalid_argument msg -> Error msg
+
+let pp_bytes ppf b =
+  if b >= 1024 * 1024 * 1024 && b mod (1024 * 1024 * 1024) = 0 then
+    Fmt.pf ppf "%dg" (b / (1024 * 1024 * 1024))
+  else if b >= 1024 * 1024 && b mod (1024 * 1024) = 0 then
+    Fmt.pf ppf "%dm" (b / (1024 * 1024))
+  else if b >= 1024 && b mod 1024 = 0 then Fmt.pf ppf "%dk" (b / 1024)
+  else Fmt.pf ppf "%d" b
+
+let pp ppf cfg =
+  Fmt.pf ppf "mem(heap=%a sort-buffer=%a spill-threshold=%g)" pp_bytes
+    cfg.task_heap_bytes pp_bytes cfg.sort_buffer_bytes cfg.spill_threshold

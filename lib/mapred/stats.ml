@@ -6,10 +6,18 @@ type breakdown = {
   shuffle_s : float;
   sort_s : float;
   reduce_s : float;
+  spill_s : float;
 }
 
 let breakdown_zero =
-  { startup_s = 0.0; map_s = 0.0; shuffle_s = 0.0; sort_s = 0.0; reduce_s = 0.0 }
+  {
+    startup_s = 0.0;
+    map_s = 0.0;
+    shuffle_s = 0.0;
+    sort_s = 0.0;
+    reduce_s = 0.0;
+    spill_s = 0.0;
+  }
 
 let breakdown_add a b =
   {
@@ -18,10 +26,11 @@ let breakdown_add a b =
     shuffle_s = a.shuffle_s +. b.shuffle_s;
     sort_s = a.sort_s +. b.sort_s;
     reduce_s = a.reduce_s +. b.reduce_s;
+    spill_s = a.spill_s +. b.spill_s;
   }
 
 let breakdown_total_s b =
-  b.startup_s +. b.map_s +. b.shuffle_s +. b.sort_s +. b.reduce_s
+  b.startup_s +. b.map_s +. b.shuffle_s +. b.sort_s +. b.reduce_s +. b.spill_s
 
 type job = {
   name : string;
@@ -42,6 +51,9 @@ type job = {
   attempts_failed : int;
   speculative_launched : int;
   attempts_killed : int;
+  spilled_bytes : int;
+  spill_passes : int;
+  oom_kills : int;
 }
 
 type t = { jobs : job list; lost_s : float }
@@ -65,6 +77,9 @@ let total_output_bytes = sum (fun j -> j.output_bytes)
 let total_attempts_failed = sum (fun j -> j.attempts_failed)
 let total_speculative_launched = sum (fun j -> j.speculative_launched)
 let total_attempts_killed = sum (fun j -> j.attempts_killed)
+let total_spilled_bytes = sum (fun j -> j.spilled_bytes)
+let total_spill_passes = sum (fun j -> j.spill_passes)
+let total_oom_kills = sum (fun j -> j.oom_kills)
 let lost_s t = t.lost_s
 
 let total_breakdown t =
@@ -84,6 +99,7 @@ let breakdown_to_json b =
       ("shuffle_s", Json.Float b.shuffle_s);
       ("sort_s", Json.Float b.sort_s);
       ("reduce_s", Json.Float b.reduce_s);
+      ("spill_s", Json.Float b.spill_s);
     ]
 
 let job_to_json j =
@@ -107,6 +123,9 @@ let job_to_json j =
       ("attempts_failed", Json.Int j.attempts_failed);
       ("speculative_launched", Json.Int j.speculative_launched);
       ("attempts_killed", Json.Int j.attempts_killed);
+      ("spilled_bytes", Json.Int j.spilled_bytes);
+      ("spill_passes", Json.Int j.spill_passes);
+      ("oom_kills", Json.Int j.oom_kills);
     ]
 
 let to_json t =
@@ -123,6 +142,9 @@ let to_json t =
       ("attempts_failed", Json.Int (total_attempts_failed t));
       ("speculative_launched", Json.Int (total_speculative_launched t));
       ("attempts_killed", Json.Int (total_attempts_killed t));
+      ("spilled_bytes", Json.Int (total_spilled_bytes t));
+      ("spill_passes", Json.Int (total_spill_passes t));
+      ("oom_kills", Json.Int (total_oom_kills t));
       ("phases", breakdown_to_json (total_breakdown t));
       ("jobs", Json.List (List.map job_to_json t.jobs));
     ]
@@ -133,7 +155,8 @@ let pp_kind ppf = function
 
 let pp_breakdown ppf b =
   Fmt.pf ppf "startup=%.1fs map=%.1fs shuffle=%.1fs sort=%.1fs reduce=%.1fs"
-    b.startup_s b.map_s b.shuffle_s b.sort_s b.reduce_s
+    b.startup_s b.map_s b.shuffle_s b.sort_s b.reduce_s;
+  if b.spill_s > 0.0 then Fmt.pf ppf " spill=%.1fs" b.spill_s
 
 let pp_job ppf j =
   Fmt.pf ppf "%a %-28s in=%8dB shuf=%8dB out=%8dB maps=%2d reds=%2d t=%6.1fs"

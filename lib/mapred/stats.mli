@@ -4,7 +4,8 @@ type job_kind = Map_reduce | Map_only
 
 (** Where a job's simulated time goes. All phase times include the
     failure-retry re-work, so
-    [startup_s + map_s + shuffle_s + sort_s + reduce_s = est_time_s]
+    [startup_s + map_s + shuffle_s + sort_s + reduce_s + spill_s
+    = est_time_s]
     (up to float rounding). Map-only jobs charge all their I/O to
     [map_s]. *)
 type breakdown = {
@@ -13,6 +14,10 @@ type breakdown = {
   shuffle_s : float;  (** network transfer of the shuffle *)
   sort_s : float;  (** merge sort of the shuffled pairs *)
   reduce_s : float;  (** reduce output write *)
+  spill_s : float;
+      (** memory-pressure surcharge: external-sort spill passes on the
+          map and reduce sides, plus attempts wasted to OOM kills; 0.0
+          under the default (generous) {!Memory.default} budget *)
 }
 
 val breakdown_zero : breakdown
@@ -42,6 +47,14 @@ type job = {
   attempts_failed : int;  (** injected task-attempt crashes, retried *)
   speculative_launched : int;  (** speculative duplicate attempts started *)
   attempts_killed : int;  (** attempts killed after losing the race *)
+  spilled_bytes : int;
+      (** bytes written to (and re-read from) local disk by external-sort
+          spill passes, summed over passes *)
+  spill_passes : int;  (** total extra merge passes across all tasks *)
+  oom_kills : int;
+      (** task attempts killed for exceeding the container heap; each is
+          retried and the task eventually reruns with its combiner
+          disabled (degraded but completing) *)
 }
 
 type t = {
@@ -69,6 +82,9 @@ val total_output_bytes : t -> int
 val total_attempts_failed : t -> int
 val total_speculative_launched : t -> int
 val total_attempts_killed : t -> int
+val total_spilled_bytes : t -> int
+val total_spill_passes : t -> int
+val total_oom_kills : t -> int
 
 (** Time charged to aborted job submissions (see {!type:t}). *)
 val lost_s : t -> float

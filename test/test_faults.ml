@@ -191,22 +191,19 @@ let test_disabled_faults_identical_times () =
   check_bool "breakdown bit-identical" true
     (s_plain.Stats.breakdown = s_cfg.Stats.breakdown)
 
-let test_legacy_failure_rate_shim () =
-  (* The deprecated Cluster.task_failure_rate still applies its flat
-     multiplier when no injector is active... *)
-  let flaky = { slow with Cluster.task_failure_rate = 0.3 } in
-  let _, s_legacy = Job.run (ctx ~cluster:flaky ()) wordcount lines in
+let test_failure_rate_migration () =
+  (* The deprecated Cluster.task_failure_rate flat multiplier is gone;
+     its replacement — an injector with task_fail_p — prices re-work the
+     way the shim used to, on top of the same healthy baseline. *)
+  let flaky_cfg =
+    { Fi.default with Fi.seed = 3; task_fail_p = 0.3; max_attempts = 100 }
+  in
+  let _, s_flaky = Job.run (ctx ~cluster:slow ~faults:flaky_cfg ()) wordcount lines in
   let _, s_clean = Job.run (ctx ~cluster:slow ()) wordcount lines in
-  check_bool "legacy multiplier still prices re-work" true
-    (s_legacy.Stats.est_time_s > s_clean.Stats.est_time_s);
-  (* ... but an active injector replaces it: the injected run's time does
-     not also get the flat multiplier. *)
-  let c_inj = ctx ~cluster:flaky ~faults:(faulty_cfg 5) () in
-  let c_ref = ctx ~cluster:slow ~faults:(faulty_cfg 5) () in
-  let _, s_inj = Job.run c_inj wordcount lines in
-  let _, s_ref = Job.run c_ref wordcount lines in
-  check_bool "injector supersedes the flat multiplier" true
-    (s_inj.Stats.est_time_s = s_ref.Stats.est_time_s)
+  check_bool "task-fail prices re-work" true
+    (s_flaky.Stats.est_time_s > s_clean.Stats.est_time_s);
+  check_bool "attempts_failed counted" true
+    (s_flaky.Stats.attempts_failed > 0)
 
 let exhausting_cfg = { Fi.default with Fi.seed = 1; task_fail_p = 0.9; max_attempts = 1 }
 
@@ -333,8 +330,8 @@ let suite =
     Alcotest.test_case "transparency and cost" `Quick test_transparency_and_cost;
     Alcotest.test_case "disabled faults identical times" `Quick
       test_disabled_faults_identical_times;
-    Alcotest.test_case "legacy failure-rate shim" `Quick
-      test_legacy_failure_rate_shim;
+    Alcotest.test_case "failure-rate migration" `Quick
+      test_failure_rate_migration;
     Alcotest.test_case "exhaustion raises Job_failed" `Quick
       test_exhaustion_raises_job_failed;
     Alcotest.test_case "workflow abort" `Quick test_workflow_abort;

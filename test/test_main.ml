@@ -20,5 +20,6 @@ let () =
       ("harness", Test_harness.suite);
       ("properties", Test_props.suite);
       ("faults", Test_faults.suite);
+      ("memory", Test_memory.suite);
       ("analysis", Test_analysis.suite);
     ]

@@ -145,12 +145,18 @@ let test_workflow_accumulates () =
   check_bool "est time positive" true (Stats.est_time_s stats > 0.0)
 
 let test_failure_injection () =
+  let module Fi = Rapida_mapred.Fault_injector in
   let spec = wordcount ~with_combiner:false in
   let input = List.init 100 (fun i -> Printf.sprintf "alpha beta %d" i) in
   let healthy = { Cluster.default with disk_mb_per_s = 0.001 } in
-  let flaky = { healthy with task_failure_rate = 0.3 } in
+  let flaky =
+    Fi.create
+      { Fi.default with Fi.seed = 7; task_fail_p = 0.3; max_attempts = 100 }
+  in
   let out_h, s_h = Job.run (ctx healthy) spec input in
-  let out_f, s_f = Job.run (ctx flaky) spec input in
+  let out_f, s_f =
+    Job.run (Exec_ctx.create ~cluster:healthy ~faults:flaky ()) spec input
+  in
   Alcotest.(check (list (pair string int)))
     "failures never change results"
     (List.sort compare out_h) (List.sort compare out_f);

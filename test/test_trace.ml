@@ -116,8 +116,10 @@ let test_phase_sum_invariant () =
   let _, mo = Job.run_map_only ctx format_spec [ ("a", 1); ("b", 2) ] in
   check_bool "map-only phases sum to the estimate" true (breakdown_matches mo);
   (* And with failure retries in play. *)
-  let flaky = { Cluster.default with task_failure_rate = 0.25 } in
-  let ctx = Exec_ctx.create ~cluster:flaky () in
+  let module Fi = Rapida_mapred.Fault_injector in
+  let flaky = Fi.create { Fi.default with Fi.seed = 5; task_fail_p = 0.25 } in
+  let slow = { Cluster.default with disk_mb_per_s = 0.001 } in
+  let ctx = Exec_ctx.create ~cluster:slow ~faults:flaky () in
   let _, mrf = Job.run ctx (wordcount ~with_combiner:false) lines in
   check_bool "invariant survives retry re-work" true (breakdown_matches mrf)
 
@@ -304,15 +306,19 @@ let prop_breakdown_sums =
            (string_size ~gen:(char_range 'a' 'd') (1 -- 5)))
         (8 -- 4096) (0 -- 3))
     (fun (words, block, fail_tenths) ->
-      let cluster =
-        {
-          Cluster.default with
-          block_size_bytes = block;
-          task_failure_rate = float_of_int fail_tenths /. 10.0;
-        }
+      let module Fi = Rapida_mapred.Fault_injector in
+      let cluster = { Cluster.default with block_size_bytes = block } in
+      let faults =
+        Fi.create
+          {
+            Fi.default with
+            Fi.seed = block;
+            task_fail_p = float_of_int fail_tenths /. 10.0;
+            max_attempts = 1000;
+          }
       in
       let lines = List.map (fun w -> w ^ " " ^ w) words in
-      let ctx = Exec_ctx.create ~cluster () in
+      let ctx = Exec_ctx.create ~cluster ~faults () in
       let _, mr = Job.run ctx (wordcount ~with_combiner:true) lines in
       let _, mo =
         Job.run_map_only ctx format_spec
