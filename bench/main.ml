@@ -14,6 +14,9 @@
      memory  - memory-budget degradation: simulated time, spills, OOM
                retries, and map-join fallbacks as the per-task heap
                shrinks, for all four engines
+     recovery- checkpoint-recovery sweep: fault rate crossed with
+               checkpoint policy, showing completion, replay cost, and
+               checkpoint overhead for all four engines
      wall    - Bechamel wall-clock microbenchmarks of the in-memory
                engines on representative queries
 
@@ -22,14 +25,16 @@
    who wins, by what factor, and where the crossovers are. Usage:
 
      dune exec bench/main.exe [--scale N] [--trace DIR] [--faults SPEC]
-                              [--mem SPEC] [section ...]  (default: all)
+                              [--mem SPEC] [--checkpoint SPEC]
+                              [section ...]  (default: all)
 
    With --trace DIR, each engine run writes its Chrome trace-event file
    to DIR/<section>-<query>-<engine>.json. With --faults SPEC (same
    key=value spec as `rapida query --faults`), every section's engine
    runs execute under that fault configuration; --mem SPEC (same spec as
    `rapida query --mem`) likewise bounds the per-task memory of every
-   section's simulated cluster. *)
+   section's simulated cluster, and --checkpoint SPEC (same spec as
+   `rapida query --checkpoint`) checkpoints every section's workflows. *)
 
 module Engine = Rapida_core.Engine
 module Plan_util = Rapida_core.Plan_util
@@ -39,12 +44,14 @@ module Report = Rapida_harness.Report
 
 module Fault_injector = Rapida_mapred.Fault_injector
 module Memory = Rapida_mapred.Memory
+module Checkpoint = Rapida_mapred.Checkpoint
 
 let scale = ref 1
 let sections = ref []
 let trace_dir = ref None
 let fault_cfg = ref Fault_injector.default
 let mem_cfg = ref Memory.default
+let checkpoint_cfg = ref Checkpoint.default
 
 let () =
   let rec parse = function
@@ -69,6 +76,13 @@ let () =
         prerr_endline ("error: " ^ msg);
         exit 2);
       parse rest
+    | "--checkpoint" :: spec :: rest ->
+      (match Checkpoint.parse_spec spec with
+      | Ok cfg -> checkpoint_cfg := cfg
+      | Error msg ->
+        prerr_endline ("error: " ^ msg);
+        exit 2);
+      parse rest
     | s :: rest ->
       sections := s :: !sections;
       parse rest
@@ -88,7 +102,8 @@ let options =
       (Rapida_mapred.Cluster.with_memory
          (Rapida_mapred.Cluster.scaled_down ~factor:1.0e5)
          !mem_cfg)
-    ~map_join_threshold:(24 * 1024) ~faults:!fault_cfg ()
+    ~map_join_threshold:(24 * 1024) ~faults:!fault_cfg
+    ~checkpoint:!checkpoint_cfg ()
 
 let all_engines = Engine.all_kinds
 let table3_engines = Engine.[ Hive_naive; Rapid_analytics ]
@@ -287,6 +302,22 @@ let section_memory () =
       Fmt.pr "%a" (Report.pp_memory ~engines:all_engines) sweep)
     [ (bsbm_small, "MG1"); (chem, "G5") ]
 
+(* Checkpoint-recovery sweep: fault rate crossed with checkpoint policy
+   under deliberately harsh retry settings (two task attempts, no
+   whole-job resubmissions), so the Never policy can abort while any
+   active policy recovers by replaying only the jobs since the last
+   checkpoint. Shows the checkpoint-write overhead at rate 0 and the
+   replay savings versus whole-plan resubmission as the rate rises. *)
+let section_recovery () =
+  List.iter
+    (fun (input, id) ->
+      let sweep =
+        Experiment.recovery_sweep options (Lazy.force input)
+          (Catalog.find_exn id)
+      in
+      Fmt.pr "%a" (Report.pp_recovery ~engines:all_engines) sweep)
+    [ (bsbm_small, "MG1") ]
+
 (* Wall-clock microbenchmarks of the real in-memory executions, per
    engine, on representative queries from each workload. *)
 let section_wall () =
@@ -343,4 +374,5 @@ let () =
   if want "ablation" then section_ablation ();
   if want "faults" then section_faults ();
   if want "memory" then section_memory ();
+  if want "recovery" then section_recovery ();
   if want "wall" then section_wall ()

@@ -22,7 +22,9 @@ module Trace = Rapida_mapred.Trace
 module Json = Rapida_mapred.Json
 module Fault_injector = Rapida_mapred.Fault_injector
 module Memory = Rapida_mapred.Memory
+module Checkpoint = Rapida_mapred.Checkpoint
 module Cluster = Rapida_mapred.Cluster
+module Ntriples = Rapida_rdf.Ntriples
 module Graph = Rapida_rdf.Graph
 module Rterm = Rapida_rdf.Term
 
@@ -50,10 +52,19 @@ let verbose_arg =
   Arg.(value & flag
        & info [ "v"; "verbose" ] ~doc:"Log every simulated MapReduce job.")
 
-let load_graph path =
-  match Rapida_rdf.Ntriples.read_file path with
-  | Ok triples -> Ok (Graph.of_list triples)
-  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+(* Quarantined lines go to stderr so piped results stay clean. *)
+let load_graph ?(mode = Ntriples.Strict) path =
+  match Ntriples.read_file_mode mode path with
+  | Ok { Ntriples.triples; quarantined } ->
+    (match quarantined with
+    | [] -> ()
+    | qs ->
+      Fmt.epr "dirty input: quarantined %d malformed line(s) in %s@."
+        (List.length qs) path;
+      List.iter (fun q -> Fmt.epr "  %a@." Ntriples.pp_quarantined q) qs);
+    Ok (Graph.of_list triples)
+  | Error e ->
+    Error (Printf.sprintf "%s: %s" path (Ntriples.string_of_error e))
 
 let read_file path =
   match open_in path with
@@ -240,7 +251,9 @@ let query_cmd =
              ~doc:"Inject faults into the simulated cluster: comma-separated \
                    key=value pairs over seed, task-fail, straggler, slowdown, \
                    max-attempts, speculation (on|off), job-retries, backoff, \
-                   and phase (map|reduce|all), e.g. \
+                   phase (map|reduce|all), poison (per-record bad-record \
+                   probability), and skip-max (bad records tolerated per job \
+                   by Hadoop-style skip mode), e.g. \
                    seed=7,task-fail=0.05,straggler=0.1. Fault tolerance is \
                    transparent: unless a task exhausts its attempts, results \
                    are identical to a fault-free run and only the simulated \
@@ -257,8 +270,31 @@ let query_cmd =
                    map-join fallbacks into the simulated time; results are \
                    byte-identical at every budget.")
   in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"SPEC"
+             ~doc:"Checkpoint workflow outputs in the simulated cluster: \
+                   comma-separated key=value pairs over every=K (checkpoint \
+                   every K jobs), adaptive=BYTES (checkpoint once that many \
+                   output bytes accumulate; k/m/g suffixes), and \
+                   replication=N (HDFS copies per checkpoint, default 3), \
+                   e.g. every=1 or adaptive=64m,replication=2. With any \
+                   policy active a workflow that exhausts a job's retries \
+                   replays only the jobs since the last checkpoint instead \
+                   of aborting; checkpoint writes and replays are priced \
+                   into the simulated time and results stay byte-identical.")
+  in
+  let dirty_input =
+    Arg.(value & opt (some string) None
+         & info [ "dirty-input" ] ~docv:"MODE"
+             ~doc:"How to treat malformed N-Triples lines in the dataset: \
+                   strict (default: fail the load), skip[=N] (quarantine up \
+                   to N malformed lines, default 100, then fail), or \
+                   quarantine (quarantine every malformed line). Quarantined \
+                   lines are reported on stderr with line and column.")
+  in
   let run (data, query_file, catalog_id) engine verify verify_plans show_stats
-      trace_file json faults_spec mem_spec verbose =
+      trace_file json faults_spec mem_spec checkpoint_spec dirty_spec verbose =
     setup_logs verbose;
     let ( let* ) = Result.bind in
     let usage r = Result.map_error (fun msg -> (2, msg)) r in
@@ -276,14 +312,27 @@ let query_cmd =
           | None -> Ok Memory.default
           | Some spec -> Memory.parse_spec spec)
       in
+      let* checkpoint_cfg =
+        usage
+          (match checkpoint_spec with
+          | None -> Ok Checkpoint.default
+          | Some spec -> Checkpoint.parse_spec spec)
+      in
+      let* dirty_mode =
+        usage
+          (match dirty_spec with
+          | None -> Ok Ntriples.Strict
+          | Some spec -> Ntriples.parse_mode spec)
+      in
       let cluster =
         Cluster.with_memory Plan_util.default_options.Plan_util.cluster mem_cfg
       in
       let ctx =
         Plan_util.context
-          (Plan_util.make ~cluster ~faults:fault_cfg ~verify_plans ())
+          (Plan_util.make ~cluster ~faults:fault_cfg
+             ~checkpoint:checkpoint_cfg ~verify_plans ())
       in
-      let* graph = usage (load_graph data) in
+      let* graph = usage (load_graph ~mode:dirty_mode data) in
       let* src = usage (query_text query_file catalog_id) in
       let* query = usage (Rapida_sparql.Analytical.parse src) in
       let input = Engine.input_of_graph graph in
@@ -346,7 +395,7 @@ let query_cmd =
     Term.(const run
           $ query_source_args (fun d q c -> (d, q, c))
           $ engine $ verify $ verify_plans $ show_stats $ trace_file $ json
-          $ faults $ mem $ verbose_arg)
+          $ faults $ mem $ checkpoint $ dirty_input $ verbose_arg)
 
 (* --- lint --------------------------------------------------------------- *)
 

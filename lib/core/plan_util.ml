@@ -17,6 +17,7 @@ type options = {
   ntga_combiner : bool;
   ntga_filter_pushdown : bool;
   faults : Rapida_mapred.Fault_injector.config;
+  checkpoint : Rapida_mapred.Checkpoint.config;
   verify_plans : bool;
 }
 
@@ -28,12 +29,13 @@ let default_options =
     ntga_combiner = true;
     ntga_filter_pushdown = true;
     faults = Rapida_mapred.Fault_injector.default;
+    checkpoint = Rapida_mapred.Checkpoint.default;
     verify_plans = false;
   }
 
 let make ?(base = default_options) ?cluster ?map_join_threshold
     ?hive_compression ?ntga_combiner ?ntga_filter_pushdown ?faults
-    ?verify_plans () =
+    ?checkpoint ?verify_plans () =
   {
     cluster = Option.value ~default:base.cluster cluster;
     map_join_threshold =
@@ -44,6 +46,7 @@ let make ?(base = default_options) ?cluster ?map_join_threshold
     ntga_filter_pushdown =
       Option.value ~default:base.ntga_filter_pushdown ntga_filter_pushdown;
     faults = Option.value ~default:base.faults faults;
+    checkpoint = Option.value ~default:base.checkpoint checkpoint;
     verify_plans = Option.value ~default:base.verify_plans verify_plans;
   }
 
@@ -57,7 +60,7 @@ let context options =
         ntga_filter_pushdown = options.ntga_filter_pushdown;
       }
     ~faults:(Rapida_mapred.Fault_injector.create options.faults)
-    ~verify_plans:options.verify_plans ()
+    ~checkpoint:options.checkpoint ~verify_plans:options.verify_plans ()
 
 let hive_ctx ctx =
   Exec_ctx.with_cluster ctx

@@ -34,6 +34,10 @@ type options = {
       (** fault-injection knobs (seed, crash/straggler probabilities,
           retry policy); the all-zero {!Rapida_mapred.Fault_injector.default}
           leaves the cost model untouched. *)
+  checkpoint : Rapida_mapred.Checkpoint.config;
+      (** workflow checkpoint/recovery policy; the default
+          ({!Rapida_mapred.Checkpoint.default}, [Never]) leaves the cost
+          model untouched and reserves {!Workflow.Aborted} behaviour. *)
   verify_plans : bool;
       (** debug mode: after every engine run, re-check the optimizer
           invariants and result schema with the registered static plan
@@ -55,6 +59,7 @@ val make :
   ?ntga_combiner:bool ->
   ?ntga_filter_pushdown:bool ->
   ?faults:Rapida_mapred.Fault_injector.config ->
+  ?checkpoint:Rapida_mapred.Checkpoint.config ->
   ?verify_plans:bool ->
   unit -> options
 

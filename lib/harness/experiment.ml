@@ -293,3 +293,139 @@ let memory_point sweep kind heap =
   List.find_opt
     (fun p -> p.m_engine = kind && p.m_heap_bytes = heap)
     sweep.m_points
+
+(* --- Checkpoint-recovery sweep ------------------------------------------ *)
+
+module Checkpoint = Rapida_mapred.Checkpoint
+
+type recovery_point = {
+  r_engine : Engine.kind;
+  r_rate : float;
+  r_policy : Checkpoint.policy;
+  r_completed : bool;
+  r_time_s : float;
+  r_replayed_s : float;
+  r_saved_s : float;
+  r_recoveries : int;
+  r_checkpoints : int;
+  r_checkpoint_s : float;
+  r_transparent : bool;
+}
+
+type recovery = {
+  r_query : Catalog.entry;
+  r_seed : int;
+  r_rates : float list;
+  r_policies : Checkpoint.policy list;
+  r_baseline : (Engine.kind * float) list;
+  r_points : recovery_point list;
+}
+
+let recovery_sweep ?(engines = Engine.all_kinds) ?(seed = 7)
+    ?(rates = [ 0.0; 0.1; 0.3 ])
+    ?(policies =
+      [
+        Checkpoint.Never;
+        Checkpoint.Every_k 1;
+        Checkpoint.Every_k 2;
+        Checkpoint.Adaptive (16 * 1024);
+      ]) options input entry =
+  let q = Catalog.parse entry in
+  (* Harsh retry settings on purpose: no whole-job resubmission budget
+     and only two task attempts, so a [Never] workflow can actually
+     abort and an active policy has recoveries to price. *)
+  let cfg_of rate =
+    {
+      Fault_injector.default with
+      Fault_injector.seed;
+      task_fail_p = rate;
+      max_attempts = 2;
+      job_retries = 0;
+    }
+  in
+  let run_one kind rate policy =
+    let checkpoint = { Checkpoint.default with Checkpoint.policy } in
+    let ctx =
+      Plan_util.context
+        (Plan_util.make ~base:options ~faults:(cfg_of rate) ~checkpoint ())
+    in
+    (ctx, Engine.run kind ctx input q)
+  in
+  let baseline =
+    List.map
+      (fun kind ->
+        match run_one kind 0.0 Checkpoint.Never with
+        | _, Ok { table; stats; _ } -> (kind, table, Stats.est_time_s stats)
+        | _, Error msg ->
+          invalid_arg
+            (Printf.sprintf "recovery_sweep: fault-free %s failed: %s"
+               (Engine.kind_name kind) msg))
+      engines
+  in
+  let points =
+    List.concat_map
+      (fun rate ->
+        List.concat_map
+          (fun (kind, base_table, _) ->
+            (* Reference for savings: recovery active but checkpoints
+               never due (unreachable adaptive budget), so every
+               recovery replays the whole completed prefix — the cost of
+               naive whole-plan resubmission. *)
+            let whole_replayed =
+              match run_one kind rate (Checkpoint.Adaptive max_int) with
+              | _, Ok { stats; _ } -> Stats.replayed_s stats
+              | _, Error _ -> 0.0
+            in
+            List.map
+              (fun policy ->
+                match run_one kind rate policy with
+                | ctx, Ok { table; stats; _ } ->
+                  {
+                    r_engine = kind;
+                    r_rate = rate;
+                    r_policy = policy;
+                    r_completed = true;
+                    r_time_s = Stats.est_time_s stats;
+                    r_replayed_s = Stats.replayed_s stats;
+                    r_saved_s =
+                      (if policy = Checkpoint.Never then 0.0
+                       else whole_replayed -. Stats.replayed_s stats);
+                    r_recoveries =
+                      Metrics.get
+                        (Rapida_mapred.Exec_ctx.metrics ctx)
+                        "mr.recoveries";
+                    r_checkpoints = Stats.checkpoints_written stats;
+                    r_checkpoint_s = Stats.checkpoint_s stats;
+                    r_transparent = Relops.same_results base_table table;
+                  }
+                | _, Error _ ->
+                  {
+                    r_engine = kind;
+                    r_rate = rate;
+                    r_policy = policy;
+                    r_completed = false;
+                    r_time_s = 0.0;
+                    r_replayed_s = 0.0;
+                    r_saved_s = 0.0;
+                    r_recoveries = 0;
+                    r_checkpoints = 0;
+                    r_checkpoint_s = 0.0;
+                    r_transparent = false;
+                  })
+              policies)
+          baseline)
+      rates
+  in
+  {
+    r_query = entry;
+    r_seed = seed;
+    r_rates = rates;
+    r_policies = policies;
+    r_baseline = List.map (fun (k, _, s) -> (k, s)) baseline;
+    r_points = points;
+  }
+
+let recovery_point sweep kind rate policy =
+  List.find_opt
+    (fun p -> p.r_engine = kind && p.r_rate = rate && p.r_policy = policy)
+    sweep.r_points

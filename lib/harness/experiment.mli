@@ -139,3 +139,57 @@ val memory_sweep :
 (** [memory_point sweep kind heap] finds one sweep point. *)
 val memory_point :
   memory_sweep -> Engine.kind -> int -> memory_point option
+
+(** One engine at one fault rate under one checkpoint policy in a
+    {!recovery_sweep}. *)
+type recovery_point = {
+  r_engine : Engine.kind;
+  r_rate : float;  (** per-attempt crash probability *)
+  r_policy : Rapida_mapred.Checkpoint.policy;
+  r_completed : bool;  (** [false] iff the workflow aborted *)
+  r_time_s : float;  (** simulated time, 0 when aborted *)
+  r_replayed_s : float;  (** simulated time re-charged by recoveries *)
+  r_saved_s : float;
+      (** replay time avoided versus whole-plan resubmission (the
+          recovery-active, never-due reference policy); 0 for [Never] *)
+  r_recoveries : int;  (** checkpoint-restart events *)
+  r_checkpoints : int;  (** checkpoints written *)
+  r_checkpoint_s : float;  (** simulated time spent writing them *)
+  r_transparent : bool;
+      (** result identical to the engine's fault-free result *)
+}
+
+type recovery = {
+  r_query : Catalog.entry;
+  r_seed : int;
+  r_rates : float list;
+  r_policies : Rapida_mapred.Checkpoint.policy list;
+  r_baseline : (Engine.kind * float) list;  (** fault-free times *)
+  r_points : recovery_point list;  (** rate-major, engine, policy order *)
+}
+
+(** [recovery_sweep ?engines ?seed ?rates ?policies options input entry]
+    crosses fault rates with checkpoint policies over one catalog query.
+    Retries are deliberately harsh (two task attempts, no whole-job
+    resubmissions) so that [Never] can abort while any active policy
+    recovers; each point records completion, replay/checkpoint pricing,
+    the time saved versus whole-plan resubmission, and whether the
+    result stayed byte-identical to the fault-free run. Rates default to
+    [0, 0.1, 0.3]; policies to [Never], [Every_k 1], [Every_k 2], and
+    [Adaptive 16 KiB].
+
+    @raise Invalid_argument when a fault-free run fails. *)
+val recovery_sweep :
+  ?engines:Engine.kind list ->
+  ?seed:int ->
+  ?rates:float list ->
+  ?policies:Rapida_mapred.Checkpoint.policy list ->
+  Rapida_core.Plan_util.options ->
+  Engine.input ->
+  Catalog.entry ->
+  recovery
+
+(** [recovery_point sweep kind rate policy] finds one sweep point. *)
+val recovery_point :
+  recovery -> Engine.kind -> float -> Rapida_mapred.Checkpoint.policy ->
+  recovery_point option

@@ -202,6 +202,51 @@ let pp_memory ~engines ppf (sweep : Experiment.memory_sweep) =
      !o = OOM retries, +r = map-join fell back to repartition, * = result \
      diverged)@."
 
+let pp_recovery ~engines ppf (sweep : Experiment.recovery) =
+  let module Checkpoint = Rapida_mapred.Checkpoint in
+  Fmt.pf ppf "@.== checkpoint recovery: %s (seed %d) ==@."
+    sweep.Experiment.r_query.Catalog.id sweep.Experiment.r_seed;
+  Fmt.pf ppf "%-20s" "fault/policy";
+  List.iter (fun k -> Fmt.pf ppf " %22s" (engine_header k)) engines;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun policy ->
+          Fmt.pf ppf "%-20s"
+            (Fmt.str "%g %a" rate Checkpoint.pp_policy policy);
+          List.iter
+            (fun k ->
+              let cell =
+                match Experiment.recovery_point sweep k rate policy with
+                | None -> "-"
+                | Some p ->
+                  if not p.Experiment.r_completed then "aborted"
+                  else
+                    String.concat ""
+                      [
+                        Printf.sprintf "%.1fs" p.Experiment.r_time_s;
+                        (if p.Experiment.r_recoveries > 0 then
+                           Printf.sprintf " r%d/%.0fs"
+                             p.Experiment.r_recoveries
+                             p.Experiment.r_replayed_s
+                         else "");
+                        (if p.Experiment.r_checkpoints > 0 then
+                           Printf.sprintf " c%d" p.Experiment.r_checkpoints
+                         else "");
+                        (if p.Experiment.r_transparent then "" else "*");
+                      ]
+              in
+              Fmt.pf ppf " %22s" cell)
+            engines;
+          Fmt.pf ppf "@.")
+        sweep.Experiment.r_policies)
+    sweep.Experiment.r_rates;
+  Fmt.pf ppf
+    "(simulated seconds; rN/Ms = N recoveries replaying M s since the \
+     last checkpoint, cK = K checkpoints written, aborted = ran out of \
+     retries, * = result diverged)@."
+
 let pp_verification ppf runs =
   let total = List.length runs in
   let ok = List.length (List.filter Experiment.all_agreed runs) in

@@ -52,3 +52,13 @@ val speedup :
     (would-be-transparency-violating) diverged result. *)
 val pp_memory :
   engines:Engine.kind list -> Experiment.memory_sweep Fmt.t
+
+(** [pp_recovery ~engines sweep] renders a checkpoint-recovery sweep: a
+    row per fault-rate/policy pair, a column per engine showing
+    simulated seconds, [rN/Ms] when the workflow recovered N times by
+    replaying M simulated seconds since the last checkpoint, and [cK]
+    when K checkpoints were written. [aborted] marks a workflow that ran
+    out of retries (reachable only under the [Never] policy); a trailing
+    [*] marks a (would-be-transparency-violating) diverged result. *)
+val pp_recovery :
+  engines:Engine.kind list -> Experiment.recovery Fmt.t

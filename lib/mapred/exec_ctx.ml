@@ -17,6 +17,7 @@ type t = {
   cluster : Cluster.t;
   planner : planner;
   faults : Fault_injector.t;
+  checkpoint : Checkpoint.config;
   verify_plans : bool;
   metrics : Metrics.t;
   trace : Trace.t;
@@ -24,11 +25,12 @@ type t = {
 
 let create ?(cluster = Cluster.default) ?(planner = default_planner)
     ?(faults = Fault_injector.create Fault_injector.default)
-    ?(verify_plans = false) () =
+    ?(checkpoint = Checkpoint.default) ?(verify_plans = false) () =
   {
     cluster;
     planner;
     faults;
+    checkpoint = Checkpoint.create checkpoint;
     verify_plans;
     metrics = Metrics.create ();
     trace = Trace.create ();
@@ -37,6 +39,7 @@ let create ?(cluster = Cluster.default) ?(planner = default_planner)
 let cluster t = t.cluster
 let planner t = t.planner
 let faults t = t.faults
+let checkpoint t = t.checkpoint
 let verify_plans t = t.verify_plans
 let metrics t = t.metrics
 let trace t = t.trace

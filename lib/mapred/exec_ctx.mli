@@ -28,14 +28,18 @@ val default_planner : planner
 
 type t
 
-(** [create ?cluster ?planner ?faults ?verify_plans ()] is a fresh
-    context with empty metrics and trace. Defaults: {!Cluster.default},
-    {!default_planner}, an inactive {!Fault_injector.t} (healthy
-    cluster), and [verify_plans = false]. *)
+(** [create ?cluster ?planner ?faults ?checkpoint ?verify_plans ()] is a
+    fresh context with empty metrics and trace. Defaults:
+    {!Cluster.default}, {!default_planner}, an inactive
+    {!Fault_injector.t} (healthy cluster), {!Checkpoint.default} (no
+    checkpoints, no recovery), and [verify_plans = false].
+
+    @raise Invalid_argument on an invalid [checkpoint] config. *)
 val create :
   ?cluster:Cluster.t ->
   ?planner:planner ->
   ?faults:Fault_injector.t ->
+  ?checkpoint:Checkpoint.config ->
   ?verify_plans:bool ->
   unit ->
   t
@@ -46,6 +50,11 @@ val planner : t -> planner
 (** The fault injector every job run against this context consults for
     task-attempt crashes and stragglers. Inactive by default. *)
 val faults : t -> Fault_injector.t
+
+(** The checkpoint policy {!Workflow} runs under. {!Checkpoint.default}
+    ([Never]) by default — no checkpoints, no recovery, and a cost model
+    bit-identical to one without the recovery layer. *)
+val checkpoint : t -> Checkpoint.config
 
 (** Debug mode: when set, engines ask the registered static plan
     verifier (see [Rapida_core.Engine.set_plan_verifier]) to re-check

@@ -12,6 +12,8 @@ type config = {
   job_retries : int;
   retry_backoff_s : float;
   target : phase option;
+  poison_p : float;
+  skip_max_records : int;
 }
 
 let default =
@@ -25,6 +27,8 @@ let default =
     job_retries = 0;
     retry_backoff_s = 30.0;
     target = None;
+    poison_p = 0.0;
+    skip_max_records = 0;
   }
 
 type t = config
@@ -38,10 +42,15 @@ let create cfg =
     invalid_arg "Fault_injector.create: max_attempts must be >= 1";
   if cfg.straggler_slowdown < 1.0 then
     invalid_arg "Fault_injector.create: straggler_slowdown must be >= 1";
+  if cfg.poison_p < 0.0 || cfg.poison_p >= 1.0 then
+    invalid_arg "Fault_injector.create: poison_p must be in [0, 1)";
+  if cfg.skip_max_records < 0 then
+    invalid_arg "Fault_injector.create: skip_max_records must be >= 0";
   cfg
 
 let config t = t
-let active t = t.task_fail_p > 0.0 || t.straggler_p > 0.0
+let active t = t.task_fail_p > 0.0 || t.straggler_p > 0.0 || t.poison_p > 0.0
+let poison_active t = t.poison_p > 0.0
 
 (* splitmix64: one mixing step. Used as a hash, not a stream — every
    decision hashes its full coordinates so outcomes are independent of
@@ -77,6 +86,20 @@ let decision_hash t ~job ~job_attempt ~phase ~task ~attempt =
   let h = mix_int h task in
   mix_int h attempt
 
+(* A poison record's identity deliberately excludes [job_attempt] and
+   the per-task [attempt]: the same record crashes the task at the same
+   point on every retry of every resubmission — that is what makes it
+   poison, and why only skip mode (not retries) can get past it. The
+   coordinate 3 tags the poison decision domain, disjoint from the
+   phase coordinates (1 = map, 2 = reduce) used by attempt outcomes. *)
+let poisoned t ~job ~record =
+  t.poison_p > 0.0
+  &&
+  let h = mix_int 0L t.seed in
+  let h = hash_string h job in
+  let h = mix_int h 3 in
+  u01 (mix_int h record) < t.poison_p
+
 type outcome = Healthy | Crash of float | Straggle
 
 let targets t phase =
@@ -95,7 +118,12 @@ let attempt_outcome t ~job ~job_attempt ~phase ~task ~attempt =
     else if u01 (mix_int h 2) < t.straggler_p then Straggle
     else Healthy
 
-type attempt_fate = Crashed of float | Speculated | Straggled | Oom_killed
+type attempt_fate =
+  | Crashed of float
+  | Speculated
+  | Straggled
+  | Oom_killed
+  | Poisoned
 
 type attempt_event = {
   ev_task : int;
@@ -238,6 +266,12 @@ let parse_spec s =
         | "reduce" -> Ok { cfg with target = Some Reduce }
         | "all" -> Ok { cfg with target = None }
         | _ -> Error "--faults: phase expects map, reduce, or all")
+      | "poison" ->
+        let* poison_p = parse_float key v in
+        Ok { cfg with poison_p }
+      | "skip-max" ->
+        let* skip_max_records = parse_int key v in
+        Ok { cfg with skip_max_records }
       | _ -> Error (Printf.sprintf "--faults: unknown key %S" key))
   in
   let* cfg =
@@ -255,8 +289,10 @@ let parse_spec s =
 let pp ppf t =
   Fmt.pf ppf
     "faults(seed=%d task-fail=%g straggler=%g slowdown=%gx max-attempts=%d \
-     speculation=%s job-retries=%d backoff=%gs phase=%s)"
+     speculation=%s job-retries=%d backoff=%gs phase=%s poison=%g \
+     skip-max=%d)"
     t.seed t.task_fail_p t.straggler_p t.straggler_slowdown t.max_attempts
     (if t.speculation then "on" else "off")
     t.job_retries t.retry_backoff_s
     (match t.target with None -> "all" | Some p -> phase_name p)
+    t.poison_p t.skip_max_records

@@ -40,6 +40,15 @@ type config = {
       (** simulated delay before each whole-job resubmission *)
   target : phase option;
       (** restrict injected faults to one phase; [None] = both *)
+  poison_p : float;
+      (** per input-record poison probability: a poisoned record crashes
+          its map task at the same point on {e every} attempt, so
+          ordinary retries never help and {!Job} must enter skip mode
+          (see {!poisoned}) *)
+  skip_max_records : int;
+      (** skip-mode tolerance: records a job may skip before failing
+          anyway (Hadoop [SkipBadRecords] semantics; 0 = skip mode off,
+          the Hadoop default — a single poison record fails the job) *)
 }
 
 (** All probabilities zero — the healthy cluster. [max_attempts = 4],
@@ -55,6 +64,16 @@ val config : t -> config
 (** An injector with any non-zero fault probability. Inactive injectors
     leave the cost model byte-for-byte untouched. *)
 val active : t -> bool
+
+(** Whether poison records are being injected ([poison_p > 0]). *)
+val poison_active : t -> bool
+
+(** [poisoned t ~job ~record] decides whether global input record
+    [record] of [job] is poison. Deliberately independent of both
+    [job_attempt] and the per-task attempt number: poison is a property
+    of the {e record}, so it crashes every retry of every resubmission
+    identically — only skip-mode bisection gets past it. *)
+val poisoned : t -> job:string -> record:int -> bool
 
 type outcome =
   | Healthy
@@ -84,6 +103,10 @@ type attempt_fate =
       (** killed for exceeding the container heap (emitted by {!Job}'s
           memory model, not by {!attempt_outcome}: OOM is a deterministic
           consequence of the working-set estimate, not a random fate) *)
+  | Poisoned
+      (** crashed on a poison input record — a crash or bisection probe
+          from skip mode (emitted by {!Job}'s skip machinery, driven by
+          {!poisoned} rather than {!attempt_outcome}) *)
 
 type attempt_event = {
   ev_task : int;
@@ -127,8 +150,9 @@ val simulate_phase :
 (** [parse_spec s] reads a CLI fault spec: comma-separated [key=value]
     pairs over [seed], [task-fail], [straggler], [slowdown],
     [max-attempts], [speculation] ([on]/[off]), [job-retries],
-    [backoff], [phase] ([map]/[reduce]/[all]); unspecified keys keep
-    their {!default}. E.g. ["seed=7,task-fail=0.05,straggler=0.1"]. *)
+    [backoff], [phase] ([map]/[reduce]/[all]), [poison], [skip-max];
+    unspecified keys keep their {!default}.
+    E.g. ["seed=7,task-fail=0.05,straggler=0.1"]. *)
 val parse_spec : string -> (config, string) result
 
 val pp : t Fmt.t

@@ -23,6 +23,7 @@ type failure = {
   f_attempts : int;
   f_reason : string;
   f_elapsed_s : float;
+  f_deterministic : bool;
 }
 
 exception Job_failed of failure
@@ -85,6 +86,7 @@ let fate_label = function
   | Fault_injector.Speculated -> "speculated"
   | Fault_injector.Straggled -> "straggled"
   | Fault_injector.Oom_killed -> "oom"
+  | Fault_injector.Poisoned -> "poison"
 
 (* One span per non-healthy attempt, laid at the phase's start offset. *)
 let event_spans job phase ~phase_offset_s events =
@@ -122,6 +124,88 @@ let user_failure metrics inj ~job ~phase ~task ~elapsed_s exn =
          f_attempts = max_attempts;
          f_reason = Printexc.to_string exn;
          f_elapsed_s = elapsed_s;
+         f_deterministic = true;
+       })
+
+(* Hadoop bad-record skip mode (SkipBadRecords). A poison record crashes
+   its map task at the same point on every attempt, so after
+   [max_attempts] identical crashes the task reruns in skip mode,
+   bisecting its input range to isolate the record — each probe reruns
+   half the previous probe's work — then skips it and completes. All of
+   it is priced in slot-seconds on the map slots. The real computation
+   is untouched: an injected poison record is a simulated fate, exactly
+   like an injected crash, so skipping it never changes the answer. *)
+let simulate_skip inj ~job ~task_inputs ~per_task_slot_s =
+  let max_attempts = (Fault_injector.config inj).Fault_injector.max_attempts in
+  let events = ref [] in
+  let skipped = ref 0 in
+  let first_poisoned_task = ref None in
+  let base = ref 0 in
+  List.iteri
+    (fun task task_input ->
+      let len = List.length task_input in
+      List.iteri
+        (fun i _ ->
+          if Fault_injector.poisoned inj ~job ~record:(!base + i) then begin
+            if !first_poisoned_task = None then first_poisoned_task := Some task;
+            incr skipped;
+            (* The record's position in the task decides how much work
+               each crashed attempt completes before dying. *)
+            let frac = float_of_int (i + 1) /. float_of_int (max 1 len) in
+            for a = 1 to max_attempts do
+              events :=
+                {
+                  Fault_injector.ev_task = task;
+                  ev_attempt = a;
+                  ev_fate = Fault_injector.Poisoned;
+                  ev_wasted_s = frac *. per_task_slot_s;
+                }
+                :: !events
+            done;
+            let probe_s = ref (per_task_slot_s /. 2.0) in
+            let candidates = ref len in
+            let a = ref max_attempts in
+            while !candidates > 1 do
+              incr a;
+              events :=
+                {
+                  Fault_injector.ev_task = task;
+                  ev_attempt = !a;
+                  ev_fate = Fault_injector.Poisoned;
+                  ev_wasted_s = !probe_s;
+                }
+                :: !events;
+              probe_s := !probe_s /. 2.0;
+              candidates := (!candidates + 1) / 2
+            done
+          end)
+        task_input;
+      base := !base + len)
+    task_inputs;
+  (List.rev !events, !skipped, !first_poisoned_task)
+
+(* Poison records beyond the skip tolerance: deterministic, like a user
+   exception — the same records poison every resubmission. *)
+let poison_failure metrics inj ~job ~skipped ~task ~elapsed_s =
+  let cfg = Fault_injector.config inj in
+  Metrics.add metrics "mr.attempts_failed" cfg.Fault_injector.max_attempts;
+  Metrics.add metrics "mr.jobs_failed" 1;
+  raise
+    (Job_failed
+       {
+         f_job = job;
+         f_phase = Fault_injector.Map;
+         f_task = task;
+         f_attempts = cfg.Fault_injector.max_attempts;
+         f_reason =
+           Printf.sprintf
+             "%d poison record%s exceed%s the skip tolerance (skip-max=%d)"
+             skipped
+             (if skipped = 1 then "" else "s")
+             (if skipped = 1 then "s" else "")
+             cfg.Fault_injector.skip_max_records;
+         f_elapsed_s = elapsed_s;
+         f_deterministic = true;
        })
 
 (* An injected crash sequence exhausted a task's attempts. *)
@@ -143,6 +227,7 @@ let injected_failure metrics ~job ~phase ~task ~attempts ~elapsed_s
          f_attempts = attempts;
          f_reason = "injected task-attempt crashes exhausted retries";
          f_elapsed_s = elapsed_s;
+         f_deterministic = false;
        })
 
 (* Record the job's telemetry into the context: per-phase spans on the
@@ -203,7 +288,9 @@ let record ctx (stats : Stats.job) ~phase_spans ~attempt_spans =
   if stats.Stats.spill_passes > 0 then
     Metrics.add m "mr.spill_passes" stats.Stats.spill_passes;
   if stats.Stats.oom_kills > 0 then
-    Metrics.add m "mr.oom_kills" stats.Stats.oom_kills
+    Metrics.add m "mr.oom_kills" stats.Stats.oom_kills;
+  if stats.Stats.skipped_records > 0 then
+    Metrics.add m "mr.skipped_records" stats.Stats.skipped_records
 
 let run ?(attempt = 0) ctx spec input =
   let cluster = Exec_ctx.cluster ctx in
@@ -337,6 +424,30 @@ let run ?(attempt = 0) ctx spec input =
         (cluster.Cluster.job_startup_s +. map_sim.Fault_injector.elapsed_s)
       map_sim
   | None -> ());
+  (* Bad-record skip mode: poisoned records burn their attempts, get
+     bisected to, and are skipped — within the configured tolerance. *)
+  let skip_events, skipped_records, first_poisoned_task =
+    if Fault_injector.poison_active inj then
+      simulate_skip inj ~job:spec.name ~task_inputs
+        ~per_task_slot_s:per_task_map_slot_s
+    else ([], 0, None)
+  in
+  let skip_s =
+    List.fold_left
+      (fun acc (ev : Fault_injector.attempt_event) ->
+        acc +. ev.Fault_injector.ev_wasted_s)
+      0.0 skip_events
+    /. float_of_int eff_map_slots
+  in
+  (match first_poisoned_task with
+  | Some task
+    when skipped_records
+         > (Fault_injector.config inj).Fault_injector.skip_max_records ->
+    poison_failure metrics inj ~job:spec.name ~skipped:skipped_records ~task
+      ~elapsed_s:
+        (cluster.Cluster.job_startup_s +. map_sim.Fault_injector.elapsed_s
+        +. skip_s)
+  | _ -> ());
   let shuffle_records = List.length shuffle_pairs in
   let shuffle_bytes =
     List.fold_left
@@ -423,7 +534,9 @@ let run ?(attempt = 0) ctx spec input =
     /. parallel_throughput ~per_node_mb_s:cluster.Cluster.disk_mb_per_s
          ~tasks:reduce_tasks ~slots:(Cluster.reduce_slots cluster)
   in
-  let map_fault_s = map_sim.Fault_injector.elapsed_s in
+  (* Skip-mode re-work lands in the map phase (a zero [skip_s] keeps the
+     float bit-identical, like the spill terms). *)
+  let map_fault_s = map_sim.Fault_injector.elapsed_s +. skip_s in
   let shuffle_net_fault_s = shuffle_net_s *. rfactor in
   let shuffle_sort_fault_s = shuffle_sort_s *. rfactor in
   let reduce_write_fault_s = reduce_write_s *. rfactor in
@@ -480,6 +593,7 @@ let run ?(attempt = 0) ctx spec input =
       spilled_bytes = !map_spilled_bytes + reduce_spilled_bytes;
       spill_passes = !map_spill_passes + reduce_spill_passes;
       oom_kills;
+      skipped_records;
     }
   in
   let combine_span =
@@ -550,6 +664,8 @@ let run ?(attempt = 0) ctx spec input =
          ~phase_offset_s:breakdown.startup_s oom_events
       @ attempt_spans spec.name Fault_injector.Map
           ~phase_offset_s:breakdown.startup_s map_sim
+      @ event_spans spec.name Fault_injector.Map
+          ~phase_offset_s:breakdown.startup_s skip_events
       @ attempt_spans spec.name Fault_injector.Reduce
           ~phase_offset_s:
             (breakdown.startup_s +. breakdown.map_s +. map_pressure_s)
@@ -607,16 +723,41 @@ let run_map_only ?(attempt = 0) ctx spec input =
         (cluster.Cluster.map_only_startup_s +. sim.Fault_injector.elapsed_s)
       sim
   | None -> ());
+  (* Bad-record skip mode on the map-only job's tasks, priced against
+     their share of the phase's I/O. *)
+  let eff_slots = max 1 (min map_tasks (Cluster.map_slots cluster)) in
+  let skip_events, skipped_records, first_poisoned_task =
+    if Fault_injector.poison_active inj then
+      simulate_skip inj ~job:spec.mo_name ~task_inputs
+        ~per_task_slot_s:
+          (io_s *. float_of_int eff_slots /. float_of_int map_tasks)
+    else ([], 0, None)
+  in
+  let skip_s =
+    List.fold_left
+      (fun acc (ev : Fault_injector.attempt_event) ->
+        acc +. ev.Fault_injector.ev_wasted_s)
+      0.0 skip_events
+    /. float_of_int eff_slots
+  in
+  (match first_poisoned_task with
+  | Some task
+    when skipped_records
+         > (Fault_injector.config inj).Fault_injector.skip_max_records ->
+    poison_failure metrics inj ~job:spec.mo_name ~skipped:skipped_records ~task
+      ~elapsed_s:
+        (cluster.Cluster.map_only_startup_s +. sim.Fault_injector.elapsed_s
+        +. skip_s)
+  | _ -> ());
   let mfactor =
     if io_s > 0.0 then sim.Fault_injector.elapsed_s /. io_s else 1.0
   in
-  let est_time_s =
-    cluster.Cluster.map_only_startup_s +. sim.Fault_injector.elapsed_s
-  in
+  let map_s = sim.Fault_injector.elapsed_s +. skip_s in
+  let est_time_s = cluster.Cluster.map_only_startup_s +. map_s in
   let breakdown : Stats.breakdown =
     {
       startup_s = cluster.Cluster.map_only_startup_s;
-      map_s = sim.Fault_injector.elapsed_s;
+      map_s;
       shuffle_s = 0.0;
       sort_s = 0.0;
       reduce_s = 0.0;
@@ -646,20 +787,31 @@ let run_map_only ?(attempt = 0) ctx spec input =
       spilled_bytes = 0;
       spill_passes = 0;
       oom_kills = 0;
+      skipped_records;
     }
+  in
+  (* The skip span keeps the phase list tiling the job span; it appears
+     only when skip mode actually fired. *)
+  let skip_span =
+    if skip_s > 0.0 then
+      [ ("skip", skip_s, [ ("skipped_records", Json.Int skipped_records) ]) ]
+    else []
   in
   record ctx stats
     ~phase_spans:
-      [
-        ("startup", breakdown.startup_s, []);
-        ( "map-read",
-          mb input_bytes /. throughput *. mfactor,
-          [ ("input_records", Json.Int input_records) ] );
-        ( "map-write",
-          mb output_bytes /. throughput *. mfactor,
-          [ ("output_records", Json.Int output_records) ] );
-      ]
+      ([
+         ("startup", breakdown.startup_s, []);
+         ( "map-read",
+           mb input_bytes /. throughput *. mfactor,
+           [ ("input_records", Json.Int input_records) ] );
+         ( "map-write",
+           mb output_bytes /. throughput *. mfactor,
+           [ ("output_records", Json.Int output_records) ] );
+       ]
+      @ skip_span)
     ~attempt_spans:
       (attempt_spans spec.mo_name Fault_injector.Map
-         ~phase_offset_s:breakdown.startup_s sim);
+         ~phase_offset_s:breakdown.startup_s sim
+      @ event_spans spec.mo_name Fault_injector.Map
+          ~phase_offset_s:breakdown.startup_s skip_events);
   (output, stats)

@@ -37,7 +37,10 @@ type ('a, 'b) map_only_spec = {
 (** Why a job died: the task that burned all of its attempts. [f_reason]
     distinguishes injected attempt crashes from a user map/combine/reduce
     function raising (the exception's text). [f_elapsed_s] is the
-    simulated time the failed submission consumed before dying. *)
+    simulated time the failed submission consumed before dying.
+    [f_deterministic] marks failures that recur identically on every
+    resubmission (user exceptions, poison records beyond the skip
+    tolerance): {!Workflow}'s checkpoint recovery must not retry them. *)
 type failure = {
   f_job : string;
   f_phase : Fault_injector.phase;
@@ -45,6 +48,7 @@ type failure = {
   f_attempts : int;
   f_reason : string;
   f_elapsed_s : float;
+  f_deterministic : bool;
 }
 
 (** Raised when a task exhausts its attempts ({!Fault_injector} crashes
@@ -60,7 +64,13 @@ val pp_failure : failure Fmt.t
 
     [attempt] is the whole-job submission number (0 = first submission);
     resubmitting with a higher [attempt] re-rolls every injected fault
-    decision. Raises {!Job_failed} when a task exhausts its attempts.
+    decision — except poison records, whose fate is attempt-independent:
+    a poisoned map task burns [max_attempts] crashes, bisects to the
+    record, and skips it within
+    {!Fault_injector.config.skip_max_records} (counted in
+    [Stats.skipped_records] and priced into the map phase), failing the
+    job beyond that tolerance. Raises {!Job_failed} when a task exhausts
+    its attempts.
 
     @raise Job_failed *)
 val run :

@@ -54,13 +54,47 @@ type job = {
   spilled_bytes : int;
   spill_passes : int;
   oom_kills : int;
+  skipped_records : int;
 }
 
-type t = { jobs : job list; lost_s : float }
+type t = {
+  jobs : job list;
+  lost_s : float;
+  replayed_s : float;
+  recovered_jobs : int;
+  checkpoint_s : float;
+  checkpoints_written : int;
+  checkpoint_bytes : int;
+}
 
-let empty = { jobs = []; lost_s = 0.0 }
+let empty =
+  {
+    jobs = [];
+    lost_s = 0.0;
+    replayed_s = 0.0;
+    recovered_jobs = 0;
+    checkpoint_s = 0.0;
+    checkpoints_written = 0;
+    checkpoint_bytes = 0;
+  }
+
 let append t job = { t with jobs = t.jobs @ [ job ] }
 let charge_lost t dt_s = { t with lost_s = t.lost_s +. dt_s }
+
+let charge_replay t ~jobs dt_s =
+  {
+    t with
+    replayed_s = t.replayed_s +. dt_s;
+    recovered_jobs = t.recovered_jobs + jobs;
+  }
+
+let charge_checkpoint t ~bytes dt_s =
+  {
+    t with
+    checkpoint_s = t.checkpoint_s +. dt_s;
+    checkpoints_written = t.checkpoints_written + 1;
+    checkpoint_bytes = t.checkpoint_bytes + bytes;
+  }
 
 let cycles t = List.length t.jobs
 
@@ -80,14 +114,24 @@ let total_attempts_killed = sum (fun j -> j.attempts_killed)
 let total_spilled_bytes = sum (fun j -> j.spilled_bytes)
 let total_spill_passes = sum (fun j -> j.spill_passes)
 let total_oom_kills = sum (fun j -> j.oom_kills)
+let total_skipped_records = sum (fun j -> j.skipped_records)
 let lost_s t = t.lost_s
+let replayed_s t = t.replayed_s
+let recovered_jobs t = t.recovered_jobs
+let checkpoint_s t = t.checkpoint_s
+let checkpoints_written t = t.checkpoints_written
+let checkpoint_bytes t = t.checkpoint_bytes
 
 let total_breakdown t =
   List.fold_left (fun acc j -> breakdown_add acc j.breakdown) breakdown_zero
     t.jobs
 
+(* The recovery terms default to 0.0, and [x +. 0.0] is bit-identical
+   to [x] for the non-negative finite times the model produces — so with
+   checkpointing off this is exactly the pre-recovery total. *)
 let est_time_s t =
-  List.fold_left (fun acc j -> acc +. j.est_time_s) 0.0 t.jobs +. t.lost_s
+  List.fold_left (fun acc j -> acc +. j.est_time_s) 0.0 t.jobs
+  +. t.lost_s +. t.replayed_s +. t.checkpoint_s
 
 let kind_string = function Map_reduce -> "map-reduce" | Map_only -> "map-only"
 
@@ -126,6 +170,7 @@ let job_to_json j =
       ("spilled_bytes", Json.Int j.spilled_bytes);
       ("spill_passes", Json.Int j.spill_passes);
       ("oom_kills", Json.Int j.oom_kills);
+      ("skipped_records", Json.Int j.skipped_records);
     ]
 
 let to_json t =
@@ -145,6 +190,12 @@ let to_json t =
       ("spilled_bytes", Json.Int (total_spilled_bytes t));
       ("spill_passes", Json.Int (total_spill_passes t));
       ("oom_kills", Json.Int (total_oom_kills t));
+      ("skipped_records", Json.Int (total_skipped_records t));
+      ("replayed_s", Json.Float t.replayed_s);
+      ("recovered_jobs", Json.Int t.recovered_jobs);
+      ("checkpoint_s", Json.Float t.checkpoint_s);
+      ("checkpoints_written", Json.Int t.checkpoints_written);
+      ("checkpoint_bytes", Json.Int t.checkpoint_bytes);
       ("phases", breakdown_to_json (total_breakdown t));
       ("jobs", Json.List (List.map job_to_json t.jobs));
     ]

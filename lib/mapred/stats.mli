@@ -55,6 +55,10 @@ type job = {
       (** task attempts killed for exceeding the container heap; each is
           retried and the task eventually reruns with its combiner
           disabled (degraded but completing) *)
+  skipped_records : int;
+      (** poison input records isolated by skip-mode bisection and
+          dropped from the simulated map input (the real computation is
+          untouched — skip mode shapes time, never answers) *)
 }
 
 type t = {
@@ -63,6 +67,19 @@ type t = {
       (** simulated time charged to failed job submissions (partial runs
           that aborted and were resubmitted) and their retry backoff;
           not part of any job's phase breakdown *)
+  replayed_s : float;
+      (** simulated time spent re-running already-completed jobs whose
+          outputs were not checkpointed when a later submission failed
+          (see {!Checkpoint}); like [lost_s], outside every breakdown *)
+  recovered_jobs : int;
+      (** completed jobs replayed across all recoveries (a job replayed
+          by two separate recoveries counts twice) *)
+  checkpoint_s : float;
+      (** simulated time spent materializing job outputs to the
+          distributed filesystem at checkpoint boundaries *)
+  checkpoints_written : int;
+  checkpoint_bytes : int;
+      (** pre-replication payload bytes across all checkpoints *)
 }
 
 val empty : t
@@ -70,6 +87,14 @@ val append : t -> job -> t
 
 (** [charge_lost t dt_s] adds time lost to a failed job submission. *)
 val charge_lost : t -> float -> t
+
+(** [charge_replay t ~jobs dt_s] adds time spent re-running [jobs]
+    completed jobs after a failed submission exhausted its retries. *)
+val charge_replay : t -> jobs:int -> float -> t
+
+(** [charge_checkpoint t ~bytes dt_s] records one checkpoint of a
+    [bytes]-byte job output costing [dt_s] simulated seconds. *)
+val charge_checkpoint : t -> bytes:int -> float -> t
 
 (** Total number of MR cycles (map-reduce + map-only jobs). *)
 val cycles : t -> int
@@ -85,16 +110,26 @@ val total_attempts_killed : t -> int
 val total_spilled_bytes : t -> int
 val total_spill_passes : t -> int
 val total_oom_kills : t -> int
+val total_skipped_records : t -> int
 
 (** Time charged to aborted job submissions (see {!type:t}). *)
 val lost_s : t -> float
+
+val replayed_s : t -> float
+val recovered_jobs : t -> int
+val checkpoint_s : t -> float
+val checkpoints_written : t -> int
+val checkpoint_bytes : t -> int
 
 (** Per-phase totals across all jobs. Excludes {!lost_s}, so under
     whole-job retries the breakdown covers [est_time_s - lost_s]. *)
 val total_breakdown : t -> breakdown
 
-(** Sum of per-job simulated times plus {!lost_s}: jobs in a workflow
-    run sequentially, as in a Hadoop DAG of dependent stages. *)
+(** Sum of per-job simulated times plus {!lost_s}, {!replayed_s} and
+    {!checkpoint_s}: jobs in a workflow run sequentially, as in a Hadoop
+    DAG of dependent stages. The recovery terms are exactly 0.0 when
+    checkpointing is off, leaving the total bit-identical to a run
+    without the recovery layer. *)
 val est_time_s : t -> float
 
 val job_to_json : job -> Json.t

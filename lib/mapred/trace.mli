@@ -6,7 +6,12 @@
     write) positioned on that clock, then advances it by the job's
     simulated duration — so the exported timeline reads exactly like the
     sequential Hadoop DAG the cost model describes. Spans are recorded in
-    emission order and the whole pipeline is deterministic. *)
+    emission order and the whole pipeline is deterministic.
+
+    Span categories in use: ["job"] and ["phase"] for the cost model's
+    cycles, ["attempt"] for injected-fault re-work, ["abort"] for failed
+    submissions and retry backoff, ["checkpoint"] for materialized job
+    outputs, and ["replay"] for checkpoint-recovery re-runs. *)
 
 type event = {
   name : string;

@@ -2,7 +2,12 @@ let log_src = Logs.Src.create "rapida.mapred" ~doc:"MapReduce simulator jobs"
 
 module Log = (val Logs.src_log log_src)
 
-type t = { ctx : Exec_ctx.t; mutable stats : Stats.t }
+type t = {
+  ctx : Exec_ctx.t;
+  mutable stats : Stats.t;
+  ckpt : Checkpoint.manager;
+  mutable recoveries : int;
+}
 
 type abort = {
   a_failure : Job.failure;
@@ -21,24 +26,72 @@ let pp_abort ppf a =
     a.a_completed
     (if a.a_completed = 1 then "" else "s")
 
-let create ctx = { ctx; stats = Stats.empty }
+let create ctx =
+  {
+    ctx;
+    stats = Stats.empty;
+    ckpt = Checkpoint.manager (Exec_ctx.checkpoint ctx);
+    recoveries = 0;
+  }
+
 let ctx t = t.ctx
 let cluster t = Exec_ctx.cluster t.ctx
+
+(* Safety valve: with recovery active a workflow keeps resubmitting
+   until it completes; independent fault dice make eventual success
+   certain, but a pathological configuration should fail loudly rather
+   than loop. Far above anything a real sweep reaches. *)
+let max_recoveries = 1000
 
 (* Run one job submission with Hadoop-style whole-job resubmission: a
    [Job_failed] charges the doomed submission's partial runtime as lost
    time, then (while retries remain) waits out the backoff and resubmits
    with a bumped attempt number, re-rolling every injected fault
-   decision. Out of retries, the workflow aborts. *)
+   decision. Out of retries, a checkpoint-disabled workflow aborts;
+   under any active checkpoint policy it instead replays the completed
+   jobs since the last checkpoint (charging their recorded simulated
+   time to [Stats.replayed_s]) and keeps resubmitting — degrade but
+   complete. Deterministic failures (user exceptions, poison beyond the
+   skip tolerance) recur identically on every resubmission, so they
+   abort even with recovery active. *)
 let run_with_retries t name run =
   let cfg = Fault_injector.config (Exec_ctx.faults t.ctx) in
+  let ckpt_cfg = Checkpoint.config t.ckpt in
   let trace = Exec_ctx.trace t.ctx in
   let metrics = Exec_ctx.metrics t.ctx in
+  let charge_backoff next_submission =
+    let backoff = cfg.Fault_injector.retry_backoff_s in
+    if backoff > 0.0 then begin
+      Trace.span trace ~name:(name ^ "/backoff") ~cat:"abort"
+        ~start_s:(Trace.now_s trace) ~dur_s:backoff
+        [ ("next_submission", Json.Int next_submission) ];
+      Trace.advance trace backoff;
+      t.stats <- Stats.charge_lost t.stats backoff
+    end
+  in
   let rec go attempt =
     match run ~attempt with
     | output, job_stats ->
       Log.debug (fun m -> m "%a" Stats.pp_job job_stats);
       t.stats <- Stats.append t.stats job_stats;
+      (match
+         Checkpoint.note_success t.ckpt ~cluster:(Exec_ctx.cluster t.ctx)
+           job_stats
+       with
+      | None -> ()
+      | Some d ->
+        Trace.span trace ~name:(name ^ "/checkpoint") ~cat:"checkpoint"
+          ~start_s:(Trace.now_s trace) ~dur_s:d.Checkpoint.ck_cost_s
+          [
+            ("bytes", Json.Int d.Checkpoint.ck_bytes);
+            ("replication", Json.Int ckpt_cfg.Checkpoint.replication);
+          ];
+        Trace.advance trace d.Checkpoint.ck_cost_s;
+        t.stats <-
+          Stats.charge_checkpoint t.stats ~bytes:d.Checkpoint.ck_bytes
+            d.Checkpoint.ck_cost_s;
+        Metrics.add metrics "mr.checkpoints" 1;
+        Metrics.add metrics "mr.checkpoint_bytes" d.Checkpoint.ck_bytes);
       output
     | exception Job.Job_failed f ->
       Log.warn (fun m ->
@@ -53,14 +106,35 @@ let run_with_retries t name run =
       t.stats <- Stats.charge_lost t.stats f.Job.f_elapsed_s;
       if attempt < cfg.Fault_injector.job_retries then begin
         Metrics.add metrics "mr.job_resubmissions" 1;
-        let backoff = cfg.Fault_injector.retry_backoff_s in
-        if backoff > 0.0 then begin
-          Trace.span trace ~name:(name ^ "/backoff") ~cat:"abort"
-            ~start_s:(Trace.now_s trace) ~dur_s:backoff
-            [ ("next_submission", Json.Int (attempt + 1)) ];
-          Trace.advance trace backoff;
-          t.stats <- Stats.charge_lost t.stats backoff
-        end;
+        charge_backoff (attempt + 1);
+        go (attempt + 1)
+      end
+      else if
+        Checkpoint.active ckpt_cfg
+        && (not f.Job.f_deterministic)
+        && t.recoveries < max_recoveries
+      then begin
+        (* Recovery: the workflow restarts from the last materialized
+           output, re-running the completed jobs since then. Their
+           recorded simulated time is charged as replay; the real
+           results are deterministic and already in memory, so only the
+           clock moves. *)
+        t.recoveries <- t.recoveries + 1;
+        let jobs, replay_s = Checkpoint.replay t.ckpt in
+        Log.warn (fun m ->
+            m "recovering %S: replaying %d job%s (%.1f s) since the last \
+               checkpoint"
+              name jobs
+              (if jobs = 1 then "" else "s")
+              replay_s);
+        Trace.span trace ~name:(name ^ "/replay") ~cat:"replay"
+          ~start_s:(Trace.now_s trace) ~dur_s:replay_s
+          [ ("jobs", Json.Int jobs); ("recovery", Json.Int t.recoveries) ];
+        Trace.advance trace replay_s;
+        t.stats <- Stats.charge_replay t.stats ~jobs replay_s;
+        Metrics.add metrics "mr.recoveries" 1;
+        if jobs > 0 then Metrics.add metrics "mr.replayed_jobs" jobs;
+        charge_backoff (attempt + 1);
         go (attempt + 1)
       end
       else

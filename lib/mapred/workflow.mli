@@ -13,7 +13,12 @@ type t
     the number of failed submissions beyond the first; [a_completed] is
     how many jobs of the workflow finished before the abort. The time of
     every lost submission (plus retry backoff) is charged to
-    {!Stats.lost_s}. *)
+    {!Stats.lost_s}.
+
+    With any {!Checkpoint} policy active, [Aborted] is reserved for
+    {e deterministic} failures (a user function raising, poison records
+    beyond the skip tolerance — see {!Job.failure.f_deterministic});
+    every other failure recovers from the last checkpoint instead. *)
 type abort = {
   a_failure : Job.failure;
   a_resubmissions : int;
@@ -37,6 +42,17 @@ val cluster : t -> Cluster.t
     submission is resubmitted up to the context's
     {!Fault_injector.config}[.job_retries] times (charging lost time and
     backoff), then the workflow aborts.
+
+    Under an active {!Checkpoint} policy (see {!Exec_ctx.checkpoint})
+    the workflow instead degrades but completes: each successful job may
+    checkpoint its output (a [checkpoint] trace span, priced into
+    {!Stats.checkpoint_s}), and a submission that exhausts its retries
+    on a non-deterministic failure replays the completed jobs since the
+    last checkpoint (a [replay] span, {!Stats.replayed_s}), backs off,
+    and resubmits with fresh fault dice — never raising {!Aborted}.
+    Replay is pure time accounting: the replayed jobs' results are
+    deterministic and already computed, so the answer is byte-identical
+    to a healthy run.
 
     @raise Aborted *)
 val run_job : t -> ('a, 'k, 'v, 'b) Job.spec -> 'a list -> 'b list

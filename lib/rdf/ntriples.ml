@@ -1,6 +1,15 @@
 let triple_to_line = Triple.to_ntriples
 
-(* A small cursor-based scanner over one line. *)
+type located_error = { l_line : int; l_col : int; l_reason : string }
+
+let string_of_error e =
+  Printf.sprintf "line %d: col %d: %s" e.l_line e.l_col e.l_reason
+
+let pp_error ppf e =
+  Fmt.pf ppf "line %d: col %d: %s" e.l_line e.l_col e.l_reason
+
+(* A small cursor-based scanner over one line. Scan errors carry the
+   1-based column; the line number is attached by the caller. *)
 type cursor = { line : string; mutable pos : int }
 
 let peek c = if c.pos < String.length c.line then Some c.line.[c.pos] else None
@@ -13,7 +22,7 @@ let skip_ws c =
     c.pos <- c.pos + 1
   done
 
-let error c msg = Error (Printf.sprintf "col %d: %s" (c.pos + 1) msg)
+let error c msg = Error (c.pos + 1, msg)
 
 let scan_iri c =
   (* Caller has consumed nothing; current char is '<'. *)
@@ -118,18 +127,22 @@ let scan_term c =
   | Some ch -> error c (Printf.sprintf "unexpected character %C" ch)
   | None -> error c "unexpected end of line"
 
-let parse_line line =
+let parse_line_located ~line:l_line line =
   let trimmed = String.trim line in
   if trimmed = "" || trimmed.[0] = '#' then Ok None
   else
+    let located = function
+      | Ok _ as ok -> ok
+      | Error (l_col, l_reason) -> Error { l_line; l_col; l_reason }
+    in
     let c = { line = trimmed; pos = 0 } in
-    match scan_term c with
+    match located (scan_term c) with
     | Error e -> Error e
     | Ok s -> (
-      match scan_term c with
+      match located (scan_term c) with
       | Error e -> Error e
       | Ok p -> (
-        match scan_term c with
+        match located (scan_term c) with
         | Error e -> Error e
         | Ok o ->
           skip_ws c;
@@ -139,20 +152,78 @@ let parse_line line =
             skip_ws c;
             (match peek c with
             | None -> Ok (Some (Triple.make s p o))
-            | Some _ -> error c "trailing content after '.'")
-          | _ -> error c "expected terminating '.'")))
+            | Some _ -> located (error c "trailing content after '.'"))
+          | _ -> located (error c "expected terminating '.'"))))
 
-let parse_string s =
+(* Shim: the historical one-line API reported ["col %d: %s"]. *)
+let parse_line line =
+  match parse_line_located ~line:1 line with
+  | Ok t -> Ok t
+  | Error e -> Error (Printf.sprintf "col %d: %s" e.l_col e.l_reason)
+
+type mode = Strict | Skip of int | Quarantine
+
+let pp_mode ppf = function
+  | Strict -> Fmt.string ppf "strict"
+  | Skip n -> Fmt.pf ppf "skip=%d" n
+  | Quarantine -> Fmt.string ppf "quarantine"
+
+let parse_mode s =
+  match s with
+  | "strict" -> Ok Strict
+  | "quarantine" -> Ok Quarantine
+  | "skip" -> Ok (Skip 100)
+  | _ -> (
+    let bad () =
+      Error
+        (Printf.sprintf
+           "--dirty-input: expected strict, skip[=N], or quarantine, got %S" s)
+    in
+    match String.index_opt s '=' with
+    | Some i when String.sub s 0 i = "skip" -> (
+      let v = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> Ok (Skip n)
+      | _ -> bad ())
+    | _ -> bad ())
+
+type quarantined = { q_text : string; q_error : located_error }
+
+let pp_quarantined ppf q =
+  Fmt.pf ppf "line %d, col %d: %s: %S" q.q_error.l_line q.q_error.l_col
+    q.q_error.l_reason q.q_text
+
+type load = { triples : Triple.t list; quarantined : quarantined list }
+
+let budget_of_mode = function
+  | Strict -> 0
+  | Skip n -> n
+  | Quarantine -> max_int
+
+let parse_string_mode mode s =
+  let budget = budget_of_mode mode in
   let lines = String.split_on_char '\n' s in
-  let rec go n acc = function
-    | [] -> Ok (List.rev acc)
+  let rec go n acc quar nquar = function
+    | [] -> Ok { triples = List.rev acc; quarantined = List.rev quar }
     | line :: rest -> (
-      match parse_line line with
-      | Ok None -> go (n + 1) acc rest
-      | Ok (Some t) -> go (n + 1) (t :: acc) rest
-      | Error e -> Error (Printf.sprintf "line %d: %s" n e))
+      match parse_line_located ~line:n line with
+      | Ok None -> go (n + 1) acc quar nquar rest
+      | Ok (Some t) -> go (n + 1) (t :: acc) quar nquar rest
+      | Error e ->
+        if nquar >= budget then Error e
+        else
+          go (n + 1) acc
+            ({ q_text = String.trim line; q_error = e } :: quar)
+            (nquar + 1) rest)
   in
-  go 1 [] lines
+  go 1 [] [] 0 lines
+
+(* Shim: the historical whole-document API reported
+   ["line %d: col %d: %s"] as one string. *)
+let parse_string s =
+  match parse_string_mode Strict s with
+  | Ok { triples; _ } -> Ok triples
+  | Error e -> Error (string_of_error e)
 
 let write_file path triples =
   let oc = open_out path in
@@ -165,11 +236,16 @@ let write_file path triples =
           output_char oc '\n')
         triples)
 
-let read_file path =
+let read_file_mode mode path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let len = in_channel_length ic in
       let content = really_input_string ic len in
-      parse_string content)
+      parse_string_mode mode content)
+
+let read_file path =
+  match read_file_mode Strict path with
+  | Ok { triples; _ } -> Ok triples
+  | Error e -> Error (string_of_error e)

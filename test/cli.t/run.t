@@ -141,6 +141,90 @@ breakdown — all zero at the default (generous) budget:
   >       s["phases"]["spill_s"])'
   0 0 0 0
 
+Fault and memory pressure compose: one run can crash task attempts and
+starve the sort buffer at the same time, and both layers stay
+transparent — the verified answer is unchanged while each layer's
+counters record its own re-work:
+
+  $ rapida query -d data.nt -c G1 --verify --faults seed=7,task-fail=0.2 --mem heap=4k,sort-buffer=1k | head -1
+  verification: result matches the reference evaluator
+  $ rapida query -d data.nt -c G1 --json --faults seed=7,task-fail=0.2 --mem heap=4k,sort-buffer=1k \
+  >   | python3 -c 'import json,sys; s=json.load(sys.stdin)["stats"]; \
+  > print(s["attempts_failed"] > 0, s["spilled_bytes"] > 0)'
+  True True
+
+A malformed --checkpoint spec follows the same conventions:
+
+  $ rapida query -d data.nt -c G1 --checkpoint every=0
+  error: Checkpoint.create: every-k interval must be >= 1
+  [2]
+  $ rapida query -d data.nt -c G1 --checkpoint pause=1
+  error: --checkpoint: unknown key "pause"
+  [2]
+  $ rapida query -d data.nt -c G1 --checkpoint adaptive=oops
+  error: --checkpoint: adaptive expects a size (bytes, or with a k/m/g suffix), got "oops"
+  [2]
+
+Checkpoint writes are priced into the simulated time and surfaced in
+the --json stats; with checkpointing off every recovery counter is
+exactly zero:
+
+  $ rapida query -d data.nt -c G1 --json --checkpoint every=1 \
+  >   | python3 -c 'import json,sys; d=json.load(sys.stdin); s=d["stats"]; \
+  > print(s["checkpoints_written"], s["checkpoint_bytes"] > 0, \
+  >       s["checkpoint_s"] > 0, d["counters"]["mr.checkpoints"])'
+  2 True True 2
+  $ rapida query -d data.nt -c G1 --json \
+  >   | python3 -c 'import json,sys; s=json.load(sys.stdin)["stats"]; \
+  > print(s["checkpoints_written"], s["checkpoint_bytes"], s["checkpoint_s"], \
+  >       s["replayed_s"], s["recovered_jobs"], s["skipped_records"])'
+  0 0 0 0 0 0
+
+A fault configuration that aborts without checkpointing (exhausted
+retries, exit 1) instead degrades and completes under any active
+policy: the workflow replays from the last checkpoint, the answer is
+unchanged, and only the simulated time grows:
+
+  $ rapida query -d data.nt -c G1 --faults seed=1,task-fail=0.3,max-attempts=2 2>/dev/null
+  [1]
+  $ rapida query -d data.nt -c G1 --faults seed=1,task-fail=0.3,max-attempts=2 --checkpoint every=1 2>/dev/null
+  cnt  sum          
+  30   133983.589195
+  -- 1 rows; 2 cycles (2 full MR, 0 map-only), 24079 B shuffled, 276.0 s
+
+Dirty datasets: by default a malformed N-Triples line fails the load
+with its line and column (exit 2):
+
+  $ cp data.nt dirty.nt
+  $ printf 'xyz\n<a> <b> .\n' >> dirty.nt
+  $ rapida query -d dirty.nt -c G1
+  error: dirty.nt: line 551: col 1: unexpected character 'x'
+  [2]
+
+--dirty-input skip (or quarantine) loads the well-formed lines and
+reports each quarantined line on stderr, with the answer computed over
+the clean data:
+
+  $ rapida query -d dirty.nt -c G1 --dirty-input skip
+  dirty input: quarantined 2 malformed line(s) in dirty.nt
+    line 551, col 1: unexpected character 'x': "xyz"
+    line 552, col 9: unexpected character '.': "<a> <b> ."
+  cnt  sum          
+  30   133983.589195
+  -- 1 rows; 2 cycles (2 full MR, 0 map-only), 24079 B shuffled, 36.0 s
+
+The skip budget is a tolerance, not a license — one bad line too many
+still fails the load:
+
+  $ rapida query -d dirty.nt -c G1 --dirty-input skip=1 2>&1 | tail -1
+  error: dirty.nt: line 552: col 9: unexpected character '.'
+
+An unknown mode exits with the usual usage diagnostic:
+
+  $ rapida query -d data.nt -c G1 --dirty-input lenient
+  error: --dirty-input: expected strict, skip[=N], or quarantine, got "lenient"
+  [2]
+
 Queries can also come from a file, with ORDER BY and LIMIT:
 
   $ cat > top.rq <<'RQ'

@@ -275,6 +275,64 @@ let test_user_exception_captured () =
   | exception Workflow.Aborted a ->
     check_int "burned every retry" 2 a.Workflow.a_resubmissions
 
+let test_lost_s_exact () =
+  (* lost_s charges each failed submission's partial runtime plus exactly
+     one backoff per resubmission, in submission order. A deterministic
+     bomb fails identically every time, so a 2-retry workflow loses
+     e + B + e + B + e — computed here by the same left fold the
+     workflow's sequential charging performs, and compared bitwise. *)
+  let bomb = { wordcount with
+               Job.name = "bomb";
+               reduce = (fun k counts ->
+                 if k = "beta" then failwith "boom";
+                 [ (k, List.fold_left ( + ) 0 counts) ]) }
+  in
+  let e =
+    match Job.run (ctx ~cluster:slow ()) bomb lines with
+    | _ -> Alcotest.fail "expected Job_failed"
+    | exception Job.Job_failed f -> f.Job.f_elapsed_s
+  in
+  let backoff = 2.5 in
+  let cfg =
+    { Fi.default with Fi.job_retries = 2; retry_backoff_s = backoff }
+  in
+  let wf = Workflow.create (ctx ~cluster:slow ~faults:cfg ()) in
+  match Workflow.run_job wf bomb lines with
+  | _ -> Alcotest.fail "expected Aborted"
+  | exception Workflow.Aborted a ->
+    check_int "burned both retries" 2 a.Workflow.a_resubmissions;
+    let expected =
+      List.fold_left ( +. ) 0.0 [ e; backoff; e; backoff; e ]
+    in
+    let stats = Workflow.stats wf in
+    check_bool "lost_s is exactly the submissions plus backoffs" true
+      (Stats.lost_s stats = expected);
+    check_bool "nothing completed, so est_time_s is all lost time" true
+      (Stats.est_time_s stats = expected)
+
+let test_pp_abort_golden () =
+  let a =
+    {
+      Workflow.a_failure =
+        {
+          Job.f_job = "composite_join0";
+          f_phase = Fi.Map;
+          f_task = 3;
+          f_attempts = 4;
+          f_reason = "injected task-attempt crashes exhausted retries";
+          f_elapsed_s = 12.5;
+          f_deterministic = false;
+        };
+      a_resubmissions = 1;
+      a_completed = 2;
+    }
+  in
+  check_string "pp_abort golden"
+    "workflow aborted: job \"composite_join0\": map task 3 failed 4 \
+     attempts: injected task-attempt crashes exhausted retries (1 \
+     whole-job resubmission, 2 jobs completed before the abort)"
+    (Fmt.str "%a" Workflow.pp_abort a)
+
 (* --- engine-level property ---------------------------------------------- *)
 
 (* 20 fault seeds on a seeded BSBM workload: every engine's result is
@@ -339,6 +397,9 @@ let suite =
       test_workflow_retry_succeeds;
     Alcotest.test_case "user exception captured" `Quick
       test_user_exception_captured;
+    Alcotest.test_case "lost_s charges backoff exactly once per retry" `Quick
+      test_lost_s_exact;
+    Alcotest.test_case "pp_abort golden" `Quick test_pp_abort_golden;
     Alcotest.test_case "engines transparent under faults" `Slow
       test_engines_transparent_under_faults;
   ]

@@ -20,6 +20,7 @@ let () =
       ("harness", Test_harness.suite);
       ("properties", Test_props.suite);
       ("faults", Test_faults.suite);
+      ("recovery", Test_recovery.suite);
       ("memory", Test_memory.suite);
       ("analysis", Test_analysis.suite);
     ]

@@ -146,6 +146,78 @@ let test_ntriples_file () =
           triples read
       | Error e -> Alcotest.fail e)
 
+(* Three good lines with malformed lines interleaved; line numbers are
+   1-based over the whole document, comments and blanks included. *)
+let dirty_doc =
+  String.concat "\n"
+    [
+      "<http://x/s1> <http://x/p> \"a\" .";
+      "# comment";
+      "xyz";
+      "<http://x/s2> <http://x/p> \"b\" .";
+      "<a> <b> .";
+      "";
+      "<http://x/s3> <http://x/p> \"c\" .";
+    ]
+
+let test_ntriples_located_errors () =
+  (match Ntriples.parse_line_located ~line:7 "xyz <b> <c> ." with
+  | Error e ->
+    check_int "line" 7 e.Ntriples.l_line;
+    check_int "col" 1 e.Ntriples.l_col;
+    Alcotest.(check string)
+      "rendered" "line 7: col 1: unexpected character 'x'"
+      (Ntriples.string_of_error e)
+  | Ok _ -> Alcotest.fail "expected an error");
+  (match Ntriples.parse_line_located ~line:2 "<a> <b> \"unterminated" with
+  | Error e ->
+    check_int "line" 2 e.Ntriples.l_line;
+    check_int "col past the opening quote" 10 e.Ntriples.l_col
+  | Ok _ -> Alcotest.fail "expected an error");
+  (* The string shims render the located error exactly as before. *)
+  match Ntriples.parse_line "xyz" with
+  | Error msg ->
+    Alcotest.(check string) "shim format" "col 1: unexpected character 'x'" msg
+  | Ok _ -> Alcotest.fail "expected an error"
+
+let test_ntriples_modes () =
+  (match Ntriples.parse_string_mode Ntriples.Strict dirty_doc with
+  | Error e -> check_int "strict fails on the first bad line" 3 e.Ntriples.l_line
+  | Ok _ -> Alcotest.fail "strict should fail");
+  (match Ntriples.parse_string_mode (Ntriples.Skip 1) dirty_doc with
+  | Error e -> check_int "skip=1 fails on the second bad line" 5 e.Ntriples.l_line
+  | Ok _ -> Alcotest.fail "skip=1 should fail");
+  (match Ntriples.parse_string_mode (Ntriples.Skip 2) dirty_doc with
+  | Ok { Ntriples.triples; quarantined } ->
+    check_int "skip=2 loads all good lines" 3 (List.length triples);
+    check_int "skip=2 quarantines both" 2 (List.length quarantined)
+  | Error e -> Alcotest.fail (Ntriples.string_of_error e));
+  match Ntriples.parse_string_mode Ntriples.Quarantine dirty_doc with
+  | Ok { Ntriples.triples; quarantined } ->
+    check_int "quarantine loads all good lines" 3 (List.length triples);
+    (match quarantined with
+    | [ q1; q2 ] ->
+      Alcotest.(check string)
+        "report entry" "line 3, col 1: unexpected character 'x': \"xyz\""
+        (Fmt.str "%a" Ntriples.pp_quarantined q1);
+      check_int "second quarantined line" 5 q2.Ntriples.q_error.Ntriples.l_line
+    | _ -> Alcotest.fail "expected two quarantined lines")
+  | Error e -> Alcotest.fail (Ntriples.string_of_error e)
+
+let test_ntriples_parse_mode () =
+  check_bool "strict" true (Ntriples.parse_mode "strict" = Ok Ntriples.Strict);
+  check_bool "skip default budget" true
+    (Ntriples.parse_mode "skip" = Ok (Ntriples.Skip 100));
+  check_bool "skip=7" true (Ntriples.parse_mode "skip=7" = Ok (Ntriples.Skip 7));
+  check_bool "quarantine" true
+    (Ntriples.parse_mode "quarantine" = Ok Ntriples.Quarantine);
+  List.iter
+    (fun s ->
+      match Ntriples.parse_mode s with
+      | Ok _ -> Alcotest.failf "%S should not parse" s
+      | Error msg -> check_bool "diagnostic" true (msg <> ""))
+    [ "lenient"; "skip=-1"; "skip=x"; "" ]
+
 (* --- property tests ------------------------------------------------------ *)
 
 let prop_ntriples_roundtrip =
@@ -176,6 +248,10 @@ let suite =
     Alcotest.test_case "dictionary growth" `Quick test_dictionary_growth;
     Alcotest.test_case "ntriples examples" `Quick test_ntriples_examples;
     Alcotest.test_case "ntriples file round trip" `Quick test_ntriples_file;
+    Alcotest.test_case "ntriples located errors" `Quick
+      test_ntriples_located_errors;
+    Alcotest.test_case "ntriples read modes" `Quick test_ntriples_modes;
+    Alcotest.test_case "ntriples parse mode" `Quick test_ntriples_parse_mode;
     QCheck_alcotest.to_alcotest prop_ntriples_roundtrip;
     QCheck_alcotest.to_alcotest prop_term_compare_total;
     QCheck_alcotest.to_alcotest prop_hash_consistent;
