@@ -2,6 +2,7 @@
 
      rapida gen     - generate a synthetic benchmark dataset (N-Triples)
      rapida query   - run a SPARQL analytical query on a dataset
+     rapida serve   - drive a query workload through the MQO query server
      rapida lint    - static analysis: AST lint + plan verification
      rapida explain - show the overlap analysis and composite rewriting
      rapida catalog - list the paper's query workload, print query text
@@ -27,6 +28,9 @@ module Cluster = Rapida_mapred.Cluster
 module Ntriples = Rapida_rdf.Ntriples
 module Graph = Rapida_rdf.Graph
 module Rterm = Rapida_rdf.Term
+module Scheduler = Rapida_mapred.Scheduler
+module Server = Rapida_server.Server
+module Workload = Rapida_server.Workload
 
 open Cmdliner
 
@@ -336,7 +340,14 @@ let query_cmd =
       let* src = usage (query_text query_file catalog_id) in
       let* query = usage (Rapida_sparql.Analytical.parse src) in
       let input = Engine.input_of_graph graph in
-      let* out = runtime (Engine.run engine ctx input query) in
+      let session = Engine.prepare engine input in
+      (* The one place engine errors meet the exit-code convention:
+         Parse_error -> 2, runtime failures -> 1. *)
+      let* out =
+        Result.map_error
+          (fun e -> (Engine.error_exit_code e, Engine.error_message e))
+          (Engine.execute session ctx query)
+      in
       let* () =
         if not verify then Ok ()
         else
@@ -396,6 +407,154 @@ let query_cmd =
           $ query_source_args (fun d q c -> (d, q, c))
           $ engine $ verify $ verify_plans $ show_stats $ trace_file $ json
           $ faults $ mem $ checkpoint $ dirty_input $ verbose_arg)
+
+(* --- serve -------------------------------------------------------------- *)
+
+let policy_arg =
+  let parse s =
+    match Scheduler.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg "expected fifo or fair")
+  in
+  Arg.conv (parse, fun ppf p -> Fmt.string ppf (Scheduler.policy_name p))
+
+let serve_cmd =
+  let data =
+    Arg.(required & opt (some string) None
+         & info [ "d"; "data" ] ~doc:"Dataset file (N-Triples).")
+  in
+  let workload_file =
+    Arg.(value & opt (some string) None
+         & info [ "w"; "workload" ] ~docv:"FILE"
+             ~doc:"Workload file: one arrival per line, TIME QUERY [LABEL], \
+                   where QUERY is a catalog id or \\@FILE with SPARQL \
+                   (\\@ paths resolve relative to the workload file); # \
+                   starts a comment.")
+  in
+  let generate =
+    Arg.(value & opt (some int) None
+         & info [ "generate" ] ~docv:"N"
+             ~doc:"Generate N arrivals instead of reading a workload file: \
+                   exponential inter-arrival gaps over the BSBM catalog \
+                   queries, deterministic in --seed.")
+  in
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Workload generator seed.")
+  in
+  let mean_gap =
+    Arg.(value & opt float 3.0
+         & info [ "mean-gap" ] ~docv:"SECONDS"
+             ~doc:"Mean inter-arrival gap for --generate.")
+  in
+  let engine =
+    Arg.(value & opt engine_arg Engine.Rapid_analytics
+         & info [ "e"; "engine" ]
+             ~doc:"Engine: hive-naive, hive-mqo, rapid-plus, rapid-analytics. \
+                   Cross-query sharing applies to the MQO-capable kinds \
+                   (hive-mqo, rapid-analytics).")
+  in
+  let window =
+    Arg.(value & opt float 5.0
+         & info [ "window" ] ~docv:"SECONDS"
+             ~doc:"Admission window: a batch collects arrivals for this many \
+                   seconds after its first pending query, then admits them \
+                   together. 0 admits each arrival instant alone.")
+  in
+  let policy =
+    Arg.(value & opt policy_arg Scheduler.Fair
+         & info [ "policy" ] ~doc:"Cluster scheduler policy: fifo or fair.")
+  in
+  let no_share =
+    Arg.(value & flag
+         & info [ "no-share" ]
+             ~doc:"Disable cross-query sharing: admitted queries run solo \
+                   (isolates the batching and scheduling effects).")
+  in
+  let detail =
+    Arg.(value & flag
+         & info [ "detail" ] ~doc:"Print one line per query before the summary.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the full server report (per-query latencies, \
+                   batches, savings vs back-to-back) as JSON.")
+  in
+  let faults =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Fault-injection spec for every simulated workflow (same \
+                   syntax as rapida query --faults).")
+  in
+  let mem =
+    Arg.(value & opt (some string) None
+         & info [ "mem" ] ~docv:"SPEC"
+             ~doc:"Per-task memory budget (same syntax as rapida query --mem).")
+  in
+  let run data workload_file generate seed mean_gap engine window policy
+      no_share detail json faults_spec mem_spec verbose =
+    setup_logs verbose;
+    let ( let* ) = Result.bind in
+    let usage r = Result.map_error (fun msg -> (2, msg)) r in
+    match
+      let* fault_cfg =
+        usage
+          (match faults_spec with
+          | None -> Ok Fault_injector.default
+          | Some spec -> Fault_injector.parse_spec spec)
+      in
+      let* mem_cfg =
+        usage
+          (match mem_spec with
+          | None -> Ok Memory.default
+          | Some spec -> Memory.parse_spec spec)
+      in
+      let* () =
+        if window < 0.0 || not (Float.is_finite window) then
+          Error (2, "window must be a non-negative number of seconds")
+        else Ok ()
+      in
+      let* workload =
+        match (workload_file, generate) with
+        | Some path, None -> usage (Workload.load path)
+        | None, Some n ->
+          if n <= 0 then Error (2, "--generate expects a positive count")
+          else Ok (Workload.generate ~seed ~n ~mean_gap_s:mean_gap ())
+        | _ -> Error (2, "provide exactly one of --workload or --generate")
+      in
+      let* graph = usage (load_graph data) in
+      Ok (workload, graph, fault_cfg, mem_cfg)
+    with
+    | Error (2, msg) -> die_usage msg
+    | Error (_, msg) -> die_runtime msg
+    | Ok (workload, graph, fault_cfg, mem_cfg) ->
+      let cluster =
+        Cluster.with_memory Plan_util.default_options.Plan_util.cluster
+          mem_cfg
+      in
+      let options = Plan_util.make ~cluster ~faults:fault_cfg () in
+      let cfg =
+        Server.config ~window_s:window ~policy ~share:(not no_share)
+          ~options engine
+      in
+      let report = Server.run cfg (Engine.input_of_graph graph) workload in
+      if json then print_endline (Json.to_string (Server.to_json report))
+      else if detail then Fmt.pr "%a@." Server.pp_detail report
+      else Fmt.pr "%a@." Server.pp report;
+      (* Sharing must never change an answer: a divergence from the solo
+         runs (or any failed query) is a runtime failure. *)
+      if (not report.Server.r_all_matched) || report.Server.r_errors > 0
+      then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Drive a timed query workload through the query server: \
+             windowed admission, cross-query MQO (shared composite plans \
+             across overlapping queries), slot scheduling, and per-query \
+             latency/savings reporting against back-to-back execution.")
+    Term.(const run $ data $ workload_file $ generate $ seed $ mean_gap
+          $ engine $ window $ policy $ no_share $ detail $ json $ faults
+          $ mem $ verbose_arg)
 
 (* --- lint --------------------------------------------------------------- *)
 
@@ -638,4 +797,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; query_cmd; lint_cmd; explain_cmd; catalog_cmd; stats_cmd ]))
+          [
+            gen_cmd; query_cmd; serve_cmd; lint_cmd; explain_cmd; catalog_cmd;
+            stats_cmd;
+          ]))

@@ -66,9 +66,10 @@ let () =
      so the optimizer reports why and falls back to the naive NTGA plan —
      exactly the scoping rule of Def. 3.1. *)
   print_endline (Rapida_core.Rapid_analytics.plan_description q);
+  let session = Engine.prepare Engine.Rapid_analytics input in
   let ctx = Plan_util.context Plan_util.default_options in
-  match Engine.run Engine.Rapid_analytics ctx input q with
-  | Error msg -> prerr_endline ("error: " ^ msg)
+  match Engine.execute session ctx q with
+  | Error e -> prerr_endline ("error: " ^ Engine.error_message e)
   | Ok { table; stats; _ } ->
     let sorted = Rapida_relational.Relops.canonicalize table in
     Fmt.pr "%a@." Table.pp sorted;

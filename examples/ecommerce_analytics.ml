@@ -36,10 +36,12 @@ let () =
   Fmt.pr "%a" Report.pp_verification runs;
   (* Peek at the actual answer: top rows of the MG1 result. *)
   match
-    Engine.run Engine.Rapid_analytics (Plan_util.context options) input
+    Engine.execute
+      (Engine.prepare Engine.Rapid_analytics input)
+      (Plan_util.context options)
       (Catalog.parse (Catalog.find_exn "MG1"))
   with
-  | Error msg -> prerr_endline msg
+  | Error e -> prerr_endline (Engine.error_message e)
   | Ok { table; _ } ->
     let module Table = Rapida_relational.Table in
     let preview = { table with Table.rows = List.filteri (fun i _ -> i < 5) table.Table.rows } in

@@ -23,16 +23,18 @@ let base =
     ?v country ?c . }
   GROUP BY ?f ?c|}
 
-let run_ra input q =
+let run_ra session q =
   let ctx = Plan_util.context Plan_util.default_options in
-  match Engine.run Engine.Rapid_analytics ctx input q with
+  match Engine.execute session ctx q with
   | Ok out -> out
-  | Error msg -> failwith msg
+  | Error e -> failwith (Engine.error_message e)
 
 let () =
   let graph = Rapida_datagen.Bsbm.(generate (config ~products:200 ())) in
   Fmt.pr "dataset: %d triples@." (Rapida_rdf.Graph.size graph);
-  let input = Engine.input_of_graph graph in
+  let session =
+    Engine.prepare Engine.Rapid_analytics (Engine.input_of_graph graph)
+  in
   let sq = List.hd (Analytical.parse_exn base).Analytical.subqueries in
   let rollup =
     match Grouping_sets.rollup sq ~dims:[ "f"; "c" ] with
@@ -43,7 +45,7 @@ let () =
     (To_sparql.analytical rollup);
   Fmt.pr "@.predicted workflow lengths:@.%s@."
     (Rapida_core.Plan_summary.describe rollup);
-  let { Engine.table; stats; _ } = run_ra input rollup in
+  let { Engine.table; stats; _ } = run_ra session rollup in
   Fmt.pr
     "@.rollup computed in %a@.(all three grouping levels share one composite \
      pattern and one Agg-Join cycle)@."
@@ -59,7 +61,7 @@ let () =
     | Ok q -> q
     | Error e -> failwith e
   in
-  let cube_out = run_ra input cube in
+  let cube_out = run_ra session cube in
   Fmt.pr "@.CUBE(?f, ?c): %d result rows in %a@."
     (Table.cardinality cube_out.Engine.table)
     Stats.pp_summary cube_out.Engine.stats;

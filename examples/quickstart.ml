@@ -56,9 +56,10 @@ let () =
   let q = Rapida_sparql.Analytical.parse_exn query in
   print_endline (Rapida_core.Rapid_analytics.plan_description q);
   print_newline ();
+  let session = Engine.prepare Engine.Rapid_analytics input in
   let ctx = Plan_util.context Plan_util.default_options in
-  match Engine.run_sparql Engine.Rapid_analytics ctx input query with
-  | Error msg -> prerr_endline ("error: " ^ msg)
+  match Engine.execute_sparql session ctx query with
+  | Error e -> prerr_endline ("error: " ^ Engine.error_message e)
   | Ok { table; stats; _ } ->
     Fmt.pr "%a@." Table.pp table;
     Fmt.pr "executed in %a@." Rapida_mapred.Stats.pp_summary stats

@@ -424,7 +424,7 @@ let verify_cross_engine (q : Analytical.t) results =
       per_engine rest
 
 let install_engine_hook () =
-  Engine.set_plan_verifier (fun kind q table ->
+  Engine.set_default_verifier (fun kind q table ->
       let ds =
         verify_query q
         @ verify_result ~engine:(Engine.kind_name kind) q table

@@ -55,7 +55,7 @@ val verify_cross_engine :
   Analytical.t -> (string * Table.t) list -> Diagnostic.t list
 
 (** [install_engine_hook ()] registers {!verify_query} + {!verify_result}
-    as the {!Rapida_core.Engine.set_plan_verifier} callback, so engines
+    as the {!Rapida_core.Engine.set_default_verifier} callback, so engines
     re-verify after every run when the execution context has
     [verify_plans] set. The registry indirection exists because core
     cannot depend on this library. Idempotent. *)

@@ -1,0 +1,236 @@
+module Analytical = Rapida_sparql.Analytical
+module Table = Rapida_relational.Table
+module Stats = Rapida_mapred.Stats
+module Exec_ctx = Rapida_mapred.Exec_ctx
+module Workflow = Rapida_mapred.Workflow
+module Job = Rapida_mapred.Job
+module Phys_ntga = Phys_ntga
+
+type member = {
+  m_index : int;
+  m_query : Analytical.t;
+  m_subqueries : Analytical.subquery list;
+}
+
+type group = {
+  g_members : member list;
+  g_composite : Composite.t option;
+}
+
+let shares = function
+  | Engine.Hive_mqo | Engine.Rapid_analytics -> true
+  | Engine.Hive_naive | Engine.Rapid_plus -> false
+
+(* Pool a query's subqueries into a group's merged numbering: composite
+   pattern ids are the subquery ids, so pooled ids must be contiguous
+   and unique across members. Only [sq_id] changes — patterns, filters,
+   grouping, and aggregates are untouched. *)
+let renumber ~base sqs =
+  List.mapi
+    (fun i (sq : Analytical.subquery) ->
+      { sq with Analytical.sq_id = base + i })
+    sqs
+
+let pooled_subqueries members =
+  List.concat_map (fun m -> m.m_subqueries) members
+
+let group_queries kind queries =
+  let solo i q =
+    let sqs = renumber ~base:0 q.Analytical.subqueries in
+    {
+      g_members = [ { m_index = i; m_query = q; m_subqueries = sqs } ];
+      g_composite =
+        (match Composite.build sqs with Ok c -> Some c | Error _ -> None);
+    }
+  in
+  if not (shares kind) then List.mapi solo queries
+  else
+    let extend g i q =
+      (* A group only grows while the pooled subqueries still form one
+         composite pattern — Defs 3.1/3.2 checked across queries. *)
+      match g.g_composite with
+      | None -> None
+      | Some _ ->
+        let base = List.length (pooled_subqueries g.g_members) in
+        let sqs = renumber ~base q.Analytical.subqueries in
+        let pooled = pooled_subqueries g.g_members @ sqs in
+        (match Composite.build pooled with
+        | Error _ -> None
+        | Ok composite ->
+          Some
+            {
+              g_members =
+                g.g_members
+                @ [ { m_index = i; m_query = q; m_subqueries = sqs } ];
+              g_composite = Some composite;
+            })
+    in
+    let rec place groups i q =
+      match groups with
+      | [] -> [ solo i q ]
+      | g :: rest -> (
+        match extend g i q with
+        | Some g' -> g' :: rest
+        | None -> g :: place rest i q)
+    in
+    let groups, _ =
+      List.fold_left
+        (fun (groups, i) q -> (place groups i q, i + 1))
+        ([], 0) queries
+    in
+    groups
+
+type result = {
+  outputs : (Table.t, Engine.error) Stdlib.result list;
+  stats : Stats.t;
+}
+
+(* One map-only cycle routing the shared plan's per-query result rows to
+   their N per-query output channels — the fan-out boundary between the
+   shared composite workflow and the individual result consumers, priced
+   like any other cycle. The routed rows are what the server returns, so
+   the demux is real computation, not bookkeeping. *)
+let demux wf members tables =
+  let tagged =
+    List.concat
+      (List.map2
+         (fun m (t : Table.t) ->
+           List.map (fun row -> (m.m_index, row)) t.Table.rows)
+         members tables)
+  in
+  let routed =
+    Workflow.run_map_only wf
+      {
+        Job.mo_name = "server_demux";
+        mo_map = (fun x -> [ x ]);
+        (* the channel tag rides along with each routed row *)
+        mo_input_size = (fun (_, row) -> 8 + Table.row_size_bytes row);
+        mo_output_size = (fun (_, row) -> 8 + Table.row_size_bytes row);
+      }
+      tagged
+  in
+  List.map2
+    (fun m (t : Table.t) ->
+      let rows =
+        List.filter_map
+          (fun (i, row) -> if i = m.m_index then Some row else None)
+          routed
+      in
+      { t with Table.rows })
+    members tables
+
+(* Shared Hive-MQO plan across the group: materialize the pooled
+   composite once, then extract + aggregate per member subquery and
+   final-join per member — the [27]-style rewriting applied between
+   queries instead of between one query's subqueries. *)
+let shared_hive ctx vp composite members =
+  let wf = Workflow.create (Plan_util.hive_ctx ctx) in
+  let q_opt = Hive_mqo.eval_composite wf vp composite in
+  let tables =
+    List.map
+      (fun m ->
+        let per_sq =
+          List.map
+            (fun (sq : Analytical.subquery) ->
+              let info =
+                List.find
+                  (fun (p : Composite.pattern_info) ->
+                    p.Composite.pat_id = sq.Analytical.sq_id)
+                  composite.Composite.patterns
+              in
+              Hive_mqo.extract_and_aggregate wf composite q_opt sq info)
+            m.m_subqueries
+        in
+        Plan_util.final_join wf m.m_query per_sq)
+      members
+  in
+  (wf, demux wf members tables)
+
+(* Shared RAPIDAnalytics plan: one NTGA composite evaluation (scan +
+   group filter + α-joins) and ONE parallel Agg-Join cycle computing
+   every member's every grouping, then per-member finish/final-join. *)
+let shared_ra ctx store composite members =
+  let wf = Workflow.create ctx in
+  let planner = Exec_ctx.planner ctx in
+  let merged =
+    {
+      Analytical.subqueries = pooled_subqueries members;
+      outer_projection = [];
+      order_by = [];
+      limit = None;
+    }
+  in
+  let joined = Rapid_analytics.eval_composite wf merged store composite in
+  let all_tables =
+    Phys_ntga.agg_cycle wf ~name:"parallel_aggjoin"
+      ~combiner:planner.Exec_ctx.ntga_combiner ~input:joined
+      (Rapid_analytics.agjs_of planner composite merged)
+  in
+  let tables, rest =
+    List.fold_left
+      (fun (acc, remaining) m ->
+        let n = List.length m.m_subqueries in
+        let mine = List.filteri (fun i _ -> i < n) remaining in
+        let rest = List.filteri (fun i _ -> i >= n) remaining in
+        let finished =
+          List.map2 Plan_util.finish_subquery m.m_query.Analytical.subqueries
+            mine
+        in
+        (acc @ [ Plan_util.final_join wf m.m_query finished ], rest))
+      ([], all_tables) members
+  in
+  assert (rest = []);
+  (wf, demux wf members tables)
+
+let run_group session ctx group =
+  let kind = Engine.session_kind session in
+  let input = Engine.session_input session in
+  let verifier = Engine.session_verifier session in
+  let verify m table =
+    if not (Exec_ctx.verify_plans ctx) then Ok table
+    else
+      match verifier kind m.m_query table with
+      | [] -> Ok table
+      | problems -> Error (Engine.Verify_failed { kind; problems })
+  in
+  match group with
+  | { g_members = [ m ]; _ } ->
+    (* Singleton groups take the exact solo path: byte-identical cost
+       and answer to a stand-alone [Engine.execute]. *)
+    (match Engine.execute session ctx m.m_query with
+    | Ok out -> { outputs = [ Ok out.Engine.table ]; stats = out.Engine.stats }
+    | Error e -> { outputs = [ Error e ]; stats = Stats.empty })
+  | { g_members = members; g_composite = Some composite } -> (
+    match
+      match kind with
+      | Engine.Hive_mqo ->
+        shared_hive ctx (Engine.input_vp input) composite members
+      | Engine.Rapid_analytics ->
+        shared_ra ctx (Engine.input_tg_store input) composite members
+      | Engine.Hive_naive | Engine.Rapid_plus ->
+        invalid_arg "Batch_exec.run_group: kind does not share"
+    with
+    | wf, tables ->
+      {
+        outputs = List.map2 verify members tables;
+        stats = Workflow.stats wf;
+      }
+    | exception Workflow.Aborted a ->
+      {
+        outputs = List.map (fun _ -> Error (Engine.Job_failed a)) members;
+        stats = Stats.empty;
+      }
+    | exception Failure msg ->
+      {
+        outputs = List.map (fun _ -> Error (Engine.Plan_rejected msg)) members;
+        stats = Stats.empty;
+      }
+    | exception Invalid_argument msg ->
+      {
+        outputs = List.map (fun _ -> Error (Engine.Plan_rejected msg)) members;
+        stats = Stats.empty;
+      })
+  | { g_members = _ :: _ :: _; g_composite = None } ->
+    invalid_arg "Batch_exec.run_group: multi-member group without composite"
+  | { g_members = []; _ } ->
+    { outputs = []; stats = Stats.empty }

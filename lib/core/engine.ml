@@ -39,46 +39,107 @@ let input_of_graph graph =
   }
 
 let graph_of_input input = input.graph
+let input_vp input = Lazy.force input.vp
+let input_tg_store input = Lazy.force input.tg_store
 
 type output = { table : Table.t; stats : Stats.t; trace : Trace.t }
+
+type error =
+  | Parse_error of string
+  | Plan_rejected of string
+  | Job_failed of Workflow.abort
+  | Verify_failed of { kind : kind; problems : string list }
+
+let error_message = function
+  | Parse_error msg -> msg
+  | Plan_rejected msg -> msg
+  | Job_failed abort -> Fmt.str "%a" Workflow.pp_abort abort
+  | Verify_failed { kind; problems } ->
+    Fmt.str "plan verification failed (%s): %s" (kind_name kind)
+      (String.concat "; " problems)
+
+let pp_error ppf e = Fmt.string ppf (error_message e)
+
+(* Parse errors are what the user typed — a usage error (exit 2, like an
+   unreadable file); everything after a successful parse is a runtime
+   failure (exit 1). *)
+let error_exit_code = function Parse_error _ -> 2 | _ -> 1
+
+type verifier = kind -> Analytical.t -> Table.t -> string list
 
 (* Static plan verification is provided by the analysis library, which
    depends on this one; the registry indirection breaks the cycle. The
    default verifier accepts everything, so nothing changes until
-   [Rapida_analysis.Plan_verify.install_engine_hook] runs. *)
-let plan_verifier : (kind -> Analytical.t -> Table.t -> string list) ref =
-  ref (fun _ _ _ -> [])
+   [Rapida_analysis.Plan_verify.install_engine_hook] runs. Sessions
+   capture the registered default at [prepare] time — executions never
+   read this cell, so re-registration cannot race a running query. *)
+let default_verifier : verifier ref = ref (fun _ _ _ -> [])
 
-let set_plan_verifier f = plan_verifier := f
+let set_default_verifier f = default_verifier := f
+let set_plan_verifier = set_default_verifier
 
-let run kind ctx input query =
+type session = { s_kind : kind; s_input : input; s_verifier : verifier }
+
+let prepare ?verifier kind input =
+  (* Force the storage layout this engine kind scans, so every later
+     [execute] starts from prepared storage. *)
+  (match kind with
+  | Hive_naive | Hive_mqo -> ignore (Lazy.force input.vp)
+  | Rapid_plus | Rapid_analytics -> ignore (Lazy.force input.tg_store));
+  {
+    s_kind = kind;
+    s_input = input;
+    s_verifier =
+      (match verifier with Some f -> f | None -> !default_verifier);
+  }
+
+let session_kind s = s.s_kind
+let session_input s = s.s_input
+let session_verifier s = s.s_verifier
+
+let execute session ctx query =
+  let { s_kind = kind; s_input = input; s_verifier } = session in
   let result =
     (* A workflow that exhausts its whole-job retries surfaces as a
        structured error, never an escaping exception. *)
     try
-      match kind with
-      | Hive_naive -> Hive_naive.run ctx (Lazy.force input.vp) query
-      | Hive_mqo -> Hive_mqo.run ctx (Lazy.force input.vp) query
-      | Rapid_plus -> Rapid_plus.run ctx (Lazy.force input.tg_store) query
-      | Rapid_analytics ->
-        Rapid_analytics.run ctx (Lazy.force input.tg_store) query
-    with Workflow.Aborted a -> Error (Fmt.str "%a" Workflow.pp_abort a)
+      Result.map_error
+        (fun msg -> `Msg msg)
+        (match kind with
+        | Hive_naive -> Hive_naive.run ctx (Lazy.force input.vp) query
+        | Hive_mqo -> Hive_mqo.run ctx (Lazy.force input.vp) query
+        | Rapid_plus -> Rapid_plus.run ctx (Lazy.force input.tg_store) query
+        | Rapid_analytics ->
+          Rapid_analytics.run ctx (Lazy.force input.tg_store) query)
+    with Workflow.Aborted a -> Error (`Aborted a)
   in
-  Result.bind result (fun (table, stats) ->
-      let output = { table; stats; trace = Exec_ctx.trace ctx } in
-      if not (Exec_ctx.verify_plans ctx) then Ok output
-      else
-        (* Verification is pure and runs no simulated jobs, so the trace
-           and counters — the cost-model outputs — are untouched. *)
-        match !plan_verifier kind query table with
-        | [] -> Ok output
-        | problems ->
-          Error
-            (Fmt.str "plan verification failed (%s): %s" (kind_name kind)
-               (String.concat "; " problems)))
+  match result with
+  | Error (`Aborted a) -> Error (Job_failed a)
+  | Error (`Msg msg) -> Error (Plan_rejected msg)
+  | Ok (table, stats) -> (
+    let output = { table; stats; trace = Exec_ctx.trace ctx } in
+    if not (Exec_ctx.verify_plans ctx) then Ok output
+    else
+      (* Verification is pure and runs no simulated jobs, so the trace
+         and counters — the cost-model outputs — are untouched. *)
+      match s_verifier kind query table with
+      | [] -> Ok output
+      | problems -> Error (Verify_failed { kind; problems }))
+
+let execute_sparql session ctx src =
+  match Analytical.parse src with
+  | Error msg -> Error (Parse_error msg)
+  | Ok query -> execute session ctx query
+
+(* --- deprecated shims ---------------------------------------------------- *)
+
+let run kind ctx input query =
+  Result.map_error error_message
+    (execute (prepare kind input) ctx query)
 
 let run_sparql kind ctx input src =
-  Result.bind (Analytical.parse src) (run kind ctx input)
+  Result.map_error error_message
+    (execute_sparql (prepare kind input) ctx src)
 
 let run_with_options kind options input query =
   run kind (Plan_util.context options) input query

@@ -19,3 +19,22 @@ module Stats = Rapida_mapred.Stats
 val run :
   Rapida_mapred.Exec_ctx.t -> Vp_store.t -> Analytical.t ->
   (Table.t * Stats.t, string) result
+
+(** The pieces of the composite plan, exposed so the query server's
+    cross-query MQO ({!Batch_exec}) can share one composite evaluation
+    across several concurrent queries. *)
+
+(** [eval_composite wf vp composite] materializes the composite pattern:
+    one multiway star join per composite star plus one pair join per
+    join edge, all recorded on [wf]. *)
+val eval_composite :
+  Rapida_mapred.Workflow.t -> Vp_store.t -> Composite.t -> Table.t
+
+(** [extract_and_aggregate wf composite q_opt sq info] extracts pattern
+    [info]'s distinct bindings from the materialized composite result
+    [q_opt] and aggregates them per [sq] (whose [sq_id] must equal
+    [info.pat_id]) — one distinct-projection cycle plus one aggregation
+    cycle. *)
+val extract_and_aggregate :
+  Rapida_mapred.Workflow.t -> Composite.t -> Table.t ->
+  Analytical.subquery -> Composite.pattern_info -> Table.t

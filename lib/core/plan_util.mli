@@ -41,7 +41,7 @@ type options = {
   verify_plans : bool;
       (** debug mode: after every engine run, re-check the optimizer
           invariants and result schema with the registered static plan
-          verifier (see {!Engine.set_plan_verifier}). Pure and
+          verifier (see {!Engine.set_default_verifier}). Pure and
           out-of-band — cost-model outputs are unchanged. *)
 }
 

@@ -20,3 +20,23 @@ val run :
 (** [plan_description q] renders the composite rewriting that [run] would
     use (or the overlap failure), for the CLI's explain command. *)
 val plan_description : Analytical.t -> string
+
+(** The pieces of the composite plan, exposed so the query server's
+    cross-query MQO ({!Batch_exec}) can share one composite evaluation
+    (scan + Agg-Join cycle) across several concurrent queries. *)
+
+(** [eval_composite wf q store composite] evaluates the composite
+    pattern with NTGA operators: one map-side scan + group filter per
+    composite star and one join cycle per edge, recorded on [wf]. [q]
+    supplies the planner's filter-pushdown decision (pushed only for
+    single-subquery queries). *)
+val eval_composite :
+  Rapida_mapred.Workflow.t -> Analytical.t -> Tg_store.t -> Composite.t ->
+  Rapida_ntga.Joined.t list
+
+(** [agjs_of planner composite q] is one Agg-Join per subquery of [q],
+    all evaluable in a single {!Phys_ntga.agg_cycle} over the composite
+    matches. *)
+val agjs_of :
+  Rapida_mapred.Exec_ctx.planner -> Composite.t -> Analytical.t ->
+  Phys_ntga.agj list

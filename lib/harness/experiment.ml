@@ -30,6 +30,12 @@ type run = {
   results : engine_result list;
 }
 
+(* Session-API bridge for the sweeps below, which report errors as
+   strings: one prepared session per engine kind and dataset. *)
+let execute kind ctx input q =
+  Result.map_error Engine.error_message
+    (Engine.execute (Engine.prepare kind input) ctx q)
+
 let failed_result engine trace msg =
   {
     engine;
@@ -58,7 +64,7 @@ let run_query ?(engines = Engine.all_kinds) options ~label input entry =
            counters describe exactly one engine's workflow. *)
         let ctx = Plan_util.context options in
         let t0 = Unix.gettimeofday () in
-        match Engine.run kind ctx input q with
+        match execute kind ctx input q with
         | Error msg ->
           failed_result kind (Rapida_mapred.Exec_ctx.trace ctx) msg
         | Ok { table; stats; trace } ->
@@ -120,7 +126,7 @@ let degradation ?(engines = Engine.all_kinds) ?(seed = 7)
     let ctx =
       Plan_util.context (Plan_util.make ~base:options ~faults:cfg ())
     in
-    Engine.run kind ctx input q
+    execute kind ctx input q
   in
   let baseline =
     List.map
@@ -239,7 +245,7 @@ let memory_sweep ?(engines = Engine.all_kinds)
       Cluster.with_memory options.Plan_util.cluster (mem_of_heap heap)
     in
     let ctx = Plan_util.context (Plan_util.make ~base:options ~cluster ()) in
-    (ctx, Engine.run kind ctx input q)
+    (ctx, execute kind ctx input q)
   in
   let unbounded = Memory.default.Memory.task_heap_bytes in
   let baseline =
@@ -349,7 +355,7 @@ let recovery_sweep ?(engines = Engine.all_kinds) ?(seed = 7)
       Plan_util.context
         (Plan_util.make ~base:options ~faults:(cfg_of rate) ~checkpoint ())
     in
-    (ctx, Engine.run kind ctx input q)
+    (ctx, execute kind ctx input q)
   in
   let baseline =
     List.map
@@ -429,3 +435,53 @@ let recovery_point sweep kind rate policy =
   List.find_opt
     (fun p -> p.r_engine = kind && p.r_rate = rate && p.r_policy = policy)
     sweep.r_points
+
+(* --- Query-server throughput sweep -------------------------------------- *)
+
+module Server = Rapida_server.Server
+module Scheduler = Rapida_mapred.Scheduler
+module Workload = Rapida_server.Workload
+
+type throughput_point = {
+  t_window_s : float;
+  t_policy : Scheduler.policy;
+  t_share : bool;
+  t_report : Server.t;
+}
+
+type throughput = {
+  t_kind : Engine.kind;
+  t_queries : int;
+  t_points : throughput_point list;
+}
+
+let throughput ?(windows = [ 0.0; 2.0; 8.0 ])
+    ?(policies = [ Scheduler.Fifo; Scheduler.Fair ])
+    ?(share = [ true; false ]) options kind input workload =
+  let points =
+    List.concat_map
+      (fun window_s ->
+        List.concat_map
+          (fun policy ->
+            List.map
+              (fun sh ->
+                let cfg =
+                  Server.config ~window_s ~policy ~share:sh ~options kind
+                in
+                {
+                  t_window_s = window_s;
+                  t_policy = policy;
+                  t_share = sh;
+                  t_report = Server.run cfg input workload;
+                })
+              share)
+          policies)
+      windows
+  in
+  { t_kind = kind; t_queries = Workload.size workload; t_points = points }
+
+let throughput_point sweep ~window_s ~policy ~share =
+  List.find_opt
+    (fun p ->
+      p.t_window_s = window_s && p.t_policy = policy && p.t_share = share)
+    sweep.t_points

@@ -193,3 +193,44 @@ val recovery_sweep :
 val recovery_point :
   recovery -> Engine.kind -> float -> Rapida_mapred.Checkpoint.policy ->
   recovery_point option
+
+(** One (admission window, scheduler policy, sharing) setting of a
+    query-server {!throughput} sweep, carrying the server's full report
+    for that setting. *)
+type throughput_point = {
+  t_window_s : float;
+  t_policy : Rapida_mapred.Scheduler.policy;
+  t_share : bool;
+  t_report : Rapida_server.Server.t;
+}
+
+type throughput = {
+  t_kind : Engine.kind;
+  t_queries : int;
+  t_points : throughput_point list;  (** window-major, policy, share order *)
+}
+
+(** [throughput ?windows ?policies ?share options kind input workload]
+    drives one workload through the query server at every combination of
+    admission window, scheduler policy, and sharing mode: per-query
+    latency percentiles, slot utilization, and the jobs/scan-bytes saved
+    against back-to-back execution, with every result checked against
+    its solo run. Windows default to [0, 2, 8] seconds; policies to FIFO
+    and fair-share; sharing to both on and off. *)
+val throughput :
+  ?windows:float list ->
+  ?policies:Rapida_mapred.Scheduler.policy list ->
+  ?share:bool list ->
+  Rapida_core.Plan_util.options ->
+  Engine.kind ->
+  Engine.input ->
+  Rapida_server.Workload.t ->
+  throughput
+
+(** [throughput_point sweep ~window_s ~policy ~share] finds one setting. *)
+val throughput_point :
+  throughput ->
+  window_s:float ->
+  policy:Rapida_mapred.Scheduler.policy ->
+  share:bool ->
+  throughput_point option

@@ -265,3 +265,31 @@ let pp_verification ppf runs =
                 | None -> ""))
           run.Experiment.results)
     runs
+
+(* --- Query-server throughput sweep -------------------------------------- *)
+
+module Scheduler = Rapida_mapred.Scheduler
+module Server = Rapida_server.Server
+
+let pp_throughput ppf (sweep : Experiment.throughput) =
+  Fmt.pf ppf "@.== Throughput sweep: %s, %d queries ==@."
+    (Engine.kind_name sweep.Experiment.t_kind)
+    sweep.Experiment.t_queries;
+  Fmt.pf ppf "%-7s %-6s %-5s %9s %9s %9s %6s %5s %6s %12s %s@." "window"
+    "policy" "share" "p50" "p95" "p99" "util" "jobs" "saved" "bytes-saved"
+    "ok";
+  List.iter
+    (fun (p : Experiment.throughput_point) ->
+      let r = p.Experiment.t_report in
+      Fmt.pf ppf "%6.1fs %-6s %-5s %8.1fs %8.1fs %8.1fs %5.1f%% %5d %6d %12d %s@."
+        p.Experiment.t_window_s
+        (Scheduler.policy_name p.Experiment.t_policy)
+        (if p.Experiment.t_share then "on" else "off")
+        r.Server.r_latency_p50_s r.Server.r_latency_p95_s
+        r.Server.r_latency_p99_s
+        (100.0 *. r.Server.r_utilization)
+        r.Server.r_jobs r.Server.r_jobs_saved r.Server.r_bytes_saved
+        (if r.Server.r_all_matched && r.Server.r_errors = 0 then "yes"
+         else "NO");
+      ())
+    sweep.Experiment.t_points

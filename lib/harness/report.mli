@@ -62,3 +62,11 @@ val pp_memory :
     [*] marks a (would-be-transparency-violating) diverged result. *)
 val pp_recovery :
   engines:Engine.kind list -> Experiment.recovery Fmt.t
+
+(** [pp_throughput sweep] renders a query-server throughput sweep: a row
+    per (admission window, scheduler policy, sharing) setting showing
+    per-query latency percentiles, slot utilization, server-path job
+    count, and the jobs/scan-bytes saved versus back-to-back execution.
+    The [ok] column confirms every per-query result matched its solo
+    run — the sharing-transparency invariant. *)
+val pp_throughput : Experiment.throughput Fmt.t

@@ -57,7 +57,7 @@ val faults : t -> Fault_injector.t
 val checkpoint : t -> Checkpoint.config
 
 (** Debug mode: when set, engines ask the registered static plan
-    verifier (see [Rapida_core.Engine.set_plan_verifier]) to re-check
+    verifier (see [Rapida_core.Engine.set_default_verifier]) to re-check
     optimizer invariants and the result schema after every run.
     Verification is pure and out-of-band — it runs no simulated jobs, so
     enabling it never perturbs the cost model. *)

@@ -96,6 +96,17 @@ let charge_checkpoint t ~bytes dt_s =
     checkpoint_bytes = t.checkpoint_bytes + bytes;
   }
 
+(* Slot demand: every map task and every reduce task of a cycle needs a
+   slot, but the phases are sequential, so the cycle's peak concurrent
+   need is the larger side. The startup-only degenerate case (no tasks)
+   still occupies the scheduler, hence the floor of 1. *)
+let job_slots j = max 1 (max j.map_tasks j.reduce_tasks)
+
+let slot_seconds t =
+  List.fold_left
+    (fun acc j -> acc +. (float_of_int (job_slots j) *. j.est_time_s))
+    0.0 t.jobs
+
 let cycles t = List.length t.jobs
 
 let map_only_cycles t =

@@ -96,6 +96,17 @@ val charge_replay : t -> jobs:int -> float -> t
     [bytes]-byte job output costing [dt_s] simulated seconds. *)
 val charge_checkpoint : t -> bytes:int -> float -> t
 
+(** [job_slots j] is the job's peak concurrent slot demand:
+    [max map_tasks reduce_tasks] (the phases run one after the other),
+    floored at 1. The {!Scheduler} caps this at the cluster's pool. *)
+val job_slots : job -> int
+
+(** [slot_seconds t] is the workload's total slot occupancy,
+    Σ {!job_slots} × [est_time_s] over the jobs — what the jobs cost the
+    cluster, as opposed to {!est_time_s}, which is what they cost the
+    querier. *)
+val slot_seconds : t -> float
+
 (** Total number of MR cycles (map-reduce + map-only jobs). *)
 val cycles : t -> int
 

@@ -1,0 +1,437 @@
+module Engine = Rapida_core.Engine
+module Batch_exec = Rapida_core.Batch_exec
+module Plan_util = Rapida_core.Plan_util
+module Analytical = Rapida_sparql.Analytical
+module Scheduler = Rapida_mapred.Scheduler
+module Stats = Rapida_mapred.Stats
+module Json = Rapida_mapred.Json
+module Table = Rapida_relational.Table
+module Relops = Rapida_relational.Relops
+
+type config = {
+  c_kind : Engine.kind;
+  c_window_s : float;
+  c_policy : Scheduler.policy;
+  c_share : bool;
+  c_options : Plan_util.options;
+}
+
+let config ?(window_s = 5.0) ?(policy = Scheduler.Fair) ?(share = true)
+    ?(options = Plan_util.default_options) kind =
+  {
+    c_kind = kind;
+    c_window_s = window_s;
+    c_policy = policy;
+    c_share = share;
+    c_options = options;
+  }
+
+type query_report = {
+  q_id : int;
+  q_label : string;
+  q_arrival_s : float;
+  q_batch : int;
+  q_group : int;
+  q_group_size : int;
+  q_queue_s : float;
+  q_latency_s : float;
+  q_rows : int;
+  q_error : Engine.error option;
+  q_matches_solo : bool;
+}
+
+type batch_report = {
+  b_index : int;
+  b_open_s : float;
+  b_admit_s : float;
+  b_size : int;
+  b_group_sizes : int list;
+}
+
+type t = {
+  r_kind : Engine.kind;
+  r_window_s : float;
+  r_policy : Scheduler.policy;
+  r_share : bool;
+  r_queries : query_report list;
+  r_batches : batch_report list;
+  r_jobs : int;
+  r_input_bytes : int;
+  r_makespan_s : float;
+  r_utilization : float;
+  r_latency_mean_s : float;
+  r_latency_p50_s : float;
+  r_latency_p95_s : float;
+  r_latency_p99_s : float;
+  r_latency_max_s : float;
+  r_solo_jobs : int;
+  r_solo_input_bytes : int;
+  r_solo_makespan_s : float;
+  r_solo_latency_p50_s : float;
+  r_solo_latency_p95_s : float;
+  r_solo_latency_p99_s : float;
+  r_jobs_saved : int;
+  r_bytes_saved : int;
+  r_all_matched : bool;
+  r_errors : int;
+}
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+    let n = List.length sorted in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    List.nth sorted (min (max rank 1) n - 1)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* Admission windows over the sorted arrival stream: a window opens at
+   the first pending arrival, collects everything arriving within
+   [window_s], and admits the batch when it closes. *)
+let batch_arrivals window_s arrivals =
+  let rec go idx = function
+    | [] -> []
+    | (a : Workload.arrival) :: _ as pending ->
+      let close = a.Workload.a_time_s +. window_s in
+      let members, rest =
+        List.partition
+          (fun (x : Workload.arrival) ->
+            x.Workload.a_time_s <= close +. 1e-9)
+          pending
+      in
+      (idx, a.Workload.a_time_s, close, members) :: go (idx + 1) rest
+  in
+  go 0 arrivals
+
+(* Sharing off: every admitted query is its own group; [run_group] then
+   takes the exact solo [Engine.execute] path for each. *)
+let solo_groups queries =
+  List.mapi
+    (fun i (q : Analytical.t) ->
+      {
+        Batch_exec.g_members =
+          [
+            {
+              Batch_exec.m_index = i;
+              m_query = q;
+              m_subqueries = q.Analytical.subqueries;
+            };
+          ];
+        g_composite = None;
+      })
+    queries
+
+(* One executed overlap group: its arrivals (member order), per-member
+   outcomes, and the priced shared workflow. *)
+type exec_group = {
+  eg_index : int;
+  eg_batch : int;
+  eg_admit_s : float;
+  eg_members : (Workload.arrival * (Table.t, Engine.error) result) list;
+  eg_stats : Stats.t;
+}
+
+let run cfg input (workload : Workload.t) =
+  let session = Engine.prepare cfg.c_kind input in
+  let batches = batch_arrivals cfg.c_window_s workload.Workload.arrivals in
+  (* Execute every batch's overlap groups; a fresh context per group so
+     each shared workflow's trace and counters stand alone. *)
+  let exec_groups, batch_reports =
+    let next = ref 0 in
+    List.fold_left
+      (fun (egs, brs) (b_index, open_s, admit_s, members) ->
+        let queries =
+          List.map (fun a -> a.Workload.a_query) members
+        in
+        let groups =
+          if cfg.c_share then Batch_exec.group_queries cfg.c_kind queries
+          else solo_groups queries
+        in
+        let executed =
+          List.map
+            (fun (g : Batch_exec.group) ->
+              let ctx = Plan_util.context cfg.c_options in
+              let res = Batch_exec.run_group session ctx g in
+              let index = !next in
+              incr next;
+              {
+                eg_index = index;
+                eg_batch = b_index;
+                eg_admit_s = admit_s;
+                eg_members =
+                  List.map2
+                    (fun (m : Batch_exec.member) out ->
+                      (List.nth members m.Batch_exec.m_index, out))
+                    g.Batch_exec.g_members res.Batch_exec.outputs;
+                eg_stats = res.Batch_exec.stats;
+              })
+            groups
+        in
+        let br =
+          {
+            b_index;
+            b_open_s = open_s;
+            b_admit_s = admit_s;
+            b_size = List.length members;
+            b_group_sizes =
+              List.map (fun eg -> List.length eg.eg_members) executed;
+          }
+        in
+        (egs @ executed, brs @ [ br ]))
+      ([], []) batches
+  in
+  (* The shared workflows contend for the cluster's slots. *)
+  let sched =
+    Scheduler.simulate cfg.c_options.Plan_util.cluster cfg.c_policy
+      (List.map
+         (fun eg ->
+           {
+             Scheduler.it_id = eg.eg_index;
+             it_submit_s = eg.eg_admit_s;
+             it_jobs = eg.eg_stats.Stats.jobs;
+           })
+         exec_groups)
+  in
+  (* Back-to-back baseline: every query solo, sequentially, same
+     cluster — the savings denominator and the identity reference. *)
+  let solo =
+    List.map
+      (fun (a : Workload.arrival) ->
+        let ctx = Plan_util.context cfg.c_options in
+        (a, Engine.execute session ctx a.Workload.a_query))
+      workload.Workload.arrivals
+  in
+  let solo_finish =
+    let cursor = ref 0.0 in
+    List.map
+      (fun ((a : Workload.arrival), res) ->
+        let dur =
+          match res with
+          | Ok (o : Engine.output) -> Stats.est_time_s o.Engine.stats
+          | Error _ -> 0.0
+        in
+        let start = Float.max !cursor a.Workload.a_time_s in
+        cursor := start +. dur;
+        (a.Workload.a_id, !cursor))
+      solo
+  in
+  let queries =
+    List.concat_map
+      (fun eg ->
+        let size = List.length eg.eg_members in
+        let placement = Scheduler.placement sched eg.eg_index in
+        let finish, queue =
+          match placement with
+          | Some p -> (p.Scheduler.p_finish_s, p.Scheduler.p_queue_s)
+          | None -> (eg.eg_admit_s, 0.0)
+        in
+        List.map
+          (fun ((a : Workload.arrival), out) ->
+            let solo_out =
+              List.assoc a.Workload.a_id
+                (List.map
+                   (fun ((s : Workload.arrival), r) ->
+                     (s.Workload.a_id, r))
+                   solo)
+            in
+            let matches =
+              match (out, solo_out) with
+              | Ok t, Ok (o : Engine.output) ->
+                Relops.same_results o.Engine.table t
+              | Error _, Error _ -> true
+              | _ -> false
+            in
+            {
+              q_id = a.Workload.a_id;
+              q_label = a.Workload.a_label;
+              q_arrival_s = a.Workload.a_time_s;
+              q_batch = eg.eg_batch;
+              q_group = eg.eg_index;
+              q_group_size = size;
+              q_queue_s =
+                Float.max 0.0 (eg.eg_admit_s -. a.Workload.a_time_s)
+                +. queue;
+              q_latency_s = Float.max 0.0 (finish -. a.Workload.a_time_s);
+              q_rows =
+                (match out with Ok t -> Table.cardinality t | Error _ -> 0);
+              q_error =
+                (match out with Ok _ -> None | Error e -> Some e);
+              q_matches_solo = matches;
+            })
+          eg.eg_members)
+      exec_groups
+    |> List.sort (fun a b -> compare a.q_id b.q_id)
+  in
+  let sum_stats f =
+    List.fold_left (fun acc eg -> acc + f eg.eg_stats) 0 exec_groups
+  in
+  let latencies = List.map (fun q -> q.q_latency_s) queries in
+  let solo_latencies =
+    List.map
+      (fun ((a : Workload.arrival), _) ->
+        List.assoc a.Workload.a_id solo_finish -. a.Workload.a_time_s)
+      solo
+  in
+  let solo_jobs, solo_bytes =
+    List.fold_left
+      (fun (j, b) (_, res) ->
+        match res with
+        | Ok (o : Engine.output) ->
+          ( j + Stats.cycles o.Engine.stats,
+            b + Stats.total_input_bytes o.Engine.stats )
+        | Error _ -> (j, b))
+      (0, 0) solo
+  in
+  let solo_makespan =
+    match (workload.Workload.arrivals, List.rev solo_finish) with
+    | first :: _, (_, last) :: _ ->
+      Float.max 0.0 (last -. first.Workload.a_time_s)
+    | _ -> 0.0
+  in
+  let jobs = sum_stats Stats.cycles in
+  let bytes = sum_stats Stats.total_input_bytes in
+  {
+    r_kind = cfg.c_kind;
+    r_window_s = cfg.c_window_s;
+    r_policy = cfg.c_policy;
+    r_share = cfg.c_share;
+    r_queries = queries;
+    r_batches = batch_reports;
+    r_jobs = jobs;
+    r_input_bytes = bytes;
+    r_makespan_s = sched.Scheduler.makespan_s;
+    r_utilization = sched.Scheduler.utilization;
+    r_latency_mean_s = mean latencies;
+    r_latency_p50_s = percentile 50.0 latencies;
+    r_latency_p95_s = percentile 95.0 latencies;
+    r_latency_p99_s = percentile 99.0 latencies;
+    r_latency_max_s = List.fold_left Float.max 0.0 latencies;
+    r_solo_jobs = solo_jobs;
+    r_solo_input_bytes = solo_bytes;
+    r_solo_makespan_s = solo_makespan;
+    r_solo_latency_p50_s = percentile 50.0 solo_latencies;
+    r_solo_latency_p95_s = percentile 95.0 solo_latencies;
+    r_solo_latency_p99_s = percentile 99.0 solo_latencies;
+    r_jobs_saved = solo_jobs - jobs;
+    r_bytes_saved = solo_bytes - bytes;
+    r_all_matched = List.for_all (fun q -> q.q_matches_solo) queries;
+    r_errors =
+      List.length (List.filter (fun q -> q.q_error <> None) queries);
+  }
+
+let pp_group_sizes ppf sizes =
+  Fmt.(list ~sep:(any "+") int) ppf sizes
+
+let pp ppf r =
+  Fmt.pf ppf
+    "@[<v>query server: engine=%s window=%.1fs policy=%s sharing=%s@,"
+    (Engine.kind_name r.r_kind) r.r_window_s
+    (Scheduler.policy_name r.r_policy)
+    (if r.r_share then "on" else "off");
+  Fmt.pf ppf "queries: %d in %d batches; group sizes: %a@,"
+    (List.length r.r_queries)
+    (List.length r.r_batches)
+    Fmt.(list ~sep:(any " | ") pp_group_sizes)
+    (List.map (fun b -> b.b_group_sizes) r.r_batches);
+  Fmt.pf ppf
+    "latency: mean %.2fs  p50 %.2fs  p95 %.2fs  p99 %.2fs  max %.2fs@,"
+    r.r_latency_mean_s r.r_latency_p50_s r.r_latency_p95_s r.r_latency_p99_s
+    r.r_latency_max_s;
+  Fmt.pf ppf "cluster: makespan %.2fs  slot utilization %.1f%%@,"
+    r.r_makespan_s (100.0 *. r.r_utilization);
+  Fmt.pf ppf "server path: %d jobs, %d scan bytes@," r.r_jobs r.r_input_bytes;
+  Fmt.pf ppf
+    "back-to-back: %d jobs, %d scan bytes, makespan %.2fs, p50 %.2fs@,"
+    r.r_solo_jobs r.r_solo_input_bytes r.r_solo_makespan_s
+    r.r_solo_latency_p50_s;
+  Fmt.pf ppf "saved: %d jobs, %d scan bytes@," r.r_jobs_saved r.r_bytes_saved;
+  if r.r_errors > 0 then Fmt.pf ppf "errors: %d@," r.r_errors;
+  Fmt.pf ppf "results: %s@]"
+    (if r.r_all_matched then
+       Printf.sprintf "all %d match solo runs" (List.length r.r_queries)
+     else "DIVERGED from solo runs")
+
+let pp_detail ppf r =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun q ->
+      Fmt.pf ppf
+        "q%-3d %-14s arr %7.2fs  batch %d  group %d(x%d)  queue %6.2fs  \
+         latency %7.2fs  rows %4d  %s@,"
+        q.q_id q.q_label q.q_arrival_s q.q_batch q.q_group q.q_group_size
+        q.q_queue_s q.q_latency_s q.q_rows
+        (match q.q_error with
+        | Some e -> "error: " ^ Engine.error_message e
+        | None -> if q.q_matches_solo then "ok" else "DIVERGED"))
+    r.r_queries;
+  Fmt.pf ppf "%a@]" pp r
+
+let query_to_json q =
+  Json.Obj
+    [
+      ("id", Json.Int q.q_id);
+      ("label", Json.String q.q_label);
+      ("arrival_s", Json.Float q.q_arrival_s);
+      ("batch", Json.Int q.q_batch);
+      ("group", Json.Int q.q_group);
+      ("group_size", Json.Int q.q_group_size);
+      ("queue_s", Json.Float q.q_queue_s);
+      ("latency_s", Json.Float q.q_latency_s);
+      ("rows", Json.Int q.q_rows);
+      ( "error",
+        match q.q_error with
+        | None -> Json.Null
+        | Some e -> Json.String (Engine.error_message e) );
+      ("matches_solo", Json.Bool q.q_matches_solo);
+    ]
+
+let batch_to_json b =
+  Json.Obj
+    [
+      ("index", Json.Int b.b_index);
+      ("open_s", Json.Float b.b_open_s);
+      ("admit_s", Json.Float b.b_admit_s);
+      ("queries", Json.Int b.b_size);
+      ("group_sizes", Json.List (List.map (fun n -> Json.Int n) b.b_group_sizes));
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("engine", Json.String (Engine.kind_name r.r_kind));
+      ("window_s", Json.Float r.r_window_s);
+      ("policy", Json.String (Scheduler.policy_name r.r_policy));
+      ("sharing", Json.Bool r.r_share);
+      ("queries", Json.List (List.map query_to_json r.r_queries));
+      ("batches", Json.List (List.map batch_to_json r.r_batches));
+      ("jobs", Json.Int r.r_jobs);
+      ("input_bytes", Json.Int r.r_input_bytes);
+      ("makespan_s", Json.Float r.r_makespan_s);
+      ("utilization", Json.Float r.r_utilization);
+      ( "latency_s",
+        Json.Obj
+          [
+            ("mean", Json.Float r.r_latency_mean_s);
+            ("p50", Json.Float r.r_latency_p50_s);
+            ("p95", Json.Float r.r_latency_p95_s);
+            ("p99", Json.Float r.r_latency_p99_s);
+            ("max", Json.Float r.r_latency_max_s);
+          ] );
+      ( "back_to_back",
+        Json.Obj
+          [
+            ("jobs", Json.Int r.r_solo_jobs);
+            ("input_bytes", Json.Int r.r_solo_input_bytes);
+            ("makespan_s", Json.Float r.r_solo_makespan_s);
+            ("latency_p50_s", Json.Float r.r_solo_latency_p50_s);
+            ("latency_p95_s", Json.Float r.r_solo_latency_p95_s);
+            ("latency_p99_s", Json.Float r.r_solo_latency_p99_s);
+          ] );
+      ("jobs_saved", Json.Int r.r_jobs_saved);
+      ("bytes_saved", Json.Int r.r_bytes_saved);
+      ("all_matched", Json.Bool r.r_all_matched);
+      ("errors", Json.Int r.r_errors);
+    ]

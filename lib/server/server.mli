@@ -1,0 +1,113 @@
+(** The query server: a workload driver with cross-query multi-query
+    optimization.
+
+    The server admits a time-ordered stream of analytical queries
+    ({!Workload.t}) in admission windows: a window opens at the first
+    pending arrival and closes [window_s] later; everything that arrived
+    meanwhile is admitted as one batch. Each batch is partitioned into
+    overlap groups ({!Rapida_core.Batch_exec.group_queries} — the
+    paper's Defs 3.1/3.2 machinery applied {e across} queries), every
+    group runs as one shared composite plan (one scan, one Agg-Join
+    cycle, one demux — {!Rapida_core.Batch_exec.run_group}), and the
+    groups' priced workflows contend for the cluster's slots under a
+    {!Rapida_mapred.Scheduler} policy. Per-query latency is
+    admission wait + queueing delay + shared execution.
+
+    Every run also prices the back-to-back baseline — each query solo
+    through {!Rapida_core.Engine.execute}, sequentially on the same
+    cluster — and checks every server-path result against its solo
+    result ({!Rapida_relational.Relops.same_results}): sharing must
+    change the price, never the answer. *)
+
+module Engine = Rapida_core.Engine
+module Scheduler = Rapida_mapred.Scheduler
+module Json = Rapida_mapred.Json
+
+type config = {
+  c_kind : Engine.kind;
+  c_window_s : float;  (** admission window length, seconds *)
+  c_policy : Scheduler.policy;
+  c_share : bool;
+      (** cross-query sharing on MQO-capable kinds; [false] runs every
+          admitted query solo (grouping off), isolating the scheduler *)
+  c_options : Rapida_core.Plan_util.options;
+}
+
+(** [config kind] with the defaults: 5 s window, fair-share scheduling,
+    sharing on, {!Rapida_core.Plan_util.default_options}. *)
+val config :
+  ?window_s:float ->
+  ?policy:Scheduler.policy ->
+  ?share:bool ->
+  ?options:Rapida_core.Plan_util.options ->
+  Engine.kind -> config
+
+(** One query's fate through the server. *)
+type query_report = {
+  q_id : int;
+  q_label : string;
+  q_arrival_s : float;
+  q_batch : int;  (** admission batch index *)
+  q_group : int;  (** global overlap-group index *)
+  q_group_size : int;  (** queries sharing its composite plan *)
+  q_queue_s : float;  (** admission wait + scheduler queueing delay *)
+  q_latency_s : float;  (** group completion − arrival *)
+  q_rows : int;
+  q_error : Engine.error option;
+  q_matches_solo : bool;
+      (** result identical to the query's solo {!Engine.execute} run *)
+}
+
+type batch_report = {
+  b_index : int;
+  b_open_s : float;  (** first arrival of the batch *)
+  b_admit_s : float;  (** window close = admission instant *)
+  b_size : int;
+  b_group_sizes : int list;  (** overlap-group sizes, batch order *)
+}
+
+type t = {
+  r_kind : Engine.kind;
+  r_window_s : float;
+  r_policy : Scheduler.policy;
+  r_share : bool;
+  r_queries : query_report list;  (** in arrival order *)
+  r_batches : batch_report list;
+  (* server-path totals *)
+  r_jobs : int;
+  r_input_bytes : int;  (** total scan bytes across all shared plans *)
+  r_makespan_s : float;
+  r_utilization : float;  (** busy slot-seconds over pool × makespan *)
+  r_latency_mean_s : float;
+  r_latency_p50_s : float;
+  r_latency_p95_s : float;
+  r_latency_p99_s : float;
+  r_latency_max_s : float;
+  (* back-to-back baseline on the same cluster *)
+  r_solo_jobs : int;
+  r_solo_input_bytes : int;
+  r_solo_makespan_s : float;
+  r_solo_latency_p50_s : float;
+  r_solo_latency_p95_s : float;
+  r_solo_latency_p99_s : float;
+  r_jobs_saved : int;  (** [r_solo_jobs - r_jobs] *)
+  r_bytes_saved : int;  (** [r_solo_input_bytes - r_input_bytes] *)
+  r_all_matched : bool;  (** every query's result matched its solo run *)
+  r_errors : int;
+}
+
+(** [run config input workload] drives the whole workload through the
+    server and prices the solo baseline. Pure simulation — deterministic
+    for a given (config, input, workload). *)
+val run : config -> Engine.input -> Workload.t -> t
+
+(** [percentile p xs] is the nearest-rank [p]-th percentile of [xs]
+    (0 on empty input). Exposed for the harness sweeps. *)
+val percentile : float -> float list -> float
+
+val pp : t Fmt.t
+
+(** Per-query lines, then the {!pp} summary. *)
+val pp_detail : t Fmt.t
+
+val to_json : t -> Json.t

@@ -1,0 +1,140 @@
+module Analytical = Rapida_sparql.Analytical
+module Catalog = Rapida_queries.Catalog
+module Prng = Rapida_datagen.Prng
+
+type arrival = {
+  a_id : int;
+  a_time_s : float;
+  a_label : string;
+  a_query : Analytical.t;
+}
+
+type t = { arrivals : arrival list }
+
+let size t = List.length t.arrivals
+
+let span_s t =
+  List.fold_left (fun acc a -> Float.max acc a.a_time_s) 0.0 t.arrivals
+
+(* Sort by time (stable on spec order for ties) and assign dense ids —
+   the identity every report keys on. *)
+let of_specs specs =
+  let sorted =
+    List.stable_sort
+      (fun (ta, _, _) (tb, _, _) -> compare ta tb)
+      specs
+  in
+  {
+    arrivals =
+      List.mapi
+        (fun i (t, label, q) ->
+          { a_id = i; a_time_s = t; a_label = label; a_query = q })
+        sorted;
+  }
+
+let read_file path =
+  match open_in path with
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+    |> Result.ok
+  | exception Sys_error msg -> Error (Printf.sprintf "cannot read %s" msg)
+
+let split_words line =
+  String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)
+  |> List.filter (fun w -> w <> "")
+
+let parse_line ~dir ~lineno line =
+  let fail msg = Error (Printf.sprintf "workload line %d: %s" lineno msg) in
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match split_words line with
+  | [] -> Ok None
+  | time :: qref :: rest -> (
+    let label_of default = match rest with [ l ] -> Ok l | [] -> Ok default
+      | _ -> fail "expected TIME QUERY [LABEL]"
+    in
+    match float_of_string_opt time with
+    | None -> fail (Printf.sprintf "bad arrival time %S" time)
+    | Some t when t < 0.0 || not (Float.is_finite t) ->
+      fail (Printf.sprintf "bad arrival time %S" time)
+    | Some t ->
+      if String.length qref > 1 && qref.[0] = '@' then (
+        let path = String.sub qref 1 (String.length qref - 1) in
+        let resolved =
+          if Filename.is_relative path then Filename.concat dir path else path
+        in
+        match read_file resolved with
+        | Error msg -> fail msg
+        | Ok src -> (
+          match Analytical.parse src with
+          | Error msg -> fail (Printf.sprintf "%s: %s" path msg)
+          | Ok q ->
+            Result.map
+              (fun label -> Some (t, label, q))
+              (label_of (Filename.basename path))))
+      else (
+        match Catalog.find qref with
+        | None -> fail (Printf.sprintf "unknown catalog query %s" qref)
+        | Some entry ->
+          Result.map
+            (fun label -> Some (t, label, Catalog.parse entry))
+            (label_of entry.Catalog.id)))
+  | _ -> fail "expected TIME QUERY [LABEL]"
+
+let parse ~dir src =
+  let lines = String.split_on_char '\n' src in
+  let rec go lineno acc = function
+    | [] -> Ok (of_specs (List.rev acc))
+    | line :: rest -> (
+      match parse_line ~dir ~lineno line with
+      | Error _ as e -> e
+      | Ok None -> go (lineno + 1) acc rest
+      | Ok (Some spec) -> go (lineno + 1) (spec :: acc) rest)
+  in
+  match go 1 [] lines with
+  | Ok { arrivals = [] } -> Error "empty workload"
+  | r -> r
+
+let of_string src = parse ~dir:"." src
+
+let load path =
+  match read_file path with
+  | Error _ as e -> e
+  | Ok src -> parse ~dir:(Filename.dirname path) src
+
+let of_entries specs =
+  of_specs
+    (List.map (fun (t, e) -> (t, e.Catalog.id, Catalog.parse e)) specs)
+
+let generate ~seed ~n ~mean_gap_s ?pool () =
+  let pool =
+    match pool with
+    | Some (_ :: _ as entries) -> entries
+    | Some [] | None -> Catalog.by_dataset Catalog.Bsbm
+  in
+  let rng = Prng.create ~seed in
+  let rec draw i clock acc =
+    if i >= n then List.rev acc
+    else
+      (* Exponential inter-arrival gaps: a Poisson arrival process, the
+         standard open-loop workload model. [Prng.float rng 1.0] is in
+         [0, 1), so the log argument stays positive. *)
+      let gap = -.mean_gap_s *. log (1.0 -. Prng.float rng 1.0) in
+      let clock = if i = 0 then 0.0 else clock +. gap in
+      let entry = Prng.pick rng pool in
+      draw (i + 1) clock ((clock, entry) :: acc)
+  in
+  of_entries (draw 0 0.0 [])
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun a ->
+      Fmt.pf ppf "%8.2fs  q%-3d %s@," a.a_time_s a.a_id a.a_label)
+    t.arrivals;
+  Fmt.pf ppf "%d queries over %.2fs@]" (size t) (span_s t)

@@ -1,0 +1,61 @@
+(** Workload specifications for the query server: which analytical
+    queries arrive, and when.
+
+    A workload is a time-ordered stream of arrivals. It comes from a
+    workload file ({!load} / {!of_string} — one arrival per line), or
+    from the deterministic generator ({!generate} — Poisson-like
+    arrivals over a catalog pool, seeded so every run of a benchmark
+    sees the same stream).
+
+    Workload file format, one arrival per line:
+
+    {v
+    # comment (blank lines ignored)
+    0.0  MG1          # catalog query id
+    2.5  @path/to.rq  # SPARQL file, label = file name
+    4.0  MG2 hot-mg2  # optional explicit label
+    v}
+
+    Times are seconds, non-negative, in any order (arrivals are sorted);
+    query references are catalog ids or [@FILE] paths. *)
+
+module Analytical = Rapida_sparql.Analytical
+module Catalog = Rapida_queries.Catalog
+
+type arrival = {
+  a_id : int;  (** dense index in time order — the server's query id *)
+  a_time_s : float;  (** arrival time on the simulated clock *)
+  a_label : string;  (** catalog id, file name, or explicit label *)
+  a_query : Analytical.t;
+}
+
+type t = { arrivals : arrival list  (** sorted by time, then spec order *) }
+
+val size : t -> int
+
+(** Time of the last arrival (0 for an empty workload). *)
+val span_s : t -> float
+
+(** [of_string src] parses workload text. [@FILE] query references are
+    read relative to the current directory. Errors carry the offending
+    line number. *)
+val of_string : string -> (t, string) result
+
+(** [load path] reads and parses a workload file; [@FILE] references
+    resolve relative to the workload file's directory. *)
+val load : string -> (t, string) result
+
+(** [of_entries specs] builds a workload from (time, catalog entry)
+    pairs directly. *)
+val of_entries : (float * Catalog.entry) list -> t
+
+(** [generate ~seed ~n ~mean_gap_s ?pool ()] draws [n] arrivals with
+    exponential inter-arrival gaps of mean [mean_gap_s] seconds, each
+    query picked uniformly from [pool] (default: the BSBM catalog
+    queries, which all overlap pairwise — the server's sharing
+    opportunity). Deterministic in [seed]. *)
+val generate :
+  seed:int -> n:int -> mean_gap_s:float -> ?pool:Catalog.entry list ->
+  unit -> t
+
+val pp : t Fmt.t

@@ -24,11 +24,13 @@ let base = Plan_util.default_options
 
 let run_with options kind input id =
   match
-    Engine.run kind (Plan_util.context options) input
+    Engine.execute (Engine.prepare kind input) (Plan_util.context options)
       (Catalog.parse (Catalog.find_exn id))
   with
   | Ok out -> out
-  | Error msg -> Alcotest.failf "%s on %s: %s" (Engine.kind_name kind) id msg
+  | Error e ->
+    Alcotest.failf "%s on %s: %s" (Engine.kind_name kind) id
+      (Engine.error_message e)
 
 let test_combiner_ablation () =
   let input = Lazy.force bsbm in

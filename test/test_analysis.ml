@@ -336,6 +336,13 @@ let knob_options ~salt i =
     ~ntga_filter_pushdown:(next 2 = 0)
     ~verify_plans:true ()
 
+(* Bridge to the session API, keeping the old string-error shape these
+   tests match on. A session is prepared per call so each run observes
+   the default verifier registered at that moment. *)
+let run kind ctx input q =
+  Result.map_error Engine.error_message
+    (Engine.execute (Engine.prepare kind input) ctx q)
+
 let catalog_times_engines_times_knobs () =
   Plan_verify.install_engine_hook ();
   List.iteri
@@ -347,7 +354,7 @@ let catalog_times_engines_times_knobs () =
             List.map
               (fun kind ->
                 let ctx = Plan_util.context options in
-                match Engine.run kind ctx (input_for e.Catalog.dataset) q with
+                match run kind ctx (input_for e.Catalog.dataset) q with
                 | Error msg ->
                   Alcotest.failf "%s on %s (knob set %d): %s"
                     (Engine.kind_name kind) e.Catalog.id salt msg
@@ -367,11 +374,11 @@ let catalog_times_engines_times_knobs () =
 let verifier_hook_rejects_bad_schema () =
   (* With the hook installed and verify_plans set, a verifier that sees a
      wrong schema must fail the run; exercised via a doctored verifier. *)
-  Engine.set_plan_verifier (fun _ _ _ -> [ "doctored failure" ]);
+  Engine.set_default_verifier (fun _ _ _ -> [ "doctored failure" ]);
   let e = Catalog.find_exn "G1" in
   let q = Catalog.parse e in
   let ctx = Plan_util.context (Plan_util.make ~verify_plans:true ()) in
-  (match Engine.run Engine.Rapid_analytics ctx (input_for e.Catalog.dataset) q with
+  (match run Engine.Rapid_analytics ctx (input_for e.Catalog.dataset) q with
   | Error msg ->
     Alcotest.(check bool)
       "mentions verification" true

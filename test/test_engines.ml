@@ -35,6 +35,12 @@ let input_for dataset =
 let show_table t =
   Fmt.str "%a" Table.pp (Relops.canonicalize t)
 
+(* Bridge to the session API, keeping the old string-error shape these
+   tests match on. *)
+let run kind ctx input q =
+  Result.map_error Engine.error_message
+    (Engine.execute (Engine.prepare kind input) ctx q)
+
 let check_query_all_engines entry () =
   let q = Catalog.parse entry in
   let graph = graph_for entry.Catalog.dataset in
@@ -42,7 +48,7 @@ let check_query_all_engines entry () =
   List.iter
     (fun kind ->
       match
-        Engine.run kind (Plan_util.context Plan_util.default_options)
+        run kind (Plan_util.context Plan_util.default_options)
           (input_for entry.Catalog.dataset) q
       with
       | Error msg ->
@@ -74,7 +80,7 @@ let cycle_contract id kind expected () =
   let entry = Catalog.find_exn id in
   let q = Catalog.parse entry in
   match
-    Engine.run kind (Plan_util.context Plan_util.default_options) (input_for entry.Catalog.dataset) q
+    run kind (Plan_util.context Plan_util.default_options) (input_for entry.Catalog.dataset) q
   with
   | Error msg -> Alcotest.failf "engine error: %s" msg
   | Ok { stats; _ } ->
@@ -89,7 +95,7 @@ let prediction_matches_execution entry () =
   List.iter
     (fun kind ->
       match
-        Engine.run kind (Plan_util.context Plan_util.default_options)
+        run kind (Plan_util.context Plan_util.default_options)
           (input_for entry.Catalog.dataset) q
       with
       | Error msg ->

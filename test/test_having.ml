@@ -29,13 +29,19 @@ let graph =
       t "p2" "label" (Term.str "two");
     ]
 
+(* Bridge to the session API, keeping the old string-error shape these
+   tests match on. *)
+let run kind ctx input q =
+  Result.map_error Engine.error_message
+    (Engine.execute (Engine.prepare kind input) ctx q)
+
 let engines_agree src =
   let q = Analytical.parse_exn src in
   let expected = Rapida_ref.Ref_engine.run graph q in
   let input = Engine.input_of_graph graph in
   List.iter
     (fun kind ->
-      match Engine.run kind (Plan_util.context Plan_util.default_options) input q with
+      match run kind (Plan_util.context Plan_util.default_options) input q with
       | Error msg -> Alcotest.failf "%s: %s" (Engine.kind_name kind) msg
       | Ok { table; _ } ->
         check_bool (Engine.kind_name kind ^ " agrees") true

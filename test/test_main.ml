@@ -23,4 +23,5 @@ let () =
       ("recovery", Test_recovery.suite);
       ("memory", Test_memory.suite);
       ("analysis", Test_analysis.suite);
+      ("server", Test_server.suite);
     ]

@@ -16,6 +16,12 @@ module Relops = Rapida_relational.Relops
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
+(* Bridge to the session API, keeping the old string-error shape these
+   tests match on. *)
+let run_engine kind ctx input q =
+  Result.map_error Engine.error_message
+    (Engine.execute (Engine.prepare kind input) ctx q)
+
 (* --- spec parsing ------------------------------------------------------- *)
 
 let test_parse_spec () =
@@ -205,7 +211,7 @@ let test_mapjoin_fallback () =
       Plan_util.make ~cluster:(bounded heap) ~map_join_threshold:(1024 * 1024) ()
     in
     let ctx = Plan_util.context options in
-    match Engine.run Engine.Hive_naive ctx input q with
+    match run_engine Engine.Hive_naive ctx input q with
     | Error msg -> Alcotest.fail msg
     | Ok out ->
       (out.Engine.table, Metrics.get (Exec_ctx.metrics ctx) "mem.mapjoin_fallbacks")
@@ -232,7 +238,7 @@ let test_engines_transparent_and_monotone () =
         List.map
           (fun kind ->
             let ctx = Plan_util.context (Plan_util.make ()) in
-            match Engine.run kind ctx input q with
+            match run_engine kind ctx input q with
             | Ok out -> (kind, out.Engine.table, Stats.est_time_s out.Engine.stats)
             | Error msg -> Alcotest.failf "unbounded %s: %s" entry.Catalog.id msg)
           Engine.all_kinds
@@ -256,7 +262,7 @@ let test_engines_transparent_and_monotone () =
                 let ctx =
                   Plan_util.context (Plan_util.make ~cluster:(bounded heap) ())
                 in
-                match Engine.run kind ctx input q with
+                match run_engine kind ctx input q with
                 | Error msg ->
                   Alcotest.failf "%s seed %d heap %d %s: %s" entry.Catalog.id
                     seed heap (Engine.kind_name kind) msg

@@ -123,6 +123,12 @@ let print_case (d, s1, s2) =
     (query_src (s1, s2))
     (List.length d.parents) (List.length d.children)
 
+(* Bridge to the session API, keeping the old string-error shape this
+   property matches on. *)
+let run kind ctx input q =
+  Result.map_error Engine.error_message
+    (Engine.execute (Engine.prepare kind input) ctx q)
+
 let check_all_engines (d, s1, s2) =
   let graph = graph_of_datum d in
   let src = query_src (s1, s2) in
@@ -133,7 +139,7 @@ let check_all_engines (d, s1, s2) =
     let input = Engine.input_of_graph graph in
     List.for_all
       (fun kind ->
-        match Engine.run kind (Plan_util.context Plan_util.default_options) input q with
+        match run kind (Plan_util.context Plan_util.default_options) input q with
         | Error msg ->
           QCheck2.Test.fail_reportf "%s failed: %s" (Engine.kind_name kind) msg
         | Ok { table; _ } ->

@@ -20,6 +20,12 @@ module Plan_util = Rapida_core.Plan_util
 module Catalog = Rapida_queries.Catalog
 module Relops = Rapida_relational.Relops
 
+(* Bridge to the session API, keeping the old string-error shape these
+   tests match on. *)
+let run_engine kind ctx input q =
+  Result.map_error Engine.error_message
+    (Engine.execute (Engine.prepare kind input) ctx q)
+
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
@@ -258,13 +264,13 @@ let test_engines_identical_under_recovery () =
         (Plan_util.make ~faults:cfg
            ~checkpoint:{ Ck.default with Ck.policy } ())
     in
-    Engine.run kind ctx input q
+    run_engine kind ctx input q
   in
   let baselines =
     List.map
       (fun kind ->
         match
-          Engine.run kind (Plan_util.context (Plan_util.make ())) input q
+          run_engine kind (Plan_util.context (Plan_util.make ())) input q
         with
         | Ok out -> (kind, out.Engine.table)
         | Error msg -> Alcotest.failf "fault-free %s failed: %s"

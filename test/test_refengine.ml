@@ -155,8 +155,11 @@ let test_engines_reject_unbound_property () =
   List.iter
     (fun kind ->
       match
-        Rapida_core.Engine.run kind (Rapida_core.Plan_util.context Rapida_core.Plan_util.default_options)
-          input q
+        Rapida_core.Engine.execute
+          (Rapida_core.Engine.prepare kind input)
+          (Rapida_core.Plan_util.context
+             Rapida_core.Plan_util.default_options)
+          q
       with
       | Error _ -> ()
       | Ok _ ->

@@ -1,0 +1,545 @@
+(* Query server and its supporting layers: the slot scheduler, workload
+   specs, cross-query grouping, the prepared-session engine API with
+   typed errors, and the server's sharing-transparency invariant —
+   every server-path result byte-identical to its solo run, across
+   seeds, engines, admission windows, and scheduler policies. *)
+
+module Engine = Rapida_core.Engine
+module Plan_util = Rapida_core.Plan_util
+module Batch_exec = Rapida_core.Batch_exec
+module Catalog = Rapida_queries.Catalog
+module Server = Rapida_server.Server
+module Workload = Rapida_server.Workload
+module Scheduler = Rapida_mapred.Scheduler
+module Stats = Rapida_mapred.Stats
+module Cluster = Rapida_mapred.Cluster
+module Fi = Rapida_mapred.Fault_injector
+
+let feq = Alcotest.(check (float 1e-6))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- scheduler ----------------------------------------------------------- *)
+
+let job ?(maps = 4) ?(reds = 2) ~t name =
+  {
+    Stats.name;
+    kind = Stats.Map_reduce;
+    input_records = 0;
+    input_bytes = 0;
+    shuffle_records = 0;
+    shuffle_bytes = 0;
+    output_records = 0;
+    output_bytes = 0;
+    map_tasks = maps;
+    reduce_tasks = reds;
+    est_time_s = t;
+    breakdown = Stats.breakdown_zero;
+    combine_input_records = 0;
+    combine_output_records = 0;
+    reduce_groups = 0;
+    attempts_failed = 0;
+    speculative_launched = 0;
+    attempts_killed = 0;
+    spilled_bytes = 0;
+    spill_passes = 0;
+    oom_kills = 0;
+    skipped_records = 0;
+  }
+
+let cluster = Cluster.default (* 20 map slots *)
+
+let placement_exn t id =
+  match Scheduler.placement t id with
+  | Some p -> p
+  | None -> Alcotest.failf "no placement for item %d" id
+
+let test_job_slots () =
+  check_int "phases are sequential: peak side wins" 7
+    (Stats.job_slots (job ~maps:3 ~reds:7 ~t:1.0 "j"));
+  check_int "startup-only jobs still hold a slot" 1
+    (Stats.job_slots (job ~maps:0 ~reds:0 ~t:1.0 "j"));
+  feq "slot-seconds sum demand x time" 23.0
+    (Stats.slot_seconds
+       {
+         Stats.empty with
+         Stats.jobs =
+           [ job ~maps:2 ~reds:1 ~t:4.0 "a"; job ~maps:5 ~reds:3 ~t:3.0 "b" ];
+       })
+
+let test_sched_uncontended () =
+  List.iter
+    (fun policy ->
+      let t =
+        Scheduler.simulate cluster policy
+          [
+            {
+              Scheduler.it_id = 0;
+              it_submit_s = 1.0;
+              it_jobs = [ job ~maps:20 ~t:10.0 "a"; job ~maps:20 ~t:5.0 "b" ];
+            };
+          ]
+      in
+      let p = placement_exn t 0 in
+      feq "alone on the cluster: no queueing" 0.0 p.Scheduler.p_queue_s;
+      feq "finish = submit + dedicated time" 16.0 p.Scheduler.p_finish_s;
+      feq "full-width jobs saturate the pool" 1.0 t.Scheduler.utilization)
+    [ Scheduler.Fifo; Scheduler.Fair ]
+
+let test_sched_fifo_head_of_line () =
+  let item id = {
+    Scheduler.it_id = id;
+    it_submit_s = 0.0;
+    it_jobs = [ job ~maps:20 ~t:10.0 "j" ];
+  }
+  in
+  let t = Scheduler.simulate cluster Scheduler.Fifo [ item 0; item 1 ] in
+  feq "head of line runs alone" 10.0 (placement_exn t 0).Scheduler.p_finish_s;
+  feq "second waits for the first" 20.0
+    (placement_exn t 1).Scheduler.p_finish_s;
+  feq "second's wait is all queueing" 10.0
+    (placement_exn t 1).Scheduler.p_queue_s;
+  feq "makespan covers both" 20.0 t.Scheduler.makespan_s
+
+let test_sched_fair_split () =
+  let item id = {
+    Scheduler.it_id = id;
+    it_submit_s = 0.0;
+    it_jobs = [ job ~maps:20 ~t:10.0 "j" ];
+  }
+  in
+  let t = Scheduler.simulate cluster Scheduler.Fair [ item 0; item 1 ] in
+  (* Each holds half the pool, so both progress at half rate and finish
+     together — twice the dedicated time, same total work. *)
+  feq "fair: both finish together" 20.0
+    (placement_exn t 0).Scheduler.p_finish_s;
+  feq "fair: both finish together (2)" 20.0
+    (placement_exn t 1).Scheduler.p_finish_s;
+  feq "contention stretches time, not work" 1.0 t.Scheduler.utilization
+
+let test_sched_no_contention_small_demand () =
+  List.iter
+    (fun policy ->
+      let item id = {
+        Scheduler.it_id = id;
+        it_submit_s = 0.0;
+        it_jobs = [ job ~maps:10 ~reds:1 ~t:10.0 "j" ];
+      }
+      in
+      let t = Scheduler.simulate cluster policy [ item 0; item 1 ] in
+      feq "both fit the pool: no queueing" 0.0
+        (placement_exn t 1).Scheduler.p_queue_s;
+      feq "both finish at dedicated time" 10.0
+        (placement_exn t 1).Scheduler.p_finish_s)
+    [ Scheduler.Fifo; Scheduler.Fair ]
+
+let test_sched_idle_gap () =
+  let t =
+    Scheduler.simulate cluster Scheduler.Fifo
+      [
+        {
+          Scheduler.it_id = 0;
+          it_submit_s = 0.0;
+          it_jobs = [ job ~maps:20 ~t:5.0 "a" ];
+        };
+        {
+          Scheduler.it_id = 1;
+          it_submit_s = 100.0;
+          it_jobs = [ job ~maps:20 ~t:5.0 "b" ];
+        };
+      ]
+  in
+  feq "late arrival starts on arrival" 105.0
+    (placement_exn t 1).Scheduler.p_finish_s;
+  feq "makespan spans the idle gap" 105.0 t.Scheduler.makespan_s;
+  check_bool "idle gap lowers utilization" true
+    (t.Scheduler.utilization < 0.2)
+
+(* --- workload ------------------------------------------------------------ *)
+
+let test_workload_parse () =
+  match
+    Workload.of_string "0.0 MG1\n# comment\n\n2.0 MG2 second\n1.0 G1\n"
+  with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok wl ->
+    check_int "three arrivals" 3 (Workload.size wl);
+    Alcotest.(check (list string))
+      "sorted by time, labels kept"
+      [ "MG1"; "G1"; "second" ]
+      (List.map (fun a -> a.Workload.a_label) wl.Workload.arrivals);
+    Alcotest.(check (list int))
+      "ids are dense in time order" [ 0; 1; 2 ]
+      (List.map (fun a -> a.Workload.a_id) wl.Workload.arrivals);
+    feq "span is the last arrival" 2.0 (Workload.span_s wl)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
+let test_workload_parse_errors () =
+  let fails ~containing src =
+    match Workload.of_string src with
+    | Ok _ -> Alcotest.failf "expected failure on %S" src
+    | Error msg ->
+      check_bool
+        (Printf.sprintf "error %S mentions %S" msg containing)
+        true
+        (contains ~sub:containing msg)
+  in
+  fails ~containing:"line 1" "0.0 NOPE99";
+  fails ~containing:"bad arrival time" "soon MG1";
+  fails ~containing:"bad arrival time" "-1.0 MG1";
+  fails ~containing:"empty workload" "# nothing here\n"
+
+let test_workload_query_file () =
+  let path = Filename.temp_file "rapida_wl" ".rq" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc (Catalog.find_exn "MG1").Catalog.sparql;
+      close_out oc;
+      match Workload.of_string (Printf.sprintf "1.5 @%s\n" path) with
+      | Error e -> Alcotest.failf "parse failed: %s" e
+      | Ok wl ->
+        let a = List.hd wl.Workload.arrivals in
+        Alcotest.(check string)
+          "label is the file name" (Filename.basename path)
+          a.Workload.a_label;
+        feq "time kept" 1.5 a.Workload.a_time_s)
+
+let test_workload_generate () =
+  let wl1 = Workload.generate ~seed:9 ~n:12 ~mean_gap_s:2.0 () in
+  let wl2 = Workload.generate ~seed:9 ~n:12 ~mean_gap_s:2.0 () in
+  check_int "n arrivals" 12 (Workload.size wl1);
+  Alcotest.(check (list (pair string (float 0.0))))
+    "deterministic in the seed"
+    (List.map
+       (fun a -> (a.Workload.a_label, a.Workload.a_time_s))
+       wl1.Workload.arrivals)
+    (List.map
+       (fun a -> (a.Workload.a_label, a.Workload.a_time_s))
+       wl2.Workload.arrivals);
+  let times = List.map (fun a -> a.Workload.a_time_s) wl1.Workload.arrivals in
+  check_bool "times non-decreasing" true
+    (List.sort compare times = times);
+  feq "stream starts at zero" 0.0 (List.hd times)
+
+(* --- cross-query grouping ------------------------------------------------ *)
+
+let parse id = Catalog.parse (Catalog.find_exn id)
+
+let test_shares () =
+  check_bool "hive-mqo shares" true (Batch_exec.shares Engine.Hive_mqo);
+  check_bool "rapid-analytics shares" true
+    (Batch_exec.shares Engine.Rapid_analytics);
+  check_bool "hive-naive solo" false (Batch_exec.shares Engine.Hive_naive);
+  check_bool "rapid-plus solo" false (Batch_exec.shares Engine.Rapid_plus)
+
+let member_indexes groups =
+  List.concat_map
+    (fun g ->
+      List.map
+        (fun (m : Batch_exec.member) -> m.Batch_exec.m_index)
+        g.Batch_exec.g_members)
+    groups
+  |> List.sort compare
+
+let test_grouping_overlap () =
+  let queries = List.map parse [ "MG1"; "MG2"; "MG1" ] in
+  let groups = Batch_exec.group_queries Engine.Rapid_analytics queries in
+  check_int "every query lands in exactly one group" 3
+    (List.length (member_indexes groups));
+  Alcotest.(check (list int))
+    "indexes cover the batch" [ 0; 1; 2 ] (member_indexes groups);
+  let sizes =
+    List.map (fun g -> List.length g.Batch_exec.g_members) groups
+  in
+  check_bool "overlapping BSBM queries shared a composite" true
+    (List.exists (fun n -> n >= 2) sizes);
+  List.iter
+    (fun g ->
+      if List.length g.Batch_exec.g_members >= 2 then
+        check_bool "multi-member groups carry a composite" true
+          (g.Batch_exec.g_composite <> None))
+    groups;
+  (* Pooled subquery ids must be contiguous per group — they become the
+     composite's pattern ids. *)
+  List.iter
+    (fun g ->
+      let ids =
+        List.concat_map
+          (fun (m : Batch_exec.member) ->
+            List.map
+              (fun (sq : Rapida_sparql.Analytical.subquery) ->
+                sq.Rapida_sparql.Analytical.sq_id)
+              m.Batch_exec.m_subqueries)
+          g.Batch_exec.g_members
+      in
+      Alcotest.(check (list int))
+        "pooled sq_ids are 0..n-1"
+        (List.init (List.length ids) Fun.id)
+        ids)
+    groups
+
+let test_grouping_non_sharing_kind () =
+  let queries = List.map parse [ "MG1"; "MG2"; "MG1" ] in
+  let groups = Batch_exec.group_queries Engine.Rapid_plus queries in
+  check_int "non-sharing kinds: all singletons" 3 (List.length groups);
+  Alcotest.(check (list int))
+    "batch order preserved" [ 0; 1; 2 ] (member_indexes groups)
+
+(* --- typed errors and sessions ------------------------------------------- *)
+
+let small_input =
+  lazy
+    (Engine.input_of_graph
+       Rapida_datagen.Bsbm.(generate (config ~seed:3 ~products:60 ())))
+
+let fresh_ctx ?(base = Plan_util.default_options) () = Plan_util.context base
+
+let test_error_parse () =
+  let session =
+    Engine.prepare Engine.Rapid_analytics (Lazy.force small_input)
+  in
+  match Engine.execute_sparql session (fresh_ctx ()) "SELECT nonsense {" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error (Engine.Parse_error _ as e) ->
+    check_int "parse errors are usage errors" 2 (Engine.error_exit_code e);
+    check_bool "message is not empty" true
+      (String.length (Engine.error_message e) > 0)
+  | Error e ->
+    Alcotest.failf "expected Parse_error, got %s" (Engine.error_message e)
+
+let test_error_job_failed () =
+  (* Every attempt crashes and there are no retries left: the workflow
+     aborts and surfaces as a structured Job_failed, not an exception. *)
+  let faults = { Fi.default with Fi.seed = 1; task_fail_p = 0.9;
+                 max_attempts = 1 }
+  in
+  let session =
+    Engine.prepare Engine.Rapid_analytics (Lazy.force small_input)
+  in
+  let ctx = fresh_ctx ~base:(Plan_util.make ~faults ()) () in
+  match Engine.execute session ctx (parse "MG1") with
+  | Ok _ -> Alcotest.fail "expected an aborted workflow"
+  | Error (Engine.Job_failed _ as e) ->
+    check_int "job failures are runtime errors" 1 (Engine.error_exit_code e)
+  | Error e ->
+    Alcotest.failf "expected Job_failed, got %s" (Engine.error_message e)
+
+let test_session_verifier () =
+  let input = Lazy.force small_input in
+  let verify_ctx () =
+    fresh_ctx ~base:(Plan_util.make ~verify_plans:true ()) ()
+  in
+  let q = parse "MG1" in
+  (* A per-session verifier overrides the registered default... *)
+  let rejecting =
+    Engine.prepare ~verifier:(fun _ _ _ -> [ "synthetic problem" ])
+      Engine.Rapid_analytics input
+  in
+  (match Engine.execute rejecting (verify_ctx ()) q with
+  | Error (Engine.Verify_failed { problems; _ } as e) ->
+    Alcotest.(check (list string))
+      "verifier problems carried in the payload" [ "synthetic problem" ]
+      problems;
+    check_int "verification failures are runtime errors" 1
+      (Engine.error_exit_code e)
+  | Ok _ -> Alcotest.fail "expected Verify_failed"
+  | Error e ->
+    Alcotest.failf "expected Verify_failed, got %s" (Engine.error_message e));
+  (* ...but only when the context asks for verification... *)
+  (match Engine.execute rejecting (fresh_ctx ()) q with
+  | Ok _ -> ()
+  | Error e ->
+    Alcotest.failf "verifier must be off without verify_plans: %s"
+      (Engine.error_message e));
+  (* ...and sessions capture the default at prepare time: re-registering
+     cannot reach an existing session. *)
+  Engine.set_default_verifier (fun _ _ _ -> [ "registered later" ]);
+  let prepared_after = Engine.prepare Engine.Rapid_analytics input in
+  Engine.set_default_verifier (fun _ _ _ -> []);
+  let prepared_clean = Engine.prepare Engine.Rapid_analytics input in
+  (match Engine.execute prepared_after (verify_ctx ()) q with
+  | Error (Engine.Verify_failed _) -> ()
+  | Ok _ -> Alcotest.fail "session must keep the verifier it captured"
+  | Error e -> Alcotest.failf "unexpected error: %s" (Engine.error_message e));
+  (match Engine.execute prepared_clean (verify_ctx ()) q with
+  | Ok _ -> ()
+  | Error e ->
+    Alcotest.failf "later sessions see the new default: %s"
+      (Engine.error_message e));
+  (* Leave the canonical static verifier installed for any suite that
+     runs after this one. *)
+  Rapida_analysis.Plan_verify.install_engine_hook ()
+
+let test_percentile () =
+  feq "p50 nearest-rank" 2.0 (Server.percentile 50.0 [ 4.0; 1.0; 3.0; 2.0 ]);
+  feq "p100 is the max" 4.0 (Server.percentile 100.0 [ 4.0; 1.0; 3.0; 2.0 ]);
+  feq "p99 of a small set is the max" 4.0
+    (Server.percentile 99.0 [ 4.0; 1.0; 3.0; 2.0 ]);
+  feq "empty input" 0.0 (Server.percentile 50.0 [])
+
+(* --- the server ---------------------------------------------------------- *)
+
+let overlapping_ids =
+  [ "MG1"; "MG2"; "MG1"; "MG3"; "MG4"; "G1"; "MG2"; "MG1" ]
+
+let overlapping_workload =
+  lazy
+    (Workload.of_entries
+       (List.mapi
+          (fun i id -> (0.5 *. float_of_int i, Catalog.find_exn id))
+          overlapping_ids))
+
+(* The PR's acceptance experiment: >= 8 overlapping catalog queries in
+   one window run strictly fewer simulated jobs and scan strictly fewer
+   bytes than back-to-back execution, with every per-query result
+   identical to its solo run. *)
+let test_server_savings () =
+  let input = Lazy.force small_input in
+  let wl = Lazy.force overlapping_workload in
+  List.iter
+    (fun kind ->
+      let cfg = Server.config ~window_s:10.0 kind in
+      let r = Server.run cfg input wl in
+      let name fmt = Printf.sprintf fmt (Engine.kind_name kind) in
+      check_int (name "%s: no failed queries") 0 r.Server.r_errors;
+      check_bool (name "%s: every result matches its solo run") true
+        r.Server.r_all_matched;
+      check_bool (name "%s: strictly fewer jobs than back-to-back") true
+        (r.Server.r_jobs < r.Server.r_solo_jobs);
+      check_bool (name "%s: strictly fewer scan bytes than back-to-back")
+        true
+        (r.Server.r_input_bytes < r.Server.r_solo_input_bytes);
+      check_int (name "%s: savings are the difference")
+        (r.Server.r_solo_jobs - r.Server.r_jobs)
+        r.Server.r_jobs_saved)
+    Engine.[ Hive_mqo; Rapid_analytics ]
+
+let test_server_no_share_baseline () =
+  let input = Lazy.force small_input in
+  let wl = Lazy.force overlapping_workload in
+  let cfg = Server.config ~window_s:10.0 ~share:false Engine.Rapid_analytics in
+  let r = Server.run cfg input wl in
+  check_bool "sharing off: still correct" true r.Server.r_all_matched;
+  check_int "sharing off: no jobs saved" 0 r.Server.r_jobs_saved;
+  check_int "sharing off: no bytes saved" 0 r.Server.r_bytes_saved;
+  List.iter
+    (fun q -> check_int "sharing off: all groups singleton" 1
+        q.Server.q_group_size)
+    r.Server.r_queries
+
+let test_server_report_shape () =
+  let input = Lazy.force small_input in
+  let wl = Lazy.force overlapping_workload in
+  let cfg = Server.config ~window_s:1.2 ~policy:Scheduler.Fifo
+      Engine.Rapid_analytics
+  in
+  let r = Server.run cfg input wl in
+  check_int "every query reported" (Workload.size wl)
+    (List.length r.Server.r_queries);
+  check_int "batch sizes partition the workload" (Workload.size wl)
+    (List.fold_left (fun acc b -> acc + b.Server.b_size) 0 r.Server.r_batches);
+  check_bool "percentiles are ordered" true
+    (r.Server.r_latency_p50_s <= r.Server.r_latency_p95_s
+     && r.Server.r_latency_p95_s <= r.Server.r_latency_p99_s
+     && r.Server.r_latency_p99_s <= r.Server.r_latency_max_s);
+  check_bool "utilization is a fraction" true
+    (r.Server.r_utilization >= 0.0 && r.Server.r_utilization <= 1.0 +. 1e-9);
+  List.iter
+    (fun q ->
+      check_bool "latency covers the admission wait" true
+        (q.Server.q_latency_s >= 0.0 && q.Server.q_queue_s >= 0.0))
+    r.Server.r_queries
+
+(* The server-path identity property, the PR's core invariant: across
+   seeds, engines, windows, and scheduler policies, every query's
+   server-path table equals its solo [Engine.execute] table (the server
+   checks with Relops.same_results and reports per query). *)
+let test_server_identity_across_seeds () =
+  let input =
+    Engine.input_of_graph
+      Rapida_datagen.Bsbm.(generate (config ~seed:5 ~products:40 ()))
+  in
+  List.iter
+    (fun seed ->
+      let wl = Workload.generate ~seed ~n:5 ~mean_gap_s:2.0 () in
+      List.iter
+        (fun kind ->
+          let cfg = Server.config ~window_s:3.0 kind in
+          let r = Server.run cfg input wl in
+          check_bool
+            (Printf.sprintf "seed %d, %s: identical to solo" seed
+               (Engine.kind_name kind))
+            true
+            (r.Server.r_all_matched && r.Server.r_errors = 0))
+        Engine.all_kinds)
+    (List.init 20 Fun.id)
+
+let test_server_identity_across_settings () =
+  let input = Lazy.force small_input in
+  let wl = Workload.generate ~seed:4 ~n:6 ~mean_gap_s:1.5 () in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun window_s ->
+          List.iter
+            (fun policy ->
+              List.iter
+                (fun share ->
+                  let cfg = Server.config ~window_s ~policy ~share kind in
+                  let r = Server.run cfg input wl in
+                  check_bool
+                    (Printf.sprintf "%s w=%.1f %s share=%b"
+                       (Engine.kind_name kind) window_s
+                       (Scheduler.policy_name policy) share)
+                    true
+                    (r.Server.r_all_matched && r.Server.r_errors = 0))
+                [ true; false ])
+            [ Scheduler.Fifo; Scheduler.Fair ])
+        [ 0.0; 1.0; 50.0 ])
+    Engine.[ Hive_mqo; Rapid_analytics ]
+
+let suite =
+  [
+    Alcotest.test_case "slot demand and slot-seconds" `Quick test_job_slots;
+    Alcotest.test_case "scheduler: uncontended run" `Quick
+      test_sched_uncontended;
+    Alcotest.test_case "scheduler: FIFO head-of-line" `Quick
+      test_sched_fifo_head_of_line;
+    Alcotest.test_case "scheduler: fair split" `Quick test_sched_fair_split;
+    Alcotest.test_case "scheduler: small demands coexist" `Quick
+      test_sched_no_contention_small_demand;
+    Alcotest.test_case "scheduler: idle gap" `Quick test_sched_idle_gap;
+    Alcotest.test_case "workload: parse" `Quick test_workload_parse;
+    Alcotest.test_case "workload: parse errors" `Quick
+      test_workload_parse_errors;
+    Alcotest.test_case "workload: @file queries" `Quick
+      test_workload_query_file;
+    Alcotest.test_case "workload: deterministic generator" `Quick
+      test_workload_generate;
+    Alcotest.test_case "grouping: sharing kinds" `Quick test_shares;
+    Alcotest.test_case "grouping: overlapping queries pool" `Quick
+      test_grouping_overlap;
+    Alcotest.test_case "grouping: non-sharing kinds stay solo" `Quick
+      test_grouping_non_sharing_kind;
+    Alcotest.test_case "errors: parse maps to exit 2" `Quick test_error_parse;
+    Alcotest.test_case "errors: aborted workflow is Job_failed" `Quick
+      test_error_job_failed;
+    Alcotest.test_case "sessions: per-session verifier" `Quick
+      test_session_verifier;
+    Alcotest.test_case "percentile: nearest rank" `Quick test_percentile;
+    Alcotest.test_case "server: shared plans save jobs and bytes" `Slow
+      test_server_savings;
+    Alcotest.test_case "server: sharing off is the solo baseline" `Slow
+      test_server_no_share_baseline;
+    Alcotest.test_case "server: report shape" `Slow test_server_report_shape;
+    Alcotest.test_case "server: identity across 20 seeds x 4 engines" `Slow
+      test_server_identity_across_seeds;
+    Alcotest.test_case "server: identity across windows and policies" `Slow
+      test_server_identity_across_settings;
+  ]

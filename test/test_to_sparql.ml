@@ -107,8 +107,13 @@ let test_order_limit_across_engines () =
   check_int "limited" 3 (Table.cardinality expected);
   List.iter
     (fun kind ->
-      match Engine.run_sparql kind (Plan_util.context Plan_util.default_options) input src with
-      | Error e -> Alcotest.failf "%s: %s" (Engine.kind_name kind) e
+      match
+        Engine.execute_sparql (Engine.prepare kind input)
+          (Plan_util.context Plan_util.default_options) src
+      with
+      | Error e ->
+        Alcotest.failf "%s: %s" (Engine.kind_name kind)
+          (Engine.error_message e)
       | Ok { table; _ } ->
         check_bool
           (Engine.kind_name kind ^ " agrees under LIMIT")
