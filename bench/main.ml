@@ -20,6 +20,9 @@
      server  - query-server throughput sweep: a timed arrival stream
                through windowed admission and cross-query MQO, per-query
                latency percentiles and savings vs back-to-back runs
+     overload- overload sweep: arrival rate crossed with fault rate,
+               protected (deadline-aware shedding + circuit breaker +
+               degradation ladder) vs unprotected goodput
      wall    - Bechamel wall-clock microbenchmarks of the in-memory
                engines on representative queries
 
@@ -330,7 +333,7 @@ let section_recovery () =
    identical to its solo run. *)
 let section_server () =
   let workload =
-    Rapida_server.Workload.generate ~seed:11 ~n:(10 * !scale)
+    Rapida_server.Workload.generate_exn ~seed:11 ~n:(10 * !scale)
       ~mean_gap_s:3.0 ()
   in
   List.iter
@@ -340,6 +343,19 @@ let section_server () =
       in
       Fmt.pr "%a" Report.pp_throughput sweep)
     Engine.[ Hive_mqo; Rapid_analytics ]
+
+(* Overload sweep: arrival rate crossed with per-attempt fault rate, the
+   same deadline-carrying workload through a protected server (bounded
+   queue, deadline-aware shedding, circuit breaker, degradation ladder)
+   and an unprotected one. The headline: at the heaviest arrival x fault
+   point, protection strictly wins on goodput — shedding a few queries
+   (each with a typed fate) keeps the rest inside their deadlines. *)
+let section_overload () =
+  let sweep =
+    Experiment.overload_sweep ~n:(12 * !scale) options Engine.Rapid_analytics
+      (Lazy.force bsbm_small)
+  in
+  Fmt.pr "%a" Report.pp_overload sweep
 
 (* Wall-clock microbenchmarks of the real in-memory executions, per
    engine, on representative queries from each workload. *)
@@ -402,4 +418,5 @@ let () =
   if want "memory" then section_memory ();
   if want "recovery" then section_recovery ();
   if want "server" then section_server ();
+  if want "overload" then section_overload ();
   if want "wall" then section_wall ()

@@ -426,10 +426,10 @@ let serve_cmd =
   let workload_file =
     Arg.(value & opt (some string) None
          & info [ "w"; "workload" ] ~docv:"FILE"
-             ~doc:"Workload file: one arrival per line, TIME QUERY [LABEL], \
-                   where QUERY is a catalog id or \\@FILE with SPARQL \
-                   (\\@ paths resolve relative to the workload file); # \
-                   starts a comment.")
+             ~doc:"Workload file: one arrival per line, TIME QUERY [LABEL] \
+                   [deadline=SECONDS], where QUERY is a catalog id or \
+                   \\@FILE with SPARQL (\\@ paths resolve relative to the \
+                   workload file); # starts a comment.")
   in
   let generate =
     Arg.(value & opt (some int) None
@@ -491,8 +491,60 @@ let serve_cmd =
          & info [ "mem" ] ~docv:"SPEC"
              ~doc:"Per-task memory budget (same syntax as rapida query --mem).")
   in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Default per-query SLO: finish within SECONDS of arrival. \
+                   Applies to arrivals without their own deadline= in the \
+                   workload file; late queries are reported deadline-missed.")
+  in
+  let queue_cap =
+    Arg.(value & opt (some int) None
+         & info [ "queue-cap" ] ~docv:"N"
+             ~doc:"Admission control: bound in-flight plus newly admitted \
+                   queries to N; overflow is shed (typed fate, exit stays 0) \
+                   under --shed-policy.")
+  in
+  let shed_policy =
+    let parse s =
+      match Server.shed_policy_of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg "expected drop-tail, cost-aware, or deadline-aware")
+    in
+    let shed_conv =
+      Arg.conv (parse, fun ppf p -> Fmt.string ppf (Server.shed_policy_name p))
+    in
+    Arg.(value & opt shed_conv Server.Drop_tail
+         & info [ "shed-policy" ]
+             ~doc:"What to shed when the queue is full: drop-tail (latest \
+                   arrivals), cost-aware (most expensive first, by the priced \
+                   solo plan's slot-seconds), or deadline-aware (keep the \
+                   earliest deadlines, and refuse queries whose estimated \
+                   completion already misses theirs).")
+  in
+  let degrade =
+    Arg.(value & flag
+         & info [ "degrade" ]
+             ~doc:"Enable the degradation ladder: under measured pressure \
+                   the server steps from full MQO sharing to sharing-off to \
+                   broadcast-everything heuristic plans (with sampled result \
+                   verification), and back up when pressure clears.")
+  in
+  let breaker =
+    Arg.(value & opt (some int) None
+         & info [ "breaker" ] ~docv:"K"
+             ~doc:"Circuit breaker: after K consecutive transient \
+                   (job-failed) results, shed whole batches until \
+                   --breaker-cooldown passes.")
+  in
+  let breaker_cooldown =
+    Arg.(value & opt float 120.0
+         & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+             ~doc:"How long an open circuit breaker keeps shedding.")
+  in
   let run data workload_file generate seed mean_gap engine window policy
-      no_share detail json faults_spec mem_spec verbose =
+      no_share detail json faults_spec mem_spec deadline queue_cap shed_policy
+      degrade breaker breaker_cooldown verbose =
     setup_logs verbose;
     let ( let* ) = Result.bind in
     let usage r = Result.map_error (fun msg -> (2, msg)) r in
@@ -514,12 +566,34 @@ let serve_cmd =
           Error (2, "window must be a non-negative number of seconds")
         else Ok ()
       in
+      let* () =
+        match deadline with
+        | Some d when d <= 0.0 || not (Float.is_finite d) ->
+          Error (2, "--deadline must be a positive number of seconds")
+        | Some _ | None -> Ok ()
+      in
+      let* () =
+        match queue_cap with
+        | Some c when c <= 0 -> Error (2, "--queue-cap must be positive")
+        | Some _ | None -> Ok ()
+      in
+      let* () =
+        match breaker with
+        | Some k when k <= 0 -> Error (2, "--breaker must be positive")
+        | Some _ | None -> Ok ()
+      in
+      let* () =
+        if breaker_cooldown <= 0.0 || not (Float.is_finite breaker_cooldown)
+        then Error (2, "--breaker-cooldown must be a positive number of seconds")
+        else Ok ()
+      in
       let* workload =
         match (workload_file, generate) with
         | Some path, None -> usage (Workload.load path)
         | None, Some n ->
-          if n <= 0 then Error (2, "--generate expects a positive count")
-          else Ok (Workload.generate ~seed ~n ~mean_gap_s:mean_gap ())
+          usage
+            (Result.map_error Workload.gen_error_message
+               (Workload.generate ~seed ~n ~mean_gap_s:mean_gap ()))
         | _ -> Error (2, "provide exactly one of --workload or --generate")
       in
       let* graph = usage (load_graph data) in
@@ -533,9 +607,13 @@ let serve_cmd =
           mem_cfg
       in
       let options = Plan_util.make ~cluster ~faults:fault_cfg () in
+      let overload =
+        Server.overload ?queue_cap ~shed_policy ?deadline_s:deadline
+          ?breaker_k:breaker ~breaker_cooldown_s:breaker_cooldown ~degrade ()
+      in
       let cfg =
         Server.config ~window_s:window ~policy ~share:(not no_share)
-          ~options engine
+          ~overload ~options engine
       in
       let report = Server.run cfg (Engine.input_of_graph graph) workload in
       if json then print_endline (Json.to_string (Server.to_json report))
@@ -554,7 +632,8 @@ let serve_cmd =
              latency/savings reporting against back-to-back execution.")
     Term.(const run $ data $ workload_file $ generate $ seed $ mean_gap
           $ engine $ window $ policy $ no_share $ detail $ json $ faults
-          $ mem $ verbose_arg)
+          $ mem $ deadline $ queue_cap $ shed_policy $ degrade $ breaker
+          $ breaker_cooldown $ verbose_arg)
 
 (* --- lint --------------------------------------------------------------- *)
 

@@ -64,6 +64,7 @@ let pp_error ppf e = Fmt.string ppf (error_message e)
    unreadable file); everything after a successful parse is a runtime
    failure (exit 1). *)
 let error_exit_code = function Parse_error _ -> 2 | _ -> 1
+let error_transient = function Job_failed _ -> true | _ -> false
 
 type verifier = kind -> Analytical.t -> Table.t -> string list
 

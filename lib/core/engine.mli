@@ -85,6 +85,13 @@ val error_message : error -> string
     failure) for everything else. *)
 val error_exit_code : error -> int
 
+(** [error_transient e] is true when retrying the same query later could
+    plausibly succeed — only {!Job_failed}, whose fault fates are drawn
+    per attempt. [Parse_error], [Plan_rejected], and [Verify_failed] are
+    deterministic properties of the query and plan; a circuit breaker
+    must not trip on them. *)
+val error_transient : error -> bool
+
 (** A verifier re-checks a finished run: [f kind query table] returns
     human-readable problems; a non-empty list fails the execution with
     {!Verify_failed}. Consulted only when the execution's context has

@@ -50,6 +50,13 @@ let make ?(base = default_options) ?cluster ?map_join_threshold
     verify_plans = Option.value ~default:base.verify_plans verify_plans;
   }
 
+(* Broadcast-everything heuristic: with the map-join threshold at
+   max_int every star join is planned map-only, skipping planning-time
+   cost comparisons and shuffle cycles. Answers are unchanged (the
+   ablation identity properties cover the threshold), only cheaper and
+   lower-variance — the overloaded server's last ladder rung. *)
+let degrade_options base = { base with map_join_threshold = max_int }
+
 let context options =
   Exec_ctx.create ~cluster:options.cluster
     ~planner:

@@ -63,6 +63,14 @@ val make :
   ?verify_plans:bool ->
   unit -> options
 
+(** [degrade_options base] is [base] with the map-join threshold raised
+    to [max_int]: every star join broadcasts, so plans come out cheaper
+    (fewer MR cycles) with lower latency variance, at the price of
+    skipping the cost-based shuffle/broadcast decision. Answers are
+    unchanged — this is the query server's cheap-heuristic-plan rung of
+    the degradation ladder. *)
+val degrade_options : options -> options
+
 (** [context options] is a fresh execution context (empty trace and
     counters) configured with [options]. Create one per query run. *)
 val context : options -> Exec_ctx.t

@@ -485,3 +485,71 @@ let throughput_point sweep ~window_s ~policy ~share =
     (fun p ->
       p.t_window_s = window_s && p.t_policy = policy && p.t_share = share)
     sweep.t_points
+
+(* --- Query-server overload sweep ----------------------------------------- *)
+
+type overload_point = {
+  o_mean_gap_s : float;
+  o_fault_rate : float;
+  o_protected : Server.t;
+  o_unprotected : Server.t;
+}
+
+type overload = {
+  o_kind : Engine.kind;
+  o_n : int;
+  o_deadline_s : float;
+  o_points : overload_point list;
+}
+
+let overload_sweep ?(gaps = [ 400.0; 30.0 ]) ?(fault_rates = [ 0.0; 0.08 ])
+    ?(n = 12) ?(seed = 11) ?(deadline_s = 900.0) ?(queue_cap = 4) options kind
+    input =
+  (* Both servers see the same arrival stream, deadlines, and fault
+     seed; only the protection differs. The unprotected server admits
+     everything (deadlines observed, never enforced); the protected one
+     bounds its queue, refuses infeasible deadlines, breaks the circuit
+     on consecutive failures, and degrades under pressure. *)
+  let unprotected_ov = Server.overload ~deadline_s () in
+  let protected_ov =
+    Server.overload ~deadline_s ~queue_cap
+      ~shed_policy:Server.Deadline_aware ~breaker_k:3 ~degrade:true
+      ~degrade_depth:3 ~degrade_drain_s:(deadline_s /. 2.0) ()
+  in
+  let points =
+    List.concat_map
+      (fun mean_gap_s ->
+        List.map
+          (fun rate ->
+            let workload =
+              Workload.generate_exn ~seed ~n ~mean_gap_s ()
+            in
+            let faults =
+              {
+                Fault_injector.default with
+                Fault_injector.seed = seed;
+                task_fail_p = rate;
+                max_attempts = 2;
+              }
+            in
+            let options = Plan_util.make ~base:options ~faults () in
+            let run ov =
+              Server.run
+                (Server.config ~overload:ov ~options kind)
+                input workload
+            in
+            {
+              o_mean_gap_s = mean_gap_s;
+              o_fault_rate = rate;
+              o_protected = run protected_ov;
+              o_unprotected = run unprotected_ov;
+            })
+          fault_rates)
+      gaps
+  in
+  { o_kind = kind; o_n = n; o_deadline_s = deadline_s; o_points = points }
+
+let overload_point sweep ~mean_gap_s ~fault_rate =
+  List.find_opt
+    (fun p -> p.o_mean_gap_s = mean_gap_s && p.o_fault_rate = fault_rate)
+    sweep.o_points

@@ -234,3 +234,46 @@ val throughput_point :
   policy:Rapida_mapred.Scheduler.policy ->
   share:bool ->
   throughput_point option
+
+(** One (arrival rate, fault rate) grid point of an {!overload_sweep}:
+    the same deadline-carrying workload through a protected server
+    (bounded queue, deadline-aware shedding, circuit breaker,
+    degradation ladder) and an unprotected one (deadlines observed but
+    never enforced). *)
+type overload_point = {
+  o_mean_gap_s : float;
+  o_fault_rate : float;
+  o_protected : Rapida_server.Server.t;
+  o_unprotected : Rapida_server.Server.t;
+}
+
+type overload = {
+  o_kind : Engine.kind;
+  o_n : int;  (** arrivals per point *)
+  o_deadline_s : float;  (** per-query relative deadline *)
+  o_points : overload_point list;  (** gap-major, fault-rate order *)
+}
+
+(** [overload_sweep options kind input] crosses arrival rate (mean
+    inter-arrival gaps, default [8; 1] seconds) with per-attempt fault
+    rate (default [0; 0.2]) and runs each point through both servers.
+    The claim the sweep exists to demonstrate: under the heaviest
+    arrival × fault load, shedding + degradation yields strictly more
+    goodput (deadline-met fraction of all arrivals) than admitting
+    everything, and every shed query carries a typed fate. *)
+val overload_sweep :
+  ?gaps:float list ->
+  ?fault_rates:float list ->
+  ?n:int ->
+  ?seed:int ->
+  ?deadline_s:float ->
+  ?queue_cap:int ->
+  Rapida_core.Plan_util.options ->
+  Engine.kind ->
+  Engine.input ->
+  overload
+
+(** [overload_point sweep ~mean_gap_s ~fault_rate] finds one grid
+    point. *)
+val overload_point :
+  overload -> mean_gap_s:float -> fault_rate:float -> overload_point option

@@ -293,3 +293,36 @@ let pp_throughput ppf (sweep : Experiment.throughput) =
          else "NO");
       ())
     sweep.Experiment.t_points
+
+(* --- Query-server overload sweep ----------------------------------------- *)
+
+let pp_overload ppf (sweep : Experiment.overload) =
+  Fmt.pf ppf
+    "@.== Overload sweep: %s, %d arrivals, deadline %.0fs ==@."
+    (Engine.kind_name sweep.Experiment.o_kind)
+    sweep.Experiment.o_n sweep.Experiment.o_deadline_s;
+  Fmt.pf ppf "%-8s %-6s | %-28s | %-28s | %s@." "gap" "faults"
+    "unprotected (goodput miss fail)" "protected (goodput shed miss)" "win";
+  List.iter
+    (fun (p : Experiment.overload_point) ->
+      let stats (r : Server.t) =
+        match r.Server.r_overload with
+        | Some o ->
+          ( o.Server.o_goodput,
+            o.Server.o_shed_queue + o.Server.o_shed_infeasible
+            + o.Server.o_shed_breaker,
+            o.Server.o_missed,
+            o.Server.o_failed )
+        | None -> (0.0, 0, 0, 0)
+      in
+      let ug, _, um, uf = stats p.Experiment.o_unprotected in
+      let pg, ps, pm, _ = stats p.Experiment.o_protected in
+      Fmt.pf ppf
+        "%7.1fs %6.2f | goodput %5.1f%%  %2d miss %2d fail | goodput \
+         %5.1f%%  %2d shed %2d miss | %s@."
+        p.Experiment.o_mean_gap_s p.Experiment.o_fault_rate (100.0 *. ug) um
+        uf (100.0 *. pg) ps pm
+        (if pg > ug then "protected"
+         else if pg < ug then "UNPROTECTED"
+         else "tie"))
+    sweep.Experiment.o_points

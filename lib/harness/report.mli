@@ -70,3 +70,10 @@ val pp_recovery :
     The [ok] column confirms every per-query result matched its solo
     run — the sharing-transparency invariant. *)
 val pp_throughput : Experiment.throughput Fmt.t
+
+(** [pp_overload sweep] renders an overload sweep: a row per (arrival
+    gap, fault rate) grid point comparing the unprotected server's
+    goodput/missed/failed counts against the protected server's
+    goodput/shed/missed, with a verdict column naming whichever won on
+    goodput. *)
+val pp_overload : Experiment.overload Fmt.t

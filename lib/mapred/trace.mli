@@ -11,7 +11,9 @@
     Span categories in use: ["job"] and ["phase"] for the cost model's
     cycles, ["attempt"] for injected-fault re-work, ["abort"] for failed
     submissions and retry backoff, ["checkpoint"] for materialized job
-    outputs, and ["replay"] for checkpoint-recovery re-runs. *)
+    outputs, ["replay"] for checkpoint-recovery re-runs, and
+    ["overload"] for the query server's degradation-level periods,
+    shed decisions, and circuit-breaker openings. *)
 
 type event = {
   name : string;

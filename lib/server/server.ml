@@ -4,25 +4,89 @@ module Plan_util = Rapida_core.Plan_util
 module Analytical = Rapida_sparql.Analytical
 module Scheduler = Rapida_mapred.Scheduler
 module Stats = Rapida_mapred.Stats
+module Trace = Rapida_mapred.Trace
 module Json = Rapida_mapred.Json
 module Table = Rapida_relational.Table
 module Relops = Rapida_relational.Relops
+
+type shed_policy = Drop_tail | Cost_aware | Deadline_aware
+
+let shed_policy_name = function
+  | Drop_tail -> "drop-tail"
+  | Cost_aware -> "cost-aware"
+  | Deadline_aware -> "deadline-aware"
+
+let shed_policy_of_string = function
+  | "drop-tail" -> Some Drop_tail
+  | "cost-aware" -> Some Cost_aware
+  | "deadline-aware" -> Some Deadline_aware
+  | _ -> None
+
+type shed_reason = Queue_full | Infeasible | Breaker_open
+
+let shed_reason_name = function
+  | Queue_full -> "queue-full"
+  | Infeasible -> "infeasible"
+  | Breaker_open -> "breaker-open"
+
+type fate = Completed | Shed of shed_reason | Deadline_missed | Failed
+
+let fate_name = function
+  | Completed -> "completed"
+  | Shed r -> "shed:" ^ shed_reason_name r
+  | Deadline_missed -> "deadline-missed"
+  | Failed -> "failed"
+
+type overload = {
+  ov_queue_cap : int option;
+  ov_shed_policy : shed_policy;
+  ov_deadline_s : float option;
+  ov_breaker_k : int option;
+  ov_breaker_cooldown_s : float;
+  ov_degrade : bool;
+  ov_degrade_depth : int;
+  ov_degrade_drain_s : float;
+  ov_verify_sample : int;
+}
+
+let overload ?queue_cap ?(shed_policy = Drop_tail) ?deadline_s ?breaker_k
+    ?(breaker_cooldown_s = 120.0) ?(degrade = false) ?(degrade_depth = 8)
+    ?(degrade_drain_s = 60.0) ?(verify_sample = 4) () =
+  {
+    ov_queue_cap = queue_cap;
+    ov_shed_policy = shed_policy;
+    ov_deadline_s = deadline_s;
+    ov_breaker_k = breaker_k;
+    ov_breaker_cooldown_s = breaker_cooldown_s;
+    ov_degrade = degrade;
+    ov_degrade_depth = degrade_depth;
+    ov_degrade_drain_s = degrade_drain_s;
+    ov_verify_sample = verify_sample;
+  }
+
+let overload_off = overload ()
+
+let overload_enabled ov =
+  ov.ov_queue_cap <> None || ov.ov_breaker_k <> None || ov.ov_degrade
+  || ov.ov_deadline_s <> None
 
 type config = {
   c_kind : Engine.kind;
   c_window_s : float;
   c_policy : Scheduler.policy;
   c_share : bool;
+  c_overload : overload;
   c_options : Plan_util.options;
 }
 
 let config ?(window_s = 5.0) ?(policy = Scheduler.Fair) ?(share = true)
-    ?(options = Plan_util.default_options) kind =
+    ?(overload = overload_off) ?(options = Plan_util.default_options) kind =
   {
     c_kind = kind;
     c_window_s = window_s;
     c_policy = policy;
     c_share = share;
+    c_overload = overload;
     c_options = options;
   }
 
@@ -36,6 +100,9 @@ type query_report = {
   q_queue_s : float;
   q_latency_s : float;
   q_rows : int;
+  q_deadline_s : float option;
+  q_fate : fate;
+  q_checked : bool;
   q_error : Engine.error option;
   q_matches_solo : bool;
 }
@@ -46,6 +113,26 @@ type batch_report = {
   b_admit_s : float;
   b_size : int;
   b_group_sizes : int list;
+}
+
+type overload_report = {
+  o_completed : int;
+  o_shed_queue : int;
+  o_shed_infeasible : int;
+  o_shed_breaker : int;
+  o_missed : int;
+  o_failed : int;
+  o_goodput : float;
+  o_breaker_trips : int;
+  o_level_steps : int;
+  o_time_in_level : (int * float) list;
+  o_completed_p50_s : float;
+  o_completed_p95_s : float;
+  o_completed_p99_s : float;
+  o_missed_p50_s : float;
+  o_missed_p95_s : float;
+  o_missed_p99_s : float;
+  o_checked : int;
 }
 
 type t = {
@@ -74,6 +161,8 @@ type t = {
   r_bytes_saved : int;
   r_all_matched : bool;
   r_errors : int;
+  r_overload : overload_report option;
+  r_trace : Trace.t;
 }
 
 let percentile p xs =
@@ -87,6 +176,8 @@ let percentile p xs =
 let mean = function
   | [] -> 0.0
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let eps = 1e-9
 
 (* Admission windows over the sorted arrival stream: a window opens at
    the first pending arrival, collects everything arriving within
@@ -125,78 +216,34 @@ let solo_groups queries =
     queries
 
 (* One executed overlap group: its arrivals (member order), per-member
-   outcomes, and the priced shared workflow. *)
+   outcomes, the degradation level it ran at, and the priced shared
+   workflow. *)
 type exec_group = {
   eg_index : int;
   eg_batch : int;
   eg_admit_s : float;
+  eg_level : int;
   eg_members : (Workload.arrival * (Table.t, Engine.error) result) list;
   eg_stats : Stats.t;
 }
 
 let run cfg input (workload : Workload.t) =
+  let ov = cfg.c_overload in
+  (* The overload layer is active when any knob is set or any arrival
+     carries a deadline; when inactive, every step below degenerates to
+     the unprotected server and the report is bit-identical to it. *)
+  let active = overload_enabled ov || Workload.has_deadlines workload in
+  let deadline_of (a : Workload.arrival) =
+    match a.Workload.a_deadline_s with
+    | Some _ as d -> d
+    | None -> ov.ov_deadline_s
+  in
   let session = Engine.prepare cfg.c_kind input in
+  let cluster = cfg.c_options.Plan_util.cluster in
   let batches = batch_arrivals cfg.c_window_s workload.Workload.arrivals in
-  (* Execute every batch's overlap groups; a fresh context per group so
-     each shared workflow's trace and counters stand alone. *)
-  let exec_groups, batch_reports =
-    let next = ref 0 in
-    List.fold_left
-      (fun (egs, brs) (b_index, open_s, admit_s, members) ->
-        let queries =
-          List.map (fun a -> a.Workload.a_query) members
-        in
-        let groups =
-          if cfg.c_share then Batch_exec.group_queries cfg.c_kind queries
-          else solo_groups queries
-        in
-        let executed =
-          List.map
-            (fun (g : Batch_exec.group) ->
-              let ctx = Plan_util.context cfg.c_options in
-              let res = Batch_exec.run_group session ctx g in
-              let index = !next in
-              incr next;
-              {
-                eg_index = index;
-                eg_batch = b_index;
-                eg_admit_s = admit_s;
-                eg_members =
-                  List.map2
-                    (fun (m : Batch_exec.member) out ->
-                      (List.nth members m.Batch_exec.m_index, out))
-                    g.Batch_exec.g_members res.Batch_exec.outputs;
-                eg_stats = res.Batch_exec.stats;
-              })
-            groups
-        in
-        let br =
-          {
-            b_index;
-            b_open_s = open_s;
-            b_admit_s = admit_s;
-            b_size = List.length members;
-            b_group_sizes =
-              List.map (fun eg -> List.length eg.eg_members) executed;
-          }
-        in
-        (egs @ executed, brs @ [ br ]))
-      ([], []) batches
-  in
-  (* The shared workflows contend for the cluster's slots. *)
-  let sched =
-    Scheduler.simulate cfg.c_options.Plan_util.cluster cfg.c_policy
-      (List.map
-         (fun eg ->
-           {
-             Scheduler.it_id = eg.eg_index;
-             it_submit_s = eg.eg_admit_s;
-             it_jobs = eg.eg_stats.Stats.jobs;
-           })
-         exec_groups)
-  in
   (* Back-to-back baseline: every query solo, sequentially, same
-     cluster — the savings denominator and the identity reference. *)
+     cluster — the savings denominator, the identity reference, and the
+     Cost_aware admission price (solo slot-seconds). *)
   let solo =
     List.map
       (fun (a : Workload.arrival) ->
@@ -204,6 +251,310 @@ let run cfg input (workload : Workload.t) =
         (a, Engine.execute session ctx a.Workload.a_query))
       workload.Workload.arrivals
   in
+  let solo_by_id =
+    List.map (fun ((s : Workload.arrival), r) -> (s.Workload.a_id, r)) solo
+  in
+  let solo_cost (a : Workload.arrival) =
+    match List.assoc a.Workload.a_id solo_by_id with
+    | Ok (o : Engine.output) -> Stats.slot_seconds o.Engine.stats
+    | Error _ -> 0.0
+  in
+  let trace = Trace.create () in
+  let committed = ref [] in
+  let items = ref [] in
+  let next = ref 0 in
+  let shed = ref [] in
+  let batch_reports = ref [] in
+  let breaker_consec = ref 0 in
+  let breaker_until = ref None in
+  let breaker_trips = ref 0 in
+  let level = ref 0 in
+  let level_since = ref 0.0 in
+  let level_steps = ref 0 in
+  let time_in_level = Array.make 3 0.0 in
+  let sched_items () = List.rev !items in
+  let shed_query b_index admit_s reason (a : Workload.arrival) =
+    shed := (a, reason, b_index) :: !shed;
+    Trace.span trace
+      ~name:("shed-" ^ shed_reason_name reason)
+      ~cat:"overload" ~start_s:admit_s ~dur_s:0.0
+      [
+        ("query", Json.Int a.Workload.a_id);
+        ("label", Json.String a.Workload.a_label);
+      ]
+  in
+  (* Admission selection under a full queue: keep [room] members (in
+     arrival order), shed the rest. Drop_tail sheds the latest arrivals;
+     Cost_aware the most expensive (solo slot-seconds); Deadline_aware
+     keeps the earliest absolute deadlines, shedding no-deadline queries
+     first. *)
+  let select_admitted room members =
+    if room <= 0 then ([], members)
+    else if List.length members <= room then (members, [])
+    else
+      let keyed = List.mapi (fun i a -> (i, a)) members in
+      let key (i, (a : Workload.arrival)) =
+        match ov.ov_shed_policy with
+        | Drop_tail -> float_of_int i
+        | Cost_aware -> solo_cost a
+        | Deadline_aware -> (
+          match deadline_of a with
+          | None -> Float.infinity
+          | Some d -> a.Workload.a_time_s +. d)
+      in
+      let ranked =
+        List.stable_sort (fun x y -> compare (key x) (key y)) keyed
+      in
+      let rec take n = function
+        | [] -> []
+        | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+      in
+      let keep_idx = List.map fst (take room ranked) in
+      let keep, drop =
+        List.partition (fun (i, _) -> List.mem i keep_idx) keyed
+      in
+      (List.map snd keep, List.map snd drop)
+  in
+  (* Execute one batch's admitted members at a degradation level. Level
+     0 is the configured server; level 1 turns cross-query sharing off;
+     level 2 additionally plans with the broadcast-everything
+     heuristic. Returns un-committed (members × outcomes, stats)
+     groups in batch order. *)
+  let execute_members lvl members =
+    let queries = List.map (fun (a : Workload.arrival) -> a.Workload.a_query) members in
+    let share = cfg.c_share && lvl = 0 in
+    let options =
+      if lvl >= 2 then Plan_util.degrade_options cfg.c_options
+      else cfg.c_options
+    in
+    let groups =
+      if share then Batch_exec.group_queries cfg.c_kind queries
+      else solo_groups queries
+    in
+    List.map
+      (fun (g : Batch_exec.group) ->
+        let ctx = Plan_util.context options in
+        let res = Batch_exec.run_group session ctx g in
+        ( List.map2
+            (fun (m : Batch_exec.member) out ->
+              (List.nth members m.Batch_exec.m_index, out))
+            g.Batch_exec.g_members res.Batch_exec.outputs,
+          res.Batch_exec.stats ))
+      groups
+  in
+  let commit b_index admit_s lvl executed =
+    List.iter
+      (fun (mems, (stats : Stats.t)) ->
+        let index = !next in
+        incr next;
+        committed :=
+          {
+            eg_index = index;
+            eg_batch = b_index;
+            eg_admit_s = admit_s;
+            eg_level = lvl;
+            eg_members = mems;
+            eg_stats = stats;
+          }
+          :: !committed;
+        items :=
+          {
+            Scheduler.it_id = index;
+            it_submit_s = admit_s;
+            it_jobs = stats.Stats.jobs;
+          }
+          :: !items)
+      executed
+  in
+  List.iter
+    (fun (b_index, open_s, admit_s, members) ->
+      let admitted =
+        if not active then members
+        else begin
+          (* Measured pressure: queries still in flight at this admission
+             instant, and how long the backlog takes to drain. *)
+          let in_flight, drain_s =
+            match sched_items () with
+            | [] -> (0, 0.0)
+            | its ->
+              let s = Scheduler.simulate cluster cfg.c_policy its in
+              List.fold_left
+                (fun (n, d) eg ->
+                  match Scheduler.placement s eg.eg_index with
+                  | Some p when p.Scheduler.p_finish_s > admit_s +. eps ->
+                    ( n + List.length eg.eg_members,
+                      Float.max d (p.Scheduler.p_finish_s -. admit_s) )
+                  | Some _ | None -> (n, d))
+                (0, 0.0) !committed
+          in
+          let breaker_open =
+            match !breaker_until with
+            | Some until when admit_s +. eps < until -> true
+            | Some _ ->
+              (* cooldown elapsed: close the breaker and start fresh *)
+              breaker_until := None;
+              breaker_consec := 0;
+              false
+            | None -> false
+          in
+          if ov.ov_degrade then begin
+            let target =
+              if
+                in_flight >= 2 * ov.ov_degrade_depth
+                || drain_s >= 2.0 *. ov.ov_degrade_drain_s
+              then 2
+              else if
+                in_flight >= ov.ov_degrade_depth
+                || drain_s >= ov.ov_degrade_drain_s
+              then 1
+              else 0
+            in
+            if target <> !level then begin
+              let dur = Float.max 0.0 (admit_s -. !level_since) in
+              Trace.span trace
+                ~name:(Printf.sprintf "level-%d" !level)
+                ~cat:"overload" ~start_s:!level_since ~dur_s:dur
+                [ ("to", Json.Int target) ];
+              time_in_level.(!level) <- time_in_level.(!level) +. dur;
+              incr level_steps;
+              level := target;
+              level_since := admit_s
+            end
+          end;
+          if breaker_open then begin
+            List.iter (shed_query b_index admit_s Breaker_open) members;
+            []
+          end
+          else
+            match ov.ov_queue_cap with
+            | Some cap ->
+              let room = max 0 (cap - in_flight) in
+              let keep, drop = select_admitted room members in
+              List.iter (shed_query b_index admit_s Queue_full) drop;
+              keep
+            | None -> members
+        end
+      in
+      let lvl = if active && ov.ov_degrade then !level else 0 in
+      let executed =
+        match admitted with
+        | [] -> []
+        | _ -> (
+          let first = execute_members lvl admitted in
+          if not (active && ov.ov_shed_policy = Deadline_aware) then first
+          else begin
+            (* Feasibility refusal: with the batch's priced groups laid
+               on top of everything in flight, would each deadline still
+               be met? Queries that cannot make it are refused now
+               (typed fate) instead of missing later. *)
+            let prospective =
+              List.mapi
+                (fun i (_, (stats : Stats.t)) ->
+                  {
+                    Scheduler.it_id = 1_000_000 + i;
+                    it_submit_s = admit_s;
+                    it_jobs = stats.Stats.jobs;
+                  })
+                first
+            in
+            let s =
+              Scheduler.simulate cluster cfg.c_policy
+                (sched_items () @ prospective)
+            in
+            let infeasible =
+              List.concat
+                (List.mapi
+                   (fun i (mems, _) ->
+                     let finish =
+                       match Scheduler.placement s (1_000_000 + i) with
+                       | Some p -> p.Scheduler.p_finish_s
+                       | None -> admit_s
+                     in
+                     List.filter_map
+                       (fun ((a : Workload.arrival), _) ->
+                         match deadline_of a with
+                         | Some d
+                           when finish > a.Workload.a_time_s +. d +. eps ->
+                           Some a.Workload.a_id
+                         | Some _ | None -> None)
+                       mems)
+                   first)
+            in
+            if infeasible = [] then first
+            else begin
+              let keep, drop =
+                List.partition
+                  (fun (a : Workload.arrival) ->
+                    not (List.mem a.Workload.a_id infeasible))
+                  admitted
+              in
+              List.iter (shed_query b_index admit_s Infeasible) drop;
+              match keep with [] -> [] | _ -> execute_members lvl keep
+            end
+          end)
+      in
+      commit b_index admit_s lvl executed;
+      (* Circuit breaker: K consecutive transient failures (in arrival
+         order) open it for a cooldown; deterministic errors and
+         successes reset the run. *)
+      if active then begin
+        match ov.ov_breaker_k with
+        | Some k when k > 0 ->
+          let outcomes =
+            List.concat_map
+              (fun (mems, _) ->
+                List.map
+                  (fun ((a : Workload.arrival), out) ->
+                    (a.Workload.a_id, out))
+                  mems)
+              executed
+            |> List.sort (fun (x, _) (y, _) -> compare x y)
+          in
+          List.iter
+            (fun (_, out) ->
+              match out with
+              | Error e when Engine.error_transient e ->
+                incr breaker_consec;
+                if !breaker_consec >= k && !breaker_until = None then begin
+                  breaker_until :=
+                    Some (admit_s +. ov.ov_breaker_cooldown_s);
+                  incr breaker_trips;
+                  breaker_consec := 0;
+                  Trace.span trace ~name:"breaker-open" ~cat:"overload"
+                    ~start_s:admit_s ~dur_s:ov.ov_breaker_cooldown_s
+                    [ ("consecutive_failures", Json.Int k) ]
+                end
+              | Error _ | Ok _ -> breaker_consec := 0)
+            outcomes
+        | Some _ | None -> ()
+      end;
+      batch_reports :=
+        {
+          b_index;
+          b_open_s = open_s;
+          b_admit_s = admit_s;
+          b_size = List.length members;
+          b_group_sizes = List.map (fun (mems, _) -> List.length mems) executed;
+        }
+        :: !batch_reports)
+    batches;
+  let exec_groups = List.rev !committed in
+  let batch_reports = List.rev !batch_reports in
+  (* The committed shared workflows contend for the cluster's slots. *)
+  let sched = Scheduler.simulate cluster cfg.c_policy (sched_items ()) in
+  if active && ov.ov_degrade then begin
+    let end_clock =
+      List.fold_left
+        (fun acc (p : Scheduler.placement) ->
+          Float.max acc p.Scheduler.p_finish_s)
+        !level_since sched.Scheduler.placements
+    in
+    let dur = Float.max 0.0 (end_clock -. !level_since) in
+    time_in_level.(!level) <- time_in_level.(!level) +. dur;
+    Trace.span trace
+      ~name:(Printf.sprintf "level-%d" !level)
+      ~cat:"overload" ~start_s:!level_since ~dur_s:dur []
+  end;
   let solo_finish =
     let cursor = ref 0.0 in
     List.map
@@ -218,7 +569,7 @@ let run cfg input (workload : Workload.t) =
         (a.Workload.a_id, !cursor))
       solo
   in
-  let queries =
+  let queries_exec =
     List.concat_map
       (fun eg ->
         let size = List.length eg.eg_members in
@@ -230,19 +581,31 @@ let run cfg input (workload : Workload.t) =
         in
         List.map
           (fun ((a : Workload.arrival), out) ->
-            let solo_out =
-              List.assoc a.Workload.a_id
-                (List.map
-                   (fun ((s : Workload.arrival), r) ->
-                     (s.Workload.a_id, r))
-                   solo)
+            (* Verification sampling: below level 2 every result is
+               checked against its solo run; at level 2 only one in
+               [ov_verify_sample] is. *)
+            let checked =
+              eg.eg_level < 2 || ov.ov_verify_sample <= 1
+              || a.Workload.a_id mod ov.ov_verify_sample = 0
             in
             let matches =
-              match (out, solo_out) with
+              (not checked)
+              ||
+              match (out, List.assoc a.Workload.a_id solo_by_id) with
               | Ok t, Ok (o : Engine.output) ->
                 Relops.same_results o.Engine.table t
               | Error _, Error _ -> true
               | _ -> false
+            in
+            let latency = Float.max 0.0 (finish -. a.Workload.a_time_s) in
+            let deadline = deadline_of a in
+            let fate =
+              match out with
+              | Error _ -> Failed
+              | Ok _ -> (
+                match deadline with
+                | Some d when latency > d +. eps -> Deadline_missed
+                | Some _ | None -> Completed)
             in
             {
               q_id = a.Workload.a_id;
@@ -254,21 +617,52 @@ let run cfg input (workload : Workload.t) =
               q_queue_s =
                 Float.max 0.0 (eg.eg_admit_s -. a.Workload.a_time_s)
                 +. queue;
-              q_latency_s = Float.max 0.0 (finish -. a.Workload.a_time_s);
+              q_latency_s = latency;
               q_rows =
                 (match out with Ok t -> Table.cardinality t | Error _ -> 0);
+              q_deadline_s = deadline;
+              q_fate = fate;
+              q_checked = checked;
               q_error =
                 (match out with Ok _ -> None | Error e -> Some e);
               q_matches_solo = matches;
             })
           eg.eg_members)
       exec_groups
-    |> List.sort (fun a b -> compare a.q_id b.q_id)
+  in
+  let queries_shed =
+    List.map
+      (fun ((a : Workload.arrival), reason, b_index) ->
+        {
+          q_id = a.Workload.a_id;
+          q_label = a.Workload.a_label;
+          q_arrival_s = a.Workload.a_time_s;
+          q_batch = b_index;
+          q_group = -1;
+          q_group_size = 0;
+          q_queue_s = 0.0;
+          q_latency_s = 0.0;
+          q_rows = 0;
+          q_deadline_s = deadline_of a;
+          q_fate = Shed reason;
+          q_checked = false;
+          q_error = None;
+          q_matches_solo = true;
+        })
+      (List.rev !shed)
+  in
+  let queries =
+    List.sort (fun a b -> compare a.q_id b.q_id) (queries_exec @ queries_shed)
   in
   let sum_stats f =
     List.fold_left (fun acc eg -> acc + f eg.eg_stats) 0 exec_groups
   in
-  let latencies = List.map (fun q -> q.q_latency_s) queries in
+  let latencies =
+    List.filter_map
+      (fun q ->
+        match q.q_fate with Shed _ -> None | _ -> Some q.q_latency_s)
+      queries
+  in
   let solo_latencies =
     List.map
       (fun ((a : Workload.arrival), _) ->
@@ -293,6 +687,47 @@ let run cfg input (workload : Workload.t) =
   in
   let jobs = sum_stats Stats.cycles in
   let bytes = sum_stats Stats.total_input_bytes in
+  let overload_report =
+    if not active then None
+    else begin
+      let count f = List.length (List.filter f queries) in
+      let lat fate =
+        List.filter_map
+          (fun q -> if q.q_fate = fate then Some q.q_latency_s else None)
+          queries
+      in
+      let completed = count (fun q -> q.q_fate = Completed) in
+      let completed_lat = lat Completed in
+      let missed_lat = lat Deadline_missed in
+      Some
+        {
+          o_completed = completed;
+          o_shed_queue = count (fun q -> q.q_fate = Shed Queue_full);
+          o_shed_infeasible = count (fun q -> q.q_fate = Shed Infeasible);
+          o_shed_breaker = count (fun q -> q.q_fate = Shed Breaker_open);
+          o_missed = count (fun q -> q.q_fate = Deadline_missed);
+          o_failed = count (fun q -> q.q_fate = Failed);
+          o_goodput =
+            (match queries with
+            | [] -> 0.0
+            | _ ->
+              float_of_int completed /. float_of_int (List.length queries));
+          o_breaker_trips = !breaker_trips;
+          o_level_steps = !level_steps;
+          o_time_in_level =
+            (if ov.ov_degrade then
+               List.mapi (fun i s -> (i, s)) (Array.to_list time_in_level)
+             else []);
+          o_completed_p50_s = percentile 50.0 completed_lat;
+          o_completed_p95_s = percentile 95.0 completed_lat;
+          o_completed_p99_s = percentile 99.0 completed_lat;
+          o_missed_p50_s = percentile 50.0 missed_lat;
+          o_missed_p95_s = percentile 95.0 missed_lat;
+          o_missed_p99_s = percentile 99.0 missed_lat;
+          o_checked = count (fun q -> q.q_checked);
+        }
+    end
+  in
   {
     r_kind = cfg.c_kind;
     r_window_s = cfg.c_window_s;
@@ -320,6 +755,8 @@ let run cfg input (workload : Workload.t) =
     r_all_matched = List.for_all (fun q -> q.q_matches_solo) queries;
     r_errors =
       List.length (List.filter (fun q -> q.q_error <> None) queries);
+    r_overload = overload_report;
+    r_trace = trace;
   }
 
 let pp_group_sizes ppf sizes =
@@ -348,6 +785,36 @@ let pp ppf r =
     r.r_solo_jobs r.r_solo_input_bytes r.r_solo_makespan_s
     r.r_solo_latency_p50_s;
   Fmt.pf ppf "saved: %d jobs, %d scan bytes@," r.r_jobs_saved r.r_bytes_saved;
+  (match r.r_overload with
+  | None -> ()
+  | Some o ->
+    let n_shed = o.o_shed_queue + o.o_shed_infeasible + o.o_shed_breaker in
+    Fmt.pf ppf
+      "fates: %d completed, %d missed, %d shed (%d queue-full, %d \
+       infeasible, %d breaker), %d failed@,"
+      o.o_completed o.o_missed n_shed o.o_shed_queue o.o_shed_infeasible
+      o.o_shed_breaker o.o_failed;
+    Fmt.pf ppf "goodput: %.1f%% of %d arrivals@," (100.0 *. o.o_goodput)
+      (List.length r.r_queries);
+    if o.o_completed > 0 then
+      Fmt.pf ppf "completed latency: p50 %.2fs  p95 %.2fs  p99 %.2fs@,"
+        o.o_completed_p50_s o.o_completed_p95_s o.o_completed_p99_s;
+    if o.o_missed > 0 then
+      Fmt.pf ppf "missed latency: p50 %.2fs  p95 %.2fs  p99 %.2fs@,"
+        o.o_missed_p50_s o.o_missed_p95_s o.o_missed_p99_s;
+    (match o.o_time_in_level with
+    | [] -> ()
+    | levels ->
+      Fmt.pf ppf "degradation: %d level steps; time in levels %a@,"
+        o.o_level_steps
+        Fmt.(
+          list ~sep:(any "  ") (fun ppf (l, s) -> pf ppf "L%d=%.1fs" l s))
+        levels);
+    if o.o_breaker_trips > 0 then
+      Fmt.pf ppf "breaker: %d trip%s@," o.o_breaker_trips
+        (if o.o_breaker_trips = 1 then "" else "s");
+    Fmt.pf ppf "verified: %d of %d results checked against solo@,"
+      o.o_checked (List.length r.r_queries));
   if r.r_errors > 0 then Fmt.pf ppf "errors: %d@," r.r_errors;
   Fmt.pf ppf "results: %s@]"
     (if r.r_all_matched then
@@ -363,30 +830,50 @@ let pp_detail ppf r =
          latency %7.2fs  rows %4d  %s@,"
         q.q_id q.q_label q.q_arrival_s q.q_batch q.q_group q.q_group_size
         q.q_queue_s q.q_latency_s q.q_rows
-        (match q.q_error with
-        | Some e -> "error: " ^ Engine.error_message e
-        | None -> if q.q_matches_solo then "ok" else "DIVERGED"))
+        (match q.q_fate with
+        | Shed reason -> "SHED (" ^ shed_reason_name reason ^ ")"
+        | Failed | Completed | Deadline_missed -> (
+          match q.q_error with
+          | Some e -> "error: " ^ Engine.error_message e
+          | None ->
+            let base =
+              if not q.q_matches_solo then "DIVERGED"
+              else if q.q_checked then "ok"
+              else "ok (unchecked)"
+            in
+            if q.q_fate = Deadline_missed then base ^ " MISSED" else base)))
     r.r_queries;
   Fmt.pf ppf "%a@]" pp r
 
-let query_to_json q =
+let query_to_json ~active q =
   Json.Obj
-    [
-      ("id", Json.Int q.q_id);
-      ("label", Json.String q.q_label);
-      ("arrival_s", Json.Float q.q_arrival_s);
-      ("batch", Json.Int q.q_batch);
-      ("group", Json.Int q.q_group);
-      ("group_size", Json.Int q.q_group_size);
-      ("queue_s", Json.Float q.q_queue_s);
-      ("latency_s", Json.Float q.q_latency_s);
-      ("rows", Json.Int q.q_rows);
-      ( "error",
-        match q.q_error with
-        | None -> Json.Null
-        | Some e -> Json.String (Engine.error_message e) );
-      ("matches_solo", Json.Bool q.q_matches_solo);
-    ]
+    ([
+       ("id", Json.Int q.q_id);
+       ("label", Json.String q.q_label);
+       ("arrival_s", Json.Float q.q_arrival_s);
+       ("batch", Json.Int q.q_batch);
+       ("group", Json.Int q.q_group);
+       ("group_size", Json.Int q.q_group_size);
+       ("queue_s", Json.Float q.q_queue_s);
+       ("latency_s", Json.Float q.q_latency_s);
+       ("rows", Json.Int q.q_rows);
+       ( "error",
+         match q.q_error with
+         | None -> Json.Null
+         | Some e -> Json.String (Engine.error_message e) );
+       ("matches_solo", Json.Bool q.q_matches_solo);
+     ]
+    @
+    if active then
+      [
+        ( "deadline_s",
+          match q.q_deadline_s with
+          | None -> Json.Null
+          | Some d -> Json.Float d );
+        ("fate", Json.String (fate_name q.q_fate));
+        ("checked", Json.Bool q.q_checked);
+      ]
+    else [])
 
 let batch_to_json b =
   Json.Obj
@@ -398,40 +885,78 @@ let batch_to_json b =
       ("group_sizes", Json.List (List.map (fun n -> Json.Int n) b.b_group_sizes));
     ]
 
-let to_json r =
+let overload_to_json o =
   Json.Obj
     [
-      ("engine", Json.String (Engine.kind_name r.r_kind));
-      ("window_s", Json.Float r.r_window_s);
-      ("policy", Json.String (Scheduler.policy_name r.r_policy));
-      ("sharing", Json.Bool r.r_share);
-      ("queries", Json.List (List.map query_to_json r.r_queries));
-      ("batches", Json.List (List.map batch_to_json r.r_batches));
-      ("jobs", Json.Int r.r_jobs);
-      ("input_bytes", Json.Int r.r_input_bytes);
-      ("makespan_s", Json.Float r.r_makespan_s);
-      ("utilization", Json.Float r.r_utilization);
-      ( "latency_s",
+      ("completed", Json.Int o.o_completed);
+      ("shed", Json.Int (o.o_shed_queue + o.o_shed_infeasible + o.o_shed_breaker));
+      ("shed_queue_full", Json.Int o.o_shed_queue);
+      ("shed_infeasible", Json.Int o.o_shed_infeasible);
+      ("shed_breaker", Json.Int o.o_shed_breaker);
+      ("missed", Json.Int o.o_missed);
+      ("failed", Json.Int o.o_failed);
+      ("goodput", Json.Float o.o_goodput);
+      ("breaker_trips", Json.Int o.o_breaker_trips);
+      ("level_steps", Json.Int o.o_level_steps);
+      ( "time_in_level_s",
+        Json.List
+          (List.map (fun (_, s) -> Json.Float s) o.o_time_in_level) );
+      ( "completed_latency_s",
         Json.Obj
           [
-            ("mean", Json.Float r.r_latency_mean_s);
-            ("p50", Json.Float r.r_latency_p50_s);
-            ("p95", Json.Float r.r_latency_p95_s);
-            ("p99", Json.Float r.r_latency_p99_s);
-            ("max", Json.Float r.r_latency_max_s);
+            ("p50", Json.Float o.o_completed_p50_s);
+            ("p95", Json.Float o.o_completed_p95_s);
+            ("p99", Json.Float o.o_completed_p99_s);
           ] );
-      ( "back_to_back",
+      ( "missed_latency_s",
         Json.Obj
           [
-            ("jobs", Json.Int r.r_solo_jobs);
-            ("input_bytes", Json.Int r.r_solo_input_bytes);
-            ("makespan_s", Json.Float r.r_solo_makespan_s);
-            ("latency_p50_s", Json.Float r.r_solo_latency_p50_s);
-            ("latency_p95_s", Json.Float r.r_solo_latency_p95_s);
-            ("latency_p99_s", Json.Float r.r_solo_latency_p99_s);
+            ("p50", Json.Float o.o_missed_p50_s);
+            ("p95", Json.Float o.o_missed_p95_s);
+            ("p99", Json.Float o.o_missed_p99_s);
           ] );
-      ("jobs_saved", Json.Int r.r_jobs_saved);
-      ("bytes_saved", Json.Int r.r_bytes_saved);
-      ("all_matched", Json.Bool r.r_all_matched);
-      ("errors", Json.Int r.r_errors);
+      ("checked", Json.Int o.o_checked);
     ]
+
+let to_json r =
+  let active = r.r_overload <> None in
+  Json.Obj
+    ([
+       ("engine", Json.String (Engine.kind_name r.r_kind));
+       ("window_s", Json.Float r.r_window_s);
+       ("policy", Json.String (Scheduler.policy_name r.r_policy));
+       ("sharing", Json.Bool r.r_share);
+       ("queries", Json.List (List.map (query_to_json ~active) r.r_queries));
+       ("batches", Json.List (List.map batch_to_json r.r_batches));
+       ("jobs", Json.Int r.r_jobs);
+       ("input_bytes", Json.Int r.r_input_bytes);
+       ("makespan_s", Json.Float r.r_makespan_s);
+       ("utilization", Json.Float r.r_utilization);
+       ( "latency_s",
+         Json.Obj
+           [
+             ("mean", Json.Float r.r_latency_mean_s);
+             ("p50", Json.Float r.r_latency_p50_s);
+             ("p95", Json.Float r.r_latency_p95_s);
+             ("p99", Json.Float r.r_latency_p99_s);
+             ("max", Json.Float r.r_latency_max_s);
+           ] );
+       ( "back_to_back",
+         Json.Obj
+           [
+             ("jobs", Json.Int r.r_solo_jobs);
+             ("input_bytes", Json.Int r.r_solo_input_bytes);
+             ("makespan_s", Json.Float r.r_solo_makespan_s);
+             ("latency_p50_s", Json.Float r.r_solo_latency_p50_s);
+             ("latency_p95_s", Json.Float r.r_solo_latency_p95_s);
+             ("latency_p99_s", Json.Float r.r_solo_latency_p99_s);
+           ] );
+       ("jobs_saved", Json.Int r.r_jobs_saved);
+       ("bytes_saved", Json.Int r.r_bytes_saved);
+       ("all_matched", Json.Bool r.r_all_matched);
+       ("errors", Json.Int r.r_errors);
+     ]
+    @
+    match r.r_overload with
+    | None -> []
+    | Some o -> [ ("overload", overload_to_json o) ])

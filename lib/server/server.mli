@@ -1,5 +1,5 @@
 (** The query server: a workload driver with cross-query multi-query
-    optimization.
+    optimization and an (off-by-default) overload-resilience layer.
 
     The server admits a time-ordered stream of analytical queries
     ({!Workload.t}) in admission windows: a window opens at the first
@@ -17,11 +17,110 @@
     through {!Rapida_core.Engine.execute}, sequentially on the same
     cluster — and checks every server-path result against its solo
     result ({!Rapida_relational.Relops.same_results}): sharing must
-    change the price, never the answer. *)
+    change the price, never the answer.
+
+    {2 Overload resilience}
+
+    With an {!overload} configuration (or deadlines in the workload)
+    the server protects itself under pressure instead of letting every
+    latency blow up together:
+
+    - {b Deadlines/SLOs}: each arrival may carry a relative deadline;
+      the scheduler's estimated completion lets the server refuse
+      queries that cannot meet theirs, and finished queries that ran
+      past theirs are reported {!Deadline_missed}.
+    - {b Admission control}: a bounded pending queue ([queue_cap]
+      queries in flight + admitted); overflow is shed under a
+      {!shed_policy}. A circuit breaker trips after [breaker_k]
+      consecutive transient ([Job_failed]) results and sheds whole
+      batches until its cooldown passes.
+    - {b Degradation ladder}: under measured pressure (in-flight query
+      depth or backlog drain time over their thresholds) the server
+      steps down — level 0: full MQO sharing; level 1: sharing off
+      (smaller latency variance); level 2: broadcast-everything
+      heuristic plans with sampled result verification — and steps back
+      up when pressure clears. Every step is counted and traced
+      (category ["overload"] in {!field-r_trace}).
+
+    Every shed query gets a typed {!fate} — never a silent drop — and
+    the report grows goodput, per-fate counts and latency percentiles,
+    and time-in-level. With everything disabled the run, report, and
+    JSON are bit-identical to the unprotected server. *)
 
 module Engine = Rapida_core.Engine
 module Scheduler = Rapida_mapred.Scheduler
+module Trace = Rapida_mapred.Trace
 module Json = Rapida_mapred.Json
+
+(** What to shed when the pending queue is full. [Drop_tail] sheds the
+    latest arrivals; [Cost_aware] the most expensive queries first (by
+    the priced solo plan's slot-seconds); [Deadline_aware] keeps the
+    earliest absolute deadlines, shedding no-deadline queries first,
+    and additionally refuses queries whose estimated completion already
+    misses their deadline. *)
+type shed_policy = Drop_tail | Cost_aware | Deadline_aware
+
+val shed_policy_name : shed_policy -> string
+val shed_policy_of_string : string -> shed_policy option
+
+(** Why a query was shed: the pending queue was full ([Queue_full]),
+    its deadline was already infeasible at admission ([Infeasible]), or
+    the circuit breaker was open ([Breaker_open]). *)
+type shed_reason = Queue_full | Infeasible | Breaker_open
+
+val shed_reason_name : shed_reason -> string
+
+(** One query's terminal fate. [Completed] means finished within its
+    deadline (or it had none); [Deadline_missed] means it finished, with
+    a correct answer, but late; [Failed] is an execution error. *)
+type fate = Completed | Shed of shed_reason | Deadline_missed | Failed
+
+val fate_name : fate -> string
+
+(** The overload-resilience knobs. All off in {!overload_off}; the
+    server's behaviour with that value is bit-identical to the
+    unprotected server. *)
+type overload = {
+  ov_queue_cap : int option;
+      (** bound on in-flight + newly admitted queries; [None] = unbounded *)
+  ov_shed_policy : shed_policy;
+  ov_deadline_s : float option;
+      (** default relative deadline for arrivals without their own *)
+  ov_breaker_k : int option;
+      (** consecutive transient failures that open the circuit breaker *)
+  ov_breaker_cooldown_s : float;  (** how long an open breaker sheds *)
+  ov_degrade : bool;  (** enable the degradation ladder *)
+  ov_degrade_depth : int;
+      (** in-flight queries at which the ladder steps to level 1 (level
+          2 at twice this) *)
+  ov_degrade_drain_s : float;
+      (** backlog drain seconds at which the ladder steps to level 1
+          (level 2 at twice this) *)
+  ov_verify_sample : int;
+      (** at ladder level 2, verify 1 in this many results against solo *)
+}
+
+(** [overload ()] with the defaults: everything off ([queue_cap],
+    [breaker_k], [deadline_s] unset, [degrade] false), [Drop_tail]
+    shedding, 120 s breaker cooldown, level thresholds 8 queries /
+    60 s drain, verification sampling 1-in-4. *)
+val overload :
+  ?queue_cap:int ->
+  ?shed_policy:shed_policy ->
+  ?deadline_s:float ->
+  ?breaker_k:int ->
+  ?breaker_cooldown_s:float ->
+  ?degrade:bool ->
+  ?degrade_depth:int ->
+  ?degrade_drain_s:float ->
+  ?verify_sample:int ->
+  unit -> overload
+
+val overload_off : overload
+
+(** True when any overload knob is set — the layer also activates when
+    the workload itself carries deadlines. *)
+val overload_enabled : overload -> bool
 
 type config = {
   c_kind : Engine.kind;
@@ -30,29 +129,39 @@ type config = {
   c_share : bool;
       (** cross-query sharing on MQO-capable kinds; [false] runs every
           admitted query solo (grouping off), isolating the scheduler *)
+  c_overload : overload;
   c_options : Rapida_core.Plan_util.options;
 }
 
 (** [config kind] with the defaults: 5 s window, fair-share scheduling,
-    sharing on, {!Rapida_core.Plan_util.default_options}. *)
+    sharing on, {!overload_off}, {!Rapida_core.Plan_util.default_options}. *)
 val config :
   ?window_s:float ->
   ?policy:Scheduler.policy ->
   ?share:bool ->
+  ?overload:overload ->
   ?options:Rapida_core.Plan_util.options ->
   Engine.kind -> config
 
-(** One query's fate through the server. *)
+(** One query's path through the server. Shed queries carry
+    [q_group = -1], zero latency/rows, and a vacuously-true
+    [q_matches_solo]. *)
 type query_report = {
   q_id : int;
   q_label : string;
   q_arrival_s : float;
   q_batch : int;  (** admission batch index *)
-  q_group : int;  (** global overlap-group index *)
+  q_group : int;  (** global overlap-group index; -1 if shed *)
   q_group_size : int;  (** queries sharing its composite plan *)
   q_queue_s : float;  (** admission wait + scheduler queueing delay *)
   q_latency_s : float;  (** group completion − arrival *)
   q_rows : int;
+  q_deadline_s : float option;
+      (** effective relative deadline (workload or config default) *)
+  q_fate : fate;
+  q_checked : bool;
+      (** result was compared against the solo run (always true below
+          ladder level 2; sampled at level 2) *)
   q_error : Engine.error option;
   q_matches_solo : bool;
       (** result identical to the query's solo {!Engine.execute} run *)
@@ -62,8 +171,32 @@ type batch_report = {
   b_index : int;
   b_open_s : float;  (** first arrival of the batch *)
   b_admit_s : float;  (** window close = admission instant *)
-  b_size : int;
-  b_group_sizes : int list;  (** overlap-group sizes, batch order *)
+  b_size : int;  (** arrivals in the window (including later-shed) *)
+  b_group_sizes : int list;  (** executed overlap-group sizes, batch order *)
+}
+
+(** Goodput-first accounting, present when the overload layer was
+    active. Goodput is the fraction of all arrivals that [Completed]
+    (finished, correct, within deadline). *)
+type overload_report = {
+  o_completed : int;
+  o_shed_queue : int;
+  o_shed_infeasible : int;
+  o_shed_breaker : int;
+  o_missed : int;
+  o_failed : int;
+  o_goodput : float;
+  o_breaker_trips : int;
+  o_level_steps : int;  (** degradation-ladder transitions *)
+  o_time_in_level : (int * float) list;
+      (** (level, seconds) — empty unless the ladder was enabled *)
+  o_completed_p50_s : float;
+  o_completed_p95_s : float;
+  o_completed_p99_s : float;
+  o_missed_p50_s : float;
+  o_missed_p95_s : float;
+  o_missed_p99_s : float;
+  o_checked : int;  (** results verified against their solo run *)
 }
 
 type t = {
@@ -78,7 +211,7 @@ type t = {
   r_input_bytes : int;  (** total scan bytes across all shared plans *)
   r_makespan_s : float;
   r_utilization : float;  (** busy slot-seconds over pool × makespan *)
-  r_latency_mean_s : float;
+  r_latency_mean_s : float;  (** executed (non-shed) queries only *)
   r_latency_p50_s : float;
   r_latency_p95_s : float;
   r_latency_p99_s : float;
@@ -92,8 +225,12 @@ type t = {
   r_solo_latency_p99_s : float;
   r_jobs_saved : int;  (** [r_solo_jobs - r_jobs] *)
   r_bytes_saved : int;  (** [r_solo_input_bytes - r_input_bytes] *)
-  r_all_matched : bool;  (** every query's result matched its solo run *)
+  r_all_matched : bool;  (** every checked query matched its solo run *)
   r_errors : int;
+  r_overload : overload_report option;  (** [Some] iff the layer was active *)
+  r_trace : Trace.t;
+      (** server-level spans, category ["overload"]: level periods, shed
+          decisions, breaker openings *)
 }
 
 (** [run config input workload] drives the whole workload through the

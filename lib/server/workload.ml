@@ -6,6 +6,7 @@ type arrival = {
   a_id : int;
   a_time_s : float;
   a_label : string;
+  a_deadline_s : float option;
   a_query : Analytical.t;
 }
 
@@ -16,19 +17,28 @@ let size t = List.length t.arrivals
 let span_s t =
   List.fold_left (fun acc a -> Float.max acc a.a_time_s) 0.0 t.arrivals
 
+let has_deadlines t =
+  List.exists (fun a -> a.a_deadline_s <> None) t.arrivals
+
 (* Sort by time (stable on spec order for ties) and assign dense ids —
    the identity every report keys on. *)
 let of_specs specs =
   let sorted =
     List.stable_sort
-      (fun (ta, _, _) (tb, _, _) -> compare ta tb)
+      (fun (ta, _, _, _) (tb, _, _, _) -> compare ta tb)
       specs
   in
   {
     arrivals =
       List.mapi
-        (fun i (t, label, q) ->
-          { a_id = i; a_time_s = t; a_label = label; a_query = q })
+        (fun i (t, label, deadline, q) ->
+          {
+            a_id = i;
+            a_time_s = t;
+            a_label = label;
+            a_deadline_s = deadline;
+            a_query = q;
+          })
         sorted;
   }
 
@@ -45,7 +55,51 @@ let split_words line =
   String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)
   |> List.filter (fun w -> w <> "")
 
-let parse_line ~dir ~lineno line =
+(* A parsed-query cache keyed by resolved path: a workload referencing
+   the same [@FILE] on many lines reads and parses it once, and a read
+   failure is reported against each referencing line's number instead of
+   re-probing the filesystem. *)
+let cached_query cache path =
+  match Hashtbl.find_opt cache path with
+  | Some r -> r
+  | None ->
+    let r =
+      match read_file path with
+      | Error _ as e -> e
+      | Ok src -> (
+        match Analytical.parse src with
+        | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+        | Ok q -> Ok q)
+    in
+    Hashtbl.add cache path r;
+    r
+
+(* Trailing options after TIME QUERYREF: at most one bare LABEL word and
+   at most one [deadline=SECONDS] pair, in either order. *)
+let parse_trailing ~fail ~default_label rest =
+  let rec go label deadline = function
+    | [] -> Ok (Option.value ~default:default_label label, deadline)
+    | w :: rest -> (
+      match String.index_opt w '=' with
+      | Some i when String.sub w 0 i = "deadline" -> (
+        if deadline <> None then fail "duplicate deadline"
+        else
+          let v = String.sub w (i + 1) (String.length w - i - 1) in
+          match float_of_string_opt v with
+          | Some d when Float.is_finite d && d > 0.0 ->
+            go label (Some d) rest
+          | Some _ | None ->
+            fail
+              (Printf.sprintf
+                 "bad deadline %S (expected a positive number of seconds)" v))
+      | Some _ -> fail (Printf.sprintf "unknown option %S" w)
+      | None ->
+        if label <> None then fail "expected TIME QUERY [LABEL] [deadline=S]"
+        else go (Some w) deadline rest)
+  in
+  go None None rest
+
+let parse_line ~cache ~dir ~lineno line =
   let fail msg = Error (Printf.sprintf "workload line %d: %s" lineno msg) in
   let line =
     match String.index_opt line '#' with
@@ -55,12 +109,12 @@ let parse_line ~dir ~lineno line =
   match split_words line with
   | [] -> Ok None
   | time :: qref :: rest -> (
-    let label_of default = match rest with [ l ] -> Ok l | [] -> Ok default
-      | _ -> fail "expected TIME QUERY [LABEL]"
-    in
+    let trailing default = parse_trailing ~fail ~default_label:default rest in
     match float_of_string_opt time with
     | None -> fail (Printf.sprintf "bad arrival time %S" time)
     | Some t when t < 0.0 || not (Float.is_finite t) ->
+      (* Catches negative, NaN, and infinite times alike: NaN fails both
+         the comparison and the finiteness test. *)
       fail (Printf.sprintf "bad arrival time %S" time)
     | Some t ->
       if String.length qref > 1 && qref.[0] = '@' then (
@@ -68,30 +122,29 @@ let parse_line ~dir ~lineno line =
         let resolved =
           if Filename.is_relative path then Filename.concat dir path else path
         in
-        match read_file resolved with
+        match cached_query cache resolved with
         | Error msg -> fail msg
-        | Ok src -> (
-          match Analytical.parse src with
-          | Error msg -> fail (Printf.sprintf "%s: %s" path msg)
-          | Ok q ->
-            Result.map
-              (fun label -> Some (t, label, q))
-              (label_of (Filename.basename path))))
+        | Ok q ->
+          Result.map
+            (fun (label, deadline) -> Some (t, label, deadline, q))
+            (trailing (Filename.basename path)))
       else (
         match Catalog.find qref with
         | None -> fail (Printf.sprintf "unknown catalog query %s" qref)
         | Some entry ->
           Result.map
-            (fun label -> Some (t, label, Catalog.parse entry))
-            (label_of entry.Catalog.id)))
-  | _ -> fail "expected TIME QUERY [LABEL]"
+            (fun (label, deadline) ->
+              Some (t, label, deadline, Catalog.parse entry))
+            (trailing entry.Catalog.id)))
+  | _ -> fail "expected TIME QUERY [LABEL] [deadline=S]"
 
 let parse ~dir src =
+  let cache = Hashtbl.create 8 in
   let lines = String.split_on_char '\n' src in
   let rec go lineno acc = function
     | [] -> Ok (of_specs (List.rev acc))
     | line :: rest -> (
-      match parse_line ~dir ~lineno line with
+      match parse_line ~cache ~dir ~lineno line with
       | Error _ as e -> e
       | Ok None -> go (lineno + 1) acc rest
       | Ok (Some spec) -> go (lineno + 1) (spec :: acc) rest)
@@ -107,34 +160,76 @@ let load path =
   | Error _ as e -> e
   | Ok src -> parse ~dir:(Filename.dirname path) src
 
-let of_entries specs =
+let of_entries ?deadline_s specs =
   of_specs
-    (List.map (fun (t, e) -> (t, e.Catalog.id, Catalog.parse e)) specs)
+    (List.map
+       (fun (t, e) -> (t, e.Catalog.id, deadline_s, Catalog.parse e))
+       specs)
 
-let generate ~seed ~n ~mean_gap_s ?pool () =
-  let pool =
-    match pool with
-    | Some (_ :: _ as entries) -> entries
-    | Some [] | None -> Catalog.by_dataset Catalog.Bsbm
-  in
-  let rng = Prng.create ~seed in
-  let rec draw i clock acc =
-    if i >= n then List.rev acc
-    else
-      (* Exponential inter-arrival gaps: a Poisson arrival process, the
-         standard open-loop workload model. [Prng.float rng 1.0] is in
-         [0, 1), so the log argument stays positive. *)
-      let gap = -.mean_gap_s *. log (1.0 -. Prng.float rng 1.0) in
-      let clock = if i = 0 then 0.0 else clock +. gap in
-      let entry = Prng.pick rng pool in
-      draw (i + 1) clock ((clock, entry) :: acc)
-  in
-  of_entries (draw 0 0.0 [])
+type gen_error =
+  | Empty_pool
+  | Bad_count of int
+  | Bad_mean_gap of float
+  | Bad_deadline of float
+
+let gen_error_message = function
+  | Empty_pool -> "workload generator: empty query pool"
+  | Bad_count n ->
+    Printf.sprintf "workload generator: arrival count must be positive (got %d)"
+      n
+  | Bad_mean_gap g ->
+    Printf.sprintf
+      "workload generator: mean gap must be a positive number of seconds \
+       (got %g)"
+      g
+  | Bad_deadline d ->
+    Printf.sprintf
+      "workload generator: deadline must be a positive number of seconds \
+       (got %g)"
+      d
+
+let generate ~seed ~n ~mean_gap_s ?deadline_s ?pool () =
+  let bad_float f = (not (Float.is_finite f)) || f <= 0.0 in
+  if n <= 0 then Error (Bad_count n)
+  else if bad_float mean_gap_s then Error (Bad_mean_gap mean_gap_s)
+  else
+    match deadline_s with
+    | Some d when bad_float d -> Error (Bad_deadline d)
+    | _ -> (
+      match pool with
+      | Some [] -> Error Empty_pool
+      | (Some (_ :: _) | None) as pool ->
+        let pool =
+          match pool with
+          | Some entries -> entries
+          | None -> Catalog.by_dataset Catalog.Bsbm
+        in
+        let rng = Prng.create ~seed in
+        let rec draw i clock acc =
+          if i >= n then List.rev acc
+          else
+            (* Exponential inter-arrival gaps: a Poisson arrival process,
+               the standard open-loop workload model. [Prng.float rng 1.0]
+               is in [0, 1), so the log argument stays positive. *)
+            let gap = -.mean_gap_s *. log (1.0 -. Prng.float rng 1.0) in
+            let clock = if i = 0 then 0.0 else clock +. gap in
+            let entry = Prng.pick rng pool in
+            draw (i + 1) clock ((clock, entry) :: acc)
+        in
+        Ok (of_entries ?deadline_s (draw 0 0.0 [])))
+
+let generate_exn ~seed ~n ~mean_gap_s ?deadline_s ?pool () =
+  match generate ~seed ~n ~mean_gap_s ?deadline_s ?pool () with
+  | Ok wl -> wl
+  | Error e -> invalid_arg (gen_error_message e)
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>";
   List.iter
     (fun a ->
-      Fmt.pf ppf "%8.2fs  q%-3d %s@," a.a_time_s a.a_id a.a_label)
+      Fmt.pf ppf "%8.2fs  q%-3d %s%s@," a.a_time_s a.a_id a.a_label
+        (match a.a_deadline_s with
+        | None -> ""
+        | Some d -> Printf.sprintf "  deadline=%g" d))
     t.arrivals;
   Fmt.pf ppf "%d queries over %.2fs@]" (size t) (span_s t)

@@ -1,5 +1,5 @@
 (** Workload specifications for the query server: which analytical
-    queries arrive, and when.
+    queries arrive, when, and (optionally) with what deadline.
 
     A workload is a time-ordered stream of arrivals. It comes from a
     workload file ({!load} / {!of_string} — one arrival per line), or
@@ -11,13 +11,19 @@
 
     {v
     # comment (blank lines ignored)
-    0.0  MG1          # catalog query id
-    2.5  @path/to.rq  # SPARQL file, label = file name
-    4.0  MG2 hot-mg2  # optional explicit label
+    0.0  MG1                       # catalog query id
+    2.5  @path/to.rq               # SPARQL file, label = file name
+    4.0  MG2 hot-mg2               # optional explicit label
+    6.0  MG3 deadline=120          # SLO: finish within 120s of arrival
+    8.0  MG4 hot-mg4 deadline=90   # label and deadline compose
     v}
 
-    Times are seconds, non-negative, in any order (arrivals are sorted);
-    query references are catalog ids or [@FILE] paths. *)
+    Times are seconds, non-negative and finite, in any order (arrivals
+    are sorted); query references are catalog ids or [@FILE] paths;
+    deadlines are positive seconds relative to the arrival time. All
+    parse errors carry the offending line number, and a broken [@FILE]
+    referenced from several lines is reported against each of them
+    without re-reading the file. *)
 
 module Analytical = Rapida_sparql.Analytical
 module Catalog = Rapida_queries.Catalog
@@ -26,6 +32,8 @@ type arrival = {
   a_id : int;  (** dense index in time order — the server's query id *)
   a_time_s : float;  (** arrival time on the simulated clock *)
   a_label : string;  (** catalog id, file name, or explicit label *)
+  a_deadline_s : float option;
+      (** SLO: seconds after [a_time_s] by which the query must finish *)
   a_query : Analytical.t;
 }
 
@@ -36,6 +44,9 @@ val size : t -> int
 (** Time of the last arrival (0 for an empty workload). *)
 val span_s : t -> float
 
+(** True if any arrival carries a deadline. *)
+val has_deadlines : t -> bool
+
 (** [of_string src] parses workload text. [@FILE] query references are
     read relative to the current directory. Errors carry the offending
     line number. *)
@@ -45,17 +56,35 @@ val of_string : string -> (t, string) result
     resolve relative to the workload file's directory. *)
 val load : string -> (t, string) result
 
-(** [of_entries specs] builds a workload from (time, catalog entry)
-    pairs directly. *)
-val of_entries : (float * Catalog.entry) list -> t
+(** [of_entries ?deadline_s specs] builds a workload from
+    (time, catalog entry) pairs directly, giving every arrival the same
+    optional relative deadline. *)
+val of_entries : ?deadline_s:float -> (float * Catalog.entry) list -> t
 
-(** [generate ~seed ~n ~mean_gap_s ?pool ()] draws [n] arrivals with
-    exponential inter-arrival gaps of mean [mean_gap_s] seconds, each
-    query picked uniformly from [pool] (default: the BSBM catalog
-    queries, which all overlap pairwise — the server's sharing
-    opportunity). Deterministic in [seed]. *)
+(** Why {!generate} refused its parameters. *)
+type gen_error =
+  | Empty_pool  (** [?pool] was [Some []] — nothing to draw from *)
+  | Bad_count of int  (** [n <= 0] *)
+  | Bad_mean_gap of float  (** [mean_gap_s] non-positive or not finite *)
+  | Bad_deadline of float  (** [deadline_s] non-positive or not finite *)
+
+val gen_error_message : gen_error -> string
+
+(** [generate ~seed ~n ~mean_gap_s ?deadline_s ?pool ()] draws [n]
+    arrivals with exponential inter-arrival gaps of mean [mean_gap_s]
+    seconds, each query picked uniformly from [pool] (default: the BSBM
+    catalog queries, which all overlap pairwise — the server's sharing
+    opportunity), each carrying the optional relative [deadline_s].
+    Deterministic in [seed]. Degenerate parameters yield a typed
+    {!gen_error} instead of a crash or an empty stream. *)
 val generate :
-  seed:int -> n:int -> mean_gap_s:float -> ?pool:Catalog.entry list ->
-  unit -> t
+  seed:int -> n:int -> mean_gap_s:float -> ?deadline_s:float ->
+  ?pool:Catalog.entry list -> unit -> (t, gen_error) result
+
+(** {!generate}, raising [Invalid_argument] with {!gen_error_message}
+    on degenerate parameters — for callers with known-good constants. *)
+val generate_exn :
+  seed:int -> n:int -> mean_gap_s:float -> ?deadline_s:float ->
+  ?pool:Catalog.entry list -> unit -> t
 
 val pp : t Fmt.t

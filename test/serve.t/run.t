@@ -81,3 +81,119 @@ Usage errors exit with code 2 and a one-line diagnostic:
   $ rapida serve -d data.nt -w bad.txt
   error: workload line 1: unknown catalog query NOPE
   [2]
+
+Deadlines activate the overload layer: each query gets a relative SLO
+(from the workload line or --deadline), fates are typed, and the
+summary reports goodput — the deadline-met fraction of all arrivals:
+
+  $ rapida serve -d data.nt -w wl.txt --window 2 --deadline 150
+  query server: engine=rapid-analytics window=2.0s policy=fair sharing=on
+  queries: 8 in 2 batches; group sizes: 2+1+1+1 | 2+1
+  latency: mean 166.27s  p50 163.09s  p95 187.40s  p99 187.40s  max 187.40s
+  cluster: makespan 185.40s  slot utilization 92.7%
+  server path: 23 jobs, 789225 scan bytes
+  back-to-back: 25 jobs, 1050698 scan bytes, makespan 380.02s, p50 192.51s
+  saved: 2 jobs, 261473 scan bytes
+  fates: 2 completed, 6 missed, 0 shed (0 queue-full, 0 infeasible, 0 breaker), 0 failed
+  goodput: 25.0% of 8 arrivals
+  completed latency: p50 142.36s  p95 143.15s  p99 143.15s
+  missed latency: p50 166.40s  p95 187.40s  p99 187.40s
+  verified: 8 of 8 results checked against solo
+  results: all 8 match solo runs
+
+Workload lines carry per-query deadlines with deadline=SECONDS, before
+or after the label:
+
+  $ cat > slo.txt <<EOF2
+  > 0.0 MG1 deadline=500000
+  > 0.1 MG2 deadline=200000
+  > 0.2 MG3 deadline=600000
+  > 0.3 MG4 gold deadline=250000
+  > EOF2
+
+A bounded queue sheds the overflow with a typed reason; deadline-aware
+shedding keeps the most urgent absolute deadlines instead of the
+earliest arrivals:
+
+  $ rapida serve -d data.nt -w slo.txt --queue-cap 2 --shed-policy deadline-aware --detail
+  q0   MG1            arr    0.00s  batch 0  group -1(x0)  queue   0.00s  latency    0.00s  rows    0  SHED (queue-full)
+  q1   MG2            arr    0.10s  batch 0  group 0(x1)  queue  22.90s  latency   66.90s  rows    4  ok
+  q2   MG3            arr    0.20s  batch 0  group -1(x0)  queue   0.00s  latency    0.00s  rows    0  SHED (queue-full)
+  q3   gold           arr    0.30s  batch 0  group 1(x1)  queue  22.70s  latency   84.70s  rows    6  ok
+  query server: engine=rapid-analytics window=5.0s policy=fair sharing=on
+  queries: 4 in 1 batches; group sizes: 1+1
+  latency: mean 75.80s  p50 66.90s  p95 84.70s  p99 84.70s  max 84.70s
+  cluster: makespan 80.00s  slot utilization 65.1%
+  server path: 7 jobs, 209328 scan bytes
+  back-to-back: 14 jobs, 545938 scan bytes, makespan 212.01s, p50 87.90s
+  saved: 7 jobs, 336610 scan bytes
+  fates: 2 completed, 0 missed, 2 shed (2 queue-full, 0 infeasible, 0 breaker), 0 failed
+  goodput: 50.0% of 4 arrivals
+  completed latency: p50 66.90s  p95 84.70s  p99 84.70s
+  verified: 2 of 4 results checked against solo
+  results: all 4 match solo runs
+
+Shedding and missing deadlines are not errors — the exit code stays 0
+unless a query fails or diverges:
+
+  $ rapida serve -d data.nt -w slo.txt --queue-cap 2 --shed-policy drop-tail >/dev/null && echo "exit $?"
+  exit 0
+
+The degradation ladder and the overload block in --json: under
+pressure the server steps down to cheaper plans (answers verified by
+sampling against solo runs) and accounts time per level:
+
+  $ rapida serve -d data.nt --generate 8 --seed 4 --mean-gap 0.2 --window 0 --deadline 100000 --degrade --json | tr ',' '\n' | grep -E '"(goodput|shed|missed|level_steps|checked|all_matched)":'
+  "checked":true}
+  "checked":true}
+  "checked":true}
+  "checked":true}
+  "checked":true}
+  "checked":false}
+  "checked":false}
+  "checked":false}]
+  "all_matched":true
+  "shed":0
+  "missed":0
+  "goodput":1
+  "level_steps":2
+  "checked":5}}
+
+Overload knobs are validated up front:
+
+  $ rapida serve -d data.nt -w wl.txt --deadline=-5
+  error: --deadline must be a positive number of seconds
+  [2]
+  $ rapida serve -d data.nt -w wl.txt --queue-cap 0
+  error: --queue-cap must be positive
+  [2]
+  $ rapida serve -d data.nt -w wl.txt --shed-policy sometimes
+  rapida: option '--shed-policy': expected drop-tail, cost-aware, or
+          deadline-aware
+  Usage: rapida serve [OPTION]…
+  Try 'rapida serve --help' or 'rapida --help' for more information.
+  [124]
+  $ rapida serve -d data.nt -w wl.txt --breaker 0
+  error: --breaker must be positive
+  [2]
+  $ rapida serve -d data.nt -w wl.txt --breaker-cooldown=-1
+  error: --breaker-cooldown must be a positive number of seconds
+  [2]
+
+So are workload deadlines and generator parameters:
+
+  $ printf '0.0 MG1 deadline=-5\n' > badslo.txt
+  $ rapida serve -d data.nt -w badslo.txt
+  error: workload line 1: bad deadline "-5" (expected a positive number of seconds)
+  [2]
+  $ printf 'nan MG1\n' > badtime.txt
+  $ rapida serve -d data.nt -w badtime.txt
+  error: workload line 1: bad arrival time "nan"
+  [2]
+  $ printf '0.0 @/does/not/exist.rq\n' > badref.txt
+  $ rapida serve -d data.nt -w badref.txt
+  error: workload line 1: cannot read /does/not/exist.rq: No such file or directory
+  [2]
+  $ rapida serve -d data.nt --generate 0
+  error: workload generator: arrival count must be positive (got 0)
+  [2]

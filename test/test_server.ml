@@ -14,6 +14,7 @@ module Scheduler = Rapida_mapred.Scheduler
 module Stats = Rapida_mapred.Stats
 module Cluster = Rapida_mapred.Cluster
 module Fi = Rapida_mapred.Fault_injector
+module Experiment = Rapida_harness.Experiment
 
 let feq = Alcotest.(check (float 1e-6))
 let check_int = Alcotest.(check int)
@@ -211,8 +212,8 @@ let test_workload_query_file () =
         feq "time kept" 1.5 a.Workload.a_time_s)
 
 let test_workload_generate () =
-  let wl1 = Workload.generate ~seed:9 ~n:12 ~mean_gap_s:2.0 () in
-  let wl2 = Workload.generate ~seed:9 ~n:12 ~mean_gap_s:2.0 () in
+  let wl1 = Workload.generate_exn ~seed:9 ~n:12 ~mean_gap_s:2.0 () in
+  let wl2 = Workload.generate_exn ~seed:9 ~n:12 ~mean_gap_s:2.0 () in
   check_int "n arrivals" 12 (Workload.size wl1);
   Alcotest.(check (list (pair string (float 0.0))))
     "deterministic in the seed"
@@ -226,6 +227,100 @@ let test_workload_generate () =
   check_bool "times non-decreasing" true
     (List.sort compare times = times);
   feq "stream starts at zero" 0.0 (List.hd times)
+
+let test_workload_generate_errors () =
+  let expect name err r =
+    match r with
+    | Ok _ -> Alcotest.failf "%s: expected a generator error" name
+    | Error e ->
+      check_bool name true (e = err);
+      check_bool (name ^ ": message is not empty") true
+        (String.length (Workload.gen_error_message e) > 0)
+  in
+  expect "empty pool" Workload.Empty_pool
+    (Workload.generate ~seed:1 ~n:3 ~mean_gap_s:1.0 ~pool:[] ());
+  expect "zero count" (Workload.Bad_count 0)
+    (Workload.generate ~seed:1 ~n:0 ~mean_gap_s:1.0 ());
+  expect "negative count" (Workload.Bad_count (-4))
+    (Workload.generate ~seed:1 ~n:(-4) ~mean_gap_s:1.0 ());
+  expect "zero gap" (Workload.Bad_mean_gap 0.0)
+    (Workload.generate ~seed:1 ~n:3 ~mean_gap_s:0.0 ());
+  (* NaN payloads don't compare equal, so match on the constructor. *)
+  (match Workload.generate ~seed:1 ~n:3 ~mean_gap_s:Float.nan () with
+  | Error (Workload.Bad_mean_gap _) -> ()
+  | Ok _ | Error _ ->
+    Alcotest.fail "NaN gap must be rejected, not crash or loop");
+  expect "bad deadline" (Workload.Bad_deadline (-2.0))
+    (Workload.generate ~seed:1 ~n:3 ~mean_gap_s:1.0 ~deadline_s:(-2.0) ());
+  (match Workload.generate_exn ~seed:1 ~n:0 ~mean_gap_s:1.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "generate_exn must raise on degenerate parameters")
+
+let test_workload_deadlines () =
+  (match
+     Workload.of_string
+       "0.0 MG1 deadline=120\n1.0 MG2 hot deadline=60.5\n2.0 MG3\n"
+   with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok wl ->
+    check_bool "has_deadlines" true (Workload.has_deadlines wl);
+    Alcotest.(check (list (option (float 1e-9))))
+      "deadlines parsed, label and deadline compose"
+      [ Some 120.0; Some 60.5; None ]
+      (List.map (fun a -> a.Workload.a_deadline_s) wl.Workload.arrivals);
+    Alcotest.(check (list string))
+      "labels survive the deadline token" [ "MG1"; "hot"; "MG3" ]
+      (List.map (fun a -> a.Workload.a_label) wl.Workload.arrivals));
+  let fails ~containing src =
+    match Workload.of_string src with
+    | Ok _ -> Alcotest.failf "expected failure on %S" src
+    | Error msg ->
+      check_bool
+        (Printf.sprintf "error %S mentions %S" msg containing)
+        true
+        (contains ~sub:containing msg)
+  in
+  fails ~containing:"bad deadline" "0.0 MG1 deadline=0";
+  fails ~containing:"bad deadline" "0.0 MG1 deadline=nope";
+  fails ~containing:"line 2" "0.0 MG1\n1.0 MG2 deadline=-5";
+  fails ~containing:"duplicate deadline" "0.0 MG1 deadline=5 deadline=6";
+  fails ~containing:"unknown option" "0.0 MG1 priority=9";
+  let wl =
+    Workload.generate_exn ~seed:2 ~n:4 ~mean_gap_s:1.0 ~deadline_s:30.0 ()
+  in
+  check_bool "generated deadlines on every arrival" true
+    (List.for_all
+       (fun a -> a.Workload.a_deadline_s = Some 30.0)
+       wl.Workload.arrivals)
+
+let test_workload_duplicate_file_refs () =
+  (* One broken @FILE referenced from two lines: both failures are
+     line-numbered, and the second line's error surfaces without
+     re-reading the file (the parse stops at the first). *)
+  let missing = Filename.concat (Filename.get_temp_dir_name ()) "rapida_nope.rq" in
+  (match
+     Workload.of_string
+       (Printf.sprintf "0.0 @%s\n1.0 @%s\n" missing missing)
+   with
+  | Ok _ -> Alcotest.fail "expected a read failure"
+  | Error msg ->
+    check_bool "read failure is line-numbered" true
+      (contains ~sub:"line 1" msg);
+    check_bool "read failure names the file" true
+      (contains ~sub:"cannot read" msg));
+  (* A valid file referenced twice parses once and works on both lines. *)
+  let path = Filename.temp_file "rapida_wl" ".rq" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc (Catalog.find_exn "MG1").Catalog.sparql;
+      close_out oc;
+      match
+        Workload.of_string (Printf.sprintf "0.0 @%s\n1.0 @%s\n" path path)
+      with
+      | Error e -> Alcotest.failf "parse failed: %s" e
+      | Ok wl -> check_int "both lines kept" 2 (Workload.size wl))
 
 (* --- cross-query grouping ------------------------------------------------ *)
 
@@ -383,6 +478,61 @@ let test_percentile () =
     (Server.percentile 99.0 [ 4.0; 1.0; 3.0; 2.0 ]);
   feq "empty input" 0.0 (Server.percentile 50.0 [])
 
+let test_percentile_edges () =
+  (* Empty and singleton inputs. *)
+  feq "empty: p0" 0.0 (Server.percentile 0.0 []);
+  feq "empty: p100" 0.0 (Server.percentile 100.0 []);
+  List.iter
+    (fun p ->
+      feq
+        (Printf.sprintf "singleton: p%.0f is the element" p)
+        7.0
+        (Server.percentile p [ 7.0 ]))
+    [ 0.0; 50.0; 99.0; 100.0 ];
+  (* p=0 clamps the nearest rank up to the first element (the min). *)
+  feq "p0 is the min" 1.0 (Server.percentile 0.0 [ 4.0; 1.0; 3.0; 2.0 ]);
+  feq "p100 never reads past the end" 4.0
+    (Server.percentile 100.0 [ 4.0; 1.0; 3.0; 2.0 ]);
+  (* Nearest-rank on ties: duplicated values occupy distinct ranks, so
+     the p50 of [1;1;2;2] is the second 1, not an interpolation. *)
+  feq "ties: p50" 1.0 (Server.percentile 50.0 [ 2.0; 1.0; 2.0; 1.0 ]);
+  feq "ties: p75" 2.0 (Server.percentile 75.0 [ 2.0; 1.0; 2.0; 1.0 ]);
+  feq "ties: all equal" 5.0 (Server.percentile 99.0 [ 5.0; 5.0; 5.0 ])
+
+let test_sched_one_slot_fairness () =
+  (* A 1-slot cluster is the sharpest fairness probe: FIFO serializes
+     (t, then 2t), Fair interleaves (both finish together at 2t) —
+     same total work either way. *)
+  let one_slot =
+    { Cluster.default with Cluster.nodes = 1; map_slots_per_node = 1 }
+  in
+  let item id = {
+    Scheduler.it_id = id;
+    it_submit_s = 0.0;
+    it_jobs = [ job ~maps:1 ~reds:1 ~t:10.0 "j" ];
+  }
+  in
+  let fifo = Scheduler.simulate one_slot Scheduler.Fifo [ item 0; item 1 ] in
+  feq "fifo: head runs alone" 10.0 (placement_exn fifo 0).Scheduler.p_finish_s;
+  feq "fifo: second serialized" 20.0
+    (placement_exn fifo 1).Scheduler.p_finish_s;
+  let fair = Scheduler.simulate one_slot Scheduler.Fair [ item 0; item 1 ] in
+  feq "fair: both finish together" 20.0
+    (placement_exn fair 0).Scheduler.p_finish_s;
+  feq "fair: both finish together (2)" 20.0
+    (placement_exn fair 1).Scheduler.p_finish_s;
+  feq "one slot is saturated either way" 1.0 fair.Scheduler.utilization;
+  (* The admission-control oracle reads the same simulation. *)
+  (match
+     Scheduler.estimated_finish one_slot Scheduler.Fifo [ item 0; item 1 ]
+       ~id:1
+   with
+  | Some f -> feq "estimated_finish matches the placement" 20.0 f
+  | None -> Alcotest.fail "estimated_finish lost item 1");
+  check_bool "estimated_finish of an unknown id" true
+    (Scheduler.estimated_finish one_slot Scheduler.Fifo [ item 0 ] ~id:9
+     = None)
+
 (* --- the server ---------------------------------------------------------- *)
 
 let overlapping_ids =
@@ -467,7 +617,7 @@ let test_server_identity_across_seeds () =
   in
   List.iter
     (fun seed ->
-      let wl = Workload.generate ~seed ~n:5 ~mean_gap_s:2.0 () in
+      let wl = Workload.generate_exn ~seed ~n:5 ~mean_gap_s:2.0 () in
       List.iter
         (fun kind ->
           let cfg = Server.config ~window_s:3.0 kind in
@@ -482,7 +632,7 @@ let test_server_identity_across_seeds () =
 
 let test_server_identity_across_settings () =
   let input = Lazy.force small_input in
-  let wl = Workload.generate ~seed:4 ~n:6 ~mean_gap_s:1.5 () in
+  let wl = Workload.generate_exn ~seed:4 ~n:6 ~mean_gap_s:1.5 () in
   List.iter
     (fun kind ->
       List.iter
@@ -504,6 +654,283 @@ let test_server_identity_across_settings () =
         [ 0.0; 1.0; 50.0 ])
     Engine.[ Hive_mqo; Rapid_analytics ]
 
+(* --- overload resilience ------------------------------------------------- *)
+
+let ov_report r =
+  match r.Server.r_overload with
+  | Some o -> o
+  | None -> Alcotest.fail "overload layer was active but unreported"
+
+let fate_partition r =
+  let o = ov_report r in
+  o.Server.o_completed + o.Server.o_shed_queue + o.Server.o_shed_infeasible
+  + o.Server.o_shed_breaker + o.Server.o_missed + o.Server.o_failed
+
+let test_server_deadline_fates () =
+  let input = Lazy.force small_input in
+  let wl = Lazy.force overlapping_workload in
+  let n = Workload.size wl in
+  let kind = Engine.Rapid_analytics in
+  (* Off: no overload report, every fate trivially Completed. *)
+  let off = Server.run (Server.config ~window_s:2.0 kind) input wl in
+  check_bool "disabled: no overload report" true
+    (off.Server.r_overload = None);
+  List.iter
+    (fun q ->
+      check_bool "disabled: fate is Completed" true
+        (q.Server.q_fate = Server.Completed);
+      check_bool "disabled: always checked" true q.Server.q_checked)
+    off.Server.r_queries;
+  (* An impossible deadline: every query completes late. *)
+  let tight =
+    Server.run
+      (Server.config ~window_s:2.0
+         ~overload:(Server.overload ~deadline_s:0.001 ())
+         kind)
+      input wl
+  in
+  let o = ov_report tight in
+  check_int "tight: all miss" n o.Server.o_missed;
+  check_int "tight: none complete" 0 o.Server.o_completed;
+  feq "tight: zero goodput" 0.0 o.Server.o_goodput;
+  check_bool "tight: missed results still verified" true
+    (tight.Server.r_all_matched && tight.Server.r_errors = 0);
+  check_bool "tight: missed percentiles populated" true
+    (o.Server.o_missed_p50_s > 0.0
+     && o.Server.o_missed_p50_s <= o.Server.o_missed_p99_s);
+  (* A generous deadline: everything completes, goodput is 1. *)
+  let loose =
+    Server.run
+      (Server.config ~window_s:2.0
+         ~overload:(Server.overload ~deadline_s:1e9 ())
+         kind)
+      input wl
+  in
+  let o = ov_report loose in
+  check_int "loose: all complete" n o.Server.o_completed;
+  feq "loose: full goodput" 1.0 o.Server.o_goodput;
+  check_int "loose: fates partition the arrivals" n (fate_partition loose);
+  (* Workload-carried deadlines activate the layer on their own. *)
+  (match Workload.of_string "0.0 MG1 deadline=1e9\n" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok wl ->
+    let r = Server.run (Server.config ~window_s:2.0 kind) input wl in
+    let o = ov_report r in
+    check_int "workload deadline: completed" 1 o.Server.o_completed;
+    List.iter
+      (fun q ->
+        check_bool "workload deadline carried per query" true
+          (q.Server.q_deadline_s = Some 1e9))
+      r.Server.r_queries)
+
+let shed_labels r =
+  List.filter_map
+    (fun q ->
+      match q.Server.q_fate with
+      | Server.Shed _ -> Some q.Server.q_label
+      | Server.Completed | Server.Deadline_missed | Server.Failed -> None)
+    r.Server.r_queries
+
+let test_server_queue_cap_shedding () =
+  let input = Lazy.force small_input in
+  let kind = Engine.Rapid_analytics in
+  (* All four arrive inside one admission window; room for two. *)
+  let wl =
+    match
+      Workload.of_string
+        "0.0 MG1 deadline=500000\n0.1 MG2 deadline=200000\n\
+         0.2 MG3 deadline=600000\n0.3 MG4 deadline=250000\n"
+    with
+    | Ok wl -> wl
+    | Error e -> Alcotest.failf "parse failed: %s" e
+  in
+  let run policy =
+    Server.run
+      (Server.config ~window_s:10.0
+         ~overload:(Server.overload ~queue_cap:2 ~shed_policy:policy ())
+         kind)
+      input wl
+  in
+  List.iter
+    (fun policy ->
+      let r = run policy in
+      let o = ov_report r in
+      let name fmt = Printf.sprintf fmt (Server.shed_policy_name policy) in
+      check_int (name "%s: two shed on queue capacity") 2
+        o.Server.o_shed_queue;
+      check_int (name "%s: fates partition the arrivals") 4
+        (fate_partition r);
+      check_bool (name "%s: admitted queries stay correct") true
+        (r.Server.r_all_matched && r.Server.r_errors = 0);
+      List.iter
+        (fun q ->
+          match q.Server.q_fate with
+          | Server.Shed reason ->
+            check_bool (name "%s: shed reason is queue-full") true
+              (reason = Server.Queue_full);
+            check_int (name "%s: shed queries have no group") (-1)
+              q.Server.q_group;
+            check_bool (name "%s: shed queries are unchecked") true
+              (not q.Server.q_checked)
+          | Server.Completed | Server.Deadline_missed | Server.Failed -> ())
+        r.Server.r_queries)
+    Server.[ Drop_tail; Cost_aware; Deadline_aware ];
+  (* Drop-tail keeps the earliest arrivals, deadline-aware the most
+     urgent absolute deadlines. *)
+  Alcotest.(check (list string))
+    "drop-tail sheds the tail" [ "MG3"; "MG4" ]
+    (shed_labels (run Server.Drop_tail));
+  Alcotest.(check (list string))
+    "deadline-aware sheds the laxest deadlines" [ "MG1"; "MG3" ]
+    (shed_labels (run Server.Deadline_aware))
+
+let test_server_breaker () =
+  (* Every attempt fails with no retries: the first queries fail, the
+     breaker opens after two consecutive failures, and later arrivals
+     are shed instead of burning slots. *)
+  let input = Lazy.force small_input in
+  let faults = { Fi.default with Fi.seed = 1; task_fail_p = 0.9;
+                 max_attempts = 1 }
+  in
+  let wl = Workload.generate_exn ~seed:3 ~n:8 ~mean_gap_s:0.5 () in
+  let r =
+    Server.run
+      (Server.config ~window_s:0.0
+         ~overload:(Server.overload ~breaker_k:2 ~breaker_cooldown_s:1e6 ())
+         ~options:(Plan_util.make ~faults ())
+         Engine.Rapid_analytics)
+      input wl
+  in
+  let o = ov_report r in
+  check_bool "breaker tripped" true (o.Server.o_breaker_trips >= 1);
+  check_bool "later arrivals shed while open" true
+    (o.Server.o_shed_breaker > 0);
+  check_int "trip threshold consumed two failures" 2 o.Server.o_failed;
+  check_int "fates partition the arrivals" 8 (fate_partition r);
+  check_bool "shed-on-breaker is a typed fate" true
+    (List.exists
+       (fun q -> q.Server.q_fate = Server.Shed Server.Breaker_open)
+       r.Server.r_queries)
+
+let degrade_overload =
+  Server.overload ~degrade:true ~degrade_depth:1 ~degrade_drain_s:0.5
+    ~verify_sample:1 ()
+
+(* The ladder's transparency contract: at every degradation level each
+   completed query is byte-identical to its solo run (the heuristic
+   plans change cost, never answers), here with sampling off so every
+   result is actually compared. *)
+let test_server_degrade_identity () =
+  let input = Lazy.force small_input in
+  List.iter
+    (fun seed ->
+      let wl = Workload.generate_exn ~seed ~n:8 ~mean_gap_s:0.2 () in
+      List.iter
+        (fun kind ->
+          let cfg =
+            Server.config ~window_s:0.0 ~overload:degrade_overload kind
+          in
+          let r = Server.run cfg input wl in
+          let o = ov_report r in
+          let name fmt =
+            Printf.sprintf fmt seed (Engine.kind_name kind)
+          in
+          check_bool (name "seed %d, %s: ladder engaged") true
+            (o.Server.o_level_steps > 0);
+          check_bool (name "seed %d, %s: time accounted above level 0") true
+            (List.exists
+               (fun (lvl, s) -> lvl > 0 && s > 0.0)
+               o.Server.o_time_in_level);
+          check_int (name "seed %d, %s: every result checked") 8
+            o.Server.o_checked;
+          check_bool (name "seed %d, %s: degraded identical to solo") true
+            (r.Server.r_all_matched && r.Server.r_errors = 0))
+        Engine.[ Hive_mqo; Rapid_analytics ])
+    [ 0; 1; 2; 3; 4 ]
+
+let test_server_verify_sampling () =
+  (* Same pressure, but a sparse verification sample: at ladder level 2
+     only every k-th query is compared against its solo run; the rest
+     are reported unchecked, never silently trusted as checked. *)
+  let input = Lazy.force small_input in
+  let wl = Workload.generate_exn ~seed:1 ~n:8 ~mean_gap_s:0.2 () in
+  let sparse =
+    Server.overload ~degrade:true ~degrade_depth:1 ~degrade_drain_s:0.5
+      ~verify_sample:1000 ()
+  in
+  let r =
+    Server.run
+      (Server.config ~window_s:0.0 ~overload:sparse Engine.Rapid_analytics)
+      input wl
+  in
+  let o = ov_report r in
+  check_bool "ladder engaged" true (o.Server.o_level_steps > 0);
+  check_bool "sampling skipped some checks" true (o.Server.o_checked < 8);
+  check_bool "at least one query still checked" true
+    (o.Server.o_checked > 0);
+  check_bool "unchecked queries exist and are flagged" true
+    (List.exists (fun q -> not q.Server.q_checked) r.Server.r_queries);
+  check_bool "checked subset all matched" true r.Server.r_all_matched
+
+let test_server_overload_idle_equivalence () =
+  (* Knobs set but never binding: same queries, groups, rows, timings,
+     and totals as the disabled run — the layer only observes. *)
+  let input = Lazy.force small_input in
+  let wl = Lazy.force overlapping_workload in
+  let kind = Engine.Hive_mqo in
+  let off = Server.run (Server.config ~window_s:2.0 kind) input wl in
+  let idle =
+    Server.run
+      (Server.config ~window_s:2.0
+         ~overload:(Server.overload ~queue_cap:1000 ~breaker_k:1000 ())
+         kind)
+      input wl
+  in
+  check_bool "idle layer reports" true (idle.Server.r_overload <> None);
+  check_int "same jobs" off.Server.r_jobs idle.Server.r_jobs;
+  check_int "same scan bytes" off.Server.r_input_bytes
+    idle.Server.r_input_bytes;
+  feq "same makespan" off.Server.r_makespan_s idle.Server.r_makespan_s;
+  List.iter2
+    (fun a b ->
+      check_int "same group" a.Server.q_group b.Server.q_group;
+      check_int "same rows" a.Server.q_rows b.Server.q_rows;
+      feq "same latency" a.Server.q_latency_s b.Server.q_latency_s;
+      check_bool "still completed" true
+        (b.Server.q_fate = Server.Completed && b.Server.q_checked))
+    off.Server.r_queries idle.Server.r_queries;
+  let o = ov_report idle in
+  check_int "nothing shed" 0
+    (o.Server.o_shed_queue + o.Server.o_shed_infeasible
+     + o.Server.o_shed_breaker);
+  feq "full goodput" 1.0 o.Server.o_goodput
+
+(* The acceptance sweep at unit scale: under the heaviest arrival x
+   fault grid point, the protected server's goodput strictly dominates
+   the unprotected one's. *)
+let test_server_goodput_dominance () =
+  let input = Lazy.force small_input in
+  let sweep =
+    Experiment.overload_sweep ~gaps:[ 0.5 ] ~fault_rates:[ 0.08 ] ~n:12
+      ~deadline_s:100.0 (Plan_util.make ()) Engine.Rapid_analytics input
+  in
+  match sweep.Experiment.o_points with
+  | [ p ] ->
+    let goodput r = (ov_report r).Server.o_goodput in
+    let gp = goodput p.Experiment.o_protected in
+    let gu = goodput p.Experiment.o_unprotected in
+    check_bool
+      (Printf.sprintf "protected %.3f > unprotected %.3f" gp gu)
+      true (gp > gu);
+    (* Shed queries carry typed fates, never silent drops. *)
+    List.iter
+      (fun q ->
+        match q.Server.q_fate with
+        | Server.Shed _ -> check_int "shed: no group" (-1) q.Server.q_group
+        | Server.Completed | Server.Deadline_missed | Server.Failed -> ())
+      p.Experiment.o_protected.Server.r_queries
+  | pts -> Alcotest.failf "expected one grid point, got %d" (List.length pts)
+
 let suite =
   [
     Alcotest.test_case "slot demand and slot-seconds" `Quick test_job_slots;
@@ -522,6 +949,11 @@ let suite =
       test_workload_query_file;
     Alcotest.test_case "workload: deterministic generator" `Quick
       test_workload_generate;
+    Alcotest.test_case "workload: generator typed errors" `Quick
+      test_workload_generate_errors;
+    Alcotest.test_case "workload: deadlines" `Quick test_workload_deadlines;
+    Alcotest.test_case "workload: duplicate @file refs" `Quick
+      test_workload_duplicate_file_refs;
     Alcotest.test_case "grouping: sharing kinds" `Quick test_shares;
     Alcotest.test_case "grouping: overlapping queries pool" `Quick
       test_grouping_overlap;
@@ -533,6 +965,9 @@ let suite =
     Alcotest.test_case "sessions: per-session verifier" `Quick
       test_session_verifier;
     Alcotest.test_case "percentile: nearest rank" `Quick test_percentile;
+    Alcotest.test_case "percentile: edge cases" `Quick test_percentile_edges;
+    Alcotest.test_case "scheduler: one-slot fairness and estimated finish"
+      `Quick test_sched_one_slot_fairness;
     Alcotest.test_case "server: shared plans save jobs and bytes" `Slow
       test_server_savings;
     Alcotest.test_case "server: sharing off is the solo baseline" `Slow
@@ -542,4 +977,17 @@ let suite =
       test_server_identity_across_seeds;
     Alcotest.test_case "server: identity across windows and policies" `Slow
       test_server_identity_across_settings;
+    Alcotest.test_case "overload: deadline fates" `Slow
+      test_server_deadline_fates;
+    Alcotest.test_case "overload: queue-cap shedding policies" `Slow
+      test_server_queue_cap_shedding;
+    Alcotest.test_case "overload: circuit breaker" `Slow test_server_breaker;
+    Alcotest.test_case "overload: degraded plans identical to solo" `Slow
+      test_server_degrade_identity;
+    Alcotest.test_case "overload: verification sampling" `Slow
+      test_server_verify_sampling;
+    Alcotest.test_case "overload: idle layer is a no-op" `Slow
+      test_server_overload_idle_equivalence;
+    Alcotest.test_case "overload: protected goodput dominates" `Slow
+      test_server_goodput_dominance;
   ]
