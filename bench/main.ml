@@ -23,6 +23,10 @@
      overload- overload sweep: arrival rate crossed with fault rate,
                protected (deadline-aware shedding + circuit breaker +
                degradation ladder) vs unprotected goodput
+     analyze - static cardinality estimation: catalog-build time,
+               per-query analysis overhead, and estimation quality
+               (q-error, interval soundness) across the catalog on all
+               four engines; --bench-json FILE writes the artifact
      wall    - Bechamel wall-clock microbenchmarks of the in-memory
                engines on representative queries
 
@@ -55,6 +59,7 @@ module Checkpoint = Rapida_mapred.Checkpoint
 let scale = ref 1
 let sections = ref []
 let trace_dir = ref None
+let bench_json = ref None
 let fault_cfg = ref Fault_injector.default
 let mem_cfg = ref Memory.default
 let checkpoint_cfg = ref Checkpoint.default
@@ -67,6 +72,9 @@ let () =
       parse rest
     | "--trace" :: dir :: rest ->
       trace_dir := Some dir;
+      parse rest
+    | "--bench-json" :: path :: rest ->
+      bench_json := Some path;
       parse rest
     | "--faults" :: spec :: rest ->
       (match Fault_injector.parse_spec spec with
@@ -357,6 +365,78 @@ let section_overload () =
   in
   Fmt.pr "%a" Report.pp_overload sweep
 
+(* Static cardinality estimation: for each dataset, a one-pass catalog
+   build (timed), then every catalog query on that dataset analyzed
+   (timed), its plan nodes checked for interval soundness against the
+   measured cardinalities, and all four engines' result cardinalities
+   checked against the root interval. With --bench-json FILE the
+   catalog-build and per-query analysis timings are written as the
+   committed BENCH artifact — the on-disk perf trajectory. *)
+let section_analyze () =
+  let module Json = Rapida_mapred.Json in
+  let sweeps =
+    List.map
+      (fun (label, input, dataset) ->
+        Experiment.estimation_sweep options ~label (Lazy.force input)
+          (Catalog.by_dataset dataset))
+      [
+        ("BSBM-small", bsbm_small, Catalog.Bsbm);
+        ("Chem2Bio2RDF", chem, Catalog.Chem2bio);
+        ("PubMed", pubmed, Catalog.Pubmed);
+      ]
+  in
+  List.iter
+    (fun sweep ->
+      Fmt.pr "%a" (Report.pp_estimation ~engines:all_engines) sweep)
+    sweeps;
+  match !bench_json with
+  | None -> ()
+  | Some path ->
+    let sweep_json (s : Experiment.estimation_sweep) =
+      Json.Obj
+        [
+          ("label", Json.String s.Experiment.e_label);
+          ("triples", Json.Int s.Experiment.e_triples);
+          ( "catalog_build_ms",
+            Json.Float (1000.0 *. s.Experiment.e_catalog_build_s) );
+          ( "median_q_error",
+            Json.Float (Experiment.median_q_error s.Experiment.e_estimations)
+          );
+          ( "queries",
+            Json.List
+              (List.map
+                 (fun (e : Experiment.estimation) ->
+                   Json.Obj
+                     [
+                       ("id", Json.String e.Experiment.e_query.Catalog.id);
+                       ( "analysis_ms",
+                         Json.Float (1000.0 *. e.Experiment.e_analysis_s) );
+                       ("nodes", Json.Int e.Experiment.e_nodes);
+                       ("actual", Json.Int e.Experiment.e_actual);
+                       ("q_error", Json.Float e.Experiment.e_q_error);
+                       ( "max_node_q_error",
+                         Json.Float e.Experiment.e_max_node_q_error );
+                       ("violations", Json.Int e.Experiment.e_violations);
+                     ])
+                 s.Experiment.e_estimations) );
+        ]
+    in
+    let doc =
+      Json.Obj
+        [
+          ("bench", Json.String "analyze");
+          ("scale", Json.Int !scale);
+          ("datasets", Json.List (List.map sweep_json sweeps));
+        ]
+    in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Json.to_string doc);
+        output_char oc '\n');
+    Fmt.pr "wrote %s@." path
+
 (* Wall-clock microbenchmarks of the real in-memory executions, per
    engine, on representative queries from each workload. *)
 let section_wall () =
@@ -419,4 +499,5 @@ let () =
   if want "recovery" then section_recovery ();
   if want "server" then section_server ();
   if want "overload" then section_overload ();
+  if want "analyze" then section_analyze ();
   if want "wall" then section_wall ()

@@ -4,6 +4,7 @@
      rapida query   - run a SPARQL analytical query on a dataset
      rapida serve   - drive a query workload through the MQO query server
      rapida lint    - static analysis: AST lint + plan verification
+     rapida analyze - static cardinality/cost analysis from a statistics catalog
      rapida explain - show the overlap analysis and composite rewriting
      rapida catalog - list the paper's query workload, print query text
      rapida stats   - dataset statistics (triples, partitions) *)
@@ -13,6 +14,9 @@ module Plan_util = Rapida_core.Plan_util
 module Diagnostic = Rapida_analysis.Diagnostic
 module Ast_lint = Rapida_analysis.Ast_lint
 module Plan_verify = Rapida_analysis.Plan_verify
+module Stats_catalog = Rapida_analysis.Stats_catalog
+module Card_analysis = Rapida_analysis.Card_analysis
+module Rules = Rapida_analysis.Rules
 module Catalog = Rapida_queries.Catalog
 module Table = Rapida_relational.Table
 module Relops = Rapida_relational.Relops
@@ -288,6 +292,17 @@ let query_cmd =
                    of aborting; checkpoint writes and replays are priced \
                    into the simulated time and results stay byte-identical.")
   in
+  let analyze =
+    Arg.(value & flag
+         & info [ "analyze" ]
+             ~doc:"After the run, compare the static cardinality analysis \
+                   against reality: build a statistics catalog from the \
+                   dataset, annotate the logical plan with cardinality \
+                   intervals, and print each plan node's predicted interval \
+                   next to its measured cardinality, with the root q-error. \
+                   Execution itself is untouched — without this flag the \
+                   output is byte-identical.")
+  in
   let dirty_input =
     Arg.(value & opt (some string) None
          & info [ "dirty-input" ] ~docv:"MODE"
@@ -298,7 +313,8 @@ let query_cmd =
                    lines are reported on stderr with line and column.")
   in
   let run (data, query_file, catalog_id) engine verify verify_plans show_stats
-      trace_file json faults_spec mem_spec checkpoint_spec dirty_spec verbose =
+      trace_file json faults_spec mem_spec checkpoint_spec analyze dirty_spec
+      verbose =
     setup_logs verbose;
     let ( let* ) = Result.bind in
     let usage r = Result.map_error (fun msg -> (2, msg)) r in
@@ -334,7 +350,7 @@ let query_cmd =
       let ctx =
         Plan_util.context
           (Plan_util.make ~cluster ~faults:fault_cfg
-             ~checkpoint:checkpoint_cfg ~verify_plans ())
+             ~checkpoint:checkpoint_cfg ~verify_plans ~analyze ())
       in
       let* graph = usage (load_graph ~mode:dirty_mode data) in
       let* src = usage (query_text query_file catalog_id) in
@@ -360,11 +376,20 @@ let query_cmd =
           end
           else Error (1, "verification FAILED: result differs from reference")
       in
-      Ok (ctx, out)
+      Ok (ctx, out, graph, query)
     with
     | Error (2, msg) -> die_usage msg
     | Error (_, msg) -> die_runtime msg
-    | Ok (ctx, { Engine.table; stats; trace }) ->
+    | Ok (ctx, { Engine.table; stats; trace }, graph, query) ->
+      (* The Exec_ctx analyze hook: requested via the options record, read
+         back off the context after the run. *)
+      let measured =
+        if not (Exec_ctx.analyze ctx) then None
+        else
+          let catalog = Stats_catalog.build graph in
+          let analysis = Card_analysis.analyze catalog query in
+          Some (analysis, Card_analysis.measure graph analysis)
+      in
       if verify_plans then
         List.iter
           (fun d -> Fmt.epr "%a@." Diagnostic.pp d)
@@ -387,18 +412,55 @@ let query_cmd =
         print_endline
           (Json.to_string
              (Json.Obj
-                [
-                  ("engine", Json.String (Engine.kind_name engine));
-                  ("rows", Json.Int (Table.cardinality table));
-                  ("table", table_json table);
-                  ("stats", Stats.to_json stats);
-                  ("counters", Metrics.to_json (Exec_ctx.metrics ctx));
-                ]))
+                ([
+                   ("engine", Json.String (Engine.kind_name engine));
+                   ("rows", Json.Int (Table.cardinality table));
+                   ("table", table_json table);
+                   ("stats", Stats.to_json stats);
+                   ("counters", Metrics.to_json (Exec_ctx.metrics ctx));
+                 ]
+                @
+                match measured with
+                | Some (analysis, m) ->
+                  let actuals =
+                    Json.List
+                      (List.map
+                         (fun (node, actual) ->
+                           Json.Obj
+                             [
+                               ("id", Json.Int node.Card_analysis.id);
+                               ("actual", Json.Int actual);
+                             ])
+                         (Card_analysis.measured_list m))
+                  in
+                  [
+                    ( "analyze",
+                      match Card_analysis.to_json analysis with
+                      | Json.Obj fields ->
+                        Json.Obj
+                          (fields
+                          @ [
+                              ("actuals", actuals);
+                              ( "q_error",
+                                Json.Float (Card_analysis.root_q_error m) );
+                            ])
+                      | other -> other );
+                  ]
+                | None -> [])))
       else begin
         print_table table;
         Fmt.pr "-- %d rows; %a@." (Table.cardinality table) Stats.pp_summary
           stats;
-        if show_stats then Fmt.pr "%a@." Stats.pp stats
+        if show_stats then Fmt.pr "%a@." Stats.pp stats;
+        match measured with
+        | Some (analysis, m) ->
+          Fmt.pr "@.predicted vs actual cardinalities:@.%a@."
+            Card_analysis.pp_measured m;
+          List.iter
+            (fun d -> Fmt.pr "%a@." Diagnostic.pp d)
+            analysis.Card_analysis.diagnostics;
+          Fmt.pr "root q-error: %.2f@." (Card_analysis.root_q_error m)
+        | None -> ()
       end
   in
   Cmd.v
@@ -406,7 +468,7 @@ let query_cmd =
     Term.(const run
           $ query_source_args (fun d q c -> (d, q, c))
           $ engine $ verify $ verify_plans $ show_stats $ trace_file $ json
-          $ faults $ mem $ checkpoint $ dirty_input $ verbose_arg)
+          $ faults $ mem $ checkpoint $ analyze $ dirty_input $ verbose_arg)
 
 (* --- serve -------------------------------------------------------------- *)
 
@@ -650,6 +712,94 @@ let lint_text src =
   in
   Diagnostic.sort (ast_ds @ plan_ds)
 
+let severity_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "error" -> Ok Diagnostic.Error
+    | "warning" -> Ok Diagnostic.Warning
+    | "info" -> Ok Diagnostic.Info
+    | _ -> Error (`Msg "expected error, warning, or info")
+  in
+  Arg.conv (parse, fun ppf s -> Fmt.string ppf (Diagnostic.severity_name s))
+
+(* Shared by lint and analyze: the CI gate. Without --min-severity the
+   historical behaviour holds (print everything, exit 1 on errors); with
+   it, findings below LEVEL are dropped from output and counts and any
+   remaining finding fails the run. *)
+let min_severity_arg =
+  Arg.(value & opt (some severity_arg) None
+       & info [ "min-severity" ] ~docv:"LEVEL"
+           ~doc:"Report only diagnostics at or above LEVEL (error, warning, \
+                 info) and exit 1 when any remain — the CI gate. Without \
+                 this option every finding is printed and only \
+                 error-severity findings fail the run.")
+
+let rules_arg =
+  Arg.(value & flag
+       & info [ "rules" ]
+           ~doc:"Print the registry of every static-analysis rule (id, \
+                 default severity, layer, one-line doc) and exit; honours \
+                 $(b,--json).")
+
+let print_rules json =
+  if json then print_endline (Json.to_string (Rules.to_json Rules.all))
+  else Fmt.pr "%a" Rules.pp Rules.all
+
+let apply_min_severity min_severity reports =
+  match min_severity with
+  | None -> reports
+  | Some level ->
+    List.map
+      (fun (file, ds) ->
+        ( file,
+          List.filter
+            (fun d ->
+              Diagnostic.compare_severity d.Diagnostic.severity level <= 0)
+            ds ))
+      reports
+
+let gate_failed min_severity reports =
+  match min_severity with
+  | None -> List.exists (fun (_, ds) -> Diagnostic.has_errors ds) reports
+  | Some _ -> List.exists (fun (_, ds) -> ds <> []) reports
+
+let count_severity reports sev =
+  List.fold_left
+    (fun n (_, ds) ->
+      n + List.length (List.filter (fun d -> d.Diagnostic.severity = sev) ds))
+    0 reports
+
+(* Resolve FILE / --catalog / --catalog-all inputs to (label, source)
+   pairs, shared by lint and analyze. *)
+let gather_inputs ~verb files catalog_ids catalog_all =
+  let file_inputs =
+    List.map
+      (fun path ->
+        match read_file path with
+        | Ok src -> (path, src)
+        | Error msg -> die_usage msg)
+      files
+  in
+  let catalog_inputs =
+    let entries =
+      if catalog_all then Catalog.all
+      else
+        List.map
+          (fun id ->
+            match Catalog.find id with
+            | Some e -> e
+            | None -> die_usage ("unknown catalog query " ^ id))
+          catalog_ids
+    in
+    List.map (fun e -> ("catalog:" ^ e.Catalog.id, e.Catalog.sparql)) entries
+  in
+  let inputs = file_inputs @ catalog_inputs in
+  if inputs = [] then
+    die_usage
+      (Printf.sprintf "nothing to %s: pass FILEs, --catalog ID, or --catalog-all"
+         verb);
+  inputs
+
 let lint_cmd =
   let files =
     Arg.(value & pos_all string []
@@ -670,73 +820,218 @@ let lint_cmd =
              ~doc:"Print one report object per input: file, counts by \
                    severity, and the diagnostics with rule ids and spans.")
   in
-  let run files catalog_ids catalog_all json =
-    let file_inputs =
-      List.map
-        (fun path ->
-          match read_file path with
-          | Ok src -> (path, src)
-          | Error msg -> die_usage msg)
-        files
-    in
-    let catalog_inputs =
-      let entries =
-        if catalog_all then Catalog.all
-        else
-          List.map
-            (fun id ->
-              match Catalog.find id with
-              | Some e -> e
-              | None -> die_usage ("unknown catalog query " ^ id))
-            catalog_ids
+  let run files catalog_ids catalog_all json min_severity rules =
+    if rules then print_rules json
+    else begin
+      let inputs = gather_inputs ~verb:"lint" files catalog_ids catalog_all in
+      let reports =
+        List.map (fun (label, src) -> (label, lint_text src)) inputs
+        |> apply_min_severity min_severity
       in
-      List.map
-        (fun e -> ("catalog:" ^ e.Catalog.id, e.Catalog.sparql))
-        entries
-    in
-    let inputs = file_inputs @ catalog_inputs in
-    if inputs = [] then
-      die_usage "nothing to lint: pass FILEs, --catalog ID, or --catalog-all";
-    let reports = List.map (fun (label, src) -> (label, lint_text src)) inputs in
-    let count sev =
-      List.fold_left
-        (fun n (_, ds) ->
-          n
-          + List.length
-              (List.filter (fun d -> d.Diagnostic.severity = sev) ds))
-        0 reports
-    in
-    if json then
-      print_endline
-        (Json.to_string
-           (Json.Obj
-              [
-                ( "reports",
-                  Json.List
-                    (List.map
-                       (fun (file, ds) -> Diagnostic.report_json ~file ds)
-                       reports) );
-                ("errors", Json.Int (count Diagnostic.Error));
-                ("warnings", Json.Int (count Diagnostic.Warning));
-                ("infos", Json.Int (count Diagnostic.Info));
-              ]))
-    else
-      List.iter
-        (fun (file, ds) ->
-          List.iter
-            (fun d -> Fmt.pr "%a@." (Diagnostic.pp_located ~file) d)
-            ds)
-        reports;
-    if List.exists (fun (_, ds) -> Diagnostic.has_errors ds) reports then
-      exit 1
+      if json then
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [
+                  ( "reports",
+                    Json.List
+                      (List.map
+                         (fun (file, ds) -> Diagnostic.report_json ~file ds)
+                         reports) );
+                  ("errors", Json.Int (count_severity reports Diagnostic.Error));
+                  ( "warnings",
+                    Json.Int (count_severity reports Diagnostic.Warning) );
+                  ("infos", Json.Int (count_severity reports Diagnostic.Info));
+                ]))
+      else
+        List.iter
+          (fun (file, ds) ->
+            List.iter
+              (fun d -> Fmt.pr "%a@." (Diagnostic.pp_located ~file) d)
+              ds)
+          reports;
+      if gate_failed min_severity reports then exit 1
+    end
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically analyze SPARQL queries: semantic lint of the AST \
              plus verification of the optimizer's derived plans. Exits 0 \
-             when no error-severity diagnostics were reported, 1 otherwise, \
-             2 on usage errors.")
-    Term.(const run $ files $ catalog_ids $ catalog_all $ json)
+             when no error-severity diagnostics were reported (no finding \
+             at or above --min-severity, when given), 1 otherwise, 2 on \
+             usage errors.")
+    Term.(const run $ files $ catalog_ids $ catalog_all $ json
+          $ min_severity_arg $ rules_arg)
+
+(* --- analyze ------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let files =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"FILE" ~doc:"SPARQL query files to analyze.")
+  in
+  let catalog_ids =
+    Arg.(value & opt_all string []
+         & info [ "c"; "catalog" ]
+             ~doc:"Analyze a catalog query by id (repeatable).")
+  in
+  let catalog_all =
+    Arg.(value & flag
+         & info [ "catalog-all" ] ~doc:"Analyze every catalog query.")
+  in
+  let data =
+    Arg.(value & opt (some string) None
+         & info [ "d"; "data" ] ~docv:"FILE"
+             ~doc:"Dataset file (N-Triples) to build the statistics catalog \
+                   from.")
+  in
+  let stats_file =
+    Arg.(value & opt (some string) None
+         & info [ "stats" ] ~docv:"FILE"
+             ~doc:"Load a previously dumped statistics catalog (JSON) \
+                   instead of scanning a dataset.")
+  in
+  let dump_stats =
+    Arg.(value & opt (some string) None
+         & info [ "dump-stats" ] ~docv:"FILE"
+             ~doc:"Write the statistics catalog as JSON (reloadable with \
+                   --stats) and continue.")
+  in
+  let mem =
+    Arg.(value & opt (some string) None
+         & info [ "mem" ] ~docv:"SPEC"
+             ~doc:"Per-task memory budget the byte-level diagnostics \
+                   (broadcast feasibility, predicted map-join overcommit) \
+                   compare against (same syntax as rapida query --mem).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print one report object per input: file, counts by \
+                   severity, the diagnostics, and the annotated plan tree \
+                   with cardinality and byte intervals.")
+  in
+  let run files catalog_ids catalog_all data stats_file dump_stats mem_spec
+      json min_severity rules =
+    if rules then print_rules json
+    else begin
+      let inputs =
+        gather_inputs ~verb:"analyze" files catalog_ids catalog_all
+      in
+      let catalog =
+        match (data, stats_file) with
+        | Some path, None -> (
+          match load_graph path with
+          | Ok graph -> Stats_catalog.build graph
+          | Error msg -> die_usage msg)
+        | None, Some path -> (
+          let parsed =
+            Result.bind (read_file path) (fun src ->
+                Result.map_error
+                  (fun msg -> Printf.sprintf "%s: %s" path msg)
+                  (Result.bind (Json.of_string src) Stats_catalog.of_json))
+          in
+          match parsed with
+          | Ok catalog -> catalog
+          | Error msg -> die_usage msg)
+        | _ -> die_usage "provide exactly one of --data or --stats"
+      in
+      (match dump_stats with
+      | None -> ()
+      | Some path -> (
+        match
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc (Json.to_string (Stats_catalog.to_json catalog));
+              output_char oc '\n')
+        with
+        | () -> ()
+        | exception Sys_error msg ->
+          die_runtime ("cannot write stats: " ^ msg)));
+      let memory =
+        match mem_spec with
+        | None -> Rapida_mapred.Memory.default
+        | Some spec -> (
+          match Rapida_mapred.Memory.parse_spec spec with
+          | Ok cfg -> cfg
+          | Error msg -> die_usage msg)
+      in
+      (* Unparsable inputs still yield a report — the lint diagnostics
+         carry the parse failure — so the exit code works like lint. *)
+      let analyses =
+        List.map
+          (fun (label, src) ->
+            match Rapida_sparql.Analytical.parse src with
+            | Ok q -> (label, Some (Card_analysis.analyze ~memory catalog q))
+            | Error _ -> (label, None))
+          inputs
+      in
+      let reports =
+        List.map
+          (fun ((label, src), (_, analysis)) ->
+            let ds =
+              match analysis with
+              | Some a -> a.Card_analysis.diagnostics
+              | None -> lint_text src
+            in
+            (label, ds))
+          (List.combine inputs analyses)
+        |> apply_min_severity min_severity
+      in
+      if json then
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [
+                  ( "reports",
+                    Json.List
+                      (List.map2
+                         (fun (file, ds) (_, analysis) ->
+                           let plan =
+                             match analysis with
+                             | Some a -> (
+                               match
+                                 Json.member "plan" (Card_analysis.to_json a)
+                               with
+                               | Some p -> p
+                               | None -> Json.Null)
+                             | None -> Json.Null
+                           in
+                           match Diagnostic.report_json ~file ds with
+                           | Json.Obj fields ->
+                             Json.Obj (fields @ [ ("plan", plan) ])
+                           | other -> other)
+                         reports analyses) );
+                  ("errors", Json.Int (count_severity reports Diagnostic.Error));
+                  ( "warnings",
+                    Json.Int (count_severity reports Diagnostic.Warning) );
+                  ("infos", Json.Int (count_severity reports Diagnostic.Info));
+                ]))
+      else
+        List.iter2
+          (fun (file, ds) (_, analysis) ->
+            (match analysis with
+            | Some a -> Fmt.pr "-- %s@.%a@." file Card_analysis.pp_plan a
+            | None -> ());
+            List.iter
+              (fun d -> Fmt.pr "%a@." (Diagnostic.pp_located ~file) d)
+              ds)
+          reports analyses;
+      if gate_failed min_severity reports then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Static cardinality and cost analysis: annotate each query's \
+             logical plan with sound cardinality and shuffle-byte \
+             intervals derived from a statistics catalog, and report \
+             stats-aware diagnostics (statically empty joins, zero-\
+             selectivity filters, skew, broadcast feasibility). Exits 0 \
+             when the gate passes, 1 otherwise, 2 on usage errors.")
+    Term.(const run $ files $ catalog_ids $ catalog_all $ data $ stats_file
+          $ dump_stats $ mem $ json $ min_severity_arg $ rules_arg)
 
 (* --- explain ------------------------------------------------------------ *)
 
@@ -761,7 +1056,26 @@ let explain_cmd =
              ~doc:"Also run the static analyzer (AST lint + plan \
                    verification) and print its diagnostics.")
   in
-  let run query_file catalog_id json lint =
+  let analyze =
+    Arg.(value & flag
+         & info [ "analyze" ]
+             ~doc:"Annotate the logical plan with cardinality and byte \
+                   intervals from a statistics catalog (requires --data or \
+                   --stats) and print the stats-aware diagnostics.")
+  in
+  let data =
+    Arg.(value & opt (some string) None
+         & info [ "d"; "data" ] ~docv:"FILE"
+             ~doc:"Dataset file (N-Triples) to build the --analyze \
+                   statistics catalog from.")
+  in
+  let stats_file =
+    Arg.(value & opt (some string) None
+         & info [ "stats" ] ~docv:"FILE"
+             ~doc:"Statistics catalog (JSON, from rapida analyze \
+                   --dump-stats) for --analyze.")
+  in
+  let run query_file catalog_id json lint analyze data stats_file =
     let src =
       match query_text query_file catalog_id with
       | Ok src -> src
@@ -771,6 +1085,29 @@ let explain_cmd =
     match Rapida_sparql.Analytical.parse src with
     | Error msg -> die_usage msg
     | Ok q ->
+      let analysis =
+        if not analyze then None
+        else
+          let catalog =
+            match (data, stats_file) with
+            | Some path, None -> (
+              match load_graph path with
+              | Ok graph -> Stats_catalog.build graph
+              | Error msg -> die_usage msg)
+            | None, Some path -> (
+              let parsed =
+                Result.bind (read_file path) (fun s ->
+                    Result.map_error
+                      (fun msg -> Printf.sprintf "%s: %s" path msg)
+                      (Result.bind (Json.of_string s) Stats_catalog.of_json))
+              in
+              match parsed with
+              | Ok catalog -> catalog
+              | Error msg -> die_usage msg)
+            | _ -> die_usage "--analyze needs exactly one of --data or --stats"
+          in
+          Some (Card_analysis.analyze catalog q)
+      in
       if json then begin
         let fields =
           [
@@ -786,10 +1123,13 @@ let explain_cmd =
                        Json.Int (Rapida_core.Plan_summary.predict kind q) ))
                    Engine.all_kinds) );
           ]
+          @ (if lint then
+               [ ("lint", Json.List (List.map Diagnostic.to_json lint_ds)) ]
+             else [])
           @
-          if lint then
-            [ ("lint", Json.List (List.map Diagnostic.to_json lint_ds)) ]
-          else []
+          match analysis with
+          | Some a -> [ ("analyze", Card_analysis.to_json a) ]
+          | None -> []
         in
         print_endline (Json.to_string (Json.Obj fields))
       end
@@ -803,6 +1143,13 @@ let explain_cmd =
         Fmt.pr "@.%s@." (Rapida_core.Rapid_analytics.plan_description q);
         Fmt.pr "@.predicted MapReduce workflow lengths:@.%s@."
           (Rapida_core.Plan_summary.describe q);
+        (match analysis with
+        | Some a ->
+          Fmt.pr "@.static cost analysis:@.%a@." Card_analysis.pp_plan a;
+          List.iter
+            (fun d -> Fmt.pr "%a@." Diagnostic.pp d)
+            a.Card_analysis.diagnostics
+        | None -> ());
         if lint then begin
           Fmt.pr "@.static analysis:@.";
           if lint_ds = [] then Fmt.pr "  clean@."
@@ -813,7 +1160,8 @@ let explain_cmd =
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Show overlap analysis and the composite rewriting for a query")
-    Term.(const run $ query_file $ catalog_id $ json $ lint)
+    Term.(const run $ query_file $ catalog_id $ json $ lint $ analyze $ data
+          $ stats_file)
 
 (* --- catalog ------------------------------------------------------------ *)
 
@@ -877,6 +1225,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            gen_cmd; query_cmd; serve_cmd; lint_cmd; explain_cmd; catalog_cmd;
-            stats_cmd;
+            gen_cmd; query_cmd; serve_cmd; lint_cmd; analyze_cmd; explain_cmd;
+            catalog_cmd; stats_cmd;
           ]))

@@ -179,11 +179,11 @@ let rec fold_expr (e : Ast.expr) : const option =
       | _ -> None))
 
 (* Interval analysis of a single FILTER's conjunction: collect numeric
-   bounds per variable and detect empty intervals. *)
+   bounds per variable into the shared {!Interval.Num} domain and detect
+   empty constraint sets. *)
 
 type bounds = {
-  mutable lo : (float * bool) option;  (* bound, strict *)
-  mutable hi : (float * bool) option;
+  mutable iv : Interval.Num.t;
   mutable eqs : float list;
   mutable nes : float list;
 }
@@ -192,35 +192,29 @@ let rec conj_atoms = function
   | Ast.Ebin (Ast.And, a, b) -> conj_atoms a @ conj_atoms b
   | e -> [ e ]
 
-let unsat_conjunction e =
+(* The per-variable numeric constraints of a conjunction, as (variable,
+   interval, equalities, disequalities). Exposed to the cost analyzer so
+   FILTER selectivity can meet these intervals against the catalog's
+   literal-range sketches. *)
+let conj_constraints e =
   let tbl : (string, bounds) Hashtbl.t = Hashtbl.create 4 in
   let bounds_for v =
     match Hashtbl.find_opt tbl v with
     | Some b -> b
     | None ->
-      let b = { lo = None; hi = None; eqs = []; nes = [] } in
+      let b = { iv = Interval.Num.full; eqs = []; nes = [] } in
       Hashtbl.add tbl v b;
       b
-  in
-  let tighten_lo b x strict =
-    match b.lo with
-    | Some (y, ys) when y > x || (y = x && ys) -> ignore ys
-    | _ -> b.lo <- Some (x, strict)
-  in
-  let tighten_hi b x strict =
-    match b.hi with
-    | Some (y, ys) when y < x || (y = x && ys) -> ignore ys
-    | _ -> b.hi <- Some (x, strict)
   in
   let record v op x =
     let b = bounds_for v in
     match op with
     | Ast.Eq -> b.eqs <- x :: b.eqs
     | Ast.Ne -> b.nes <- x :: b.nes
-    | Ast.Lt -> tighten_hi b x true
-    | Ast.Le -> tighten_hi b x false
-    | Ast.Gt -> tighten_lo b x true
-    | Ast.Ge -> tighten_lo b x false
+    | Ast.Lt -> b.iv <- Interval.Num.tighten_hi b.iv x true
+    | Ast.Le -> b.iv <- Interval.Num.tighten_hi b.iv x false
+    | Ast.Gt -> b.iv <- Interval.Num.tighten_lo b.iv x true
+    | Ast.Ge -> b.iv <- Interval.Num.tighten_lo b.iv x false
     | _ -> ()
   in
   let flip = function
@@ -239,35 +233,28 @@ let unsat_conjunction e =
         match Term.as_number t with Some x -> record v (flip op) x | None -> ())
       | _ -> ())
     (conj_atoms e);
-  Hashtbl.fold
-    (fun v b acc ->
+  Hashtbl.fold (fun v b acc -> (v, b.iv, b.eqs, b.nes) :: acc) tbl []
+
+let filter_always_false e =
+  match fold_expr e with
+  | Some (Cbool false) -> true
+  | _ -> false
+
+let unsat_conjunction e =
+  List.fold_left
+    (fun acc (v, iv, eqs, nes) ->
       match acc with
       | Some _ -> acc
       | None ->
-        let lo_ok x =
-          match b.lo with
-          | Some (y, strict) -> if strict then x > y else x >= y
-          | None -> true
-        in
-        let hi_ok x =
-          match b.hi with
-          | Some (y, strict) -> if strict then x < y else x <= y
-          | None -> true
-        in
-        let empty_interval =
-          match (b.lo, b.hi) with
-          | Some (l, ls), Some (h, hs) -> l > h || (l = h && (ls || hs))
-          | _ -> false
-        in
         let eq_conflict =
-          (match b.eqs with
+          (match eqs with
           | x :: rest -> List.exists (fun y -> y <> x) rest
           | [] -> false)
-          || List.exists (fun x -> (not (lo_ok x)) || not (hi_ok x)) b.eqs
-          || List.exists (fun x -> List.mem x b.nes) b.eqs
+          || List.exists (fun x -> not (Interval.Num.mem x iv)) eqs
+          || List.exists (fun x -> List.mem x nes) eqs
         in
-        if empty_interval || eq_conflict then Some v else None)
-    tbl None
+        if Interval.Num.is_empty iv || eq_conflict then Some v else None)
+    None (conj_constraints e)
 
 (* ------------------------------------------------------------------ *)
 (* The rules.                                                          *)

@@ -47,6 +47,25 @@ val index_of_tokens : Lexer.located list -> index
 (** [var_span index v] is the span of the first occurrence of [?v]. *)
 val var_span : index -> Ast.var -> Srcloc.span option
 
+(** [conj_constraints e] is the per-variable numeric constraint set of
+    [e]'s top-level conjunction: for each variable compared against
+    numeric constants, its {!Interval.Num} bound interval plus the
+    equality and disequality constants. This is the single interval
+    analysis shared with {!Card_analysis}, which meets these intervals
+    against the statistics catalog's literal-range sketches. *)
+val conj_constraints :
+  Ast.expr -> (Ast.var * Interval.Num.t * float list * float list) list
+
+(** [filter_always_false e] holds when [e] constant-folds to false —
+    the trivially-unsatisfiable case, with no variable reasoning. *)
+val filter_always_false : Ast.expr -> bool
+
+(** [unsat_conjunction e] is [Some v] when the numeric constraints [e]
+    places on variable [v] are contradictory on their own (empty
+    interval, conflicting equalities) — the witness behind the
+    [filter-unsatisfiable] rule. *)
+val unsat_conjunction : Ast.expr -> Ast.var option
+
 (** [lint_query ?index q] runs every AST rule. Without an [index] the
     diagnostics carry no spans. *)
 val lint_query : ?index:index -> Ast.query -> Diagnostic.t list

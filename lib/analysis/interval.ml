@@ -1,0 +1,137 @@
+module Json = Rapida_mapred.Json
+
+module Num = struct
+  type bound = float * bool
+
+  type t = { lo : bound option; hi : bound option }
+
+  let full = { lo = None; hi = None }
+
+  let point x = { lo = Some (x, false); hi = Some (x, false) }
+
+  let closed lo hi = { lo = Some (lo, false); hi = Some (hi, false) }
+
+  (* A lower bound (x, sx) is tighter than (y, sy) when it excludes
+     more: larger value, or same value but strict. *)
+  let lo_tighter (x, sx) (y, sy) = x > y || (x = y && sx && not sy)
+
+  let hi_tighter (x, sx) (y, sy) = x < y || (x = y && sx && not sy)
+
+  let tighten_lo t x strict =
+    match t.lo with
+    | Some b when not (lo_tighter (x, strict) b) -> t
+    | _ -> { t with lo = Some (x, strict) }
+
+  let tighten_hi t x strict =
+    match t.hi with
+    | Some b when not (hi_tighter (x, strict) b) -> t
+    | _ -> { t with hi = Some (x, strict) }
+
+  let is_empty t =
+    match (t.lo, t.hi) with
+    | Some (l, ls), Some (h, hs) -> l > h || (l = h && (ls || hs))
+    | _ -> false
+
+  let mem x t =
+    (match t.lo with
+    | Some (l, strict) -> if strict then x > l else x >= l
+    | None -> true)
+    && (match t.hi with
+       | Some (h, strict) -> if strict then x < h else x <= h
+       | None -> true)
+
+  let inter a b =
+    let t =
+      match b.lo with
+      | Some (x, s) -> tighten_lo a x s
+      | None -> a
+    in
+    match b.hi with Some (x, s) -> tighten_hi t x s | None -> t
+
+  let disjoint a b =
+    (not (is_empty a)) && (not (is_empty b)) && is_empty (inter a b)
+
+  let pp_bound ppf = function
+    | None -> Fmt.string ppf "unbounded"
+    | Some (x, strict) -> Fmt.pf ppf "%g%s" x (if strict then " (strict)" else "")
+
+  let pp ppf t =
+    let open_lo = match t.lo with Some (_, true) -> "(" | _ -> "[" in
+    let close_hi = match t.hi with Some (_, true) -> ")" | _ -> "]" in
+    let side ppf = function
+      | None -> Fmt.string ppf "-"
+      | Some (x, _) -> Fmt.pf ppf "%g" x
+    in
+    ignore pp_bound;
+    Fmt.pf ppf "%s%a, %a%s" open_lo side t.lo side t.hi close_hi
+end
+
+module Card = struct
+  type t = { lo : int; hi : int }
+
+  let make lo hi =
+    let lo = max 0 lo and hi = max 0 hi in
+    if lo <= hi then { lo; hi } else { lo = hi; hi = lo }
+
+  let exact n = make n n
+
+  let zero = { lo = 0; hi = 0 }
+
+  let unknown = { lo = 0; hi = max_int }
+
+  let is_empty t = t.hi = 0
+
+  let contains t n = t.lo <= n && n <= t.hi
+
+  let sat_add a b = if a > max_int - b then max_int else a + b
+
+  let sat_mul a b =
+    if a = 0 || b = 0 then 0
+    else if a > max_int / b then max_int
+    else a * b
+
+  let add a b = { lo = sat_add a.lo b.lo; hi = sat_add a.hi b.hi }
+
+  let mul a b = { lo = sat_mul a.lo b.lo; hi = sat_mul a.hi b.hi }
+
+  let scale t k =
+    let k = max 0 k in
+    { lo = sat_mul t.lo k; hi = sat_mul t.hi k }
+
+  let cap t n = { lo = min t.lo n; hi = min t.hi n }
+
+  let cap_hi t n = if n >= t.hi then t else { lo = min t.lo n; hi = n }
+
+  let drop_lo t = { t with lo = 0 }
+
+  let union a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+  let point_estimate t =
+    if t.hi = 0 then 0.0
+    else if t.hi = max_int then float_of_int (max 1 t.lo)
+    else sqrt (float_of_int (max 1 t.lo) *. float_of_int (max 1 t.hi))
+
+  let q_error t ~actual =
+    let est = max 1.0 (point_estimate t) in
+    let act = float_of_int (max 1 actual) in
+    Float.max (est /. act) (act /. est)
+
+  let pp ppf t =
+    if t.hi = max_int then Fmt.pf ppf "[%d, inf]" t.lo
+    else Fmt.pf ppf "[%d, %d]" t.lo t.hi
+
+  let to_json t =
+    Json.Obj
+      [
+        ("lo", Json.Int t.lo);
+        ("hi", (if t.hi = max_int then Json.Null else Json.Int t.hi));
+      ]
+
+  let of_json = function
+    | Json.Obj fields -> (
+      match (List.assoc_opt "lo" fields, List.assoc_opt "hi" fields) with
+      | Some (Json.Int lo), Some (Json.Int hi) -> Ok (make lo hi)
+      | Some (Json.Int lo), Some Json.Null -> Ok { lo = max 0 lo; hi = max_int }
+      | _ -> Error "interval: expected integer lo and integer-or-null hi")
+    | _ -> Error "interval: expected an object"
+end

@@ -1,0 +1,118 @@
+(** The one interval domain shared by both static analyses.
+
+    {!Num} is the numeric-constraint domain the AST lint's
+    filter-unsatisfiability check solves in ({!Ast_lint}): real intervals
+    with possibly-open endpoints, built by tightening comparison bounds.
+    {!Card} is the cardinality domain the cost analyzer propagates
+    through plans ({!Card_analysis}): integer row-count intervals
+    [[lo, hi]] with saturating arithmetic, where [hi = max_int] means
+    unbounded. Keeping both here — rather than a private copy per
+    analysis — is what lets the analyzer feed the lint's filter
+    reasoning with real literal ranges from the statistics catalog. *)
+
+module Num : sig
+  (** A bound is a value plus a strictness flag: [(x, true)] excludes
+      [x] itself ([< x] / [> x]); [(x, false)] includes it. *)
+  type bound = float * bool
+
+  (** A possibly-unbounded real interval. [None] means unbounded on
+      that side. The representation does not normalize: emptiness is a
+      query ({!is_empty}), not an invariant. *)
+  type t = { lo : bound option; hi : bound option }
+
+  val full : t
+
+  (** [point x] is the degenerate interval [[x, x]]. *)
+  val point : float -> t
+
+  (** [closed lo hi] is [[lo, hi]], both endpoints included. *)
+  val closed : float -> float -> t
+
+  (** [tighten_lo t x strict] raises the lower bound to [(x, strict)]
+      when that is tighter than the current one (a strict bound at the
+      same value is tighter than an inclusive one). [tighten_hi]
+      symmetrically lowers the upper bound. *)
+  val tighten_lo : t -> float -> bool -> t
+
+  val tighten_hi : t -> float -> bool -> t
+
+  (** [is_empty t] holds when no real satisfies both bounds: crossed
+      bounds, or equal bounds with either side strict. *)
+  val is_empty : t -> bool
+
+  (** [mem x t] holds when [x] satisfies both bounds. *)
+  val mem : float -> t -> bool
+
+  (** [inter a b] is the meet: both constraint sets combined. *)
+  val inter : t -> t -> t
+
+  (** [disjoint a b] holds when the meet is empty while neither input
+      is — two genuinely incompatible constraint sets. *)
+  val disjoint : t -> t -> bool
+
+  val pp : t Fmt.t
+end
+
+module Card : sig
+  (** An integer cardinality interval [[lo, hi]] with
+      [0 <= lo <= hi]; [hi = max_int] renders and serializes as
+      unbounded. *)
+  type t = { lo : int; hi : int }
+
+  (** [make lo hi] clamps negatives to 0 and swaps crossed bounds. *)
+  val make : int -> int -> t
+
+  (** [exact n] is [[n, n]]. *)
+  val exact : int -> t
+
+  val zero : t
+
+  (** [[0, max_int]] — no information. *)
+  val unknown : t
+
+  (** [is_empty t] holds when [hi = 0]: the operator provably emits
+      nothing. *)
+  val is_empty : t -> bool
+
+  val contains : t -> int -> bool
+
+  (** Pointwise sum, saturating at [max_int]. *)
+  val add : t -> t -> t
+
+  (** Pointwise product, saturating at [max_int]. *)
+  val mul : t -> t -> t
+
+  (** [scale t k] multiplies both bounds by [k >= 0], saturating. *)
+  val scale : t -> int -> t
+
+  (** [cap t n] caps both bounds at [n] — the effect of [LIMIT n]. *)
+  val cap : t -> int -> t
+
+  (** [cap_hi t n] caps only the upper bound (an upper-bound refinement
+      that cannot raise the lower). *)
+  val cap_hi : t -> int -> t
+
+  (** [drop_lo t] forgets the lower bound — the effect of any operator
+      that may discard rows (a filter, a HAVING). *)
+  val drop_lo : t -> t
+
+  (** Interval union (convex hull). *)
+  val union : t -> t -> t
+
+  (** [point_estimate t] is the geometric mean of the bounds (clamped
+      to at least 1 row, and to [hi] when [hi = 0]) — the scalar the
+      q-error metric compares against measured cardinality. For an
+      unbounded interval it falls back to the lower bound. *)
+  val point_estimate : t -> float
+
+  (** [q_error t ~actual] is the standard estimation-quality factor
+      [max (est / actual) (actual / est)], both sides floored at one
+      row so empty results compare as 1 against empty estimates. *)
+  val q_error : t -> actual:int -> float
+
+  (** Prints ["[lo, hi]"], with [inf] for an unbounded upper bound. *)
+  val pp : t Fmt.t
+
+  val to_json : t -> Rapida_mapred.Json.t
+  val of_json : Rapida_mapred.Json.t -> (t, string) result
+end

@@ -1,0 +1,95 @@
+module Json = Rapida_mapred.Json
+
+type layer = Ast_lint | Plan_verify | Card_analysis
+
+let layer_name = function
+  | Ast_lint -> "ast-lint"
+  | Plan_verify -> "plan-verify"
+  | Card_analysis -> "card-analysis"
+
+type rule = {
+  id : string;
+  layer : layer;
+  severity : Diagnostic.severity;
+  doc : string;
+}
+
+let rule layer severity id doc = { id; layer; severity; doc }
+
+let all =
+  [
+    (* Layer 1: AST lint. *)
+    rule Ast_lint Error "parse-error" "the source failed to lex or parse";
+    rule Ast_lint Error "unbound-var"
+      "a projected, filtered, grouped, or ordered variable is never bound";
+    rule Ast_lint Error "ungrouped-projection"
+      "an aggregated SELECT projects a variable that is not a grouping key";
+    rule Ast_lint Error "analytical-form"
+      "the query falls outside the analytical normal form the engines run";
+    rule Ast_lint Warning "filter-unsatisfiable"
+      "a FILTER can never hold (folds to false or implies an empty interval)";
+    rule Ast_lint Warning "filter-constant"
+      "a FILTER folds to a constant and can be removed";
+    rule Ast_lint Warning "cartesian-product"
+      "the star-join graph is disconnected, forcing a cross product";
+    rule Ast_lint Warning "duplicate-pattern"
+      "the same triple pattern appears twice in one basic graph pattern";
+    rule Ast_lint Warning "duplicate-prefix"
+      "a PREFIX is declared more than once";
+    rule Ast_lint Warning "unused-prefix" "a declared PREFIX is never used";
+    rule Ast_lint Info "unused-var"
+      "a variable is bound by a pattern but referenced nowhere else";
+    (* Layer 2: optimizer-invariant verification. *)
+    rule Plan_verify Error "composite-cover"
+      "the composite pattern does not cover the original stars (Def. 3.1)";
+    rule Plan_verify Error "composite-role"
+      "merged join variables are not role-equivalent (Def. 3.2)";
+    rule Plan_verify Error "nsplit-arity"
+      "the n-split does not yield one well-formed pattern per subquery";
+    rule Plan_verify Error "aggjoin-keys"
+      "grouping keys or aggregate arguments missing from split bindings";
+    rule Plan_verify Error "workflow-dag"
+      "the workflow's join order is not a connected left-deep sequence";
+    rule Plan_verify Error "schema-mismatch"
+      "an engine's result schema differs from the static expectation";
+    rule Plan_verify Warning "mem-overcommit"
+      "estimated Agg-Join hash-table footprint exceeds the task heap";
+    (* Layer 3: statistics-driven cardinality analysis. *)
+    rule Card_analysis Warning "statically-empty-join"
+      "a star or inter-star join has upper bound 0 and returns nothing";
+    rule Card_analysis Warning "filter-selectivity-zero"
+      "a FILTER's constraints are disjoint from the catalog's value ranges";
+    rule Card_analysis Warning "mapjoin-overcommit-predicted"
+      "the planned map-join's build side exceeds the heap at the lower bound";
+    rule Card_analysis Info "skewed-star"
+      "a star predicate's maximum subject fanout far exceeds its average";
+    rule Card_analysis Info "broadcast-feasible"
+      "every build side fits under the map-join threshold at the upper bound";
+  ]
+
+let find id = List.find_opt (fun r -> String.equal r.id id) all
+
+let pp ppf rules =
+  let width f = List.fold_left (fun w r -> max w (String.length (f r))) 0 rules in
+  let idw = width (fun r -> r.id)
+  and sevw = width (fun r -> Diagnostic.severity_name r.severity)
+  and layw = width (fun r -> layer_name r.layer) in
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-*s  %-*s  %-*s  %s@." idw r.id sevw
+        (Diagnostic.severity_name r.severity)
+        layw (layer_name r.layer) r.doc)
+    rules
+
+let to_json rules =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("id", Json.String r.id);
+             ("severity", Json.String (Diagnostic.severity_name r.severity));
+             ("layer", Json.String (layer_name r.layer));
+             ("doc", Json.String r.doc);
+           ])
+       rules)

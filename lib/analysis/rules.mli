@@ -1,0 +1,33 @@
+(** Registry of every static-analysis rule.
+
+    One table collects the stable rule identifiers of all three
+    analysis layers — the AST lint ({!Ast_lint}), the
+    optimizer-invariant verifier ({!Plan_verify}), and the statistics-
+    driven cardinality analysis ({!Card_analysis}) — with their default
+    severities and one-line documentation. [rapida lint --rules] and
+    [rapida analyze --rules] dump it so CI configurations and the README
+    rule table never drift from the implementation; the test suite
+    checks that every diagnostic the analyzers emit uses a registered
+    id with the registered severity. *)
+
+type layer = Ast_lint | Plan_verify | Card_analysis
+
+val layer_name : layer -> string
+
+type rule = {
+  id : string;  (** stable identifier, e.g. ["unbound-var"] *)
+  layer : layer;
+  severity : Diagnostic.severity;
+  doc : string;  (** one-line description *)
+}
+
+(** Every rule, ordered by layer then id. *)
+val all : rule list
+
+val find : string -> rule option
+
+(** Aligned text table: [id  severity  layer  doc]. *)
+val pp : rule list Fmt.t
+
+(** JSON array of [{"id", "severity", "layer", "doc"}] objects. *)
+val to_json : rule list -> Rapida_mapred.Json.t

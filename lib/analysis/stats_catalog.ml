@@ -1,0 +1,369 @@
+open Rapida_rdf
+module Json = Rapida_mapred.Json
+
+type num_range = { nmin : float; nmax : float; ncount : int }
+
+type pred_stats = {
+  count : int;
+  subjects : int;
+  objects : int;
+  max_subj_fanout : int;
+  max_obj_fanout : int;
+  max_pair_fanout : int;
+  fanout_hist : int array;
+  num_range : num_range option;
+}
+
+type t = {
+  total_triples : int;
+  total_subjects : int;
+  min_term_bytes : int;
+  max_term_bytes : int;
+  preds : (string * pred_stats) list;
+  classes : (string * int) list;
+}
+
+(* Fanout histogram buckets: floor (log2 f) for f >= 1 caps at 62 on
+   64-bit ints, so 63 buckets cover every possible fanout. *)
+let hist_buckets = 63
+
+let log2_bucket f =
+  let rec go f i = if f <= 1 then i else go (f lsr 1) (i + 1) in
+  go (max 1 f) 0
+
+module Term_tbl = Hashtbl.Make (struct
+  type t = Term.t
+
+  let equal = Term.equal
+  let hash = Term.hash
+end)
+
+(* Per-predicate accumulator for the single collection pass. *)
+type pred_acc = {
+  mutable a_count : int;
+  mutable a_subjects : int;
+  mutable a_max_subj_fanout : int;
+  mutable a_max_obj_fanout : int;
+  mutable a_max_pair_fanout : int;
+  a_hist : int array;
+  a_objs : int Term_tbl.t;  (* object -> occurrence count *)
+  mutable a_num : num_range option;
+}
+
+let build g =
+  let preds : pred_acc Term_tbl.t = Term_tbl.create 64 in
+  let classes : int Term_tbl.t = Term_tbl.create 16 in
+  let min_bytes = ref max_int and max_bytes = ref 0 in
+  let see_term t =
+    let b = String.length (Term.lexical t) in
+    if b < !min_bytes then min_bytes := b;
+    if b > !max_bytes then max_bytes := b
+  in
+  let acc_for p =
+    match Term_tbl.find_opt preds p with
+    | Some a -> a
+    | None ->
+      let a =
+        {
+          a_count = 0;
+          a_subjects = 0;
+          a_max_subj_fanout = 0;
+          a_max_obj_fanout = 0;
+          a_max_pair_fanout = 0;
+          a_hist = Array.make hist_buckets 0;
+          a_objs = Term_tbl.create 64;
+          a_num = None;
+        }
+      in
+      Term_tbl.add preds p a;
+      a
+  in
+  let total_subjects =
+    Graph.fold_subject_groups g
+      (fun _s triples nsubj ->
+        (* Per-subject fanout and (predicate, object) multiplicity are
+           local to the group, so both are counted here without a
+           second pass. *)
+        let local : (Term.t * Term.t, int) Hashtbl.t = Hashtbl.create 8 in
+        let fanouts : int Term_tbl.t = Term_tbl.create 8 in
+        List.iter
+          (fun (tr : Triple.t) ->
+            see_term tr.s;
+            see_term tr.p;
+            see_term tr.o;
+            let a = acc_for tr.p in
+            a.a_count <- a.a_count + 1;
+            Term_tbl.replace a.a_objs tr.o
+              (1 + Option.value ~default:0 (Term_tbl.find_opt a.a_objs tr.o));
+            (match Term.as_number tr.o with
+            | None -> ()
+            | Some x ->
+              a.a_num <-
+                Some
+                  (match a.a_num with
+                  | None -> { nmin = x; nmax = x; ncount = 1 }
+                  | Some r ->
+                    {
+                      nmin = Float.min r.nmin x;
+                      nmax = Float.max r.nmax x;
+                      ncount = r.ncount + 1;
+                    }));
+            if Term.equal tr.p Namespace.rdf_type then
+              Term_tbl.replace classes tr.o
+                (1 + Option.value ~default:0 (Term_tbl.find_opt classes tr.o));
+            Hashtbl.replace local (tr.p, tr.o)
+              (1 + Option.value ~default:0 (Hashtbl.find_opt local (tr.p, tr.o)));
+            Term_tbl.replace fanouts tr.p
+              (1 + Option.value ~default:0 (Term_tbl.find_opt fanouts tr.p)))
+          triples;
+        Hashtbl.iter
+          (fun (p, _o) m ->
+            let a = acc_for p in
+            if m > a.a_max_pair_fanout then a.a_max_pair_fanout <- m)
+          local;
+        Term_tbl.iter
+          (fun p f ->
+            let a = acc_for p in
+            a.a_subjects <- a.a_subjects + 1;
+            if f > a.a_max_subj_fanout then a.a_max_subj_fanout <- f;
+            let b = log2_bucket f in
+            a.a_hist.(b) <- a.a_hist.(b) + 1)
+          fanouts;
+        nsubj + 1)
+      0
+  in
+  let finish (a : pred_acc) =
+    let objects = Term_tbl.length a.a_objs in
+    let max_obj_fanout = Term_tbl.fold (fun _ m acc -> max m acc) a.a_objs 0 in
+    {
+      count = a.a_count;
+      subjects = a.a_subjects;
+      objects;
+      max_subj_fanout = a.a_max_subj_fanout;
+      max_obj_fanout;
+      max_pair_fanout = a.a_max_pair_fanout;
+      fanout_hist = a.a_hist;
+      num_range = a.a_num;
+    }
+  in
+  let preds =
+    Term_tbl.fold (fun p a acc -> (Term.lexical p, finish a) :: acc) preds []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let classes =
+    Term_tbl.fold (fun c n acc -> (Term.lexical c, n) :: acc) classes []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  {
+    total_triples = Graph.size g;
+    total_subjects;
+    min_term_bytes = (if !min_bytes = max_int then 0 else !min_bytes);
+    max_term_bytes = !max_bytes;
+    preds;
+    classes;
+  }
+
+let pred t p = List.assoc_opt (Term.lexical p) t.preds
+let class_count t c = Option.value ~default:0 (List.assoc_opt (Term.lexical c) t.classes)
+
+let avg_subj_fanout ps =
+  if ps.subjects = 0 then 1
+  else max 1 ((ps.count + ps.subjects - 1) / ps.subjects)
+
+(* ---------------------------------------------------------------- *)
+(* JSON round trip *)
+
+let version = 1
+
+let hist_to_json h =
+  (* Trim trailing zero buckets for compactness. *)
+  let last = ref (-1) in
+  Array.iteri (fun i n -> if n > 0 then last := i) h;
+  Json.List (List.init (!last + 1) (fun i -> Json.Int h.(i)))
+
+let num_range_to_json = function
+  | None -> Json.Null
+  | Some r ->
+    Json.Obj
+      [
+        ("min", Json.Float r.nmin);
+        ("max", Json.Float r.nmax);
+        ("count", Json.Int r.ncount);
+      ]
+
+let pred_to_json (iri, ps) =
+  Json.Obj
+    [
+      ("iri", Json.String iri);
+      ("count", Json.Int ps.count);
+      ("subjects", Json.Int ps.subjects);
+      ("objects", Json.Int ps.objects);
+      ("max_subj_fanout", Json.Int ps.max_subj_fanout);
+      ("max_obj_fanout", Json.Int ps.max_obj_fanout);
+      ("max_pair_fanout", Json.Int ps.max_pair_fanout);
+      ("fanout_hist", hist_to_json ps.fanout_hist);
+      ("num_range", num_range_to_json ps.num_range);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("version", Json.Int version);
+      ("total_triples", Json.Int t.total_triples);
+      ("total_subjects", Json.Int t.total_subjects);
+      ("min_term_bytes", Json.Int t.min_term_bytes);
+      ("max_term_bytes", Json.Int t.max_term_bytes);
+      ("predicates", Json.List (List.map pred_to_json t.preds));
+      ( "classes",
+        Json.List
+          (List.map
+             (fun (iri, n) ->
+               Json.Obj [ ("iri", Json.String iri); ("count", Json.Int n) ])
+             t.classes) );
+    ]
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let get_int what j =
+  match Json.member what j with
+  | Some (Json.Int n) -> Ok n
+  | _ -> Error (Printf.sprintf "stats catalog: missing integer %S" what)
+
+let get_string what j =
+  match Json.member what j with
+  | Some (Json.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "stats catalog: missing string %S" what)
+
+let get_list what j =
+  match Json.member what j with
+  | Some (Json.List l) -> Ok l
+  | _ -> Error (Printf.sprintf "stats catalog: missing array %S" what)
+
+let number = function
+  | Json.Int n -> Ok (float_of_int n)
+  | Json.Float f -> Ok f
+  | _ -> Error "stats catalog: expected a number"
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let hist_of_json = function
+  | Json.List items ->
+    let h = Array.make hist_buckets 0 in
+    let* () =
+      if List.length items > hist_buckets then
+        Error "stats catalog: fanout histogram too long"
+      else Ok ()
+    in
+    let* () =
+      List.fold_left
+        (fun acc item ->
+          let* i = acc in
+          match item with
+          | Json.Int n ->
+            h.(i) <- n;
+            Ok (i + 1)
+          | _ -> Error "stats catalog: non-integer histogram bucket")
+        (Ok 0) items
+      |> Result.map (fun (_ : int) -> ())
+    in
+    Ok h
+  | _ -> Error "stats catalog: fanout histogram must be an array"
+
+let num_range_of_json = function
+  | Json.Null -> Ok None
+  | Json.Obj _ as j ->
+    let* nmin =
+      match Json.member "min" j with
+      | Some v -> number v
+      | None -> Error "stats catalog: num_range missing \"min\""
+    in
+    let* nmax =
+      match Json.member "max" j with
+      | Some v -> number v
+      | None -> Error "stats catalog: num_range missing \"max\""
+    in
+    let* ncount = get_int "count" j in
+    Ok (Some { nmin; nmax; ncount })
+  | _ -> Error "stats catalog: num_range must be an object or null"
+
+let pred_of_json j =
+  let* iri = get_string "iri" j in
+  let* count = get_int "count" j in
+  let* subjects = get_int "subjects" j in
+  let* objects = get_int "objects" j in
+  let* max_subj_fanout = get_int "max_subj_fanout" j in
+  let* max_obj_fanout = get_int "max_obj_fanout" j in
+  let* max_pair_fanout = get_int "max_pair_fanout" j in
+  let* fanout_hist =
+    match Json.member "fanout_hist" j with
+    | Some v -> hist_of_json v
+    | None -> Error "stats catalog: missing \"fanout_hist\""
+  in
+  let* num_range =
+    match Json.member "num_range" j with
+    | Some v -> num_range_of_json v
+    | None -> Error "stats catalog: missing \"num_range\""
+  in
+  Ok
+    ( iri,
+      {
+        count;
+        subjects;
+        objects;
+        max_subj_fanout;
+        max_obj_fanout;
+        max_pair_fanout;
+        fanout_hist;
+        num_range;
+      } )
+
+let class_of_json j =
+  let* iri = get_string "iri" j in
+  let* count = get_int "count" j in
+  Ok (iri, count)
+
+let of_json j =
+  let* v = get_int "version" j in
+  let* () =
+    if v = version then Ok ()
+    else Error (Printf.sprintf "stats catalog: unsupported version %d" v)
+  in
+  let* total_triples = get_int "total_triples" j in
+  let* total_subjects = get_int "total_subjects" j in
+  let* min_term_bytes = get_int "min_term_bytes" j in
+  let* max_term_bytes = get_int "max_term_bytes" j in
+  let* pred_items = get_list "predicates" j in
+  let* preds = map_result pred_of_json pred_items in
+  let* class_items = get_list "classes" j in
+  let* classes = map_result class_of_json class_items in
+  Ok
+    {
+      total_triples;
+      total_subjects;
+      min_term_bytes;
+      max_term_bytes;
+      preds;
+      classes;
+    }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>catalog: %d triples, %d subjects, term bytes [%d, %d]"
+    t.total_triples t.total_subjects t.min_term_bytes t.max_term_bytes;
+  List.iter
+    (fun (iri, ps) ->
+      Fmt.pf ppf "@,  %-28s %7d triples  %6d subj  %6d obj  fanout<=%d%s" iri
+        ps.count ps.subjects ps.objects ps.max_subj_fanout
+        (match ps.num_range with
+        | None -> ""
+        | Some r -> Fmt.str "  num [%g, %g]" r.nmin r.nmax))
+    t.preds;
+  if t.classes <> [] then begin
+    Fmt.pf ppf "@,  classes:";
+    List.iter (fun (iri, n) -> Fmt.pf ppf "@,    %-26s %7d" iri n) t.classes
+  end;
+  Fmt.pf ppf "@]"

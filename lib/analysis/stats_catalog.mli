@@ -1,0 +1,78 @@
+(** Graph statistics catalog for static cardinality analysis.
+
+    One pass over a loaded {!Rapida_rdf.Graph} produces per-predicate
+    counts, fanout maxima, a log2 subject-fanout histogram, and a
+    numeric range sketch of literal objects — everything
+    {!Card_analysis} needs to bound the cardinality of scans, star
+    joins, filters, and aggregations without touching the data again.
+
+    All statistics are {e exact} for the graph they were built from
+    (the graph is in memory, so a full pass is cheap); "sketch" refers
+    to what is kept, not to approximation. Soundness of the analyzer's
+    intervals therefore reduces to the propagation rules, not to
+    estimation error in the catalog.
+
+    The catalog serializes to a stable JSON document ([version] 1) and
+    loads back with {!of_json}, so [rapida analyze] can run against a
+    saved catalog without the dataset. *)
+
+open Rapida_rdf
+
+(** Range of the numeric-valued objects of a predicate: min, max, and
+    the number of triple occurrences whose object parses as a number
+    ({!Rapida_rdf.Term.as_number}). *)
+type num_range = { nmin : float; nmax : float; ncount : int }
+
+type pred_stats = {
+  count : int;  (** triples with this predicate (duplicates included) *)
+  subjects : int;  (** distinct subjects *)
+  objects : int;  (** distinct objects *)
+  max_subj_fanout : int;  (** max triples sharing one subject *)
+  max_obj_fanout : int;  (** max triples sharing one object *)
+  max_pair_fanout : int;
+      (** max multiplicity of one (subject, object) pair — 1 unless the
+          graph holds duplicate triples, which {!Rapida_rdf.Graph} does
+          not forbid *)
+  fanout_hist : int array;
+      (** [fanout_hist.(i)] is the number of subjects whose fanout [f]
+          has [floor (log2 f) = i], i.e. [f] in [2^i, 2^(i+1)) *)
+  num_range : num_range option;  (** [None] when no object is numeric *)
+}
+
+type t = {
+  total_triples : int;
+  total_subjects : int;
+  min_term_bytes : int;
+      (** smallest {!Rapida_rdf.Term.lexical} byte length in the graph;
+          0 for an empty graph *)
+  max_term_bytes : int;
+  preds : (string * pred_stats) list;  (** by predicate IRI, sorted *)
+  classes : (string * int) list;
+      (** object IRI of an [rdf:type] triple → triple count, sorted *)
+}
+
+(** [build g] collects the catalog in a single pass over [g]'s subject
+    groups. *)
+val build : Graph.t -> t
+
+(** [pred t p] is the statistics of predicate [p], [None] when the
+    graph has no triple with that predicate (so any scan of [p] is
+    exactly empty). *)
+val pred : t -> Term.t -> pred_stats option
+
+(** [class_count t c] is the exact number of [(_, rdf:type, c)]
+    triples — 0 when the class never occurs. *)
+val class_count : t -> Term.t -> int
+
+(** [avg_subj_fanout ps] is [count / subjects] rounded up, at least 1;
+    the skew diagnostic compares {!pred_stats.max_subj_fanout} to it. *)
+val avg_subj_fanout : pred_stats -> int
+
+val to_json : t -> Rapida_mapred.Json.t
+
+(** [of_json j] rejects unknown versions and malformed documents with a
+    descriptive message. Round-trips {!to_json} exactly. *)
+val of_json : Rapida_mapred.Json.t -> (t, string) result
+
+(** Human-readable summary table (one line per predicate). *)
+val pp : t Fmt.t

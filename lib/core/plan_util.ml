@@ -19,6 +19,7 @@ type options = {
   faults : Rapida_mapred.Fault_injector.config;
   checkpoint : Rapida_mapred.Checkpoint.config;
   verify_plans : bool;
+  analyze : bool;
 }
 
 let default_options =
@@ -31,11 +32,12 @@ let default_options =
     faults = Rapida_mapred.Fault_injector.default;
     checkpoint = Rapida_mapred.Checkpoint.default;
     verify_plans = false;
+    analyze = false;
   }
 
 let make ?(base = default_options) ?cluster ?map_join_threshold
     ?hive_compression ?ntga_combiner ?ntga_filter_pushdown ?faults
-    ?checkpoint ?verify_plans () =
+    ?checkpoint ?verify_plans ?analyze () =
   {
     cluster = Option.value ~default:base.cluster cluster;
     map_join_threshold =
@@ -48,6 +50,7 @@ let make ?(base = default_options) ?cluster ?map_join_threshold
     faults = Option.value ~default:base.faults faults;
     checkpoint = Option.value ~default:base.checkpoint checkpoint;
     verify_plans = Option.value ~default:base.verify_plans verify_plans;
+    analyze = Option.value ~default:base.analyze analyze;
   }
 
 (* Broadcast-everything heuristic: with the map-join threshold at
@@ -67,7 +70,8 @@ let context options =
         ntga_filter_pushdown = options.ntga_filter_pushdown;
       }
     ~faults:(Rapida_mapred.Fault_injector.create options.faults)
-    ~checkpoint:options.checkpoint ~verify_plans:options.verify_plans ()
+    ~checkpoint:options.checkpoint ~verify_plans:options.verify_plans
+    ~analyze:options.analyze ()
 
 let hive_ctx ctx =
   Exec_ctx.with_cluster ctx

@@ -43,6 +43,11 @@ type options = {
           invariants and result schema with the registered static plan
           verifier (see {!Engine.set_default_verifier}). Pure and
           out-of-band — cost-model outputs are unchanged. *)
+  analyze : bool;
+      (** request the static cardinality analysis report alongside
+          execution (the [query --analyze] hook; see
+          {!Rapida_mapred.Exec_ctx.analyze}). Off by default; engines
+          never read it, so outputs are byte-identical either way. *)
 }
 
 val default_options : options
@@ -61,6 +66,7 @@ val make :
   ?faults:Rapida_mapred.Fault_injector.config ->
   ?checkpoint:Rapida_mapred.Checkpoint.config ->
   ?verify_plans:bool ->
+  ?analyze:bool ->
   unit -> options
 
 (** [degrade_options base] is [base] with the map-join threshold raised

@@ -94,6 +94,117 @@ let run_queries ?engines options ~label input entries =
 let result_for run kind =
   List.find_opt (fun r -> r.engine = kind) run.results
 
+type estimation_result = {
+  e_engine : Engine.kind;
+  e_rows : int;
+  e_in_bounds : bool;
+  e_error : string option;
+}
+
+type estimation = {
+  e_query : Catalog.entry;
+  e_nodes : int;
+  e_root : Rapida_analysis.Interval.Card.t;
+  e_estimate : float;
+  e_actual : int;
+  e_q_error : float;
+  e_max_node_q_error : float;
+  e_violations : int;
+  e_analysis_s : float;
+  e_results : estimation_result list;
+}
+
+type estimation_sweep = {
+  e_label : string;
+  e_triples : int;
+  e_catalog_build_s : float;
+  e_estimations : estimation list;
+}
+
+let estimation_sweep ?(engines = Engine.all_kinds) options ~label input
+    entries =
+  let module Card = Rapida_analysis.Interval.Card in
+  let module Card_analysis = Rapida_analysis.Card_analysis in
+  let graph = Engine.graph_of_input input in
+  let t0 = Unix.gettimeofday () in
+  let catalog = Rapida_analysis.Stats_catalog.build graph in
+  let e_catalog_build_s = Unix.gettimeofday () -. t0 in
+  let e_estimations =
+    List.map
+      (fun entry ->
+        let q = Catalog.parse entry in
+        let t0 = Unix.gettimeofday () in
+        let analysis =
+          Card_analysis.analyze
+            ~map_join_threshold:options.Plan_util.map_join_threshold catalog q
+        in
+        let e_analysis_s = Unix.gettimeofday () -. t0 in
+        let measured = Card_analysis.measure graph analysis in
+        let per_node = Card_analysis.measured_list measured in
+        let e_violations =
+          List.length
+            (List.filter
+               (fun ((n : Card_analysis.node), actual) ->
+                 not (Card.contains n.Card_analysis.card actual))
+               per_node)
+        in
+        let e_max_node_q_error =
+          List.fold_left
+            (fun acc ((n : Card_analysis.node), actual) ->
+              Float.max acc (Card.q_error n.Card_analysis.card ~actual))
+            1.0 per_node
+        in
+        let root = analysis.Card_analysis.root in
+        let e_actual =
+          match per_node with (_, actual) :: _ -> actual | [] -> 0
+        in
+        let e_results =
+          List.map
+            (fun kind ->
+              let ctx = Plan_util.context options in
+              match execute kind ctx input q with
+              | Error msg ->
+                {
+                  e_engine = kind;
+                  e_rows = 0;
+                  e_in_bounds = false;
+                  e_error = Some msg;
+                }
+              | Ok { table; _ } ->
+                let rows = Table.cardinality table in
+                {
+                  e_engine = kind;
+                  e_rows = rows;
+                  e_in_bounds = Card.contains root.Card_analysis.card rows;
+                  e_error = None;
+                })
+            engines
+        in
+        {
+          e_query = entry;
+          e_nodes = List.length per_node;
+          e_root = root.Card_analysis.card;
+          e_estimate = Card.point_estimate root.Card_analysis.card;
+          e_actual;
+          e_q_error = Card_analysis.root_q_error measured;
+          e_max_node_q_error;
+          e_violations;
+          e_analysis_s;
+          e_results;
+        })
+      entries
+  in
+  { e_label = label; e_triples = Graph.size graph; e_catalog_build_s;
+    e_estimations }
+
+let median_q_error ests =
+  match List.sort Float.compare (List.map (fun e -> e.e_q_error) ests) with
+  | [] -> 0.0
+  | qs ->
+    let n = List.length qs in
+    if n mod 2 = 1 then List.nth qs (n / 2)
+    else (List.nth qs ((n / 2) - 1) +. List.nth qs (n / 2)) /. 2.0
+
 let all_agreed run = List.for_all (fun r -> r.agreed) run.results
 
 (* --- Fault-injection degradation sweep --------------------------------- *)

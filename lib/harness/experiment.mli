@@ -54,6 +54,58 @@ val result_for : run -> Engine.kind -> engine_result option
 (** [all_agreed run] holds when every engine matched the reference. *)
 val all_agreed : run -> bool
 
+(** One engine's result cardinality checked against the analyzer's root
+    interval in an {!estimation_sweep}. *)
+type estimation_result = {
+  e_engine : Engine.kind;
+  e_rows : int;  (** the engine's result cardinality *)
+  e_in_bounds : bool;  (** [e_rows] inside the root interval *)
+  e_error : string option;
+}
+
+(** One catalog query's static-estimation quality: the analyzer's root
+    interval and point estimate against the measured cardinality, the
+    per-node soundness count, and every engine's result checked against
+    the root interval. *)
+type estimation = {
+  e_query : Catalog.entry;
+  e_nodes : int;  (** plan nodes annotated *)
+  e_root : Rapida_analysis.Interval.Card.t;  (** root interval *)
+  e_estimate : float;  (** root point estimate *)
+  e_actual : int;  (** measured root cardinality (reference semantics) *)
+  e_q_error : float;  (** root q-error *)
+  e_max_node_q_error : float;  (** worst per-node q-error *)
+  e_violations : int;
+      (** plan nodes whose interval misses the measured cardinality —
+          soundness demands 0 *)
+  e_analysis_s : float;  (** wall-clock of the static analysis alone *)
+  e_results : estimation_result list;
+}
+
+type estimation_sweep = {
+  e_label : string;
+  e_triples : int;
+  e_catalog_build_s : float;  (** wall-clock of the one-pass catalog build *)
+  e_estimations : estimation list;
+}
+
+(** [estimation_sweep options ~label input entries] builds a
+    {!Rapida_analysis.Stats_catalog} from the input's graph (timed),
+    statically analyzes every entry, measures every plan node's true
+    cardinality, and runs every engine to check its result cardinality
+    against the root interval — the q-error/soundness view of the
+    static analyzer across the catalog. *)
+val estimation_sweep :
+  ?engines:Engine.kind list ->
+  Rapida_core.Plan_util.options ->
+  label:string ->
+  Engine.input ->
+  Catalog.entry list ->
+  estimation_sweep
+
+(** [median_q_error ests] is the median root q-error (0 when empty). *)
+val median_q_error : estimation list -> float
+
 (** One engine at one fault rate in a {!degradation} sweep. *)
 type degradation_point = {
   d_engine : Engine.kind;

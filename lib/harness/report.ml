@@ -326,3 +326,57 @@ let pp_overload ppf (sweep : Experiment.overload) =
          else if pg < ug then "UNPROTECTED"
          else "tie"))
     sweep.Experiment.o_points
+
+let pp_estimation ~engines ppf (sweep : Experiment.estimation_sweep) =
+  let module Card = Rapida_analysis.Interval.Card in
+  Fmt.pf ppf "@.== Static cardinality estimation (%s, %d triples) ==@."
+    sweep.Experiment.e_label sweep.Experiment.e_triples;
+  Fmt.pf ppf "catalog build: %.1f ms (one pass)@."
+    (1000.0 *. sweep.Experiment.e_catalog_build_s);
+  Fmt.pf ppf "%-6s %-18s %10s %8s %7s %5s" "Query" "interval" "estimate"
+    "actual" "q-err" "viol";
+  List.iter (fun k -> Fmt.pf ppf " %14s" (engine_header k)) engines;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun (e : Experiment.estimation) ->
+      Fmt.pf ppf "%-6s %-18s %10.1f %8d %7.2f %5d"
+        e.Experiment.e_query.Catalog.id
+        (Fmt.str "%a" Card.pp e.Experiment.e_root)
+        e.Experiment.e_estimate e.Experiment.e_actual e.Experiment.e_q_error
+        e.Experiment.e_violations;
+      List.iter
+        (fun k ->
+          let cell =
+            match
+              List.find_opt
+                (fun (r : Experiment.estimation_result) -> r.e_engine = k)
+                e.Experiment.e_results
+            with
+            | None -> "-"
+            | Some { e_error = Some _; _ } -> "error"
+            | Some r ->
+              Printf.sprintf "%s%d"
+                (if r.Experiment.e_in_bounds then "ok" else "OUT")
+                r.Experiment.e_rows
+          in
+          Fmt.pf ppf " %14s" cell)
+        engines;
+      Fmt.pf ppf "@.")
+    sweep.Experiment.e_estimations;
+  let worst =
+    List.fold_left
+      (fun acc (e : Experiment.estimation) ->
+        Float.max acc e.Experiment.e_max_node_q_error)
+      1.0 sweep.Experiment.e_estimations
+  in
+  let violations =
+    List.fold_left
+      (fun acc (e : Experiment.estimation) -> acc + e.Experiment.e_violations)
+      0 sweep.Experiment.e_estimations
+  in
+  Fmt.pf ppf
+    "median root q-error %.2f over %d queries; worst per-node q-error %.2f; \
+     %d interval violation(s)@."
+    (Experiment.median_q_error sweep.Experiment.e_estimations)
+    (List.length sweep.Experiment.e_estimations)
+    worst violations

@@ -71,6 +71,17 @@ val pp_recovery :
     run — the sharing-transparency invariant. *)
 val pp_throughput : Experiment.throughput Fmt.t
 
+(** [pp_estimation ~engines sweep] renders a static-estimation sweep: a
+    row per query showing the analyzer's root cardinality interval, the
+    point estimate, the measured cardinality and its q-error, the
+    per-node interval-violation count (soundness demands 0), and one
+    column per engine marking whether the engine's result cardinality
+    fell inside the root interval ([okN] / [outN] / [error]). The footer
+    reports the median root q-error, the worst per-node q-error, and
+    the total violation count. *)
+val pp_estimation :
+  engines:Engine.kind list -> Experiment.estimation_sweep Fmt.t
+
 (** [pp_overload sweep] renders an overload sweep: a row per (arrival
     gap, fault rate) grid point comparing the unprotected server's
     goodput/missed/failed counts against the protected server's

@@ -19,19 +19,22 @@ type t = {
   faults : Fault_injector.t;
   checkpoint : Checkpoint.config;
   verify_plans : bool;
+  analyze : bool;
   metrics : Metrics.t;
   trace : Trace.t;
 }
 
 let create ?(cluster = Cluster.default) ?(planner = default_planner)
     ?(faults = Fault_injector.create Fault_injector.default)
-    ?(checkpoint = Checkpoint.default) ?(verify_plans = false) () =
+    ?(checkpoint = Checkpoint.default) ?(verify_plans = false)
+    ?(analyze = false) () =
   {
     cluster;
     planner;
     faults;
     checkpoint = Checkpoint.create checkpoint;
     verify_plans;
+    analyze;
     metrics = Metrics.create ();
     trace = Trace.create ();
   }
@@ -41,6 +44,7 @@ let planner t = t.planner
 let faults t = t.faults
 let checkpoint t = t.checkpoint
 let verify_plans t = t.verify_plans
+let analyze t = t.analyze
 let metrics t = t.metrics
 let trace t = t.trace
 let with_cluster t cluster = { t with cluster }

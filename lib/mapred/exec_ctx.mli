@@ -32,7 +32,8 @@ type t
     fresh context with empty metrics and trace. Defaults:
     {!Cluster.default}, {!default_planner}, an inactive
     {!Fault_injector.t} (healthy cluster), {!Checkpoint.default} (no
-    checkpoints, no recovery), and [verify_plans = false].
+    checkpoints, no recovery), [verify_plans = false], and
+    [analyze = false].
 
     @raise Invalid_argument on an invalid [checkpoint] config. *)
 val create :
@@ -41,6 +42,7 @@ val create :
   ?faults:Fault_injector.t ->
   ?checkpoint:Checkpoint.config ->
   ?verify_plans:bool ->
+  ?analyze:bool ->
   unit ->
   t
 
@@ -62,6 +64,15 @@ val checkpoint : t -> Checkpoint.config
     Verification is pure and out-of-band — it runs no simulated jobs, so
     enabling it never perturbs the cost model. *)
 val verify_plans : t -> bool
+
+(** When set, the caller wants the static cardinality analysis
+    ([Rapida_analysis.Card_analysis]) reported alongside this
+    execution — the [query --analyze] hook. Off by default; engines
+    never read it, so execution and the cost model are byte-identical
+    either way. The flag merely travels with the context so front ends
+    can decide after the run whether to compare predicted and actual
+    cardinalities. *)
+val analyze : t -> bool
 
 val metrics : t -> Metrics.t
 val trace : t -> Trace.t

@@ -18,3 +18,13 @@ val to_buffer : Buffer.t -> t -> unit
 (** [to_string v] is the compact serialization of [v].
     @raise Invalid_argument on non-finite floats. *)
 val to_string : t -> string
+
+(** [of_string s] parses one JSON document. Numbers without a fraction
+    or exponent become [Int], others [Float]; non-ASCII [\uXXXX]
+    escapes are replaced with ['?'] (this repo's serializations never
+    emit them). Round-trips every value {!to_string} produces. *)
+val of_string : string -> (t, string) result
+
+(** [member key v] is the field [key] of an object ([None] for missing
+    keys and non-objects). *)
+val member : string -> t -> t option

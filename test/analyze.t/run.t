@@ -1,0 +1,177 @@
+Static cost analysis from the command line: `rapida analyze` builds a
+statistics catalog from a dataset (or loads a saved one), propagates
+cardinality intervals through each query's logical plan, and reports
+stats-aware diagnostics. Exit codes follow `lint`: 0 clean, 1 findings,
+2 usage.
+
+  $ alias rapida='../../bin/rapida_cli.exe'
+
+  $ rapida gen -d bsbm -n 30 --seed 7 -o data.nt
+  wrote 550 triples to data.nt
+
+A catalog query gets its annotated plan — every node carries a sound
+[lo, hi] cardinality interval and a byte interval:
+
+  $ rapida analyze -d data.nt -c G1
+  -- catalog:G1
+  result                                               card [1, 1]  ~1 rows
+    agg sq0 (group by ALL)                             card [1, 1]  ~1 rows
+      join on ?p                                       card [0, 55]  ~7 rows
+        star-join ?p (2 patterns)                      card [0, 11]  ~3 rows
+          scan ?p <http://www.w3.org/1999/02/22-rdf-s… card [11, 11]  ~11 rows
+          scan ?p <http://rapida.bench/vocab/label> ?… card [33, 33]  ~33 rows
+        star-join ?off (2 patterns)                    card [51, 84]  ~65 rows
+          scan ?off <http://rapida.bench/vocab/produc… card [84, 84]  ~84 rows
+          scan ?off <http://rapida.bench/vocab/price>… card [84, 84]  ~84 rows
+  catalog:G1:info[broadcast-feasible] subquery 0, star ?off: build side is at most 8568 bytes (< 65536-byte map-join threshold, < 1073741824-byte task heap) — the star join is guaranteed map-only
+  catalog:G1:info[broadcast-feasible] subquery 0, star ?p: build side is at most 583 bytes (< 65536-byte map-join threshold, < 1073741824-byte task heap) — the star join is guaranteed map-only
+
+A join on a predicate the dataset never mentions is statically empty.
+Like `lint`, warnings alone leave the exit code 0; `--min-severity
+warning` turns them into a gate:
+
+  $ cat > empty.rq <<'RQ'
+  > SELECT (COUNT(?o) AS ?cnt) {
+  >   ?s noSuchPredicate ?o . ?s label ?l .
+  > }
+  > RQ
+  $ rapida analyze -d data.nt empty.rq
+  -- empty.rq
+  result                                               card [1, 1]  ~1 rows
+    agg sq0 (group by ALL)                             card [1, 1]  ~1 rows
+      star-join ?s (2 patterns)                        card [0, 0]  ~0 rows
+        scan ?s <http://rapida.bench/vocab/noSuchPred… card [0, 0]  ~0 rows
+        scan ?s <http://rapida.bench/vocab/label> ?l . card [33, 33]  ~33 rows
+  empty.rq:warning[statically-empty-join] subquery 0, star ?s is statically empty (no triples for http://rapida.bench/vocab/noSuchPredicate): the catalog bounds it to 0 rows
+  $ rapida analyze -d data.nt --min-severity warning empty.rq > /dev/null; echo "exit=$?"
+  exit=1
+
+A numeric filter disjoint from the predicate's literal range can never
+hold:
+
+  $ cat > neg.rq <<'RQ'
+  > SELECT (COUNT(?pr) AS ?cnt) {
+  >   ?off price ?pr . FILTER(?pr < 0)
+  > }
+  > RQ
+  $ rapida analyze -d data.nt neg.rq
+  -- neg.rq
+  result                                               card [1, 1]  ~1 rows
+    agg sq0 (group by ALL)                             card [1, 1]  ~1 rows
+      filter (1 predicate)                             card [0, 0]  ~0 rows
+        scan ?off <http://rapida.bench/vocab/price> ?… card [84, 84]  ~84 rows
+  neg.rq:warning[filter-selectivity-zero] subquery 0: FILTER (?pr < 0) can never hold — ?pr only takes http://rapida.bench/vocab/price values in [199.213, 9950.49]
+
+--min-severity filters the report and the gate together: at `error`
+level the same query passes:
+
+  $ rapida analyze -d data.nt --min-severity error neg.rq; echo "exit=$?"
+  -- neg.rq
+  result                                               card [1, 1]  ~1 rows
+    agg sq0 (group by ALL)                             card [1, 1]  ~1 rows
+      filter (1 predicate)                             card [0, 0]  ~0 rows
+        scan ?off <http://rapida.bench/vocab/price> ?… card [84, 84]  ~84 rows
+  exit=0
+
+--dump-stats saves the catalog; analyzing from the saved catalog is
+identical to analyzing from the data:
+
+  $ rapida analyze -d data.nt --dump-stats stats.json -c G1 > from-data.txt
+  $ rapida analyze --stats stats.json -c G1 > from-stats.txt
+  $ cmp from-data.txt from-stats.txt && echo identical
+  identical
+
+A catalog source is required, but exactly one:
+
+  $ rapida analyze -c G1
+  error: provide exactly one of --data or --stats
+  [2]
+  $ rapida analyze -d data.nt --stats stats.json -c G1
+  error: provide exactly one of --data or --stats
+  [2]
+
+--json emits the annotated plan tree and diagnostics per report:
+
+  $ rapida analyze -d data.nt --json -c G1 | python3 -c '
+  > import json, sys
+  > doc = json.load(sys.stdin)
+  > r = doc["reports"][0]
+  > plan = r["plan"]
+  > def walk(n):
+  >     assert n["card"]["lo"] <= n["card"]["hi"], n
+  >     for c in n["children"]: walk(c)
+  > walk(plan)
+  > print("file:", r["file"])
+  > print("root card:", plan["card"])
+  > print("totals:", doc["errors"], doc["warnings"], doc["infos"])'
+  file: catalog:G1
+  root card: {'lo': 1, 'hi': 1}
+  totals: 0 0 2
+
+--rules dumps the full registry, one line per rule, machine-readable
+with --json:
+
+  $ rapida analyze --rules | head -6
+  parse-error                   error    ast-lint       the source failed to lex or parse
+  unbound-var                   error    ast-lint       a projected, filtered, grouped, or ordered variable is never bound
+  ungrouped-projection          error    ast-lint       an aggregated SELECT projects a variable that is not a grouping key
+  analytical-form               error    ast-lint       the query falls outside the analytical normal form the engines run
+  filter-unsatisfiable          warning  ast-lint       a FILTER can never hold (folds to false or implies an empty interval)
+  filter-constant               warning  ast-lint       a FILTER folds to a constant and can be removed
+  $ rapida analyze --rules --json | python3 -c '
+  > import json, sys
+  > rules = json.load(sys.stdin)
+  > by_layer = {}
+  > for r in rules: by_layer.setdefault(r["layer"], []).append(r["id"])
+  > for layer in sorted(by_layer): print(layer, len(by_layer[layer]))'
+  ast-lint 11
+  card-analysis 5
+  plan-verify 7
+
+The example queries analyze warning-clean against their own datasets —
+the CI gate:
+
+  $ rapida gen -d pubmed -n 40 --seed 7 -o pubmed.nt
+  wrote 387 triples to pubmed.nt
+  $ rapida analyze -d data.nt --min-severity warning \
+  >   ../../examples/queries/bsbm_revenue_by_feature.rq \
+  >   ../../examples/queries/bsbm_feature_vs_total.rq; echo "exit=$?"
+  -- ../../examples/queries/bsbm_revenue_by_feature.rq
+  result (ordered) (limit 10)                          card [0, 5]  ~2 rows
+    agg sq0 (group by ?f)                              card [0, 5]  ~2 rows
+      join on ?p                                       card [0, 165]  ~13 rows
+        star-join ?p (2 patterns)                      card [0, 33]  ~6 rows
+          scan ?p <http://www.w3.org/1999/02/22-rdf-s… card [11, 11]  ~11 rows
+          scan ?p <http://rapida.bench/vocab/productF… card [59, 59]  ~59 rows
+        filter (1 predicate)                           card [0, 84]  ~9 rows
+          star-join ?off (2 patterns)                  card [51, 84]  ~65 rows
+            scan ?off <http://rapida.bench/vocab/prod… card [84, 84]  ~84 rows
+            scan ?off <http://rapida.bench/vocab/pric… card [84, 84]  ~84 rows
+  -- ../../examples/queries/bsbm_feature_vs_total.rq
+  result                                               card [0, 5]  ~2 rows
+    final-join (2 subqueries)                          card [0, 5]  ~2 rows
+      agg sq0 (group by ?f)                            card [0, 5]  ~2 rows
+        join on ?p2                                    card [0, 165]  ~13 rows
+          star-join ?p2 (2 patterns)                   card [0, 33]  ~6 rows
+            scan ?p2 <http://www.w3.org/1999/02/22-rd… card [11, 11]  ~11 rows
+            scan ?p2 <http://rapida.bench/vocab/produ… card [59, 59]  ~59 rows
+          star-join ?off2 (2 patterns)                 card [51, 84]  ~65 rows
+            scan ?off2 <http://rapida.bench/vocab/pro… card [84, 84]  ~84 rows
+            scan ?off2 <http://rapida.bench/vocab/pri… card [84, 84]  ~84 rows
+      agg sq1 (group by ALL)                           card [1, 1]  ~1 rows
+        join on ?p1                                    card [0, 55]  ~7 rows
+          scan ?p1 <http://www.w3.org/1999/02/22-rdf-… card [11, 11]  ~11 rows
+          star-join ?off1 (2 patterns)                 card [51, 84]  ~65 rows
+            scan ?off1 <http://rapida.bench/vocab/pro… card [84, 84]  ~84 rows
+            scan ?off1 <http://rapida.bench/vocab/pri… card [84, 84]  ~84 rows
+  exit=0
+  $ rapida analyze -d pubmed.nt --min-severity warning \
+  >   ../../examples/queries/pubmed_pairs_per_journal.rq; echo "exit=$?"
+  -- ../../examples/queries/pubmed_pairs_per_journal.rq
+  result                                               card [0, 102]  ~10 rows
+    agg sq0 (group by ?j, ?a)                          card [0, 102]  ~10 rows
+      star-join ?pub (3 patterns)                      card [0, 102]  ~10 rows
+        scan ?pub <http://rapida.bench/vocab/journal>… card [40, 40]  ~40 rows
+        scan ?pub <http://rapida.bench/vocab/author> … card [76, 76]  ~76 rows
+        scan ?pub <http://rapida.bench/vocab/pub_type… card [0, 34]  ~6 rows
+  exit=0

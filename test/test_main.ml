@@ -23,5 +23,6 @@ let () =
       ("recovery", Test_recovery.suite);
       ("memory", Test_memory.suite);
       ("analysis", Test_analysis.suite);
+      ("card", Test_card.suite);
       ("server", Test_server.suite);
     ]
