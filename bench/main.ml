@@ -27,6 +27,11 @@
                per-query analysis overhead, and estimation quality
                (q-error, interval soundness) across the catalog on all
                four engines; --bench-json FILE writes the artifact
+     fuzz    - fuzzing harness: random analytical queries through the
+               differential / metamorphic / analyzer / robustness
+               oracles (cases/sec, per-oracle timings), plus a
+               broken-engine self-test; --bench-json FILE writes the
+               artifact
      wall    - Bechamel wall-clock microbenchmarks of the in-memory
                engines on representative queries
 
@@ -437,6 +442,49 @@ let section_analyze () =
         output_char oc '\n');
     Fmt.pr "wrote %s@." path
 
+(* The fuzzing harness as a benchmark: a full-budget run of all four
+   oracles over the built-in dataset (expected clean), plus a short run
+   against an intentionally row-dropping engine that the differential
+   oracle must catch — the self-test that the clean run's silence is
+   meaningful. With --bench-json FILE the throughput (cases/sec),
+   per-oracle timings, and shrink-step counts are written as the
+   committed BENCH artifact. *)
+let section_fuzz () =
+  let module Json = Rapida_mapred.Json in
+  let module Fuzz = Rapida_fuzz.Fuzz in
+  let sweep = Experiment.fuzz_sweep ~budget:(200 * !scale) () in
+  Fmt.pr "@.== Fuzzing & differential oracles ==@.";
+  Fmt.pr "%a" Fuzz.pp sweep.Experiment.f_clean;
+  let broken = sweep.Experiment.f_broken in
+  Fmt.pr "broken-engine run: %d cases, %d violation(s), caught=%b@."
+    broken.Fuzz.r_cases (Fuzz.violations broken) sweep.Experiment.f_caught;
+  (match broken.Fuzz.r_failures with
+  | f :: _ ->
+    Fmt.pr "first reproducer shrunk in %d step(s)@." f.Fuzz.f_shrink_steps
+  | [] -> ());
+  match !bench_json with
+  | None -> ()
+  | Some path ->
+    let clean = sweep.Experiment.f_clean in
+    let doc =
+      Json.Obj
+        [
+          ("bench", Json.String "fuzz");
+          ("scale", Json.Int !scale);
+          ("clean", Fuzz.to_json clean);
+          ("broken", Fuzz.to_json broken);
+          ("caught", Json.Bool sweep.Experiment.f_caught);
+          ("elapsed_s", Json.Float sweep.Experiment.f_elapsed_s);
+        ]
+    in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Json.to_string doc);
+        output_char oc '\n');
+    Fmt.pr "wrote %s@." path
+
 (* Wall-clock microbenchmarks of the real in-memory executions, per
    engine, on representative queries from each workload. *)
 let section_wall () =
@@ -500,4 +548,5 @@ let () =
   if want "server" then section_server ();
   if want "overload" then section_overload ();
   if want "analyze" then section_analyze ();
+  if want "fuzz" then section_fuzz ();
   if want "wall" then section_wall ()

@@ -1217,6 +1217,127 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Print dataset statistics")
     Term.(const run $ data)
 
+(* --- fuzz --------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let module Fuzz = Rapida_fuzz.Fuzz in
+  let module Oracle = Rapida_fuzz.Oracle in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Run seed. The same seed and budget generate the same \
+                   cases and reach the same verdicts.")
+  in
+  let budget =
+    Arg.(value & opt int 200
+         & info [ "budget" ] ~docv:"N" ~doc:"Number of generated cases.")
+  in
+  let time_budget =
+    Arg.(value & opt (some float) None
+         & info [ "time-budget" ] ~docv:"SECONDS"
+             ~doc:"Stop generating new cases after this much wall-clock \
+                   time (corpus replay always completes).")
+  in
+  let corpus =
+    Arg.(value & opt (some string) None
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Corpus directory: its .rq entries are replayed through \
+                   every oracle before generation, and new shrunk \
+                   reproducers are saved into it.")
+  in
+  let oracles =
+    Arg.(value & opt (some string) None
+         & info [ "oracles" ] ~docv:"LIST"
+             ~doc:"Comma-separated oracle families to run: differential, \
+                   metamorphic, analyzer, robustness. Default: all.")
+  in
+  let data =
+    Arg.(value & opt (some string) None
+         & info [ "d"; "data" ] ~docv:"FILE"
+             ~doc:"Fuzz against this dataset (N-Triples) instead of the \
+                   built-in BSBM graph.")
+  in
+  let products =
+    Arg.(value & opt int 30
+         & info [ "products" ] ~docv:"N"
+             ~doc:"Scale of the built-in BSBM dataset (ignored with \
+                   --data).")
+  in
+  let adversarial =
+    Arg.(value & opt float 0.2
+         & info [ "adversarial" ] ~docv:"FRACTION"
+             ~doc:"Fraction of cases generated in adversarial mode \
+                   (predicates, classes, and thresholds the data misses).")
+  in
+  let knobs =
+    Arg.(value & opt int 2
+         & info [ "knobs" ] ~docv:"N"
+             ~doc:"Knob configurations (faults x memory x checkpoint x \
+                   planner) per metamorphic check.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the machine-readable report (timings, cases/sec) \
+                   instead of the text summary.")
+  in
+  let run seed budget time_budget corpus oracles data products adversarial
+      knobs json verbose =
+    setup_logs verbose;
+    let oracles =
+      match oracles with
+      | None -> Oracle.all
+      | Some spec ->
+        String.split_on_char ',' spec
+        |> List.filter (fun s -> String.trim s <> "")
+        |> List.map (fun s ->
+               match Oracle.name_of_string (String.trim s) with
+               | Some o -> o
+               | None -> die_usage ("unknown oracle " ^ String.trim s))
+    in
+    if oracles = [] then die_usage "no oracles selected";
+    if budget < 0 then die_usage "--budget must be non-negative";
+    let graph =
+      match data with
+      | None -> None
+      | Some path -> (
+        match load_graph path with
+        | Ok g -> Some g
+        | Error msg -> die_usage msg)
+    in
+    let report =
+      Fuzz.run
+        {
+          Fuzz.default_config with
+          seed;
+          budget;
+          time_budget_s = time_budget;
+          oracles;
+          corpus_dir = corpus;
+          products;
+          adversarial;
+          knob_count = knobs;
+          graph;
+        }
+    in
+    if json then print_endline (Json.to_string (Fuzz.to_json report))
+    else Fmt.pr "%a" Fuzz.pp report;
+    if Fuzz.violations report > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: generated analytical queries through \
+             the cross-engine, metamorphic, analyzer-soundness, and \
+             robustness oracles"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P "0 when every oracle check passed (or was skipped); 1 when \
+               any oracle reported a violation; 2 on usage errors.";
+         ])
+    Term.(const run $ seed $ budget $ time_budget $ corpus $ oracles $ data
+          $ products $ adversarial $ knobs $ json $ verbose_arg)
+
 let () =
   Plan_verify.install_engine_hook ();
   let doc = "RAPIDAnalytics: optimization of complex SPARQL analytical queries" in
@@ -1226,5 +1347,5 @@ let () =
        (Cmd.group info
           [
             gen_cmd; query_cmd; serve_cmd; lint_cmd; analyze_cmd; explain_cmd;
-            catalog_cmd; stats_cmd;
+            catalog_cmd; stats_cmd; fuzz_cmd;
           ]))

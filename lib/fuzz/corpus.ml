@@ -1,0 +1,46 @@
+(* FNV-1a, 64-bit: a stable content hash (Hashtbl.hash is not guaranteed
+   stable across OCaml versions, and file names must be). *)
+let hash s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let mkdir_p dir =
+  let rec go dir =
+    if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+      go (Filename.dirname dir);
+      try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+    end
+  in
+  go dir
+
+let save ~dir ~shape ~repro text =
+  mkdir_p dir;
+  let path = Filename.concat dir (Printf.sprintf "%s-%s.rq" shape (hash text)) in
+  let oc = open_out path in
+  Printf.fprintf oc "# fuzz reproducer (shape: %s)\n# repro: %s\n%s%s" shape
+    repro text
+    (if String.length text > 0 && text.[String.length text - 1] = '\n' then ""
+     else "\n");
+  close_out oc;
+  path
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load ~dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".rq")
+    |> List.sort String.compare
+    |> List.map (fun f -> (f, read_file (Filename.concat dir f)))

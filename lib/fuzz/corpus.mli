@@ -1,0 +1,22 @@
+(** Persistent corpus of shrunk reproducers.
+
+    Every oracle violation is written as a standalone [.rq] file —
+    [#]-comment header carrying the repro command, then the shrunk query
+    text — into the corpus directory. The next fuzz run replays every
+    corpus entry through the oracle stack before generating new cases,
+    so fixed bugs stay fixed. File names are content-addressed
+    ([<shape>-<fnv64 hex>.rq]) with a deterministic hash, keeping saves
+    idempotent and runs reproducible. *)
+
+(** Deterministic FNV-1a 64-bit hash of a string, in hex. *)
+val hash : string -> string
+
+(** [save ~dir ~shape ~repro text] writes one corpus entry (creating
+    [dir] if needed) and returns its path. *)
+val save : dir:string -> shape:string -> repro:string -> string -> string
+
+(** [load ~dir] is every [.rq] entry as [(filename, contents)], sorted
+    by filename; the empty list when [dir] does not exist. The contents
+    include the comment header — the SPARQL lexer skips [#] comments, so
+    they parse as-is. *)
+val load : dir:string -> (string * string) list

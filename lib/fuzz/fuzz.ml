@@ -1,0 +1,314 @@
+open Rapida_rdf
+module Ast = Rapida_sparql.Ast
+module Analytical = Rapida_sparql.Analytical
+module To_sparql = Rapida_sparql.To_sparql
+module Engine = Rapida_core.Engine
+module Table = Rapida_relational.Table
+module Json = Rapida_mapred.Json
+module Bsbm = Rapida_datagen.Bsbm
+module Prng = Rapida_datagen.Prng
+
+type config = {
+  seed : int;
+  budget : int;
+  time_budget_s : float option;
+  oracles : Oracle.name list;
+  corpus_dir : string option;
+  products : int;
+  adversarial : float;
+  knob_count : int;
+  max_shrink_steps : int;
+  break_table : (Engine.kind * (Table.t -> Table.t)) option;
+  graph : Graph.t option;
+}
+
+let default_config =
+  {
+    seed = 42;
+    budget = 200;
+    time_budget_s = None;
+    oracles = Oracle.all;
+    corpus_dir = None;
+    products = 30;
+    adversarial = 0.2;
+    knob_count = 2;
+    max_shrink_steps = 40;
+    break_table = None;
+    graph = None;
+  }
+
+let break_drop_row kind =
+  ( kind,
+    fun (t : Table.t) ->
+      match t.rows with
+      | [] -> t
+      | rows -> { t with rows = List.filteri (fun i _ -> i < List.length rows - 1) rows }
+  )
+
+type failure = {
+  f_case : int;
+  f_source : string;
+  f_oracle : Oracle.name;
+  f_detail : string;
+  f_query : string;
+  f_shrunk : string;
+  f_shrink_steps : int;
+  f_saved : string option;
+}
+
+type oracle_stats = {
+  o_name : Oracle.name;
+  o_checked : int;
+  o_skips : int;
+  o_violations : int;
+  o_time_s : float;
+}
+
+type report = {
+  r_config : config;
+  r_cases : int;
+  r_replayed : int;
+  r_accepted : int;
+  r_rejected : int;
+  r_shapes : (string * int) list;
+  r_oracles : oracle_stats list;
+  r_failures : failure list;
+  r_elapsed_s : float;
+}
+
+(* Derive a per-case seed from the run seed: a splitmix64-style mix so
+   neighbouring cases draw unrelated streams. *)
+let mix seed i =
+  let z =
+    Int64.add (Int64.of_int seed)
+      (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L)
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.to_int (Int64.logxor z (Int64.shift_right_logical z 31)) land max_int
+
+let seed_of_name seed name = mix seed (0x10000 + (Hashtbl.hash name land 0xFFFF))
+
+let run cfg =
+  let start = Unix.gettimeofday () in
+  let graph =
+    match cfg.graph with
+    | Some g -> g
+    | None -> Bsbm.generate (Bsbm.config ~seed:42 ~products:cfg.products ())
+  in
+  let knobs = Knobs.generate (Prng.create ~seed:(mix cfg.seed 0)) ~n:cfg.knob_count in
+  let env = Oracle.make_env ?break_table:cfg.break_table ~knobs graph in
+  let qenv = Qgen.env_of_graph graph (Oracle.env_catalog env) in
+  let stats =
+    List.map (fun o -> (o, ref (0, 0, 0, 0.0))) cfg.oracles
+    (* checked, skips, violations, time *)
+  in
+  let failures = ref [] in
+  let shapes = Hashtbl.create 8 in
+  let accepted = ref 0 and rejected = ref 0 in
+  let bump_shape sh =
+    Hashtbl.replace shapes sh (1 + Option.value ~default:0 (Hashtbl.find_opt shapes sh))
+  in
+  let repro_cmd () =
+    Printf.sprintf "rapida fuzz --seed %d --budget %d%s" cfg.seed cfg.budget
+      (match cfg.corpus_dir with
+      | Some d -> " --corpus " ^ d
+      | None -> "")
+  in
+  (* Run every requested oracle on one case; on a violation, shrink to a
+     minimal reproducer (replaying the same per-case seed so the check
+     is deterministic) and persist it. *)
+  let check_case ~case_idx ~source ~case_seed (case : Oracle.case) =
+    List.iter
+      (fun (o, cell) ->
+        let t0 = Unix.gettimeofday () in
+        let verdict = Oracle.check env ~seed:case_seed o case in
+        let dt = Unix.gettimeofday () -. t0 in
+        let checked, skips, violations, time = !cell in
+        (match verdict with
+        | Oracle.Pass -> cell := (checked + 1, skips, violations, time +. dt)
+        | Oracle.Skip _ -> cell := (checked, skips + 1, violations, time +. dt)
+        | Oracle.Violation detail ->
+          cell := (checked + 1, skips, violations + 1, time +. dt);
+          let shrunk_text, steps =
+            match case.Oracle.c_query with
+            | None -> (case.c_text, 0)
+            | Some q ->
+              let still_fails q' =
+                match Oracle.check env ~seed:case_seed o (Oracle.case_of_query q') with
+                | Oracle.Violation _ -> true
+                | _ -> false
+              in
+              let q', steps =
+                Shrink.shrink ~still_fails ~max_steps:cfg.max_shrink_steps q
+              in
+              (To_sparql.query q', steps)
+          in
+          let saved =
+            Option.map
+              (fun dir ->
+                Corpus.save ~dir
+                  ~shape:
+                    (match case.c_query with
+                    | Some q -> Qgen.shape q
+                    | None -> "raw")
+                  ~repro:(repro_cmd ()) shrunk_text)
+              cfg.corpus_dir
+          in
+          failures :=
+            {
+              f_case = case_idx;
+              f_source = source;
+              f_oracle = o;
+              f_detail = detail;
+              f_query = case.c_text;
+              f_shrunk = shrunk_text;
+              f_shrink_steps = steps;
+              f_saved = saved;
+            }
+            :: !failures)
+        )
+      stats
+  in
+  (* corpus replay first: yesterday's reproducers are today's regression
+     suite *)
+  let replayed =
+    match cfg.corpus_dir with
+    | None -> 0
+    | Some dir ->
+      let entries = Corpus.load ~dir in
+      List.iter
+        (fun (fname, text) ->
+          let case = Oracle.case_of_text text in
+          check_case ~case_idx:(-1) ~source:fname
+            ~case_seed:(seed_of_name cfg.seed fname) case)
+        entries;
+      List.length entries
+  in
+  (* generated cases *)
+  let deadline = Option.map (fun t -> start +. t) cfg.time_budget_s in
+  let cases = ref 0 in
+  let within_budget () =
+    !cases < cfg.budget
+    && match deadline with None -> true | Some d -> Unix.gettimeofday () < d
+  in
+  while within_budget () do
+    let i = !cases in
+    let case_seed = mix cfg.seed (i + 1) in
+    let rng = Prng.create ~seed:case_seed in
+    let mode =
+      if Prng.bool rng cfg.adversarial then Qgen.Adversarial else Qgen.Hitting
+    in
+    let q = Qgen.generate rng qenv ~mode in
+    bump_shape (Qgen.shape q);
+    (match Analytical.of_query q with
+    | Ok _ -> incr accepted
+    | Error _ -> incr rejected);
+    check_case ~case_idx:i ~source:"generated" ~case_seed (Oracle.case_of_query q);
+    incr cases
+  done;
+  {
+    r_config = cfg;
+    r_cases = !cases;
+    r_replayed = replayed;
+    r_accepted = !accepted;
+    r_rejected = !rejected;
+    r_shapes =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) shapes []);
+    r_oracles =
+      List.map
+        (fun (o, cell) ->
+          let checked, skips, violations, time = !cell in
+          {
+            o_name = o;
+            o_checked = checked;
+            o_skips = skips;
+            o_violations = violations;
+            o_time_s = time;
+          })
+        stats;
+    r_failures = List.rev !failures;
+    r_elapsed_s = Unix.gettimeofday () -. start;
+  }
+
+let violations r =
+  List.fold_left (fun acc o -> acc + o.o_violations) 0 r.r_oracles
+
+let pp ppf r =
+  Fmt.pf ppf "fuzz: seed %d, %d cases (%d replayed), %d accepted, %d rejected@."
+    r.r_config.seed r.r_cases r.r_replayed r.r_accepted r.r_rejected;
+  Fmt.pf ppf "shapes:";
+  List.iter (fun (sh, n) -> Fmt.pf ppf " %s=%d" sh n) r.r_shapes;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun o ->
+      Fmt.pf ppf "oracle %-12s checked %5d  skipped %4d  violations %d@."
+        (Oracle.name_to_string o.o_name)
+        o.o_checked o.o_skips o.o_violations)
+    r.r_oracles;
+  List.iter
+    (fun f ->
+      Fmt.pf ppf "@.VIOLATION [%s] case %s/%d: %s@."
+        (Oracle.name_to_string f.f_oracle)
+        f.f_source f.f_case f.f_detail;
+      Fmt.pf ppf "  shrunk (%d steps)%s:@.%s@." f.f_shrink_steps
+        (match f.f_saved with Some p -> " -> " ^ p | None -> "")
+        f.f_shrunk)
+    r.r_failures;
+  Fmt.pf ppf "@.%s@."
+    (if violations r = 0 then "all oracles clean"
+     else Printf.sprintf "%d violation(s)" (violations r))
+
+let to_json r =
+  let total_checks =
+    List.fold_left (fun acc o -> acc + o.o_checked + o.o_skips) 0 r.r_oracles
+  in
+  Json.Obj
+    [
+      ("bench", Json.String "fuzz");
+      ("seed", Json.Int r.r_config.seed);
+      ("budget", Json.Int r.r_config.budget);
+      ("cases", Json.Int r.r_cases);
+      ("replayed", Json.Int r.r_replayed);
+      ("accepted", Json.Int r.r_accepted);
+      ("rejected", Json.Int r.r_rejected);
+      ("elapsed_s", Json.Float r.r_elapsed_s);
+      ( "cases_per_s",
+        Json.Float
+          (if r.r_elapsed_s > 0.0 then float_of_int r.r_cases /. r.r_elapsed_s
+           else 0.0) );
+      ("checks", Json.Int total_checks);
+      ( "shapes",
+        Json.Obj (List.map (fun (sh, n) -> (sh, Json.Int n)) r.r_shapes) );
+      ( "oracles",
+        Json.List
+          (List.map
+             (fun o ->
+               Json.Obj
+                 [
+                   ("name", Json.String (Oracle.name_to_string o.o_name));
+                   ("checked", Json.Int o.o_checked);
+                   ("skipped", Json.Int o.o_skips);
+                   ("violations", Json.Int o.o_violations);
+                   ("time_s", Json.Float o.o_time_s);
+                 ])
+             r.r_oracles) );
+      ( "failures",
+        Json.List
+          (List.map
+             (fun f ->
+               Json.Obj
+                 [
+                   ("oracle", Json.String (Oracle.name_to_string f.f_oracle));
+                   ("case", Json.Int f.f_case);
+                   ("source", Json.String f.f_source);
+                   ("detail", Json.String f.f_detail);
+                   ("shrink_steps", Json.Int f.f_shrink_steps);
+                   ("shrunk", Json.String f.f_shrunk);
+                 ])
+             r.r_failures) );
+    ]

@@ -1,0 +1,80 @@
+(** The fuzzing driver: corpus replay, case generation, the oracle
+    stack, shrinking, and reporting.
+
+    A run is fully determined by its configuration: the same seed and
+    budget generate the same cases, check them with the same per-case
+    seeds, and reach the same verdicts. Wall-clock timings are recorded
+    for the benchmark artifact but never influence verdicts (the
+    optional time budget only truncates how many cases run). *)
+
+open Rapida_rdf
+module Engine = Rapida_core.Engine
+module Table = Rapida_relational.Table
+
+type config = {
+  seed : int;
+  budget : int;  (** number of generated cases *)
+  time_budget_s : float option;  (** stop generating after this long *)
+  oracles : Oracle.name list;
+  corpus_dir : string option;  (** replay before generating; save failures *)
+  products : int;  (** scale of the built-in BSBM dataset *)
+  adversarial : float;  (** fraction of cases drawn in adversarial mode *)
+  knob_count : int;  (** knob configurations per metamorphic check *)
+  max_shrink_steps : int;
+  break_table : (Engine.kind * (Table.t -> Table.t)) option;
+      (** test-only engine mutation; see {!break_drop_row} *)
+  graph : Graph.t option;  (** override the built-in dataset *)
+}
+
+(** seed 42, budget 200, all oracles, 30 products, 20% adversarial,
+    2 knob configurations, 40 shrink steps, no corpus, no breakage. *)
+val default_config : config
+
+(** [break_drop_row kind] makes [kind] drop the last row of every
+    non-empty result — the intentionally-broken engine the acceptance
+    test feeds through the fuzzer to prove violations are caught and
+    shrunk. *)
+val break_drop_row : Engine.kind -> Engine.kind * (Table.t -> Table.t)
+
+type failure = {
+  f_case : int;  (** generated case index; -1 for corpus replays *)
+  f_source : string;  (** "generated" or the corpus file name *)
+  f_oracle : Oracle.name;
+  f_detail : string;
+  f_query : string;  (** original rendered query *)
+  f_shrunk : string;  (** minimal reproducer after shrinking *)
+  f_shrink_steps : int;
+  f_saved : string option;  (** corpus path the reproducer was written to *)
+}
+
+type oracle_stats = {
+  o_name : Oracle.name;
+  o_checked : int;  (** cases the oracle actually judged (non-skip) *)
+  o_skips : int;
+  o_violations : int;
+  o_time_s : float;
+}
+
+type report = {
+  r_config : config;
+  r_cases : int;  (** generated cases *)
+  r_replayed : int;  (** corpus entries replayed *)
+  r_accepted : int;  (** cases inside the analytical fragment *)
+  r_rejected : int;
+  r_shapes : (string * int) list;  (** query-shape coverage, sorted *)
+  r_oracles : oracle_stats list;
+  r_failures : failure list;
+  r_elapsed_s : float;
+}
+
+val run : config -> report
+
+val violations : report -> int
+
+(** Deterministic text report (no timings) — stable across machines for
+    cram tests. *)
+val pp : report Fmt.t
+
+(** Machine-readable report including timings and cases/sec — the
+    [BENCH_9.json] payload. *)
+val to_json : report -> Rapida_mapred.Json.t

@@ -1,0 +1,21 @@
+(** Random execution-knob configurations for the metamorphic oracle.
+
+    Every configuration produced here is answer-preserving by
+    construction — faults are retried within their attempt budgets,
+    memory pressure only prices spills and degraded reruns, checkpoints
+    only shape recovery time, and the planner knobs
+    (map-join threshold, combiner, filter pushdown, compression) pick
+    between physically different but logically equivalent plans. Running
+    the same query under each configuration and demanding byte-identical
+    answers therefore tests every robustness layer at once. *)
+
+type t = {
+  k_label : string;  (** compact human-readable description *)
+  k_options : Rapida_core.Plan_util.options;
+}
+
+(** [generate rng ~n] draws [n] distinct-looking configurations. The
+    fault settings keep generous retry budgets so that a (transient)
+    [Job_failed] stays rare; the oracle skips those cases rather than
+    flagging them. *)
+val generate : Rapida_datagen.Prng.t -> n:int -> t list

@@ -1,0 +1,70 @@
+module Ast = Rapida_sparql.Ast
+module Parser = Rapida_sparql.Parser
+module To_sparql = Rapida_sparql.To_sparql
+module Prng = Rapida_datagen.Prng
+
+type t = Shuffle_patterns | Shuffle_filters | Roundtrip
+
+let all = [ Shuffle_patterns; Shuffle_filters; Roundtrip ]
+
+let name = function
+  | Shuffle_patterns -> "shuffle-patterns"
+  | Shuffle_filters -> "shuffle-filters"
+  | Roundtrip -> "roundtrip"
+
+let shuffle rng xs =
+  let rec go xs acc =
+    match xs with
+    | [] -> List.rev acc
+    | _ ->
+      let i = Prng.int rng (List.length xs) in
+      let x = List.nth xs i in
+      go (List.filteri (fun j _ -> j <> i) xs) (x :: acc)
+  in
+  go xs []
+
+(* Reassemble a pattern-element list with one element class permuted.
+   Element order within a WHERE block is semantically irrelevant in the
+   analytical fragment (patterns, filters, and subqueries are collected
+   into sets), but it drives the star decomposition order and thus the
+   engines' physical join order — exactly the sensitivity the
+   metamorphic oracle wants to probe. *)
+let rec shuffle_select rng ~which (s : Ast.select) =
+  let triples =
+    List.filter_map (function Ast.Ptriple tp -> Some tp | _ -> None) s.where
+  in
+  let filters =
+    List.filter_map (function Ast.Pfilter f -> Some f | _ -> None) s.where
+  in
+  let subs =
+    List.filter_map (function Ast.Psub sub -> Some sub | _ -> None) s.where
+  in
+  let optionals =
+    List.filter_map (function Ast.Poptional o -> Some o | _ -> None) s.where
+  in
+  let triples, filters =
+    match which with
+    | `Patterns -> (shuffle rng triples, filters)
+    | `Filters -> (triples, shuffle rng filters)
+  in
+  let subs = List.map (shuffle_select rng ~which) subs in
+  {
+    s with
+    where =
+      List.map (fun tp -> Ast.Ptriple tp) triples
+      @ List.map (fun f -> Ast.Pfilter f) filters
+      @ List.map (fun sub -> Ast.Psub sub) subs
+      @ List.map (fun o -> Ast.Poptional o) optionals;
+  }
+
+let apply rng rw (q : Ast.query) =
+  match rw with
+  | Shuffle_patterns ->
+    Ok { Ast.base_select = shuffle_select rng ~which:`Patterns q.base_select }
+  | Shuffle_filters ->
+    Ok { Ast.base_select = shuffle_select rng ~which:`Filters q.base_select }
+  | Roundtrip -> (
+    let text = To_sparql.query q in
+    match Parser.parse text with
+    | Ok q' -> Ok q'
+    | Error msg -> Error (Printf.sprintf "round-trip re-parse failed: %s" msg))

@@ -1,0 +1,23 @@
+(** Semantics-preserving query rewrites for the metamorphic oracle.
+
+    Each rewrite transforms a query into one that must evaluate to the
+    same result multiset: reordering triple patterns (which permutes the
+    star decomposition and hence the engines' join order), reordering
+    filters, and the {!Rapida_sparql.To_sparql} round-trip (render to
+    full-IRI text and re-parse — the prefix-elimination rewrite). A
+    rewrite that fails to apply on a query it should accept is itself an
+    oracle violation. *)
+
+module Ast = Rapida_sparql.Ast
+
+type t = Shuffle_patterns | Shuffle_filters | Roundtrip
+
+val all : t list
+
+val name : t -> string
+
+(** [apply rng rw q] is the rewritten query, or [Error reason] when the
+    rewrite broke (e.g. the round-trip failed to re-parse). Shuffles
+    draw their permutation from [rng]. *)
+val apply :
+  Rapida_datagen.Prng.t -> t -> Ast.query -> (Ast.query, string) result

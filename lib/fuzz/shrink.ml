@@ -1,0 +1,135 @@
+module Ast = Rapida_sparql.Ast
+
+(* All lists obtained by deleting exactly one element. *)
+let removals xs = List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) xs) xs
+
+(* Replace element [i] by each of [subst i x]'s results (possibly many). *)
+let substitutions subst xs =
+  List.concat
+    (List.mapi
+       (fun i x ->
+         List.map
+           (fun x' -> List.mapi (fun j y -> if j = i then x' else y) xs)
+           (subst x))
+       xs)
+
+let expr_operands = function
+  | Ast.Ebin ((Ast.And | Ast.Or), a, b) -> [ a; b ]
+  | Ast.Enot e -> [ e ]
+  | _ -> []
+
+let count pred xs = List.length (List.filter pred xs)
+
+let is_triple = function Ast.Ptriple _ -> true | _ -> false
+let is_sub = function Ast.Psub _ -> true | _ -> false
+
+let is_agg_item = function
+  | Ast.Sexpr (Ast.Eagg _, _) -> true
+  | _ -> false
+
+(* Single-step simplifications of one select, not recursing into
+   subqueries (the caller handles recursion). *)
+let select_steps (s : Ast.select) : Ast.select list =
+  let with_where w = { s with Ast.where = w } in
+  let drop_subs =
+    if count is_sub s.where >= 2 then
+      List.filter_map
+        (fun i ->
+          match List.nth s.where i with
+          | Ast.Psub _ ->
+            Some (with_where (List.filteri (fun j _ -> j <> i) s.where))
+          | _ -> None)
+        (List.init (List.length s.where) Fun.id)
+    else []
+  in
+  let drop_triples =
+    if count is_triple s.where >= 2 then
+      List.filter_map
+        (fun i ->
+          match List.nth s.where i with
+          | Ast.Ptriple _ ->
+            Some (with_where (List.filteri (fun j _ -> j <> i) s.where))
+          | _ -> None)
+        (List.init (List.length s.where) Fun.id)
+    else []
+  in
+  let drop_filters =
+    List.filter_map
+      (fun i ->
+        match List.nth s.where i with
+        | Ast.Pfilter _ ->
+          Some (with_where (List.filteri (fun j _ -> j <> i) s.where))
+        | _ -> None)
+      (List.init (List.length s.where) Fun.id)
+  in
+  let simplify_filters =
+    List.map with_where
+      (substitutions
+         (function
+           | Ast.Pfilter f ->
+             List.map (fun e -> Ast.Pfilter e) (expr_operands f)
+           | _ -> [])
+         s.where)
+  in
+  let drop_having = List.map (fun h -> { s with Ast.having = h }) (removals s.having) in
+  let simplify_having =
+    List.map
+      (fun h -> { s with Ast.having = h })
+      (substitutions expr_operands s.having)
+  in
+  let drop_order =
+    if s.order_by <> [] then [ { s with Ast.order_by = [] } ] else []
+  in
+  let drop_limit =
+    match s.limit with Some _ -> [ { s with Ast.limit = None } ] | None -> []
+  in
+  let drop_aggs =
+    if count is_agg_item s.projection >= 2 then
+      List.filter_map
+        (fun i ->
+          match List.nth s.projection i with
+          | Ast.Sexpr (Ast.Eagg _, _) ->
+            Some
+              { s with Ast.projection = List.filteri (fun j _ -> j <> i) s.projection }
+          | _ -> None)
+        (List.init (List.length s.projection) Fun.id)
+    else []
+  in
+  let drop_group_vars =
+    List.map
+      (fun v ->
+        {
+          s with
+          Ast.group_by = List.filter (fun v' -> v' <> v) s.group_by;
+          projection = List.filter (fun it -> it <> Ast.Svar v) s.projection;
+        })
+      s.group_by
+  in
+  drop_subs @ drop_triples @ drop_filters @ simplify_filters @ drop_having
+  @ simplify_having @ drop_order @ drop_limit @ drop_aggs @ drop_group_vars
+
+(* Steps of [s] plus, recursively, steps of each nested subquery. *)
+let rec all_steps (s : Ast.select) : Ast.select list =
+  let nested =
+    List.map
+      (fun w -> { s with Ast.where = w })
+      (substitutions
+         (function
+           | Ast.Psub sub -> List.map (fun sub' -> Ast.Psub sub') (all_steps sub)
+           | _ -> [])
+         s.where)
+  in
+  select_steps s @ nested
+
+let candidates (q : Ast.query) =
+  List.map (fun s -> { Ast.base_select = s }) (all_steps q.base_select)
+
+let shrink ~still_fails ~max_steps q =
+  let rec go q steps =
+    if steps >= max_steps then (q, steps)
+    else
+      match List.find_opt still_fails (candidates q) with
+      | Some q' -> go q' (steps + 1)
+      | None -> (q, steps)
+  in
+  go q 0

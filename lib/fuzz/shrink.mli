@@ -1,0 +1,21 @@
+(** Greedy structural shrinking of failing queries.
+
+    Given a query on which some oracle check fails, repeatedly try
+    single-step simplifications — drop a subquery, a triple pattern, a
+    filter, an aggregate, a grouping variable, a HAVING clause, the
+    ORDER BY/LIMIT, or replace a compound filter by one operand — keeping
+    any step on which the check still fails, until no step preserves the
+    failure (or the step budget runs out). The result is a locally
+    minimal reproducer. *)
+
+module Ast = Rapida_sparql.Ast
+
+(** [candidates q] is every query one simplification step away from
+    [q]. *)
+val candidates : Ast.query -> Ast.query list
+
+(** [shrink ~still_fails ~max_steps q] greedily minimizes [q]; returns
+    the reduced query and the number of accepted shrink steps. *)
+val shrink :
+  still_fails:(Ast.query -> bool) -> max_steps:int -> Ast.query ->
+  Ast.query * int

@@ -664,3 +664,36 @@ let overload_point sweep ~mean_gap_s ~fault_rate =
   List.find_opt
     (fun p -> p.o_mean_gap_s = mean_gap_s && p.o_fault_rate = fault_rate)
     sweep.o_points
+
+(* --- Fuzzing sweep ------------------------------------------------------- *)
+
+module Fuzz = Rapida_fuzz.Fuzz
+
+type fuzz_sweep = {
+  f_clean : Fuzz.report;
+  f_broken : Fuzz.report;
+  f_caught : bool;
+  f_elapsed_s : float;
+}
+
+let fuzz_sweep ?(budget = 200) ?(seed = 42) ?(products = 30) () =
+  let start = Unix.gettimeofday () in
+  let cfg = { Fuzz.default_config with seed; budget; products } in
+  let clean = Fuzz.run cfg in
+  (* The same budget against an engine that silently drops a result row:
+     the differential oracle must catch it, proving the clean run's
+     silence means something. *)
+  let broken =
+    Fuzz.run
+      {
+        cfg with
+        budget = min budget 50;
+        break_table = Some (Fuzz.break_drop_row Engine.Hive_mqo);
+      }
+  in
+  {
+    f_clean = clean;
+    f_broken = broken;
+    f_caught = Fuzz.violations broken > 0;
+    f_elapsed_s = Unix.gettimeofday () -. start;
+  }

@@ -329,3 +329,22 @@ val overload_sweep :
     point. *)
 val overload_point :
   overload -> mean_gap_s:float -> fault_rate:float -> overload_point option
+
+(** A fuzzing run pair for the benchmark harness: a clean run over the
+    built-in dataset (expected to pass every oracle) and a short run
+    against an intentionally-broken engine (expected to be caught by the
+    differential oracle — the sweep's self-test that a clean report is
+    meaningful). *)
+type fuzz_sweep = {
+  f_clean : Rapida_fuzz.Fuzz.report;
+  f_broken : Rapida_fuzz.Fuzz.report;  (** run with a row-dropping engine *)
+  f_caught : bool;  (** the broken engine produced at least one violation *)
+  f_elapsed_s : float;
+}
+
+(** [fuzz_sweep ?budget ?seed ?products ()] runs the fuzzer with all four
+    oracles over the built-in BSBM dataset, then re-runs a short budget
+    with {!Rapida_fuzz.Fuzz.break_drop_row} applied to one engine.
+    Budget defaults to 200 cases, seed to 42, products to 30. *)
+val fuzz_sweep :
+  ?budget:int -> ?seed:int -> ?products:int -> unit -> fuzz_sweep

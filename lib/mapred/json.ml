@@ -65,8 +65,8 @@ let to_string v =
 (* ------------------------------------------------------------------ *)
 (* Parsing: a small recursive-descent reader for the same value space.
    Numbers without '.', 'e', or 'E' parse as Int (Float otherwise);
-   \uXXXX escapes outside ASCII are replaced with '?' — the repo's own
-   serializations never produce them. *)
+   \uXXXX escapes decode to UTF-8, pairing surrogates (a lone surrogate
+   decodes to U+FFFD, matching common lenient JSON readers). *)
 
 exception Parse_fail of string
 
@@ -120,13 +120,36 @@ let of_string s =
           | 'b' -> Buffer.add_char buf '\b'
           | 'f' -> Buffer.add_char buf '\012'
           | 'u' ->
-            if !pos + 4 > n then fail "truncated \\u escape";
-            let hex = String.sub s !pos 4 in
-            pos := !pos + 4;
-            (match int_of_string_opt ("0x" ^ hex) with
-            | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
-            | Some _ -> Buffer.add_char buf '?'
-            | None -> fail "bad \\u escape")
+            let hex4 () =
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              match int_of_string_opt ("0x" ^ hex) with
+              | Some code -> code
+              | None -> fail "bad \\u escape"
+            in
+            let code = hex4 () in
+            let uchar =
+              if code >= 0xD800 && code <= 0xDBFF then
+                (* High surrogate: pair with an immediately following
+                   \uDC00-\uDFFF low surrogate; anything else leaves it
+                   lone and it decodes as U+FFFD. *)
+                if !pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u' then begin
+                  let saved = !pos in
+                  pos := !pos + 2;
+                  let lo = hex4 () in
+                  if lo >= 0xDC00 && lo <= 0xDFFF then
+                    0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00)
+                  else begin
+                    pos := saved;
+                    0xFFFD
+                  end
+                end
+                else 0xFFFD
+              else if code >= 0xDC00 && code <= 0xDFFF then 0xFFFD
+              else code
+            in
+            Buffer.add_utf_8_uchar buf (Uchar.of_int uchar)
           | _ -> fail "unknown escape");
           go ())
       | Some c ->

@@ -20,9 +20,9 @@ val to_buffer : Buffer.t -> t -> unit
 val to_string : t -> string
 
 (** [of_string s] parses one JSON document. Numbers without a fraction
-    or exponent become [Int], others [Float]; non-ASCII [\uXXXX]
-    escapes are replaced with ['?'] (this repo's serializations never
-    emit them). Round-trips every value {!to_string} produces. *)
+    or exponent become [Int], others [Float]; [\uXXXX] escapes decode
+    to UTF-8 with surrogate pairs combined (a lone surrogate decodes to
+    U+FFFD). Round-trips every value {!to_string} produces. *)
 val of_string : string -> (t, string) result
 
 (** [member key v] is the field [key] of an object ([None] for missing

@@ -66,6 +66,32 @@ let scan_while st pred =
   done;
   String.sub st.src start (st.pos - start)
 
+(* Scan a numeric literal (digits and dots). A single trailing '.' is the
+   triple terminator, not part of the number ([putback] tells the caller
+   to emit a DOT). Conversions use the [_opt] variants so malformed or
+   out-of-range spellings ("1..2", 25 nines) become located errors
+   instead of uncaught [Failure]s. *)
+let scan_number st ~negate =
+  let text = scan_while st (fun c -> is_digit c || c = '.') in
+  let text, putback =
+    if String.length text > 0 && text.[String.length text - 1] = '.' then
+      (String.sub text 0 (String.length text - 1), true)
+    else (text, false)
+  in
+  let tok =
+    if String.contains text '.' then
+      match float_of_string_opt text with
+      | Some f -> Some (FLOAT (if negate then -.f else f))
+      | None -> None
+    else
+      match int_of_string_opt text with
+      | Some n -> Some (INT (if negate then -n else n))
+      | None -> None
+  in
+  match tok with
+  | Some tok -> Ok (tok, putback)
+  | None -> error st (Printf.sprintf "bad number %S" text)
+
 let scan_string st =
   (* Opening quote consumed by caller? No: current char is '"'. *)
   advance st;
@@ -172,26 +198,20 @@ let tokenize src =
       | '-' -> (
         advance st;
         match peek st with
-        | Some d when is_digit d ->
-          let text = scan_while st (fun c -> is_digit c || c = '.') in
-          if String.contains text '.' then
-            emit (FLOAT (-.float_of_string text)) acc
-          else emit (INT (-int_of_string text)) acc
+        | Some d when is_digit d -> (
+          match scan_number st ~negate:true with
+          | Error e -> Error e
+          | Ok (tok, putback) ->
+            let acc' = { tok; line; col } :: acc in
+            if putback then go ({ tok = DOT; line; col } :: acc')
+            else go acc')
         | _ -> emit MINUS acc)
-      | c when is_digit c ->
-        let text = scan_while st (fun c -> is_digit c || c = '.') in
-        (* A trailing '.' is the triple terminator, not part of the number. *)
-        let text, putback =
-          if String.length text > 0 && text.[String.length text - 1] = '.'
-          then (String.sub text 0 (String.length text - 1), true)
-          else (text, false)
-        in
-        let acc' =
-          if String.contains text '.' then
-            { tok = FLOAT (float_of_string text); line; col } :: acc
-          else { tok = INT (int_of_string text); line; col } :: acc
-        in
-        if putback then go ({ tok = DOT; line; col } :: acc') else go acc'
+      | c when is_digit c -> (
+        match scan_number st ~negate:false with
+        | Error e -> Error e
+        | Ok (tok, putback) ->
+          let acc' = { tok; line; col } :: acc in
+          if putback then go ({ tok = DOT; line; col } :: acc') else go acc')
       | c when is_name_start c ->
         let text = scan_while st is_qname_char in
         (* A trailing '.' is the triple terminator. *)

@@ -13,7 +13,16 @@ type state = {
   toks : Lexer.located array;
   mutable pos : int;
   mutable env : Namespace.env;
+  mutable depth : int;
+      (* combined nesting depth of parenthesized expressions, negations,
+         and group patterns — bounded so pathological inputs (a megabyte
+         of '(' or '{') fail with a located [Parse_error] instead of
+         exhausting the OCaml stack *)
 }
+
+(* Deep enough for any real query; shallow enough that the recursive
+   descent never gets close to the stack limit. *)
+let max_depth = 200
 
 let peek st = st.toks.(st.pos).tok
 let peek_at st n =
@@ -75,6 +84,12 @@ let agg_of_keyword = function
   | "MAX" -> Some Ast.Max
   | _ -> None
 
+let enter_nesting st =
+  st.depth <- st.depth + 1;
+  if st.depth > max_depth then fail st "nesting too deep"
+
+let leave_nesting st = st.depth <- st.depth - 1
+
 let rec parse_expr st = parse_or st
 
 and parse_or st =
@@ -98,7 +113,10 @@ and parse_and st =
 and parse_not st =
   if peek st = Lexer.BANG then begin
     advance st;
-    Ast.Enot (parse_not st)
+    enter_nesting st;
+    let e = Ast.Enot (parse_not st) in
+    leave_nesting st;
+    e
   end
   else parse_cmp st
 
@@ -191,7 +209,9 @@ and parse_prim st =
     Ast.Eterm (Term.iri (expand_qname st ~at q))
   | Lexer.LPAREN ->
     advance st;
+    enter_nesting st;
     let e = parse_expr st in
+    leave_nesting st;
     expect st Lexer.RPAREN "expected )";
     e
   | Lexer.KEYWORD "REGEX" -> parse_regex st
@@ -322,6 +342,7 @@ let parse_triples_block st =
 
 let rec parse_group_pattern st : Ast.pattern_elt list =
   expect st Lexer.LBRACE "expected {";
+  enter_nesting st;
   let elems = ref [] in
   let rec go () =
     match peek st with
@@ -369,6 +390,7 @@ let rec parse_group_pattern st : Ast.pattern_elt list =
       go ()
   in
   go ();
+  leave_nesting st;
   List.rev !elems
 
 (* --- SELECT ----------------------------------------------------------- *)
@@ -505,7 +527,9 @@ let parse_located src =
   match Lexer.tokenize src with
   | Error { Lexer.pos; reason } -> Error { pos = Some pos; reason }
   | Ok toks -> (
-    let st = { toks = Array.of_list toks; pos = 0; env = Namespace.default_env } in
+    let st =
+      { toks = Array.of_list toks; pos = 0; env = Namespace.default_env; depth = 0 }
+    in
     try
       parse_prologue st;
       let select = parse_select st in

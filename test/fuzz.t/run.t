@@ -1,0 +1,41 @@
+Randomized testing from the command line: `rapida fuzz` generates
+seeded analytical queries over the built-in BSBM dataset and checks
+every case against four oracle families — differential (all engines
+byte-agree with the reference evaluator), metamorphic (answers are
+invariant under knob configurations and semantics-preserving
+rewrites), analyzer soundness (static cardinality intervals bracket
+the measured cardinality), and total robustness (the front end never
+raises on arbitrary bytes). Exit codes: 0 clean, 1 violation, 2 usage.
+
+  $ alias rapida='../../bin/rapida_cli.exe'
+
+The committed corpus replays first — yesterday's reproducers are
+today's regression suite — then the budgeted generation runs. The
+report is deterministic for a fixed seed:
+
+  $ rapida fuzz --seed 7 --budget 40 --corpus ../fuzz_corpus
+  fuzz: seed 7, 40 cases (6 replayed), 40 accepted, 0 rejected
+  shapes: gsets=9 having=8 join=2 order=7 star=14
+  oracle differential checked    46  skipped    0  violations 0
+  oracle metamorphic  checked    46  skipped    0  violations 0
+  oracle analyzer     checked    46  skipped    0  violations 0
+  oracle robustness   checked    46  skipped    0  violations 0
+  
+  all oracles clean
+
+A subset of oracles can be selected, and the JSON report carries the
+shape coverage for the benchmark artifact:
+
+  $ rapida fuzz --seed 7 --budget 10 --oracles differential,robustness
+  fuzz: seed 7, 10 cases (0 replayed), 10 accepted, 0 rejected
+  shapes: gsets=3 having=2 order=1 star=4
+  oracle differential checked    10  skipped    0  violations 0
+  oracle robustness   checked    10  skipped    0  violations 0
+  
+  all oracles clean
+
+Unknown oracle names are a usage error:
+
+  $ rapida fuzz --oracles nonesuch
+  error: unknown oracle nonesuch
+  [2]

@@ -1,0 +1,186 @@
+(* The fuzzing harness: determinism of runs, a clean soak across all
+   four oracle families, the broken-engine self-test (an engine that
+   drops a row must be caught and shrunk to a minimal reproducer), the
+   shrinker itself, and corpus persistence. *)
+
+module Fuzz = Rapida_fuzz.Fuzz
+module Oracle = Rapida_fuzz.Oracle
+module Qgen = Rapida_fuzz.Qgen
+module Shrink = Rapida_fuzz.Shrink
+module Corpus = Rapida_fuzz.Corpus
+module Engine = Rapida_core.Engine
+module Analytical = Rapida_sparql.Analytical
+module To_sparql = Rapida_sparql.To_sparql
+module Parser = Rapida_sparql.Parser
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* The deterministic face of a report: everything except wall-clock
+   timings must be identical across same-seed runs. *)
+let fingerprint (r : Fuzz.report) =
+  Fmt.str "%a" Fuzz.pp r
+
+let small_cfg = { Fuzz.default_config with budget = 60; products = 20 }
+
+let test_determinism () =
+  let a = Fuzz.run small_cfg in
+  let b = Fuzz.run small_cfg in
+  Alcotest.(check string) "same seed, same report" (fingerprint a) (fingerprint b);
+  let c = Fuzz.run { small_cfg with seed = small_cfg.seed + 1 } in
+  check_bool "different seed, different cases" true
+    (fingerprint a <> fingerprint c)
+
+let test_soak () =
+  let r = Fuzz.run { Fuzz.default_config with budget = 400 } in
+  check_int "no violations" 0 (Fuzz.violations r);
+  check_int "all cases generated" 400 r.Fuzz.r_cases;
+  (* Every oracle family judged a healthy share of the cases. *)
+  List.iter
+    (fun (o : Fuzz.oracle_stats) ->
+      check_bool
+        (Oracle.name_to_string o.Fuzz.o_name ^ " exercised")
+        true
+        (o.Fuzz.o_checked > 300))
+    r.Fuzz.r_oracles;
+  (* Shape coverage: the generator reaches every major query shape. *)
+  let shapes = List.map fst r.Fuzz.r_shapes in
+  List.iter
+    (fun sh -> check_bool ("shape " ^ sh) true (List.mem sh shapes))
+    [ "star"; "join"; "having"; "gsets"; "order" ]
+
+let test_broken_engine_caught () =
+  let r =
+    Fuzz.run
+      {
+        small_cfg with
+        break_table = Some (Fuzz.break_drop_row Engine.Rapid_plus);
+      }
+  in
+  check_bool "violations found" true (Fuzz.violations r > 0);
+  match r.Fuzz.r_failures with
+  | [] -> Alcotest.fail "no failure recorded"
+  | f :: _ ->
+    check_bool "differential oracle caught it" true
+      (f.Fuzz.f_oracle = Oracle.Differential
+      || f.Fuzz.f_oracle = Oracle.Metamorphic);
+    (* The reproducer is a genuine query: it re-parses and stays inside
+       the analytical fragment. *)
+    (match Parser.parse f.Fuzz.f_shrunk with
+    | Error msg -> Alcotest.fail ("shrunk reproducer does not parse: " ^ msg)
+    | Ok q ->
+      check_bool "shrunk reproducer is analytical" true
+        (Result.is_ok (Analytical.of_query q)))
+
+let test_shrinker_minimises () =
+  (* Generate a deliberately fat query, then shrink it under a predicate
+     that only needs one of its subqueries: the shrinker must strictly
+     reduce its rendered size and keep the predicate true. *)
+  let r =
+    Fuzz.run
+      {
+        small_cfg with
+        budget = 120;
+        break_table = Some (Fuzz.break_drop_row Engine.Hive_naive);
+      }
+  in
+  match r.Fuzz.r_failures with
+  | [] -> Alcotest.fail "expected failures to shrink"
+  | fs ->
+    List.iter
+      (fun (f : Fuzz.failure) ->
+        check_bool "shrunk no larger than original" true
+          (String.length f.Fuzz.f_shrunk <= String.length f.Fuzz.f_query);
+        if f.Fuzz.f_shrink_steps > 0 then
+          check_bool "steps imply strictly smaller" true
+            (String.length f.Fuzz.f_shrunk < String.length f.Fuzz.f_query))
+      fs
+
+let test_shrink_direct () =
+  (* A direct unit test of the shrinking loop: the predicate "mentions
+     ?price" keeps only the parts of the query that bind ?price. *)
+  let text =
+    "SELECT ?s (SUM(?price) AS ?total) (COUNT(*) AS ?n) WHERE { ?s \
+     <http://rapida.dev/bench/price> ?price . ?s \
+     <http://rapida.dev/bench/label> ?l . FILTER(?price > 10) . \
+     FILTER(?l != \"x\") } GROUP BY ?s HAVING(?total > 0) ORDER BY ?s \
+     LIMIT 5"
+  in
+  let q =
+    match Parser.parse text with
+    | Ok q -> q
+    | Error msg -> Alcotest.fail ("fixture does not parse: " ^ msg)
+  in
+  let contains sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  (* The property being preserved: the query still parses as a valid
+     analytical query and still mentions ?price. *)
+  let still_fails q' =
+    let s = To_sparql.query q' in
+    let analytical =
+      match Parser.parse s with
+      | Ok q'' -> Result.is_ok (Analytical.of_query q'')
+      | Error _ -> false
+    in
+    analytical && contains "price" s
+  in
+  let q', steps = Shrink.shrink ~still_fails ~max_steps:50 q in
+  let s' = To_sparql.query q' in
+  check_bool "made progress" true (steps > 0);
+  check_bool "smaller" true (String.length s' < String.length text);
+  check_bool "still satisfies predicate" true (still_fails q')
+
+let test_corpus_roundtrip () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rapida-fuzz-corpus-%d" (Unix.getpid ()))
+  in
+  let text = "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s" in
+  let path = Corpus.save ~dir ~shape:"star" ~repro:"rapida fuzz --seed 1" text in
+  check_bool "saved under dir" true (Filename.dirname path = dir);
+  let entries = Corpus.load ~dir in
+  check_int "one entry" 1 (List.length entries);
+  let _, contents = List.hd entries in
+  (* The stored file parses as-is: the header rides in # comments. *)
+  (match Parser.parse contents with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail ("corpus entry does not parse: " ^ msg));
+  (* Saving the same text twice is idempotent (same content hash). *)
+  let path2 = Corpus.save ~dir ~shape:"star" ~repro:"rapida fuzz --seed 1" text in
+  Alcotest.(check string) "stable file name" path path2;
+  check_int "still one entry" 1 (List.length (Corpus.load ~dir));
+  List.iter (fun (f, _) -> Sys.remove (Filename.concat dir f)) entries;
+  Unix.rmdir dir
+
+let test_knob_labels_distinct () =
+  (* Knob configurations drawn for a run are labelled distinctly enough
+     to read a metamorphic violation report. *)
+  let rng = Rapida_datagen.Prng.create ~seed:7 in
+  let knobs = Rapida_fuzz.Knobs.generate rng ~n:6 in
+  check_int "requested count" 6 (List.length knobs);
+  List.iter
+    (fun (k : Rapida_fuzz.Knobs.t) ->
+      check_bool "label non-empty" true (String.length k.Rapida_fuzz.Knobs.k_label > 0))
+    knobs
+
+let test_time_budget () =
+  (* A zero time budget stops generation immediately but still replays
+     nothing and reports cleanly. *)
+  let r = Fuzz.run { small_cfg with time_budget_s = Some 0.0 } in
+  check_int "no cases under exhausted budget" 0 r.Fuzz.r_cases;
+  check_int "no violations" 0 (Fuzz.violations r)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "soak: all oracles clean" `Slow test_soak;
+    Alcotest.test_case "broken engine caught" `Quick test_broken_engine_caught;
+    Alcotest.test_case "shrinker minimises failures" `Quick test_shrinker_minimises;
+    Alcotest.test_case "shrinker unit" `Quick test_shrink_direct;
+    Alcotest.test_case "corpus round-trip" `Quick test_corpus_roundtrip;
+    Alcotest.test_case "knob labels" `Quick test_knob_labels_distinct;
+    Alcotest.test_case "time budget" `Quick test_time_budget;
+  ]

@@ -25,4 +25,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("card", Test_card.suite);
       ("server", Test_server.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

@@ -185,6 +185,48 @@ let prop_combiner_sound =
       let b = fst (Job.run (ctx cluster) (wordcount ~with_combiner:true) lines) in
       List.sort compare a = List.sort compare b)
 
+(* --- JSON unicode escapes ------------------------------------------------ *)
+
+module Json = Rapida_mapred.Json
+
+let decode s =
+  match Json.of_string s with
+  | Ok (Json.String v) -> v
+  | Ok _ -> Alcotest.fail "expected a JSON string"
+  | Error e -> Alcotest.fail ("parse error: " ^ e)
+
+let test_json_unicode_escapes () =
+  (* BMP escapes decode to their UTF-8 bytes. *)
+  Alcotest.(check string) "2-byte char" "\xc3\xa9" (decode {|"\u00e9"|});
+  Alcotest.(check string) "3-byte char" "\xe2\x82\xac" (decode {|"\u20ac"|});
+  (* A surrogate pair combines into one astral code point: U+1F389. *)
+  Alcotest.(check string) "surrogate pair" "\xf0\x9f\x8e\x89"
+    (decode {|"\ud83c\udf89"|});
+  (* Lone surrogates (high without low, low alone) become U+FFFD, and a
+     high surrogate followed by a non-surrogate keeps the follower. *)
+  Alcotest.(check string) "lone high surrogate" "\xef\xbf\xbdx"
+    (decode {|"\ud83cx"|});
+  Alcotest.(check string) "lone low surrogate" "\xef\xbf\xbd"
+    (decode {|"\udf89"|});
+  Alcotest.(check string) "high then bmp escape" "\xef\xbf\xbd\xc3\xa9"
+    (decode {|"\ud83c\u00e9"|});
+  (* Malformed escapes are parse errors, not crashes. *)
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed escape %s" s
+      | Error _ -> ())
+    [ {|"\u12"|}; {|"\uzzzz"|}; {|"\u"|} ]
+
+let test_json_unicode_roundtrip () =
+  (* to_string passes raw UTF-8 through, so decode-then-encode-then-decode
+     is stable for escaped input. *)
+  let v = decode {|"caf\u00e9 \ud83c\udf89"|} in
+  Alcotest.(check string) "utf-8 value" "caf\xc3\xa9 \xf0\x9f\x8e\x89" v;
+  match Json.of_string (Json.to_string (Json.String v)) with
+  | Ok (Json.String v') -> Alcotest.(check string) "round-trip" v v'
+  | _ -> Alcotest.fail "round-trip failed"
+
 let suite =
   [
     Alcotest.test_case "wordcount" `Quick test_wordcount;

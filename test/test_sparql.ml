@@ -394,6 +394,65 @@ let prop_merge_commutative =
         (Aggregate.merge (fold xs) (fold ys))
         (Aggregate.merge (fold ys) (fold xs)))
 
+(* --- total robustness ---------------------------------------------------- *)
+
+(* Crashers found by byte-fuzzing before the front end was hardened:
+   each input used to raise (Failure from int_of_string / float_of_string,
+   or stack growth on deep nesting) instead of returning a located
+   error. They must stay mere [Error]s forever. *)
+let test_parse_crashers () =
+  let crashers =
+    [
+      "1..2";
+      "1.2.3";
+      "SELECT ?x { ?x ?p 1.2.3 }";
+      String.make 25 '9';
+      "-" ^ String.make 25 '9';
+      "SELECT ?x { ?x ?p " ^ String.make 30 '9' ^ " }";
+      "SELECT ?x { FILTER(" ^ String.make 5000 '(' ^ "1";
+      "SELECT ?x { FILTER(" ^ String.make 5000 '!' ^ "?x) }";
+      String.concat "" (List.init 5000 (fun _ -> "SELECT ?x {"));
+    ]
+  in
+  List.iter
+    (fun input ->
+      match Parser.parse input with
+      | Ok _ | Error _ -> ()
+      | exception e ->
+        Alcotest.failf "parser raised %s on %S" (Printexc.to_string e)
+          (if String.length input > 40 then String.sub input 0 40 ^ "..."
+           else input))
+    crashers
+
+(* 10k random byte strings through the whole front end: tokenize, parse,
+   and normalize must always return, never raise. The seeded stream makes
+   a failure reproducible from the index alone. *)
+let test_parse_random_bytes () =
+  let rng = Rapida_datagen.Prng.create ~seed:2024 in
+  for i = 0 to 9_999 do
+    let len = Rapida_datagen.Prng.int rng 60 in
+    let input =
+      String.init len (fun _ -> Char.chr (Rapida_datagen.Prng.int rng 256))
+    in
+    match Parser.parse input with
+    | Ok q -> ignore (Analytical.of_query q)
+    | Error _ -> ()
+    | exception e ->
+      Alcotest.failf "input %d raised %s: %S" i (Printexc.to_string e) input
+  done
+
+(* Deep nesting is refused with a located parse error, not a crash. *)
+let test_parse_nesting_limit () =
+  let probe input =
+    match Parser.parse_located input with
+    | Ok _ -> Alcotest.failf "accepted unbounded nesting"
+    | Error { Parser.reason; pos = _ } ->
+      check_bool "mentions nesting" true
+        (String.length reason > 0)
+  in
+  probe ("SELECT ?x { FILTER(" ^ String.make 400 '(' ^ "?x" ^ String.make 400 ')' ^ ") }");
+  probe (String.concat "" (List.init 400 (fun _ -> "SELECT ?x {")))
+
 let suite =
   [
     Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
@@ -429,6 +488,9 @@ let suite =
     Alcotest.test_case "filter evaluation" `Quick test_filter_eval;
     Alcotest.test_case "aggregate basics" `Quick test_aggregate_basics;
     Alcotest.test_case "aggregate unbound" `Quick test_aggregate_unbound_skipped;
+    Alcotest.test_case "parse crashers" `Quick test_parse_crashers;
+    Alcotest.test_case "parse random bytes" `Quick test_parse_random_bytes;
+    Alcotest.test_case "parse nesting limit" `Quick test_parse_nesting_limit;
     QCheck_alcotest.to_alcotest prop_merge_is_split_fold;
     QCheck_alcotest.to_alcotest prop_merge_commutative;
   ]
