@@ -27,6 +27,11 @@
                per-query analysis overhead, and estimation quality
                (q-error, interval soundness) across the catalog on all
                four engines; --bench-json FILE writes the artifact
+     optimize- cost-based planner sweep: per-query planning time and a
+               timed plan-cache hit, costed-vs-heuristic upper-bound
+               cost deltas, per-engine byte-identity of optimized runs,
+               and the plan-cache hit rate under the server's repeated
+               workload; --bench-json FILE writes the artifact
      fuzz    - fuzzing harness: random analytical queries through the
                differential / metamorphic / analyzer / robustness
                oracles (cases/sec, per-oracle timings), plus a
@@ -442,6 +447,96 @@ let section_analyze () =
         output_char oc '\n');
     Fmt.pr "wrote %s@." path
 
+(* Cost-based planner sweep: every multi-grouping BSBM query (plus a
+   single-grouping control) planned cold and through the cache, the
+   chosen orders priced against the heuristic orders at their upper
+   bounds, per-engine byte-identity of optimized execution checked, and
+   a repeated arrival stream driven through a planner-armed server so
+   the plan cache shows its hit rate. With --bench-json FILE the
+   planning/caching timings, cost deltas, and server cache counters are
+   written as the committed BENCH artifact. *)
+let section_optimize () =
+  let module Json = Rapida_mapred.Json in
+  let module Server = Rapida_server.Server in
+  let module Plan_cache = Rapida_planner.Plan_cache in
+  let module Cost_model = Rapida_planner.Cost_model in
+  let sweep =
+    Experiment.optimize_sweep ~arrivals:(20 * !scale) options
+      ~label:"BSBM-small" (Lazy.force bsbm_small)
+      (queries [ "MG1"; "MG2"; "MG3"; "MG4"; "G1" ])
+  in
+  Fmt.pr "%a" (Report.pp_optimize ~engines:all_engines) sweep;
+  match !bench_json with
+  | None -> ()
+  | Some path ->
+    let entry_json (e : Experiment.optimize_entry) =
+      let delta_pct =
+        if e.Experiment.p_heuristic_hi > 0.0 then
+          100.0
+          *. (e.Experiment.p_heuristic_hi -. e.Experiment.p_chosen_hi)
+          /. e.Experiment.p_heuristic_hi
+        else 0.0
+      in
+      Json.Obj
+        [
+          ("id", Json.String e.Experiment.p_query.Catalog.id);
+          ("planning_ms", Json.Float e.Experiment.p_planning_ms);
+          ("cache_hit_ms", Json.Float e.Experiment.p_replan_ms);
+          ("units", Json.Int e.Experiment.p_units);
+          ("hints", Json.Int e.Experiment.p_hints);
+          ("heuristic_hi_cost_s", Json.Float e.Experiment.p_heuristic_hi);
+          ("chosen_hi_cost_s", Json.Float e.Experiment.p_chosen_hi);
+          ("cost_delta_pct", Json.Float delta_pct);
+          ("all_verified", Json.Bool e.Experiment.p_all_verified);
+          ("identical", Json.Bool e.Experiment.p_identical);
+        ]
+    in
+    let server_json =
+      match sweep.Experiment.p_server.Server.r_optimize with
+      | None -> Json.Null
+      | Some o ->
+        let hits = o.Server.p_cache.Plan_cache.hits in
+        let misses = o.Server.p_cache.Plan_cache.misses in
+        Json.Obj
+          [
+            ("planned", Json.Int o.Server.p_planned);
+            ("cache_hits", Json.Int hits);
+            ("cache_misses", Json.Int misses);
+            ( "hit_rate",
+              Json.Float
+                (if hits + misses > 0 then
+                   float_of_int hits /. float_of_int (hits + misses)
+                 else 0.0) );
+            ("invalidations", Json.Int o.Server.p_cache.Plan_cache.invalidations);
+            ("evictions", Json.Int o.Server.p_cache.Plan_cache.evictions);
+            ("misestimates", Json.Int o.Server.p_misestimates);
+            ("fallbacks", Json.Int o.Server.p_fallbacks);
+            ("breaker", Json.String o.Server.p_breaker);
+          ]
+    in
+    let doc =
+      Json.Obj
+        [
+          ("bench", Json.String "optimize");
+          ("scale", Json.Int !scale);
+          ( "policy",
+            Json.String (Cost_model.policy_name sweep.Experiment.p_policy) );
+          ("label", Json.String sweep.Experiment.p_label);
+          ( "catalog_build_ms",
+            Json.Float (1000.0 *. sweep.Experiment.p_catalog_build_s) );
+          ( "queries",
+            Json.List (List.map entry_json sweep.Experiment.p_entries) );
+          ("server", server_json);
+        ]
+    in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Json.to_string doc);
+        output_char oc '\n');
+    Fmt.pr "wrote %s@." path
+
 (* The fuzzing harness as a benchmark: a full-budget run of all four
    oracles over the built-in dataset (expected clean), plus a short run
    against an intentionally row-dropping engine that the differential
@@ -548,5 +643,6 @@ let () =
   if want "server" then section_server ();
   if want "overload" then section_overload ();
   if want "analyze" then section_analyze ();
+  if want "optimize" then section_optimize ();
   if want "fuzz" then section_fuzz ();
   if want "wall" then section_wall ()

@@ -35,6 +35,10 @@ module Rterm = Rapida_rdf.Term
 module Scheduler = Rapida_mapred.Scheduler
 module Server = Rapida_server.Server
 module Workload = Rapida_server.Workload
+module Planner = Rapida_planner.Planner
+module Cost_model = Rapida_planner.Cost_model
+module Plan_cache = Rapida_planner.Plan_cache
+module Card = Rapida_analysis.Interval.Card
 
 open Cmdliner
 
@@ -185,6 +189,35 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Generate a synthetic benchmark dataset")
     Term.(const run $ dataset $ scale $ seed $ output)
 
+(* --- shared optimizer flags --------------------------------------------- *)
+
+let opt_policy_arg =
+  let parse s =
+    match Cost_model.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg "expected mid, worst-case, or minimax-regret")
+  in
+  let policy_conv =
+    Arg.conv (parse, fun ppf p -> Fmt.string ppf (Cost_model.policy_name p))
+  in
+  Arg.(value & opt policy_conv Cost_model.Worst_case
+       & info [ "opt-policy" ] ~docv:"POLICY"
+           ~doc:"Robustness policy for --optimize: mid (minimize the \
+                 mid-point cost estimate), worst-case (default: minimize \
+                 the interval's upper-bound cost), or minimax-regret \
+                 (minimize the maximum regret across the low/mid/high \
+                 cardinality scenarios).")
+
+let optimize_arg =
+  Arg.(value & flag
+       & info [ "optimize" ]
+           ~doc:"Enable the cost-based planner: enumerate star-join orders \
+                 per subquery (and for the composite pattern), costed in \
+                 the MR cost model over the static analyzer's cardinality \
+                 intervals, and execute the selected verified orders. Off \
+                 by default; without this flag execution is byte-identical \
+                 to the heuristic planner.")
+
 (* --- query -------------------------------------------------------------- *)
 
 let engine_arg =
@@ -313,8 +346,8 @@ let query_cmd =
                    lines are reported on stderr with line and column.")
   in
   let run (data, query_file, catalog_id) engine verify verify_plans show_stats
-      trace_file json faults_spec mem_spec checkpoint_spec analyze dirty_spec
-      verbose =
+      trace_file json faults_spec mem_spec checkpoint_spec analyze optimize
+      opt_policy dirty_spec verbose =
     setup_logs verbose;
     let ( let* ) = Result.bind in
     let usage r = Result.map_error (fun msg -> (2, msg)) r in
@@ -347,14 +380,27 @@ let query_cmd =
       let cluster =
         Cluster.with_memory Plan_util.default_options.Plan_util.cluster mem_cfg
       in
-      let ctx =
-        Plan_util.context
-          (Plan_util.make ~cluster ~faults:fault_cfg
-             ~checkpoint:checkpoint_cfg ~verify_plans ~analyze ())
+      let options =
+        Plan_util.make ~cluster ~faults:fault_cfg ~checkpoint:checkpoint_cfg
+          ~verify_plans ~analyze ()
       in
       let* graph = usage (load_graph ~mode:dirty_mode data) in
       let* src = usage (query_text query_file catalog_id) in
       let* query = usage (Rapida_sparql.Analytical.parse src) in
+      (* Cost-based planning: enumerate, select, verify, and arm the
+         context with the chosen join orders before execution. *)
+      let decision =
+        if not optimize then None
+        else
+          let catalog = Stats_catalog.build graph in
+          Some (Planner.plan ~policy:opt_policy ~cluster catalog query)
+      in
+      let options =
+        match decision with
+        | None -> options
+        | Some d -> Planner.apply d options
+      in
+      let ctx = Plan_util.context options in
       let input = Engine.input_of_graph graph in
       let session = Engine.prepare engine input in
       (* The one place engine errors meet the exit-code convention:
@@ -376,11 +422,21 @@ let query_cmd =
           end
           else Error (1, "verification FAILED: result differs from reference")
       in
-      Ok (ctx, out, graph, query)
+      Ok (ctx, out, graph, query, decision)
     with
     | Error (2, msg) -> die_usage msg
     | Error (_, msg) -> die_runtime msg
-    | Ok (ctx, { Engine.table; stats; trace }, graph, query) ->
+    | Ok (ctx, { Engine.table; stats; trace }, graph, query, decision) ->
+      (* Runtime misestimate defense, single-query flavor: compare the
+         measured root cardinality against the predicted interval and
+         record the escape. *)
+      let escaped =
+        match decision with
+        | Some d when not (Card.contains d.Planner.d_root (Table.cardinality table)) ->
+          Metrics.add (Exec_ctx.metrics ctx) "opt.misestimates" 1;
+          true
+        | Some _ | None -> false
+      in
       (* The Exec_ctx analyze hook: requested via the options record, read
          back off the context after the run. *)
       let measured =
@@ -419,6 +475,17 @@ let query_cmd =
                    ("stats", Stats.to_json stats);
                    ("counters", Metrics.to_json (Exec_ctx.metrics ctx));
                  ]
+                @ (match decision with
+                  | None -> []
+                  | Some d ->
+                    [
+                      ( "optimize",
+                        match Planner.decision_to_json d with
+                        | Json.Obj fields ->
+                          Json.Obj
+                            (fields @ [ ("misestimate", Json.Bool escaped) ])
+                        | other -> other );
+                    ])
                 @
                 match measured with
                 | Some (analysis, m) ->
@@ -451,6 +518,15 @@ let query_cmd =
         print_table table;
         Fmt.pr "-- %d rows; %a@." (Table.cardinality table) Stats.pp_summary
           stats;
+        (match decision with
+        | None -> ()
+        | Some d ->
+          Fmt.pr "@.cost-based plan:@.%a" Planner.pp_decision d;
+          if escaped then
+            Fmt.pr
+              "optimizer misestimate: measured cardinality %d escaped the \
+               predicted interval %a@."
+              (Table.cardinality table) Card.pp d.Planner.d_root);
         if show_stats then Fmt.pr "%a@." Stats.pp stats;
         match measured with
         | Some (analysis, m) ->
@@ -468,7 +544,8 @@ let query_cmd =
     Term.(const run
           $ query_source_args (fun d q c -> (d, q, c))
           $ engine $ verify $ verify_plans $ show_stats $ trace_file $ json
-          $ faults $ mem $ checkpoint $ analyze $ dirty_input $ verbose_arg)
+          $ faults $ mem $ checkpoint $ analyze $ optimize_arg $ opt_policy_arg
+          $ dirty_input $ verbose_arg)
 
 (* --- serve -------------------------------------------------------------- *)
 
@@ -604,9 +681,24 @@ let serve_cmd =
          & info [ "breaker-cooldown" ] ~docv:"SECONDS"
              ~doc:"How long an open circuit breaker keeps shedding.")
   in
+  let plan_cache =
+    Arg.(value & opt int 64
+         & info [ "plan-cache" ] ~docv:"N"
+             ~doc:"With --optimize: plan-cache capacity (LRU entries keyed \
+                   by query shape and catalog fingerprint; a hit skips join \
+                   enumeration entirely).")
+  in
+  let opt_defense =
+    Arg.(value & opt int 3
+         & info [ "opt-defense" ] ~docv:"K"
+             ~doc:"With --optimize: trip the optimizer circuit breaker off \
+                   for the session after K consecutive misestimate escapes \
+                   (each single escape costs one heuristic-planned group).")
+  in
   let run data workload_file generate seed mean_gap engine window policy
       no_share detail json faults_spec mem_spec deadline queue_cap shed_policy
-      degrade breaker breaker_cooldown verbose =
+      degrade breaker breaker_cooldown optimize opt_policy plan_cache
+      opt_defense verbose =
     setup_logs verbose;
     let ( let* ) = Result.bind in
     let usage r = Result.map_error (fun msg -> (2, msg)) r in
@@ -649,6 +741,14 @@ let serve_cmd =
         then Error (2, "--breaker-cooldown must be a positive number of seconds")
         else Ok ()
       in
+      let* () =
+        if plan_cache < 1 then Error (2, "--plan-cache must be positive")
+        else Ok ()
+      in
+      let* () =
+        if opt_defense < 1 then Error (2, "--opt-defense must be positive")
+        else Ok ()
+      in
       let* workload =
         match (workload_file, generate) with
         | Some path, None -> usage (Workload.load path)
@@ -675,7 +775,14 @@ let serve_cmd =
       in
       let cfg =
         Server.config ~window_s:window ~policy ~share:(not no_share)
-          ~overload ~options engine
+          ~overload
+          ?optimize:
+            (if optimize then
+               Some
+                 (Server.optimize ~policy:opt_policy
+                    ~cache_capacity:plan_cache ~defense_k:opt_defense ())
+             else None)
+          ~options engine
       in
       let report = Server.run cfg (Engine.input_of_graph graph) workload in
       if json then print_endline (Json.to_string (Server.to_json report))
@@ -695,7 +802,8 @@ let serve_cmd =
     Term.(const run $ data $ workload_file $ generate $ seed $ mean_gap
           $ engine $ window $ policy $ no_share $ detail $ json $ faults
           $ mem $ deadline $ queue_cap $ shed_policy $ degrade $ breaker
-          $ breaker_cooldown $ verbose_arg)
+          $ breaker_cooldown $ optimize_arg $ opt_policy_arg $ plan_cache
+          $ opt_defense $ verbose_arg)
 
 (* --- lint --------------------------------------------------------------- *)
 
@@ -1075,7 +1183,8 @@ let explain_cmd =
              ~doc:"Statistics catalog (JSON, from rapida analyze \
                    --dump-stats) for --analyze.")
   in
-  let run query_file catalog_id json lint analyze data stats_file =
+  let run query_file catalog_id json lint analyze optimize opt_policy data
+      stats_file =
     let src =
       match query_text query_file catalog_id with
       | Ok src -> src
@@ -1085,29 +1194,48 @@ let explain_cmd =
     match Rapida_sparql.Analytical.parse src with
     | Error msg -> die_usage msg
     | Ok q ->
+      let catalog =
+        lazy
+          (match (data, stats_file) with
+          | Some path, None -> (
+            match load_graph path with
+            | Ok graph -> Stats_catalog.build graph
+            | Error msg -> die_usage msg)
+          | None, Some path -> (
+            let parsed =
+              Result.bind (read_file path) (fun s ->
+                  Result.map_error
+                    (fun msg -> Printf.sprintf "%s: %s" path msg)
+                    (Result.bind (Json.of_string s) Stats_catalog.of_json))
+            in
+            match parsed with
+            | Ok catalog -> catalog
+            | Error msg -> die_usage msg)
+          | _ ->
+            die_usage
+              "--analyze and --optimize need exactly one of --data or --stats")
+      in
       let analysis =
         if not analyze then None
-        else
-          let catalog =
-            match (data, stats_file) with
-            | Some path, None -> (
-              match load_graph path with
-              | Ok graph -> Stats_catalog.build graph
-              | Error msg -> die_usage msg)
-            | None, Some path -> (
-              let parsed =
-                Result.bind (read_file path) (fun s ->
-                    Result.map_error
-                      (fun msg -> Printf.sprintf "%s: %s" path msg)
-                      (Result.bind (Json.of_string s) Stats_catalog.of_json))
-              in
-              match parsed with
-              | Ok catalog -> catalog
-              | Error msg -> die_usage msg)
-            | _ -> die_usage "--analyze needs exactly one of --data or --stats"
-          in
-          Some (Card_analysis.analyze catalog q)
+        else Some (Card_analysis.analyze (Lazy.force catalog) q)
       in
+      (* Plan twice through a fresh bounded cache: the replan demonstrates
+         that an identical (shape, catalog) pair skips enumeration. *)
+      let optimized =
+        if not optimize then None
+        else
+          let catalog = Lazy.force catalog in
+          let catalog_fp = Planner.catalog_fingerprint catalog in
+          let cache = Planner.create_cache ~capacity:4 in
+          let plan () =
+            Planner.plan_cached ~cache ~catalog ~catalog_fp ~policy:opt_policy q
+          in
+          let _, first = plan () in
+          let d, replan = plan () in
+          Some (d, first, replan, Planner.shape_fingerprint opt_policy q,
+                catalog_fp)
+      in
+      let hit_name = function `Hit -> "hit" | `Miss -> "miss" in
       if json then begin
         let fields =
           [
@@ -1126,6 +1254,30 @@ let explain_cmd =
           @ (if lint then
                [ ("lint", Json.List (List.map Diagnostic.to_json lint_ds)) ]
              else [])
+          @ (match optimized with
+            | None -> []
+            | Some (d, first, replan, shape_fp, catalog_fp) ->
+              [
+                ( "optimize",
+                  match Planner.decision_to_json d with
+                  | Json.Obj fs ->
+                    Json.Obj
+                      (fs
+                      @ [
+                          ( "cache",
+                            Json.Obj
+                              [
+                                ("first", Json.String (hit_name first));
+                                ("replan", Json.String (hit_name replan));
+                                ( "shape_fp",
+                                  Json.String (Planner.fingerprint_hex shape_fp) );
+                                ( "catalog_fp",
+                                  Json.String (Planner.fingerprint_hex catalog_fp)
+                                );
+                              ] );
+                        ])
+                  | other -> other );
+              ])
           @
           match analysis with
           | Some a -> [ ("analyze", Card_analysis.to_json a) ]
@@ -1143,6 +1295,14 @@ let explain_cmd =
         Fmt.pr "@.%s@." (Rapida_core.Rapid_analytics.plan_description q);
         Fmt.pr "@.predicted MapReduce workflow lengths:@.%s@."
           (Rapida_core.Plan_summary.describe q);
+        (match optimized with
+        | Some (d, first, replan, shape_fp, catalog_fp) ->
+          Fmt.pr "@.cost-based plan:@.%a" Planner.pp_decision d;
+          Fmt.pr "plan cache: first plan %s, replan %s (shape %s, catalog %s)@."
+            (hit_name first) (hit_name replan)
+            (Planner.fingerprint_hex shape_fp)
+            (Planner.fingerprint_hex catalog_fp)
+        | None -> ());
         (match analysis with
         | Some a ->
           Fmt.pr "@.static cost analysis:@.%a@." Card_analysis.pp_plan a;
@@ -1160,8 +1320,8 @@ let explain_cmd =
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Show overlap analysis and the composite rewriting for a query")
-    Term.(const run $ query_file $ catalog_id $ json $ lint $ analyze $ data
-          $ stats_file)
+    Term.(const run $ query_file $ catalog_id $ json $ lint $ analyze
+          $ optimize_arg $ opt_policy_arg $ data $ stats_file)
 
 (* --- catalog ------------------------------------------------------------ *)
 
@@ -1273,7 +1433,7 @@ let fuzz_cmd =
     Arg.(value & opt int 2
          & info [ "knobs" ] ~docv:"N"
              ~doc:"Knob configurations (faults x memory x checkpoint x \
-                   planner) per metamorphic check.")
+                   planner x optimizer policy) per metamorphic check.")
   in
   let json =
     Arg.(value & flag

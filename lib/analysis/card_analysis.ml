@@ -898,3 +898,16 @@ let to_json t =
       ("plan", node_to_json t.root);
       ("diagnostics", Json.List (List.map Diagnostic.to_json t.diagnostics));
     ]
+
+(* ---------------------------------------------------------------- *)
+(* Planner-facing primitives: the same interval machinery the plan
+   annotation uses, exposed so [Rapida_planner]'s join enumeration can
+   cost candidate orders without re-deriving the bounds. *)
+
+let scan_interval = scan_card
+
+let star_interval cat (star : Star.t) =
+  star_card cat star (List.map (scan_card cat) star.Star.patterns)
+
+let join_match_bound = per_match_bound
+let bytes_interval cat ~ncols card = bytes_of cat ncols card

@@ -115,3 +115,28 @@ val pp_measured : measured Fmt.t
 (** Machine-readable plan: nested nodes with intervals, plus the
     diagnostics array. *)
 val to_json : t -> Rapida_mapred.Json.t
+
+(** {1 Planner-facing primitives}
+
+    The interval machinery the plan annotation is built from, exposed
+    for [Rapida_planner]'s join enumeration. All bounds share the
+    soundness contract of {!analyze}. *)
+
+(** [scan_interval cat tp] is the sound cardinality interval of a single
+    triple-pattern scan. *)
+val scan_interval : Stats_catalog.t -> Ast.triple_pattern -> Interval.Card.t
+
+(** [star_interval cat star] is the sound cardinality interval of the
+    star join of [star]'s patterns (the Star_join node bound). *)
+val star_interval : Stats_catalog.t -> Star.t -> Interval.Card.t
+
+(** [join_match_bound cat star endpoint] is the most rows of [star] that
+    can join one fixed value arriving through [endpoint] — the
+    per-match fanout the inter-star join rule multiplies by. *)
+val join_match_bound : Stats_catalog.t -> Star.t -> Star.endpoint -> int
+
+(** [bytes_interval cat ~ncols card] sizes [card] rows of [ncols]
+    columns like {!Rapida_relational.Table.row_size_bytes} against the
+    catalog's term-length range. *)
+val bytes_interval :
+  Stats_catalog.t -> ncols:int -> Interval.Card.t -> Interval.Card.t

@@ -141,7 +141,10 @@ let verify_join_orders (sq : Analytical.subquery) acc =
   if List.length sq.Analytical.stars <= 1 then acc
   else
     let star_ids = List.map (fun (s : Star.t) -> s.Star.id) sq.Analytical.stars in
-    match Composite.order_edges ~star_ids ~edges:sq.Analytical.edges with
+    match
+      Composite.order_edges ~star_order:None ~star_ids
+        ~edges:sq.Analytical.edges
+    with
     | Error msg ->
       errorf ~rule:"workflow-dag" "subquery %d: %s" sq.Analytical.sq_id msg
       :: acc
@@ -150,6 +153,51 @@ let verify_join_orders (sq : Analytical.subquery) acc =
         ~what:(Fmt.str "subquery %d" sq.Analytical.sq_id)
         ~star_vars:(star_vars_tbl sq.Analytical.stars)
         ordered acc
+
+(* --- optimizer-enumerated join orders --------------------------------- *)
+
+let verify_join_order ~star_ids ~edges ~order =
+  let acc = [] in
+  let acc =
+    if List.sort compare order <> List.sort compare star_ids then
+      [
+        errorf ~rule:"opt-join-order"
+          "enumerated order [%s] is not a permutation of the pattern's star \
+           ids [%s]"
+          (String.concat ";" (List.map string_of_int order))
+          (String.concat ";" (List.map string_of_int star_ids));
+      ]
+    else acc
+  in
+  if acc <> [] then acc
+  else
+    match order with
+    | [] | [ _ ] -> acc
+    | first :: rest ->
+      let joined = ref [ first ] in
+      let connects s =
+        List.exists
+          (fun (e : Star.edge) ->
+            (e.Star.left.Star.star = s && List.mem e.Star.right.Star.star !joined)
+            || (e.Star.right.Star.star = s
+               && List.mem e.Star.left.Star.star !joined))
+          edges
+      in
+      List.fold_left
+        (fun acc s ->
+          let acc =
+            if connects s then acc
+            else
+              errorf ~rule:"opt-join-order"
+                "enumerated order joins star %d before any edge connects it \
+                 to the prefix [%s]"
+                s
+                (String.concat ";" (List.map string_of_int !joined))
+              :: acc
+          in
+          joined := s :: !joined;
+          acc)
+        acc rest
 
 (* --- composite-pattern invariants (Defs. 3.1, 3.2, 3.4, 3.5) --------- *)
 

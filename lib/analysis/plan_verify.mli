@@ -21,6 +21,10 @@
     - [workflow-dag] (error): the join-order a workflow would execute is
       not a connected left-deep sequence — some join's shuffle key is
       not bound by an upstream star.
+    - [opt-join-order] (error): a cost-based-planner-enumerated star
+      order is not a permutation of the pattern's stars or joins a star
+      before any edge connects it to the joined prefix (see
+      {!verify_join_order}).
     - [schema-mismatch] (error): an engine's result schema differs from
       the statically expected schema, or the four engines disagree.
     - [mem-overcommit] (warning): the Agg-Join's estimated per-task
@@ -44,6 +48,19 @@ val expected_schema : Analytical.t -> string list
     subqueries (the MQO case). An empty result means the optimizer's
     derivations are sound for [q]. *)
 val verify_query : Analytical.t -> Diagnostic.t list
+
+(** [verify_join_order ~star_ids ~edges ~order] checks an
+    optimizer-enumerated star visiting order before execution: [order]
+    must be a permutation of [star_ids] and every star after the first
+    must connect to the already-joined prefix through some edge
+    ([opt-join-order]). The planner runs this on every plan it emits; a
+    rejected order is replaced by the verified heuristic fallback rather
+    than executed. *)
+val verify_join_order :
+  star_ids:int list ->
+  edges:Rapida_sparql.Star.edge list ->
+  order:int list ->
+  Diagnostic.t list
 
 (** [verify_result ~engine q table] checks an actual result table
     against {!expected_schema} ([schema-mismatch]). *)

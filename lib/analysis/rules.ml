@@ -50,6 +50,8 @@ let all =
       "grouping keys or aggregate arguments missing from split bindings";
     rule Plan_verify Error "workflow-dag"
       "the workflow's join order is not a connected left-deep sequence";
+    rule Plan_verify Error "opt-join-order"
+      "an optimizer-enumerated star order is not a realizable permutation";
     rule Plan_verify Error "schema-mismatch"
       "an engine's result schema differs from the static expectation";
     rule Plan_verify Warning "mem-overcommit"

@@ -316,7 +316,7 @@ let pattern_columns t info =
     t.stars;
   List.rev !cols
 
-let order_edges ~star_ids ~edges =
+let heuristic_order_edges ~star_ids ~edges =
   match edges with
   | [] ->
     if List.length star_ids <= 1 then Ok []
@@ -349,8 +349,65 @@ let order_edges ~star_ids ~edges =
       Error "some stars participate in no join"
     else Ok (List.rev !plan)
 
-let join_plan t =
-  order_edges
+(* Realize an explicit star visiting order as an edge plan: each next
+   star must connect to the joined prefix through some edge. Any
+   mismatch (not a permutation, unrealizable order, leftover edges)
+   yields [None] so the caller falls back to the heuristic — a bad hint
+   can never abort a query. *)
+let guided_order_edges ~star_ids ~edges ~order =
+  if List.sort compare order <> List.sort compare star_ids then None
+  else
+    match order with
+    | [] | [ _ ] -> if edges = [] then Some [] else None
+    | first :: rest ->
+      let joined = Hashtbl.create 8 in
+      Hashtbl.add joined first ();
+      let remaining = ref edges in
+      let plan = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun s ->
+          if !ok then begin
+            let rec pick acc = function
+              | [] -> None
+              | (e : Star.edge) :: tl ->
+                if
+                  (e.left.star = s && Hashtbl.mem joined e.right.star)
+                  || (e.right.star = s && Hashtbl.mem joined e.left.star)
+                then Some (e, List.rev_append acc tl)
+                else pick (e :: acc) tl
+            in
+            match pick [] !remaining with
+            | None -> ok := false
+            | Some (e, rest') ->
+              Hashtbl.replace joined s ();
+              plan := e :: !plan;
+              (* Edges now internal to the joined prefix ride along
+                 immediately, mirroring the heuristic's behavior of
+                 consuming every touching edge before growing further. *)
+              let inner, outer =
+                List.partition
+                  (fun (e : Star.edge) ->
+                    Hashtbl.mem joined e.left.star
+                    && Hashtbl.mem joined e.right.star)
+                  rest'
+              in
+              plan := List.rev_append inner !plan;
+              remaining := outer
+          end)
+        rest;
+      if !ok && !remaining = [] then Some (List.rev !plan) else None
+
+let order_edges ~star_order ~star_ids ~edges =
+  match star_order with
+  | None -> heuristic_order_edges ~star_ids ~edges
+  | Some order -> (
+    match guided_order_edges ~star_ids ~edges ~order with
+    | Some plan -> Ok plan
+    | None -> heuristic_order_edges ~star_ids ~edges)
+
+let join_plan ?star_order t =
+  order_edges ~star_order
     ~star_ids:(List.map (fun s -> s.cs_id) t.stars)
     ~edges:t.edges
 

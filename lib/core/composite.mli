@@ -88,15 +88,30 @@ val map_expr : pattern_info -> Ast.expr -> Ast.expr
     pattern's triples, distinct, in order. *)
 val pattern_columns : t -> pattern_info -> Ast.var list
 
-(** [order_edges ~star_ids ~edges] orders join edges so each successive
-    edge connects one new star to the already-joined prefix (the generic
-    form used for both composite and original patterns). *)
-val order_edges :
-  star_ids:int list -> edges:Star.edge list -> (Star.edge list, string) result
+(** [order_edges ~star_order ~star_ids ~edges] orders join edges so each
+    successive edge connects one new star to the already-joined prefix
+    (the generic form used for both composite and original patterns).
 
-(** [join_plan t] orders the edges so that each successive edge joins one
-    new star to the already-joined prefix; the first edge's left star
-    seeds the prefix. Errors when the pattern is disconnected. *)
-val join_plan : t -> (Star.edge list, string) result
+    With [star_order = None] the heuristic greedy order is used — the
+    exact pre-optimizer behavior. With [Some order] (an optimizer-chosen
+    star visiting order, typically from [Rapida_planner]), the edge plan
+    realizes that order: the first listed star seeds the prefix and each
+    subsequent star joins through a connecting edge. An [order] that is
+    not a permutation of [star_ids] or cannot be realized as a connected
+    left-deep plan silently falls back to the heuristic — a stale or
+    invalid hint degrades to the baseline plan, never to an error the
+    heuristic would not also produce. *)
+val order_edges :
+  star_order:int list option ->
+  star_ids:int list ->
+  edges:Star.edge list ->
+  (Star.edge list, string) result
+
+(** [join_plan ?star_order t] orders the edges so that each successive
+    edge joins one new star to the already-joined prefix; the first
+    edge's left star seeds the prefix (or [star_order]'s head when
+    given, with the same fallback semantics as {!order_edges}). Errors
+    when the pattern is disconnected. *)
+val join_plan : ?star_order:int list -> t -> (Star.edge list, string) result
 
 val pp : t Fmt.t

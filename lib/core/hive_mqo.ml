@@ -33,7 +33,12 @@ let eval_composite wf vp (composite : Composite.t) =
   match composite.stars with
   | [ only ] -> star_table wf vp composite only
   | _ -> (
-    match Composite.join_plan composite with
+    match
+      Composite.join_plan
+        ?star_order:
+          (Rapida_mapred.Exec_ctx.join_order (Workflow.ctx wf) (-1))
+        composite
+    with
     | Error msg -> failwith msg
     | Ok [] -> failwith "composite pattern without join edges"
     | Ok (first :: rest) ->

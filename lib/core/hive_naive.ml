@@ -37,6 +37,8 @@ let eval_subquery wf vp (sq : Analytical.subquery) =
     | _ -> (
       match
         Composite.order_edges
+          ~star_order:
+            (Rapida_mapred.Exec_ctx.join_order (Workflow.ctx wf) sq.sq_id)
           ~star_ids:(List.map (fun (s : Star.t) -> s.id) sq.stars)
           ~edges:sq.edges
       with

@@ -20,6 +20,8 @@ type options = {
   checkpoint : Rapida_mapred.Checkpoint.config;
   verify_plans : bool;
   analyze : bool;
+  optimize : bool;
+  join_orders : (int * int list) list;
 }
 
 let default_options =
@@ -33,11 +35,13 @@ let default_options =
     checkpoint = Rapida_mapred.Checkpoint.default;
     verify_plans = false;
     analyze = false;
+    optimize = false;
+    join_orders = [];
   }
 
 let make ?(base = default_options) ?cluster ?map_join_threshold
     ?hive_compression ?ntga_combiner ?ntga_filter_pushdown ?faults
-    ?checkpoint ?verify_plans ?analyze () =
+    ?checkpoint ?verify_plans ?analyze ?optimize ?join_orders () =
   {
     cluster = Option.value ~default:base.cluster cluster;
     map_join_threshold =
@@ -51,6 +55,8 @@ let make ?(base = default_options) ?cluster ?map_join_threshold
     checkpoint = Option.value ~default:base.checkpoint checkpoint;
     verify_plans = Option.value ~default:base.verify_plans verify_plans;
     analyze = Option.value ~default:base.analyze analyze;
+    optimize = Option.value ~default:base.optimize optimize;
+    join_orders = Option.value ~default:base.join_orders join_orders;
   }
 
 (* Broadcast-everything heuristic: with the map-join threshold at
@@ -58,7 +64,11 @@ let make ?(base = default_options) ?cluster ?map_join_threshold
    cost comparisons and shuffle cycles. Answers are unchanged (the
    ablation identity properties cover the threshold), only cheaper and
    lower-variance — the overloaded server's last ladder rung. *)
-let degrade_options base = { base with map_join_threshold = max_int }
+let degrade_options base =
+  (* Degraded plans also drop any optimizer hints: the heuristic
+     (pre-optimizer) order is the misestimate-defense fallback, so
+     degradation must land exactly there. *)
+  { base with map_join_threshold = max_int; optimize = false; join_orders = [] }
 
 let context options =
   Exec_ctx.create ~cluster:options.cluster
@@ -71,7 +81,8 @@ let context options =
       }
     ~faults:(Rapida_mapred.Fault_injector.create options.faults)
     ~checkpoint:options.checkpoint ~verify_plans:options.verify_plans
-    ~analyze:options.analyze ()
+    ~analyze:options.analyze ~optimize:options.optimize
+    ~join_orders:options.join_orders ()
 
 let hive_ctx ctx =
   Exec_ctx.with_cluster ctx

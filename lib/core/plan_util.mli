@@ -48,6 +48,16 @@ type options = {
           execution (the [query --analyze] hook; see
           {!Rapida_mapred.Exec_ctx.analyze}). Off by default; engines
           never read it, so outputs are byte-identical either way. *)
+  optimize : bool;
+      (** arm the cost-based planner ([Rapida_planner]): engines consult
+          [join_orders] for enumerated star-join orders. Off by default;
+          with it off (and [join_orders] empty) plans are byte-identical
+          to the heuristic pre-optimizer behavior. *)
+  join_orders : (int * int list) list;
+      (** optimizer-chosen star-id join orders, keyed by subquery id
+          (reserved key [-1]: the composite MQO plan's [cs_id] order).
+          Produced by [Rapida_planner.plan]; see
+          {!Rapida_mapred.Exec_ctx.join_order}. *)
 }
 
 val default_options : options
@@ -67,6 +77,8 @@ val make :
   ?checkpoint:Rapida_mapred.Checkpoint.config ->
   ?verify_plans:bool ->
   ?analyze:bool ->
+  ?optimize:bool ->
+  ?join_orders:(int * int list) list ->
   unit -> options
 
 (** [degrade_options base] is [base] with the map-join threshold raised
@@ -74,7 +86,9 @@ val make :
     (fewer MR cycles) with lower latency variance, at the price of
     skipping the cost-based shuffle/broadcast decision. Answers are
     unchanged — this is the query server's cheap-heuristic-plan rung of
-    the degradation ladder. *)
+    the degradation ladder. Optimizer hints are dropped too
+    ([optimize = false], [join_orders = []]): degraded execution is the
+    misestimate-defense fallback and must use the heuristic order. *)
 val degrade_options : options -> options
 
 (** [context options] is a fresh execution context (empty trace and

@@ -77,7 +77,11 @@ let eval_composite wf q store (composite : Composite.t) =
              | [ tg' ] -> [ Joined.of_tg only.cs_id tg' ]
              | _ -> []))
   | _ -> (
-    match Composite.join_plan composite with
+    match
+      Composite.join_plan
+        ?star_order:(Exec_ctx.join_order (Workflow.ctx wf) (-1))
+        composite
+    with
     | Error msg -> failwith msg
     | Ok [] -> failwith "composite pattern without join edges"
     | Ok (first :: rest) ->

@@ -124,6 +124,7 @@ let eval_pattern wf store (sq : Analytical.subquery) =
   | _ -> (
     match
       Composite.order_edges
+        ~star_order:(Exec_ctx.join_order (Workflow.ctx wf) sq.sq_id)
         ~star_ids:(List.map (fun (s : Star.t) -> s.id) sq.stars)
         ~edges:sq.edges
     with

@@ -4,8 +4,13 @@ module Memory = Rapida_mapred.Memory
 module Checkpoint = Rapida_mapred.Checkpoint
 module Cluster = Rapida_mapred.Cluster
 module Prng = Rapida_datagen.Prng
+module Cost_model = Rapida_planner.Cost_model
 
-type t = { k_label : string; k_options : Plan_util.options }
+type t = {
+  k_label : string;
+  k_options : Plan_util.options;
+  k_optimize : Cost_model.policy option;
+}
 
 let gen_faults rng =
   if Prng.bool rng 0.5 then (Fault_injector.default, "healthy")
@@ -40,6 +45,15 @@ let gen_memory rng =
         { task_heap_bytes = 8 lsl 10; sort_buffer_bytes = 2 lsl 10; spill_threshold = 0.5 },
       "mem-8k" )
 
+(* The cost-based planner is itself a knob: with any policy the chosen
+   join orders may differ but the answer must not. *)
+let gen_optimize rng =
+  match Prng.int rng 4 with
+  | 0 -> (None, "")
+  | 1 -> (Some Cost_model.Mid, "/opt=mid")
+  | 2 -> (Some Cost_model.Worst_case, "/opt=worst-case")
+  | _ -> (Some Cost_model.Minimax_regret, "/opt=minimax-regret")
+
 let gen_checkpoint rng =
   match Prng.int rng 4 with
   | 0 -> (Checkpoint.default, "ck-never")
@@ -52,6 +66,7 @@ let generate rng ~n =
       let faults, flabel = gen_faults rng in
       let memory, mlabel = gen_memory rng in
       let checkpoint, clabel = gen_checkpoint rng in
+      let optimize, olabel = gen_optimize rng in
       let map_join_threshold = Prng.pick rng [ 0; 24 lsl 10; max_int ] in
       let ntga_combiner = Prng.bool rng 0.7 in
       let ntga_filter_pushdown = Prng.bool rng 0.7 in
@@ -65,10 +80,11 @@ let generate rng ~n =
           ~verify_plans:true ()
       in
       let label =
-        Printf.sprintf "%s/%s/%s/mjt=%s%s%s" flabel mlabel clabel
+        Printf.sprintf "%s/%s/%s/mjt=%s%s%s%s" flabel mlabel clabel
           (if map_join_threshold = max_int then "inf"
            else string_of_int map_join_threshold)
           (if ntga_combiner then "" else "/no-comb")
           (if ntga_filter_pushdown then "" else "/no-push")
+          olabel
       in
-      { k_label = label; k_options = options })
+      { k_label = label; k_options = options; k_optimize = optimize })

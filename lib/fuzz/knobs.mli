@@ -5,13 +5,20 @@
     memory pressure only prices spills and degraded reruns, checkpoints
     only shape recovery time, and the planner knobs
     (map-join threshold, combiner, filter pushdown, compression) pick
-    between physically different but logically equivalent plans. Running
-    the same query under each configuration and demanding byte-identical
-    answers therefore tests every robustness layer at once. *)
+    between physically different but logically equivalent plans. The
+    cost-based optimizer is one more such knob: any {!k_optimize}
+    policy may pick different join orders but must preserve the answer.
+    Running the same query under each configuration and demanding
+    byte-identical answers therefore tests every robustness layer at
+    once. *)
 
 type t = {
   k_label : string;  (** compact human-readable description *)
   k_options : Rapida_core.Plan_util.options;
+  k_optimize : Rapida_planner.Cost_model.policy option;
+      (** run with the cost-based planner armed under this policy; the
+          oracle plans per query and installs the verified join-order
+          hints before execution *)
 }
 
 (** [generate rng ~n] draws [n] distinct-looking configurations. The

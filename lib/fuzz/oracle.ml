@@ -14,6 +14,8 @@ module Interval = Rapida_analysis.Interval
 module Plan_verify = Rapida_analysis.Plan_verify
 module Diagnostic = Rapida_analysis.Diagnostic
 module Prng = Rapida_datagen.Prng
+module Planner = Rapida_planner.Planner
+module Cost_model = Rapida_planner.Cost_model
 
 type name = Differential | Metamorphic | Analyzer | Robustness
 
@@ -78,8 +80,19 @@ let case_of_text text =
 
 (* Run one engine on an analytical query; the break hook perturbs the
    matched kind's result table (test-only fault injection into the
-   engine layer itself). *)
-let exec env kind options aq =
+   engine layer itself). [?optimize] arms the cost-based planner: the
+   query is enumerated against the env's catalog under the policy and
+   the verified join-order hints ride into the context. *)
+let exec ?optimize env kind options aq =
+  let options =
+    match optimize with
+    | None -> options
+    | Some policy ->
+      let d =
+        Planner.plan ~policy ~cluster:options.Plan_util.cluster env.catalog aq
+      in
+      Planner.apply d options
+  in
   let ctx = Plan_util.context options in
   match Engine.execute (List.assoc kind env.sessions) ctx aq with
   | Ok out -> (
@@ -111,15 +124,23 @@ let check_differential env case =
     match reference env aq with
     | Error v -> Violation v
     | Ok expected -> (
+      (* Every engine runs twice: heuristic plans, and with the
+         cost-based join enumeration armed — both must agree with the
+         reference row-for-row. *)
+      let modes = [ (None, ""); (Some Cost_model.Worst_case, "+optimize") ] in
       let outcomes =
-        List.map
-          (fun kind ->
-            match exec env kind env.base_options aq with
-            | Ok table -> (kind, `Table table)
-            | Error (Engine.Plan_rejected r) -> (kind, `Rejected r)
-            | Error e -> (kind, `Failed (Engine.error_message e))
-            | exception exn -> (kind, `Failed (Printexc.to_string exn)))
-          Engine.all_kinds
+        List.concat_map
+          (fun (optimize, tag) ->
+            List.map
+              (fun kind ->
+                let name = Engine.kind_name kind ^ tag in
+                match exec ?optimize env kind env.base_options aq with
+                | Ok table -> (name, `Table table)
+                | Error (Engine.Plan_rejected r) -> (name, `Rejected r)
+                | Error e -> (name, `Failed (Engine.error_message e))
+                | exception exn -> (name, `Failed (Printexc.to_string exn)))
+              Engine.all_kinds)
+          modes
       in
       let failed =
         List.filter_map
@@ -137,13 +158,11 @@ let check_differential env case =
           outcomes
       in
       match (failed, rejected, succeeded) with
-      | (k, m) :: _, _, _ ->
-        Violation (Printf.sprintf "%s failed: %s" (Engine.kind_name k) m)
+      | (k, m) :: _, _, _ -> Violation (Printf.sprintf "%s failed: %s" k m)
       | [], _ :: _, [] -> Skip "all engines rejected the plan"
       | [], (k, r) :: _, (k', _) :: _ ->
         Violation
-          (Printf.sprintf "%s rejected (%s) but %s accepted"
-             (Engine.kind_name k) r (Engine.kind_name k'))
+          (Printf.sprintf "%s rejected (%s) but %s accepted" k r k')
       | [], [], succeeded -> (
         match
           List.find_opt
@@ -152,8 +171,8 @@ let check_differential env case =
         with
         | Some (k, table) ->
           Violation
-            (Printf.sprintf "%s disagrees with reference (%d rows vs %d)"
-               (Engine.kind_name k) (Table.cardinality table)
+            (Printf.sprintf "%s disagrees with reference (%d rows vs %d)" k
+               (Table.cardinality table)
                (Table.cardinality expected))
         | None -> Pass)))
 
@@ -171,12 +190,40 @@ let check_metamorphic env ~seed rng case =
     | Ok expected ->
       let violation = ref None in
       let note v = if !violation = None then violation := Some v in
+      (* optimizer invariance: every robustness policy must pick an
+         answer-preserving join order (the optimizer-off baseline is the
+         reference comparison itself) *)
+      List.iteri
+        (fun i policy ->
+          if !violation = None then
+            let kind = rotate_kind seed i in
+            match exec ~optimize:policy env kind env.base_options aq with
+            | Ok table ->
+              if not (Relops.same_results table expected) then
+                note
+                  (Printf.sprintf "%s under --opt-policy %s changed the answer"
+                     (Engine.kind_name kind)
+                     (Cost_model.policy_name policy))
+            | Error (Engine.Plan_rejected _) -> ()
+            | Error e ->
+              note
+                (Printf.sprintf "%s under --opt-policy %s failed: %s"
+                   (Engine.kind_name kind)
+                   (Cost_model.policy_name policy)
+                   (Engine.error_message e))
+            | exception exn ->
+              note
+                (Printf.sprintf "%s under --opt-policy %s raised %s"
+                   (Engine.kind_name kind)
+                   (Cost_model.policy_name policy)
+                   (Printexc.to_string exn)))
+        Cost_model.all_policies;
       (* knob invariance: one (rotating) engine per configuration *)
       List.iteri
         (fun i (k : Knobs.t) ->
           if !violation = None then
             let kind = rotate_kind seed i in
-            match exec env kind k.k_options aq with
+            match exec ?optimize:k.Knobs.k_optimize env kind k.k_options aq with
             | Ok table ->
               if not (Relops.same_results table expected) then
                 note

@@ -205,6 +205,20 @@ let median_q_error ests =
     if n mod 2 = 1 then List.nth qs (n / 2)
     else (List.nth qs ((n / 2) - 1) +. List.nth qs (n / 2)) /. 2.0
 
+(* Nearest-rank percentile: the tail view the misestimate defense's
+   escape threshold is grounded in — a good median with a bad p95/max
+   is exactly the regime where runtime defense matters. *)
+let q_error_percentile p ests =
+  match List.sort Float.compare (List.map (fun e -> e.e_q_error) ests) with
+  | [] -> 0.0
+  | qs ->
+    let n = List.length qs in
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+    List.nth qs (max 0 (min (n - 1) (rank - 1)))
+
+let max_q_error ests =
+  List.fold_left (fun acc e -> Float.max acc e.e_q_error) 0.0 ests
+
 let all_agreed run = List.for_all (fun r -> r.agreed) run.results
 
 (* --- Fault-injection degradation sweep --------------------------------- *)
@@ -696,4 +710,118 @@ let fuzz_sweep ?(budget = 200) ?(seed = 42) ?(products = 30) () =
     f_broken = broken;
     f_caught = Fuzz.violations broken > 0;
     f_elapsed_s = Unix.gettimeofday () -. start;
+  }
+
+(* --- Cost-based planner sweep -------------------------------------------- *)
+
+module Planner = Rapida_planner.Planner
+module Cost_model = Rapida_planner.Cost_model
+module Join_enum = Rapida_planner.Join_enum
+
+type optimize_entry = {
+  p_query : Catalog.entry;
+  p_planning_ms : float;
+  p_replan_ms : float;
+  p_units : int;
+  p_hints : int;
+  p_heuristic_hi : float;
+  p_chosen_hi : float;
+  p_all_verified : bool;
+  p_identical : bool;
+}
+
+type optimize_sweep = {
+  p_label : string;
+  p_triples : int;
+  p_policy : Cost_model.policy;
+  p_catalog_build_s : float;
+  p_entries : optimize_entry list;
+  p_server : Server.t;
+}
+
+let optimize_sweep ?(engines = Engine.all_kinds)
+    ?(policy = Cost_model.Worst_case) ?(seed = 11) ?(arrivals = 12) options
+    ~label input entries =
+  let graph = Engine.graph_of_input input in
+  let t0 = Unix.gettimeofday () in
+  let catalog = Rapida_analysis.Stats_catalog.build graph in
+  let p_catalog_build_s = Unix.gettimeofday () -. t0 in
+  let catalog_fp = Planner.catalog_fingerprint catalog in
+  let cluster = options.Plan_util.cluster in
+  let cache = Planner.create_cache ~capacity:64 in
+  let p_entries =
+    List.map
+      (fun entry ->
+        let q = Catalog.parse entry in
+        let t0 = Unix.gettimeofday () in
+        let d, _ =
+          Planner.plan_cached ~cache ~catalog ~catalog_fp ~policy ~cluster q
+        in
+        let p_planning_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+        (* The same shape again: a guaranteed cache hit, timed to show
+           hits skip enumeration entirely. *)
+        let t1 = Unix.gettimeofday () in
+        let _, hit =
+          Planner.plan_cached ~cache ~catalog ~catalog_fp ~policy ~cluster q
+        in
+        assert (hit = `Hit);
+        let p_replan_ms = 1000.0 *. (Unix.gettimeofday () -. t1) in
+        let sum f =
+          List.fold_left (fun acc u -> acc +. f u) 0.0 d.Planner.d_units
+        in
+        let p_chosen_hi =
+          sum (fun (u : Planner.unit_decision) ->
+              u.Planner.u_cost.Cost_model.s_hi)
+        in
+        let p_heuristic_hi =
+          sum (fun (u : Planner.unit_decision) ->
+              match u.Planner.u_heuristic with
+              | Some h -> h.Join_enum.c_cost.Cost_model.s_hi
+              | None -> u.Planner.u_cost.Cost_model.s_hi)
+        in
+        let optimized = Planner.apply d options in
+        let p_identical =
+          List.for_all
+            (fun kind ->
+              let run opts = execute kind (Plan_util.context opts) input q in
+              match (run options, run optimized) with
+              | Ok a, Ok b ->
+                Relops.same_results a.Engine.table b.Engine.table
+              | _ -> false)
+            engines
+        in
+        {
+          p_query = entry;
+          p_planning_ms;
+          p_replan_ms;
+          p_units = List.length d.Planner.d_units;
+          p_hints = List.length d.Planner.d_join_orders;
+          p_heuristic_hi;
+          p_chosen_hi;
+          p_all_verified =
+            List.for_all
+              (fun (u : Planner.unit_decision) -> u.Planner.u_verified)
+              d.Planner.d_units;
+          p_identical;
+        })
+      entries
+  in
+  (* Repeated server traffic through the armed planner: the generated
+     workload revisits catalog shapes, so the plan cache must show a
+     nonzero hit rate while every answer still matches its solo run. *)
+  let workload = Workload.generate_exn ~seed ~n:arrivals ~mean_gap_s:3.0 () in
+  let p_server =
+    Server.run
+      (Server.config ~options
+         ~optimize:(Server.optimize ~policy ())
+         Engine.Rapid_analytics)
+      input workload
+  in
+  {
+    p_label = label;
+    p_triples = Graph.size graph;
+    p_policy = policy;
+    p_catalog_build_s;
+    p_entries;
+    p_server;
   }

@@ -106,6 +106,14 @@ val estimation_sweep :
 (** [median_q_error ests] is the median root q-error (0 when empty). *)
 val median_q_error : estimation list -> float
 
+(** [q_error_percentile p ests] is the nearest-rank [p]-percentile
+    ([0 < p <= 1]) of the root q-errors (0 when empty) — the tail view
+    the misestimate defense's thresholds are grounded in. *)
+val q_error_percentile : float -> estimation list -> float
+
+(** [max_q_error ests] is the worst root q-error (0 when empty). *)
+val max_q_error : estimation list -> float
+
 (** One engine at one fault rate in a {!degradation} sweep. *)
 type degradation_point = {
   d_engine : Engine.kind;
@@ -348,3 +356,53 @@ type fuzz_sweep = {
     Budget defaults to 200 cases, seed to 42, products to 30. *)
 val fuzz_sweep :
   ?budget:int -> ?seed:int -> ?products:int -> unit -> fuzz_sweep
+
+(** One catalog query through the cost-based planner in an
+    {!optimize_sweep}: planning time (cold, then a timed guaranteed
+    cache hit), the enumerated units and verified hints, the summed
+    upper-bound cost of the chosen orders against the heuristic orders
+    (the costed-vs-heuristic delta), and whether every engine's
+    optimized result stayed byte-identical to its heuristic run. *)
+type optimize_entry = {
+  p_query : Rapida_queries.Catalog.entry;
+  p_planning_ms : float;  (** cold plan through an empty cache *)
+  p_replan_ms : float;  (** the same shape again — a cache hit *)
+  p_units : int;  (** multi-star units the enumerator handled *)
+  p_hints : int;  (** verified join-order hints installed *)
+  p_heuristic_hi : float;  (** summed upper-bound cost, heuristic orders *)
+  p_chosen_hi : float;  (** summed upper-bound cost, chosen orders *)
+  p_all_verified : bool;  (** no unit fell back over a [Plan_verify] reject *)
+  p_identical : bool;
+      (** every engine: optimized result = heuristic result *)
+}
+
+type optimize_sweep = {
+  p_label : string;
+  p_triples : int;
+  p_policy : Rapida_planner.Cost_model.policy;
+  p_catalog_build_s : float;
+  p_entries : optimize_entry list;
+  p_server : Rapida_server.Server.t;
+      (** a repeated-traffic server run with the planner armed — its
+          [r_optimize] report carries the plan-cache hit rate *)
+}
+
+(** [optimize_sweep options ~label input entries] builds a statistics
+    catalog from the input's graph (timed), plans every entry cold and
+    then again through the cache (hits must skip enumeration), prices
+    the chosen orders against the heuristic orders at their upper
+    bounds, checks per-engine byte-identity of optimized vs heuristic
+    results, and finally drives a generated arrival stream through a
+    planner-armed query server to measure the plan-cache hit rate under
+    repeated traffic. Policy defaults to [Worst_case]; the server run
+    to 12 arrivals at seed 11. *)
+val optimize_sweep :
+  ?engines:Engine.kind list ->
+  ?policy:Rapida_planner.Cost_model.policy ->
+  ?seed:int ->
+  ?arrivals:int ->
+  Rapida_core.Plan_util.options ->
+  label:string ->
+  Engine.input ->
+  Catalog.entry list ->
+  optimize_sweep

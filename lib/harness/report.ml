@@ -375,8 +375,54 @@ let pp_estimation ~engines ppf (sweep : Experiment.estimation_sweep) =
       0 sweep.Experiment.e_estimations
   in
   Fmt.pf ppf
-    "median root q-error %.2f over %d queries; worst per-node q-error %.2f; \
-     %d interval violation(s)@."
+    "root q-error median %.2f, p95 %.2f, max %.2f over %d queries; worst \
+     per-node q-error %.2f; %d interval violation(s)@."
     (Experiment.median_q_error sweep.Experiment.e_estimations)
+    (Experiment.q_error_percentile 0.95 sweep.Experiment.e_estimations)
+    (Experiment.max_q_error sweep.Experiment.e_estimations)
     (List.length sweep.Experiment.e_estimations)
     worst violations
+
+let pp_optimize ~engines ppf (sweep : Experiment.optimize_sweep) =
+  let module Cost_model = Rapida_planner.Cost_model in
+  let module Plan_cache = Rapida_planner.Plan_cache in
+  Fmt.pf ppf "@.== Cost-based planner (%s, %d triples, policy %s) ==@."
+    sweep.Experiment.p_label sweep.Experiment.p_triples
+    (Cost_model.policy_name sweep.Experiment.p_policy);
+  Fmt.pf ppf
+    "catalog build: %.1f ms; identity checked across %d engine(s)@."
+    (1000.0 *. sweep.Experiment.p_catalog_build_s)
+    (List.length engines);
+  Fmt.pf ppf "%-6s %8s %8s %5s %5s %12s %12s %7s %s@." "Query" "plan-ms"
+    "hit-ms" "units" "hints" "heuristic-hi" "chosen-hi" "delta" "identical";
+  List.iter
+    (fun (e : Experiment.optimize_entry) ->
+      let delta =
+        if e.Experiment.p_heuristic_hi > 0.0 then
+          100.0
+          *. (e.Experiment.p_heuristic_hi -. e.Experiment.p_chosen_hi)
+          /. e.Experiment.p_heuristic_hi
+        else 0.0
+      in
+      Fmt.pf ppf "%-6s %8.2f %8.3f %5d %5d %12.1f %12.1f %6.1f%% %s%s@."
+        e.Experiment.p_query.Catalog.id e.Experiment.p_planning_ms
+        e.Experiment.p_replan_ms e.Experiment.p_units e.Experiment.p_hints
+        e.Experiment.p_heuristic_hi e.Experiment.p_chosen_hi delta
+        (if e.Experiment.p_identical then "yes" else "NO")
+        (if e.Experiment.p_all_verified then "" else " [REJECTED]"))
+    sweep.Experiment.p_entries;
+  match sweep.Experiment.p_server.Server.r_optimize with
+  | Some o ->
+    let hits = o.Server.p_cache.Plan_cache.hits in
+    let misses = o.Server.p_cache.Plan_cache.misses in
+    let rate =
+      if hits + misses > 0 then
+        100.0 *. float_of_int hits /. float_of_int (hits + misses)
+      else 0.0
+    in
+    Fmt.pf ppf
+      "server repeated traffic: %d group(s) planned; cache: %a (%.0f%% hit \
+       rate); defense: %d misestimate(s), %d fallback(s), breaker %s@."
+      o.Server.p_planned Plan_cache.pp_stats o.Server.p_cache rate
+      o.Server.p_misestimates o.Server.p_fallbacks o.Server.p_breaker
+  | None -> ()

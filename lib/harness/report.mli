@@ -77,10 +77,22 @@ val pp_throughput : Experiment.throughput Fmt.t
     per-node interval-violation count (soundness demands 0), and one
     column per engine marking whether the engine's result cardinality
     fell inside the root interval ([okN] / [outN] / [error]). The footer
-    reports the median root q-error, the worst per-node q-error, and
-    the total violation count. *)
+    reports the median, p95, and max root q-error, the worst per-node
+    q-error, and the total violation count. *)
 val pp_estimation :
   engines:Engine.kind list -> Experiment.estimation_sweep Fmt.t
+
+(** [pp_optimize ~engines sweep] renders a cost-based planner sweep: a
+    row per query showing cold planning time, the timed cache hit,
+    enumerated units and verified hints, the summed upper-bound cost of
+    the heuristic vs chosen orders with the saving percentage, and
+    whether every engine's optimized result stayed byte-identical
+    ([yes] / [NO], with [[REJECTED]] marking a [Plan_verify] fallback).
+    The footer reports the repeated-traffic server run: groups planned,
+    plan-cache counters with the hit rate, and the misestimate-defense
+    state. *)
+val pp_optimize :
+  engines:Engine.kind list -> Experiment.optimize_sweep Fmt.t
 
 (** [pp_overload sweep] renders an overload sweep: a row per (arrival
     gap, fault rate) grid point comparing the unprotected server's

@@ -20,6 +20,8 @@ type t = {
   checkpoint : Checkpoint.config;
   verify_plans : bool;
   analyze : bool;
+  optimize : bool;
+  join_orders : (int * int list) list;
   metrics : Metrics.t;
   trace : Trace.t;
 }
@@ -27,7 +29,7 @@ type t = {
 let create ?(cluster = Cluster.default) ?(planner = default_planner)
     ?(faults = Fault_injector.create Fault_injector.default)
     ?(checkpoint = Checkpoint.default) ?(verify_plans = false)
-    ?(analyze = false) () =
+    ?(analyze = false) ?(optimize = false) ?(join_orders = []) () =
   {
     cluster;
     planner;
@@ -35,6 +37,8 @@ let create ?(cluster = Cluster.default) ?(planner = default_planner)
     checkpoint = Checkpoint.create checkpoint;
     verify_plans;
     analyze;
+    optimize;
+    join_orders;
     metrics = Metrics.create ();
     trace = Trace.create ();
   }
@@ -45,6 +49,8 @@ let faults t = t.faults
 let checkpoint t = t.checkpoint
 let verify_plans t = t.verify_plans
 let analyze t = t.analyze
+let optimize t = t.optimize
+let join_order t key = List.assoc_opt key t.join_orders
 let metrics t = t.metrics
 let trace t = t.trace
 let with_cluster t cluster = { t with cluster }

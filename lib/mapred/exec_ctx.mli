@@ -43,6 +43,8 @@ val create :
   ?checkpoint:Checkpoint.config ->
   ?verify_plans:bool ->
   ?analyze:bool ->
+  ?optimize:bool ->
+  ?join_orders:(int * int list) list ->
   unit ->
   t
 
@@ -73,6 +75,21 @@ val verify_plans : t -> bool
     can decide after the run whether to compare predicted and actual
     cardinalities. *)
 val analyze : t -> bool
+
+(** When set, the cost-based planner ([Rapida_planner]) is armed: the
+    engines consult {!join_order} for enumerated star-join orders and
+    front ends surface plan-cache / misestimate counters. Off by
+    default; with it off (and [join_orders = []]) execution is
+    byte-identical to a context without the optimizer layer. *)
+val optimize : t -> bool
+
+(** [join_order t key] is the optimizer-chosen star-id join order for
+    the subquery (or composite) identified by [key], if any. Keys are
+    subquery ids ([sq_id]); the reserved key [-1] carries the composite
+    (MQO) plan's star order ([cs_id] space). [None] means "use the
+    heuristic order" — the pre-optimizer behavior. The hints are plain
+    ints so this module needs no dependency on the SPARQL front end. *)
+val join_order : t -> int -> int list option
 
 val metrics : t -> Metrics.t
 val trace : t -> Trace.t

@@ -1,0 +1,78 @@
+module Card = Rapida_analysis.Interval.Card
+module Cluster = Rapida_mapred.Cluster
+
+type policy = Mid | Worst_case | Minimax_regret
+
+let policy_name = function
+  | Mid -> "mid"
+  | Worst_case -> "worst-case"
+  | Minimax_regret -> "minimax-regret"
+
+let policy_of_string = function
+  | "mid" -> Some Mid
+  | "worst-case" -> Some Worst_case
+  | "minimax-regret" -> Some Minimax_regret
+  | _ -> None
+
+let all_policies = [ Mid; Worst_case; Minimax_regret ]
+
+type scenario = { s_lo : float; s_mid : float; s_hi : float }
+
+let zero = { s_lo = 0.; s_mid = 0.; s_hi = 0. }
+
+let add a b =
+  {
+    s_lo = a.s_lo +. b.s_lo;
+    s_mid = a.s_mid +. b.s_mid;
+    s_hi = a.s_hi +. b.s_hi;
+  }
+
+(* Bytes under one scenario. [max_int] (unbounded) saturates to a huge
+   but finite float so worst-case costs stay comparable. *)
+let flo (c : Card.t) = float_of_int c.Card.lo
+let fhi (c : Card.t) = if c.Card.hi = max_int then 1e18 else float_of_int c.Card.hi
+
+let fmid (c : Card.t) =
+  let est = Card.point_estimate c in
+  if c.Card.hi = max_int then est else Float.min est (fhi c)
+
+(* One repartition-join MR cycle priced like the simulator's cost shape:
+   fixed startup, read both inputs, shuffle + sort them, write the
+   output. The absolute seconds matter less than the ordering being
+   consistent with the simulator's dominant terms. *)
+let join_step (cl : Cluster.t) ~in_bytes ~out_bytes =
+  let per scenario_bytes_in scenario_bytes_out =
+    let mb x = x /. 1.0e6 in
+    cl.Cluster.job_startup_s
+    +. (mb scenario_bytes_in /. cl.Cluster.disk_mb_per_s)
+    +. (mb scenario_bytes_in /. cl.Cluster.network_mb_per_s)
+    +. (mb scenario_bytes_in /. cl.Cluster.sort_mb_per_s)
+    +. (mb scenario_bytes_out /. cl.Cluster.disk_mb_per_s)
+  in
+  {
+    s_lo = per (flo in_bytes) (flo out_bytes);
+    s_mid = per (fmid in_bytes) (fmid out_bytes);
+    s_hi = per (fhi in_bytes) (fhi out_bytes);
+  }
+
+(* The scalar a policy minimizes. Additive over {!add} component-wise,
+   which is what makes subset DP exact: the objective of a plan is the
+   sum of its steps' objectives. [Minimax_regret] has no per-plan
+   scalar — the enumerator handles it over a candidate set — so it
+   conservatively orders by the upper bound here. *)
+let objective policy s =
+  match policy with
+  | Mid -> s.s_mid
+  | Worst_case -> s.s_hi
+  | Minimax_regret -> s.s_hi
+
+let scenario_to_json s =
+  Rapida_mapred.Json.Obj
+    [
+      ("lo_s", Rapida_mapred.Json.Float s.s_lo);
+      ("mid_s", Rapida_mapred.Json.Float s.s_mid);
+      ("hi_s", Rapida_mapred.Json.Float (Float.min s.s_hi 1e18));
+    ]
+
+let pp_scenario ppf s =
+  Fmt.pf ppf "[%.3f, %.3f, %.3f]s" s.s_lo s.s_mid (Float.min s.s_hi 1e18)

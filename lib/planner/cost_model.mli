@@ -1,0 +1,47 @@
+(** Interval-aware cost model for join enumeration.
+
+    A candidate join order is priced as a {!scenario}: the same MR-cycle
+    cost shape the simulator's dominant terms follow (fixed startup,
+    read, shuffle, sort, write), evaluated at the lower bound, the
+    geometric-mean point estimate, and the upper bound of the
+    [Card_analysis] byte intervals. Robustness policies then reduce a
+    scenario to the scalar the enumerator minimizes. *)
+
+module Card = Rapida_analysis.Interval.Card
+module Cluster = Rapida_mapred.Cluster
+
+(** How a plan is selected across the interval of possible costs:
+    - [Mid]: minimize the point-estimate cost (the classical optimizer).
+    - [Worst_case]: minimize the upper-bound cost — the default; one bad
+      estimate can never pick a catastrophic order.
+    - [Minimax_regret]: among the per-scenario winners (and the
+      heuristic order), pick the order whose maximum cost excess over
+      the per-scenario best is smallest. *)
+type policy = Mid | Worst_case | Minimax_regret
+
+val policy_name : policy -> string
+val policy_of_string : string -> policy option
+val all_policies : policy list
+
+(** Cost in simulated seconds under the three scenarios: every input at
+    its lower bound / point estimate / upper bound. *)
+type scenario = { s_lo : float; s_mid : float; s_hi : float }
+
+val zero : scenario
+
+(** Component-wise sum — plan cost is the sum of its step costs. *)
+val add : scenario -> scenario -> scenario
+
+(** [join_step cluster ~in_bytes ~out_bytes] prices one inter-star
+    repartition-join MR cycle whose total input is [in_bytes] and whose
+    output is [out_bytes] (both sound byte intervals). *)
+val join_step : Cluster.t -> in_bytes:Card.t -> out_bytes:Card.t -> scenario
+
+(** [objective policy s] is the scalar [policy] minimizes — additive
+    over {!add}, which makes subset DP exact. [Minimax_regret] is
+    resolved over a candidate set by the enumerator and falls back to
+    the upper bound here. *)
+val objective : policy -> scenario -> float
+
+val scenario_to_json : scenario -> Rapida_mapred.Json.t
+val pp_scenario : scenario Fmt.t

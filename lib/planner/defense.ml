@@ -1,0 +1,46 @@
+type state = Armed | Cooling | Off
+
+type t = {
+  k : int;
+  mutable st : state;
+  mutable consecutive : int;
+  mutable escapes : int;
+  mutable fallbacks : int;
+}
+
+let create ~k =
+  if k < 1 then invalid_arg "Defense.create: k must be >= 1";
+  { k; st = Armed; consecutive = 0; escapes = 0; fallbacks = 0 }
+
+let state t = t.st
+let escapes t = t.escapes
+let fallbacks t = t.fallbacks
+let tripped t = t.st = Off
+
+let arm_for_next t =
+  match t.st with
+  | Armed -> true
+  | Off -> false
+  | Cooling ->
+    (* One heuristic query pays the fallback, then the optimizer
+       re-arms: a single misestimate costs one query, only a streak
+       trips the breaker. *)
+    t.fallbacks <- t.fallbacks + 1;
+    t.st <- Armed;
+    false
+
+let observe t ~escaped =
+  match t.st with
+  | Off | Cooling -> ()
+  | Armed ->
+    if escaped then begin
+      t.escapes <- t.escapes + 1;
+      t.consecutive <- t.consecutive + 1;
+      if t.consecutive >= t.k then t.st <- Off else t.st <- Cooling
+    end
+    else t.consecutive <- 0
+
+let state_name = function
+  | Armed -> "armed"
+  | Cooling -> "cooling"
+  | Off -> "off"

@@ -1,0 +1,337 @@
+module Ast = Rapida_sparql.Ast
+module Star = Rapida_sparql.Star
+module Card = Rapida_analysis.Interval.Card
+module Card_analysis = Rapida_analysis.Card_analysis
+module Stats_catalog = Rapida_analysis.Stats_catalog
+module Cluster = Rapida_mapred.Cluster
+
+let max_stars = 12
+
+let sat_mul a b =
+  if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b
+
+type input = {
+  catalog : Stats_catalog.t;
+  cluster : Cluster.t;
+  stars : Star.t list;  (** sorted by id *)
+  edges : Star.edge list;
+  star_card : (int * Card.t) list;  (** per-star join interval, by id *)
+}
+
+let make ~catalog ~cluster ~stars ~edges =
+  let stars =
+    List.sort (fun (a : Star.t) (b : Star.t) -> compare a.Star.id b.Star.id) stars
+  in
+  {
+    catalog;
+    cluster;
+    stars;
+    edges;
+    star_card =
+      List.map
+        (fun (s : Star.t) ->
+          (s.Star.id, Card_analysis.star_interval catalog s))
+        stars;
+  }
+
+let star_by_id input id =
+  List.find (fun (s : Star.t) -> s.Star.id = id) input.stars
+
+let dedup xs =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
+
+let ncols_of input ids =
+  List.concat_map
+    (fun id -> List.concat_map Ast.pattern_vars (star_by_id input id).Star.patterns)
+    ids
+  |> dedup |> List.length
+
+(* Edges connecting star [s] to the id set [set], with the endpoint on
+   [s]'s side. *)
+let connecting input set s =
+  List.filter_map
+    (fun (e : Star.edge) ->
+      let l = e.Star.left.Star.star and r = e.Star.right.Star.star in
+      if l = s && List.mem r set then Some e.Star.left
+      else if r = s && List.mem l set then Some e.Star.right
+      else None)
+    input.edges
+
+(* Canonical cardinality interval of joining an id {e set}: fold the
+   stars in ascending-id order under the same inter-star join rule
+   [Card_analysis.analyze] uses (upper bound: the smaller of the
+   product bound and the best per-match fanout bound; lower bound 0).
+   Folding the {e sorted} set — not the visit order — makes the
+   interval a function of the set alone, so step costs are
+   set-additive and subset DP is exact. *)
+let set_interval input ids =
+  match List.sort compare ids with
+  | [] -> Card.exact 0
+  | first :: rest ->
+    let acc = List.assoc first input.star_card in
+    let _, card =
+      List.fold_left
+        (fun (set, (acc : Card.t)) s ->
+          let sub = List.assoc s input.star_card in
+          let conn = connecting input set s in
+          let card =
+            if conn = [] then Card.mul acc sub
+            else
+              let hi0 = sat_mul acc.Card.hi sub.Card.hi in
+              let hi =
+                List.fold_left
+                  (fun h (ep : Star.endpoint) ->
+                    min h
+                      (sat_mul acc.Card.hi
+                         (Card_analysis.join_match_bound input.catalog
+                            (star_by_id input s) ep)))
+                  hi0 conn
+              in
+              Card.make 0 hi
+          in
+          (s :: set, card))
+        ([ first ], acc) rest
+    in
+    card
+
+let set_bytes input ids =
+  Card_analysis.bytes_interval input.catalog ~ncols:(ncols_of input ids)
+    (set_interval input ids)
+
+(* Cost of extending the joined prefix [set] with star [s]: one
+   repartition-join cycle reading the prefix plus the new star's
+   materialized result, writing the grown prefix. *)
+let step_cost input set s =
+  let star_bytes =
+    Card_analysis.bytes_interval input.catalog ~ncols:(ncols_of input [ s ])
+      (List.assoc s input.star_card)
+  in
+  let in_bytes = Card.add (set_bytes input set) star_bytes in
+  let out_bytes = set_bytes input (s :: set) in
+  Cost_model.join_step input.cluster ~in_bytes ~out_bytes
+
+type candidate = { c_order : int list; c_cost : Cost_model.scenario }
+
+(* Cost of a full visit order, left-fold over its steps. [None] when a
+   star joins the prefix without a connecting edge (a cross join the
+   heuristic would never produce). *)
+let cost_of_order input order =
+  match order with
+  | [] | [ _ ] -> Some Cost_model.zero
+  | first :: rest ->
+    let rec go set cost = function
+      | [] -> Some cost
+      | s :: tl ->
+        if connecting input set s = [] then None
+        else go (s :: set) (Cost_model.add cost (step_cost input set s)) tl
+    in
+    go [ first ] Cost_model.zero rest
+
+(* --- subset DP --------------------------------------------------------- *)
+
+(* Lexicographic comparison of visit orders, the deterministic
+   tie-break: among equal-cost plans the smallest order wins, in both
+   the DP and the exhaustive path. *)
+let lex_less a b = compare (a : int list) b < 0
+
+let dp_order ~objective input =
+  let ids = List.map (fun (s : Star.t) -> s.Star.id) input.stars in
+  let n = List.length ids in
+  if n < 2 || n > max_stars then None
+  else
+    let idx = Array.of_list ids in
+    let full = (1 lsl n) - 1 in
+    (* best.(mask) = Some (scalar, order list reversed, scenario) *)
+    let best = Array.make (full + 1) None in
+    for i = 0 to n - 1 do
+      best.(1 lsl i) <- Some (0., [ idx.(i) ], Cost_model.zero)
+    done;
+    let rec popcount x = if x = 0 then 0 else (x land 1) + popcount (x lsr 1) in
+    let masks = Array.init (full + 1) (fun m -> m) in
+    Array.sort (fun a b -> compare (popcount a, a) (popcount b, b)) masks;
+    Array.iter
+      (fun mask ->
+        match best.(mask) with
+        | None -> ()
+        | Some (scalar, rev_order, scen) ->
+          let set = List.rev rev_order in
+          for j = 0 to n - 1 do
+            if mask land (1 lsl j) = 0 then begin
+              let s = idx.(j) in
+              if connecting input set s <> [] then begin
+                let step = step_cost input set s in
+                let scalar' = scalar +. objective step in
+                let scen' = Cost_model.add scen step in
+                let order' = s :: rev_order in
+                let mask' = mask lor (1 lsl j) in
+                let better =
+                  match best.(mask') with
+                  | None -> true
+                  | Some (sc, ord, _) ->
+                    scalar' < sc
+                    || (scalar' = sc && lex_less (List.rev order') (List.rev ord))
+                in
+                if better then best.(mask') <- Some (scalar', order', scen')
+              end
+            end
+          done)
+      masks;
+    match best.(full) with
+    | None -> None
+    | Some (_, rev_order, scen) ->
+      Some { c_order = List.rev rev_order; c_cost = scen }
+
+(* --- exhaustive enumeration (test oracle and explain detail) ----------- *)
+
+(* Every connected visit order, by backtracking. Only safe for small
+   star counts; [all_orders] is the ≤4-star test oracle. *)
+let all_orders input =
+  let ids = List.map (fun (s : Star.t) -> s.Star.id) input.stars in
+  let rec extend set remaining =
+    if remaining = [] then [ [] ]
+    else
+      List.concat_map
+        (fun s ->
+          if set <> [] && connecting input set s = [] then []
+          else
+            extend (s :: set) (List.filter (fun x -> x <> s) remaining)
+            |> List.map (fun tl -> s :: tl))
+        remaining
+  in
+  extend [] ids
+
+let exhaustive_order ~objective input =
+  let scored =
+    List.filter_map
+      (fun order ->
+        match cost_of_order input order with
+        | None -> None
+        | Some scen ->
+          (* Fold the scalar in step order, exactly like the DP path,
+             so float summation order matches and DP = exhaustive is
+             an equality, not an approximation. *)
+          let scalar =
+            match order with
+            | [] | [ _ ] -> 0.
+            | first :: rest ->
+              let _, sc =
+                List.fold_left
+                  (fun (set, sc) s ->
+                    (s :: set, sc +. objective (step_cost input set s)))
+                  ([ first ], 0.) rest
+              in
+              sc
+          in
+          Some (scalar, { c_order = order; c_cost = scen }))
+      (all_orders input)
+  in
+  List.fold_left
+    (fun best (scalar, c) ->
+      match best with
+      | None -> Some (scalar, c)
+      | Some (bs, bc) ->
+        if scalar < bs || (scalar = bs && lex_less c.c_order bc.c_order) then
+          Some (scalar, c)
+        else best)
+    None scored
+  |> Option.map snd
+
+(* --- policy selection -------------------------------------------------- *)
+
+type t = {
+  best : candidate;
+  heuristic : candidate option;  (** the pre-optimizer order, costed *)
+  candidates : candidate list;
+      (** distinct orders that competed for selection (explain detail) *)
+  exhaustive : bool;  (** small enough that every order was enumerated *)
+}
+
+let scenario_component i (s : Cost_model.scenario) =
+  match i with
+  | 0 -> s.Cost_model.s_lo
+  | 1 -> s.Cost_model.s_mid
+  | _ -> s.Cost_model.s_hi
+
+let enumerate ~policy ~catalog ~cluster ~stars ~edges ~heuristic =
+  let input = make ~catalog ~cluster ~stars ~edges in
+  let n = List.length stars in
+  if n < 2 || n > max_stars then None
+  else
+    let heuristic_candidate =
+      match cost_of_order input heuristic with
+      | Some scen when heuristic <> [] ->
+        Some { c_order = heuristic; c_cost = scen }
+      | _ -> None
+    in
+    let exhaustive = n <= 4 in
+    let select objective =
+      if exhaustive then exhaustive_order ~objective input
+      else dp_order ~objective input
+    in
+    let result =
+      match policy with
+      | Cost_model.Mid | Cost_model.Worst_case -> (
+        match select (Cost_model.objective policy) with
+        | None -> None
+        | Some best ->
+          let candidates =
+            List.filter
+              (fun c ->
+                Option.fold ~none:true
+                  ~some:(fun (h : candidate) -> h.c_order <> c.c_order)
+                  heuristic_candidate)
+              [ best ]
+            @ Option.to_list heuristic_candidate
+          in
+          Some { best; heuristic = heuristic_candidate; candidates; exhaustive })
+      | Cost_model.Minimax_regret -> (
+        (* Candidate set: the winner of each scenario plus the heuristic
+           order; pick the candidate whose worst excess over the
+           per-scenario best is smallest. *)
+        let winners =
+          List.filter_map
+            (fun i -> select (scenario_component i))
+            [ 0; 1; 2 ]
+        in
+        let candidates =
+          List.fold_left
+            (fun acc (c : candidate) ->
+              if List.exists (fun (x : candidate) -> x.c_order = c.c_order) acc
+              then acc
+              else acc @ [ c ])
+            []
+            (winners @ Option.to_list heuristic_candidate)
+        in
+        match candidates with
+        | [] -> None
+        | _ ->
+          let best_at i =
+            List.fold_left
+              (fun m (c : candidate) ->
+                Float.min m (scenario_component i c.c_cost))
+              infinity candidates
+          in
+          let bests = List.map best_at [ 0; 1; 2 ] in
+          let regret (c : candidate) =
+            List.fold_left2
+              (fun r i b ->
+                Float.max r (scenario_component i c.c_cost -. b))
+              0. [ 0; 1; 2 ] bests
+          in
+          let best =
+            List.fold_left
+              (fun acc c ->
+                match acc with
+                | None -> Some (regret c, c)
+                | Some (br, bc) ->
+                  let r = regret c in
+                  if r < br || (r = br && lex_less c.c_order bc.c_order) then
+                    Some (r, c)
+                  else acc)
+              None candidates
+            |> Option.get |> snd
+          in
+          Some { best; heuristic = heuristic_candidate; candidates; exhaustive })
+    in
+    result

@@ -1,0 +1,78 @@
+(** DP join enumeration over star patterns and inter-star joins.
+
+    Candidate plans are left-deep star visit orders. The cost of a plan
+    is the sum of its inter-star repartition-join steps
+    ({!Cost_model.join_step}); star materialization is order-invariant
+    and therefore not costed. The cardinality interval of a joined
+    prefix is computed canonically from the {e set} of joined stars
+    (folding in ascending-id order under [Card_analysis]'s inter-star
+    join rule), which makes step costs set-additive and the subset DP
+    exact — the DP result equals exhaustive enumeration, a property the
+    test suite checks for ≤4-star queries. *)
+
+module Star = Rapida_sparql.Star
+module Card = Rapida_analysis.Interval.Card
+module Stats_catalog = Rapida_analysis.Stats_catalog
+module Cluster = Rapida_mapred.Cluster
+
+(** Patterns beyond this many stars skip enumeration (the DP is
+    [O(2^n · n²)]); the heuristic order is used unhinted. *)
+val max_stars : int
+
+type input
+
+(** [make ~catalog ~cluster ~stars ~edges] prepares an enumeration
+    problem: per-star intervals are derived once from the catalog. *)
+val make :
+  catalog:Stats_catalog.t ->
+  cluster:Cluster.t ->
+  stars:Star.t list ->
+  edges:Star.edge list ->
+  input
+
+(** Canonical interval of joining an id set (order-independent). *)
+val set_interval : input -> int list -> Card.t
+
+type candidate = { c_order : int list; c_cost : Cost_model.scenario }
+
+(** [cost_of_order input order] costs a full visit order; [None] when
+    some star joins the prefix without a connecting edge. *)
+val cost_of_order : input -> int list -> Cost_model.scenario option
+
+(** [dp_order ~objective input] is the connected visit order minimizing
+    the summed per-step [objective], by subset DP with a deterministic
+    lexicographic tie-break. [None] when the pattern has fewer than 2 or
+    more than {!max_stars} stars, or is disconnected. *)
+val dp_order :
+  objective:(Cost_model.scenario -> float) -> input -> candidate option
+
+(** Every connected visit order (the ≤4-star test oracle). *)
+val all_orders : input -> int list list
+
+(** [exhaustive_order ~objective input] scores every order of
+    {!all_orders} with the same left-fold scalar accumulation as the DP,
+    so equality with {!dp_order} is exact. *)
+val exhaustive_order :
+  objective:(Cost_model.scenario -> float) -> input -> candidate option
+
+type t = {
+  best : candidate;
+  heuristic : candidate option;  (** the pre-optimizer order, costed *)
+  candidates : candidate list;
+      (** distinct orders that competed for selection (explain detail) *)
+  exhaustive : bool;  (** small enough that every order was enumerated *)
+}
+
+(** [enumerate ~policy ~catalog ~cluster ~stars ~edges ~heuristic] picks
+    the best order under [policy]. [heuristic] is the pre-optimizer
+    greedy visit order (costed for the explain/bench deltas and part of
+    the minimax-regret candidate set). [None] when the shape is
+    unsupported (<2 or >{!max_stars} stars, disconnected). *)
+val enumerate :
+  policy:Cost_model.policy ->
+  catalog:Stats_catalog.t ->
+  cluster:Cluster.t ->
+  stars:Star.t list ->
+  edges:Star.edge list ->
+  heuristic:int list ->
+  t option

@@ -1,0 +1,78 @@
+type 'a entry = { e_shape : int64; e_catalog : int64; e_value : 'a }
+
+type 'a t = {
+  capacity : int;
+  mutable entries : 'a entry list;  (** most recently used first *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be >= 1";
+  { capacity; entries = []; hits = 0; misses = 0; invalidations = 0; evictions = 0 }
+
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+let stats (t : 'a t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    invalidations = t.invalidations;
+    evictions = t.evictions;
+    size = List.length t.entries;
+    capacity = t.capacity;
+  }
+
+let remove t shape =
+  t.entries <- List.filter (fun e -> e.e_shape <> shape) t.entries
+
+let find t ~shape ~catalog =
+  match List.find_opt (fun e -> e.e_shape = shape) t.entries with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some e when e.e_catalog <> catalog ->
+    (* The statistics changed under the cached plan: the entry is
+       stale, drop it and replan. *)
+    remove t shape;
+    t.invalidations <- t.invalidations + 1;
+    t.misses <- t.misses + 1;
+    None
+  | Some e ->
+    t.hits <- t.hits + 1;
+    remove t shape;
+    t.entries <- e :: t.entries;
+    Some e.e_value
+
+let add t ~shape ~catalog value =
+  remove t shape;
+  t.entries <- { e_shape = shape; e_catalog = catalog; e_value = value } :: t.entries;
+  let n = List.length t.entries in
+  if n > t.capacity then begin
+    t.entries <- List.filteri (fun i _ -> i < t.capacity) t.entries;
+    t.evictions <- t.evictions + (n - t.capacity)
+  end
+
+let stats_to_json (s : stats) =
+  Rapida_mapred.Json.Obj
+    [
+      ("hits", Rapida_mapred.Json.Int s.hits);
+      ("misses", Rapida_mapred.Json.Int s.misses);
+      ("invalidations", Rapida_mapred.Json.Int s.invalidations);
+      ("evictions", Rapida_mapred.Json.Int s.evictions);
+      ("size", Rapida_mapred.Json.Int s.size);
+      ("capacity", Rapida_mapred.Json.Int s.capacity);
+    ]
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf "%d hit(s), %d miss(es), %d invalidation(s), %d eviction(s), %d/%d entries"
+    s.hits s.misses s.invalidations s.evictions s.size s.capacity

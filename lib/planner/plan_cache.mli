@@ -1,0 +1,39 @@
+(** Bounded LRU plan cache with catalog-fingerprint self-invalidation.
+
+    Entries are keyed by the normalized query-shape fingerprint and
+    guarded by the catalog fingerprint the plan was derived from: a
+    lookup that finds the shape under a {e different} catalog
+    fingerprint drops the stale entry (counted as an invalidation) and
+    reports a miss, so plans can never outlive the statistics they were
+    costed with. A hit returns the cached decision without any
+    enumeration work — the whole point for repeated server traffic. *)
+
+type 'a t
+
+(** [create ~capacity] is an empty cache holding at most [capacity]
+    entries (least recently used evicted first).
+    @raise Invalid_argument when [capacity < 1]. *)
+val create : capacity:int -> 'a t
+
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;  (** stale-catalog drops (each also a miss) *)
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+val stats : 'a t -> stats
+
+(** [find t ~shape ~catalog] looks up [shape]; a hit refreshes its
+    recency. A shape cached under a different catalog fingerprint is
+    invalidated and reported as a miss. *)
+val find : 'a t -> shape:int64 -> catalog:int64 -> 'a option
+
+(** [add t ~shape ~catalog v] inserts (replacing any entry for [shape])
+    and evicts the least recently used entry past capacity. *)
+val add : 'a t -> shape:int64 -> catalog:int64 -> 'a -> unit
+
+val stats_to_json : stats -> Rapida_mapred.Json.t
+val pp_stats : stats Fmt.t

@@ -8,6 +8,14 @@ module Trace = Rapida_mapred.Trace
 module Json = Rapida_mapred.Json
 module Table = Rapida_relational.Table
 module Relops = Rapida_relational.Relops
+module Metrics = Rapida_mapred.Metrics
+module Exec_ctx = Rapida_mapred.Exec_ctx
+module Card = Rapida_analysis.Interval.Card
+module Stats_catalog = Rapida_analysis.Stats_catalog
+module Cost_model = Rapida_planner.Cost_model
+module Plan_cache = Rapida_planner.Plan_cache
+module Defense = Rapida_planner.Defense
+module Planner = Rapida_planner.Planner
 
 type shed_policy = Drop_tail | Cost_aware | Deadline_aware
 
@@ -70,23 +78,40 @@ let overload_enabled ov =
   ov.ov_queue_cap <> None || ov.ov_breaker_k <> None || ov.ov_degrade
   || ov.ov_deadline_s <> None
 
+type optimize_cfg = {
+  oc_policy : Cost_model.policy;
+  oc_cache_capacity : int;
+  oc_defense_k : int;
+}
+
+let optimize ?(policy = Cost_model.Worst_case) ?(cache_capacity = 64)
+    ?(defense_k = 3) () =
+  {
+    oc_policy = policy;
+    oc_cache_capacity = cache_capacity;
+    oc_defense_k = defense_k;
+  }
+
 type config = {
   c_kind : Engine.kind;
   c_window_s : float;
   c_policy : Scheduler.policy;
   c_share : bool;
   c_overload : overload;
+  c_optimize : optimize_cfg option;
   c_options : Plan_util.options;
 }
 
 let config ?(window_s = 5.0) ?(policy = Scheduler.Fair) ?(share = true)
-    ?(overload = overload_off) ?(options = Plan_util.default_options) kind =
+    ?(overload = overload_off) ?optimize
+    ?(options = Plan_util.default_options) kind =
   {
     c_kind = kind;
     c_window_s = window_s;
     c_policy = policy;
     c_share = share;
     c_overload = overload;
+    c_optimize = optimize;
     c_options = options;
   }
 
@@ -135,6 +160,15 @@ type overload_report = {
   o_checked : int;
 }
 
+type optimize_report = {
+  p_policy : string;
+  p_planned : int;
+  p_cache : Plan_cache.stats;
+  p_misestimates : int;
+  p_fallbacks : int;
+  p_breaker : string;
+}
+
 type t = {
   r_kind : Engine.kind;
   r_window_s : float;
@@ -162,6 +196,7 @@ type t = {
   r_all_matched : bool;
   r_errors : int;
   r_overload : overload_report option;
+  r_optimize : optimize_report option;
   r_trace : Trace.t;
 }
 
@@ -240,6 +275,24 @@ let run cfg input (workload : Workload.t) =
   in
   let session = Engine.prepare cfg.c_kind input in
   let cluster = cfg.c_options.Plan_util.cluster in
+  (* Cost-based planner state: one catalog (hashed once), one bounded
+     plan cache, one per-session circuit breaker. [None] leaves every
+     code path below byte-identical to the heuristic server. *)
+  let opt =
+    match cfg.c_optimize with
+    | None -> None
+    | Some oc ->
+      let catalog = Stats_catalog.build (Engine.graph_of_input input) in
+      let catalog_fp = Planner.catalog_fingerprint catalog in
+      Some
+        ( oc,
+          catalog,
+          catalog_fp,
+          Planner.create_cache ~capacity:oc.oc_cache_capacity,
+          Defense.create ~k:oc.oc_defense_k )
+  in
+  let planned = ref 0 in
+  let misestimates = ref 0 in
   let batches = batch_arrivals cfg.c_window_s workload.Workload.arrivals in
   (* Back-to-back baseline: every query solo, sequentially, same
      cluster — the savings denominator, the identity reference, and the
@@ -333,8 +386,58 @@ let run cfg input (workload : Workload.t) =
     in
     List.map
       (fun (g : Batch_exec.group) ->
+        (* Cost-based planning, per executed group. The breaker decides
+           whether this group plans with the optimizer at all; a
+           [Cooling] breaker pays one heuristic (unhinted) group and
+           re-arms. Degraded batches (level >= 2) already run the
+           broadcast-everything heuristic and are never planned. *)
+        let options, escape_check =
+          match opt with
+          | Some (oc, catalog, catalog_fp, cache, defense)
+            when lvl < 2 && Defense.arm_for_next defense ->
+            let q =
+              match g.Batch_exec.g_members with
+              | [ m ] -> m.Batch_exec.m_query
+              | members ->
+                (* Shared group: what executes is the pooled composite,
+                   so that is what gets planned (hint key -1). *)
+                {
+                  Analytical.subqueries =
+                    List.concat_map
+                      (fun (m : Batch_exec.member) -> m.Batch_exec.m_subqueries)
+                      members;
+                  outer_projection = [];
+                  order_by = [];
+                  limit = None;
+                }
+            in
+            let d, _hit =
+              Planner.plan_cached ~cache ~catalog ~catalog_fp
+                ~policy:oc.oc_policy ~cluster q
+            in
+            incr planned;
+            let check =
+              (* The runtime defense needs a sound predicted interval for
+                 the measured result; only a singleton group's root
+                 cardinality has one. *)
+              match g.Batch_exec.g_members with
+              | [ _ ] -> Some (defense, d.Planner.d_root)
+              | _ -> None
+            in
+            (Planner.apply d options, check)
+          | Some _ | None -> (options, None)
+        in
         let ctx = Plan_util.context options in
         let res = Batch_exec.run_group session ctx g in
+        (match (escape_check, res.Batch_exec.outputs) with
+        | Some (defense, interval), [ Ok table ] ->
+          let escaped = not (Card.contains interval (Table.cardinality table)) in
+          if escaped then begin
+            incr misestimates;
+            Metrics.add (Exec_ctx.metrics ctx) "opt.misestimates" 1
+          end;
+          Defense.observe defense ~escaped
+        | Some _, _ | None, _ -> ());
         ( List.map2
             (fun (m : Batch_exec.member) out ->
               (List.nth members m.Batch_exec.m_index, out))
@@ -728,6 +831,20 @@ let run cfg input (workload : Workload.t) =
         }
     end
   in
+  let optimize_report =
+    match opt with
+    | None -> None
+    | Some (oc, _, _, cache, defense) ->
+      Some
+        {
+          p_policy = Cost_model.policy_name oc.oc_policy;
+          p_planned = !planned;
+          p_cache = Plan_cache.stats cache;
+          p_misestimates = !misestimates;
+          p_fallbacks = Defense.fallbacks defense;
+          p_breaker = Defense.state_name (Defense.state defense);
+        }
+  in
   {
     r_kind = cfg.c_kind;
     r_window_s = cfg.c_window_s;
@@ -756,6 +873,7 @@ let run cfg input (workload : Workload.t) =
     r_errors =
       List.length (List.filter (fun q -> q.q_error <> None) queries);
     r_overload = overload_report;
+    r_optimize = optimize_report;
     r_trace = trace;
   }
 
@@ -815,6 +933,14 @@ let pp ppf r =
         (if o.o_breaker_trips = 1 then "" else "s");
     Fmt.pf ppf "verified: %d of %d results checked against solo@,"
       o.o_checked (List.length r.r_queries));
+  (match r.r_optimize with
+  | None -> ()
+  | Some p ->
+    Fmt.pf ppf "optimizer: policy %s, %d group(s) planned; cache: %a@,"
+      p.p_policy p.p_planned Plan_cache.pp_stats p.p_cache;
+    Fmt.pf ppf
+      "optimizer defense: %d misestimate(s), %d fallback(s), breaker %s@,"
+      p.p_misestimates p.p_fallbacks p.p_breaker);
   if r.r_errors > 0 then Fmt.pf ppf "errors: %d@," r.r_errors;
   Fmt.pf ppf "results: %s@]"
     (if r.r_all_matched then
@@ -918,6 +1044,17 @@ let overload_to_json o =
       ("checked", Json.Int o.o_checked);
     ]
 
+let optimize_to_json p =
+  Json.Obj
+    [
+      ("policy", Json.String p.p_policy);
+      ("planned", Json.Int p.p_planned);
+      ("cache", Plan_cache.stats_to_json p.p_cache);
+      ("misestimates", Json.Int p.p_misestimates);
+      ("fallbacks", Json.Int p.p_fallbacks);
+      ("breaker", Json.String p.p_breaker);
+    ]
+
 let to_json r =
   let active = r.r_overload <> None in
   Json.Obj
@@ -956,7 +1093,10 @@ let to_json r =
        ("all_matched", Json.Bool r.r_all_matched);
        ("errors", Json.Int r.r_errors);
      ]
+    @ (match r.r_overload with
+      | None -> []
+      | Some o -> [ ("overload", overload_to_json o) ])
     @
-    match r.r_overload with
+    match r.r_optimize with
     | None -> []
-    | Some o -> [ ("overload", overload_to_json o) ])
+    | Some p -> [ ("optimize", optimize_to_json p) ])

@@ -45,7 +45,23 @@
     Every shed query gets a typed {!fate} — never a silent drop — and
     the report grows goodput, per-fate counts and latency percentiles,
     and time-in-level. With everything disabled the run, report, and
-    JSON are bit-identical to the unprotected server. *)
+    JSON are bit-identical to the unprotected server.
+
+    {2 Cost-based planning}
+
+    With an {!optimize_cfg} the server plans every executed group with
+    the {!Rapida_planner} layer: singleton groups plan the member query,
+    shared groups plan the pooled composite that actually executes.
+    Decisions come from a bounded plan cache keyed by (query shape,
+    catalog fingerprint) — repeated workload shapes skip join
+    enumeration entirely — and each optimized singleton result is
+    checked against the analyzer's predicted root interval. An escape
+    counts a misestimate ([opt.misestimates] in the context metrics),
+    makes the next group run the heuristic plan, and [defense_k]
+    consecutive escapes turn the optimizer off for the rest of the run
+    ({!Rapida_planner.Defense}). With [c_optimize = None] (the default)
+    the run, report, and JSON are bit-identical to the heuristic
+    server. *)
 
 module Engine = Rapida_core.Engine
 module Scheduler = Rapida_mapred.Scheduler
@@ -122,6 +138,23 @@ val overload_off : overload
     the workload itself carries deadlines. *)
 val overload_enabled : overload -> bool
 
+(** The cost-based planner knobs: robustness policy, plan-cache
+    capacity, and the circuit breaker's consecutive-escape threshold. *)
+type optimize_cfg = {
+  oc_policy : Rapida_planner.Cost_model.policy;
+  oc_cache_capacity : int;  (** LRU plan-cache entries *)
+  oc_defense_k : int;
+      (** consecutive misestimate escapes that trip the breaker *)
+}
+
+(** [optimize ()] with the defaults: [Worst_case] policy, 64 cache
+    entries, breaker threshold 3. *)
+val optimize :
+  ?policy:Rapida_planner.Cost_model.policy ->
+  ?cache_capacity:int ->
+  ?defense_k:int ->
+  unit -> optimize_cfg
+
 type config = {
   c_kind : Engine.kind;
   c_window_s : float;  (** admission window length, seconds *)
@@ -130,16 +163,20 @@ type config = {
       (** cross-query sharing on MQO-capable kinds; [false] runs every
           admitted query solo (grouping off), isolating the scheduler *)
   c_overload : overload;
+  c_optimize : optimize_cfg option;
+      (** cost-based planning; [None] (default) is the heuristic server *)
   c_options : Rapida_core.Plan_util.options;
 }
 
 (** [config kind] with the defaults: 5 s window, fair-share scheduling,
-    sharing on, {!overload_off}, {!Rapida_core.Plan_util.default_options}. *)
+    sharing on, {!overload_off}, no cost-based planning,
+    {!Rapida_core.Plan_util.default_options}. *)
 val config :
   ?window_s:float ->
   ?policy:Scheduler.policy ->
   ?share:bool ->
   ?overload:overload ->
+  ?optimize:optimize_cfg ->
   ?options:Rapida_core.Plan_util.options ->
   Engine.kind -> config
 
@@ -199,6 +236,19 @@ type overload_report = {
   o_checked : int;  (** results verified against their solo run *)
 }
 
+(** Cost-based planner accounting, present when {!field-c_optimize} was
+    set. A cache hit means a group executed a previously enumerated
+    plan with no enumeration at all. *)
+type optimize_report = {
+  p_policy : string;
+  p_planned : int;  (** groups planned with the optimizer armed *)
+  p_cache : Rapida_planner.Plan_cache.stats;
+  p_misestimates : int;
+      (** optimized results outside their predicted interval *)
+  p_fallbacks : int;  (** heuristic groups paid for escapes *)
+  p_breaker : string;  (** final breaker state: armed/cooling/off *)
+}
+
 type t = {
   r_kind : Engine.kind;
   r_window_s : float;
@@ -228,6 +278,8 @@ type t = {
   r_all_matched : bool;  (** every checked query matched its solo run *)
   r_errors : int;
   r_overload : overload_report option;  (** [Some] iff the layer was active *)
+  r_optimize : optimize_report option;
+      (** [Some] iff cost-based planning was configured *)
   r_trace : Trace.t;
       (** server-level spans, category ["overload"]: level periods, shed
           decisions, breaker openings *)

@@ -126,7 +126,7 @@ with --json:
   > for layer in sorted(by_layer): print(layer, len(by_layer[layer]))'
   ast-lint 11
   card-analysis 5
-  plan-verify 7
+  plan-verify 8
 
 The example queries analyze warning-clean against their own datasets —
 the CI gate:

@@ -25,5 +25,6 @@ let () =
       ("analysis", Test_analysis.suite);
       ("card", Test_card.suite);
       ("server", Test_server.suite);
+      ("planner", Test_planner.suite);
       ("fuzz", Test_fuzz.suite);
     ]

@@ -196,7 +196,7 @@ let test_order_edges () =
          "SELECT (COUNT(?a) AS ?n) { ?a p ?b . ?b q ?c . ?c r ?d . }")
   in
   match
-    Composite.order_edges
+    Composite.order_edges ~star_order:None
       ~star_ids:(List.map (fun (s : Star.t) -> s.Star.id) sq.Analytical.stars)
       ~edges:sq.Analytical.edges
   with
@@ -210,7 +210,7 @@ let test_order_edges_disconnected () =
       (subqueries_of "SELECT (COUNT(?a) AS ?n) { ?a p ?b . ?c q ?d . }")
   in
   match
-    Composite.order_edges
+    Composite.order_edges ~star_order:None
       ~star_ids:(List.map (fun (s : Star.t) -> s.Star.id) sq.Analytical.stars)
       ~edges:sq.Analytical.edges
   with
